@@ -1,0 +1,116 @@
+// Ablation A4 (paper §3.3 customisation): both directions of the
+// performance/area trade —
+//   * adding a custom instruction: a `rotr` (rotate-right) custom ALU op
+//     replaces the 3-op shift/shift/or sequence at +96 slices per ALU —
+//     measured on a rotation-chain kernel (the SHA-256 inner pattern),
+//     written in EPIC assembly and assembled for each customisation;
+//   * removing unused hardware: dropping the divider/shifter from the
+//     ALUs shrinks the design (slice counts from the FPGA model).
+#include "bench_util.hpp"
+
+#include "asmtool/assembler.hpp"
+#include "fpga/model.hpp"
+
+namespace {
+
+std::string rotation_kernel(bool use_custom, int iters) {
+  using cepic::cat;
+  std::string body;
+  body += ".entry main\n";
+  body += "main:\n";
+  body += cat("mov r10, #", iters, " ;;\n");
+  body += "mov r11, #0x1234 ;;\n";
+  body += "pbr b1, @loop ;;\n";
+  body += "loop:\n";
+  // Four dependent rotations per iteration (amounts 7, 18, 17, 19 — the
+  // SHA-256 sigma rotations).
+  for (int amount : {7, 18, 17, 19}) {
+    if (use_custom) {
+      body += cat("custom0 r11, r11, #", amount, " ;;\n");
+    } else {
+      body += cat("shrl r12, r11, #", amount, " ;;\n");
+      body += cat("shl r13, r11, #", 32 - amount, " ;;\n");
+      body += "or r11, r12, r13 ;;\n";
+    }
+  }
+  body += "sub r10, r10, #1 ;;\n";
+  body += "cmpp.gt p1, p0, r10, #0 ;;\n";
+  body += "brct b1, p1 ;;\n";
+  body += "out r11 ;;\n";
+  body += "halt ;;\n";
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cepic;
+  using namespace cepic::bench;
+
+  std::cout << "=== Ablation A4: custom instructions & feature trims ===\n\n";
+
+  std::cout << "--- custom `rotr` instruction (rotation kernel, 1000 "
+               "iterations) ---\n";
+  const int iters = 1000;
+
+  ProcessorConfig base_cfg;
+  Program base = asmtool::assemble(rotation_kernel(false, iters), base_cfg);
+  EpicSimulator base_sim(std::move(base));
+  base_sim.run();
+
+  ProcessorConfig custom_cfg;
+  custom_cfg.custom_ops = {"rotr"};
+  Program custom =
+      asmtool::assemble(rotation_kernel(true, iters), custom_cfg);
+  EpicSimulator custom_sim(std::move(custom),
+                           CustomOpTable::for_names(custom_cfg.custom_ops));
+  custom_sim.run();
+
+  if (base_sim.output() != custom_sim.output()) {
+    std::cout << "!! custom and composed kernels disagree\n";
+  }
+
+  const auto base_est = fpga::estimate(base_cfg);
+  const CustomOpTable table = CustomOpTable::for_names(custom_cfg.custom_ops);
+  const auto custom_est = fpga::estimate(custom_cfg, &table);
+
+  print_row("", {"cycles", "slices"}, 24);
+  print_row("shift/shift/or", {cat(base_sim.stats().cycles),
+                               fixed(base_est.slices, 0)},
+            24);
+  print_row("custom rotr", {cat(custom_sim.stats().cycles),
+                            fixed(custom_est.slices, 0)},
+            24);
+  std::cout << pad_right("trade", 24)
+            << pad_left(cat(fixed(static_cast<double>(base_sim.stats().cycles) /
+                                      static_cast<double>(
+                                          custom_sim.stats().cycles),
+                                  2),
+                            "x faster"),
+                        12)
+            << pad_left(cat("+", fixed(custom_est.slices - base_est.slices, 0),
+                            " slices"),
+                        14)
+            << "\n";
+
+  std::cout << "\n--- removing unused operations (paper: \"ALUs do not "
+               "need to support division...\") ---\n";
+  const auto trim_row = [](const char* name, const ProcessorConfig& cfg) {
+    const auto e = fpga::estimate(cfg);
+    std::cout << pad_right(name, 24) << pad_left(fixed(e.slices, 0), 10)
+              << " slices" << pad_left(cat(e.block_mults), 6) << " MULT18\n";
+  };
+  ProcessorConfig full;
+  trim_row("full ALUs (4x)", full);
+  ProcessorConfig no_div = full;
+  no_div.alu.has_div = false;
+  trim_row("no divider", no_div);
+  ProcessorConfig no_mul = no_div;
+  no_mul.alu.has_mul = false;
+  trim_row("no divider/multiplier", no_mul);
+  ProcessorConfig lean = no_mul;
+  lean.alu.has_shift = false;
+  lean.alu.has_minmax = false;
+  trim_row("add/logic only", lean);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A3: instructions per issue, the paper's §3.3 parameter that
+// memory bandwidth constrains to 1..4. Sweeps issue width (at 4 ALUs)
+// over all four benchmarks.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  using namespace cepic::bench;
+
+  Sizes sizes = parse_sizes(argc, argv);
+  const auto workloads = workloads::all_workloads(
+      sizes.sha_dim, sizes.aes_iters, sizes.dct_dim, sizes.dijkstra_nodes);
+
+  std::cout << "=== Ablation A3: instructions per issue (1..4) ===\n\n";
+  print_row("", {"SHA", "AES", "DCT", "Dijkstra"});
+
+  std::vector<std::uint64_t> width1;
+  for (unsigned issue = 1; issue <= 4; ++issue) {
+    std::vector<std::string> cells;
+    for (const auto& w : workloads) {
+      ProcessorConfig cfg;
+      cfg.issue_width = issue;
+      const RunResult r = run_epic(w, cfg);
+      check_outputs(cat("issue", issue, "/", w.name), r);
+      if (issue == 1) width1.push_back(r.cycles);
+      cells.push_back(cat(r.cycles));
+    }
+    print_row(cat("issue ", issue), cells);
+  }
+
+  std::cout << "\nspeedup of issue 4 over issue 1:\n";
+  std::vector<std::string> cells;
+  {
+    std::size_t i = 0;
+    for (const auto& w : workloads) {
+      ProcessorConfig cfg;
+      const RunResult r = run_epic(w, cfg);
+      cells.push_back(cat(fixed(static_cast<double>(width1[i]) /
+                                    static_cast<double>(r.cycles),
+                                2),
+                          "x"));
+      ++i;
+    }
+  }
+  print_row("", cells);
+  std::cout << "\n(ILP-rich benchmarks gain from width; branch/memory-bound "
+               "ones saturate early)\n";
+  return 0;
+}

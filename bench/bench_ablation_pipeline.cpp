@@ -1,0 +1,48 @@
+// Ablation A5 (paper §6 future work, implemented here): parameterised
+// pipeline depth. Deeper pipelines raise the modelled clock (the paper:
+// "with further optimisations in the datapath additional speedup should
+// be possible") but pay an extra taken-branch bubble per stage — so the
+// winner depends on how branchy the workload is.
+#include "bench_util.hpp"
+
+#include "fpga/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  using namespace cepic::bench;
+
+  Sizes sizes = parse_sizes(argc, argv);
+  const auto workloads = workloads::all_workloads(
+      sizes.sha_dim, sizes.aes_iters, sizes.dct_dim, sizes.dijkstra_nodes);
+
+  std::cout << "=== Ablation A5: pipeline depth (2/3/4 stages) ===\n\n";
+
+  for (const auto& w : workloads) {
+    std::cout << "--- " << w.name << " ---\n";
+    print_row("stages", {"fmax", "cycles", "time (ms)", "vs 2-stage"}, 10);
+    double base_ms = 0;
+    for (unsigned stages : {2u, 3u, 4u}) {
+      ProcessorConfig cfg;
+      cfg.pipeline_stages = stages;
+      const auto area = fpga::estimate(cfg);
+      EpicSimulator sim =
+          driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+      if (sim.output() != w.expected_output) {
+        std::cout << "!! output mismatch\n";
+        continue;
+      }
+      const double ms =
+          static_cast<double>(sim.stats().cycles) / (area.fmax_mhz * 1e3);
+      if (stages == 2) base_ms = ms;
+      print_row(cat(stages),
+                {cat(fixed(area.fmax_mhz, 1), " MHz"),
+                 cat(sim.stats().cycles), fixed(ms, 3),
+                 cat(fixed(base_ms / ms, 2), "x")},
+                10);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(arithmetic-bound kernels bank the clock gain; branchy "
+               "ones give part of it back in bubbles)\n";
+  return 0;
+}

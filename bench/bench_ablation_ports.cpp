@@ -1,0 +1,59 @@
+// Ablation A2: the register-file-controller design of paper §3.2 —
+// port budget (dual-port RAM at 4x clock = 8 ops/cycle) and result
+// forwarding. Also exercises the unified-memory contention variant
+// (data accesses stealing instruction-fetch bandwidth).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  using namespace cepic::bench;
+
+  Sizes sizes = parse_sizes(argc, argv);
+  const auto w = workloads::make_dct(sizes.dct_dim);
+  const auto w2 = workloads::make_sha(sizes.sha_dim);
+
+  std::cout << "=== Ablation A2: register-file ports & forwarding ===\n";
+  std::cout << "(DCT " << sizes.dct_dim << "x" << sizes.dct_dim << ", SHA "
+            << sizes.sha_dim << "x" << sizes.sha_dim << ", 4 ALUs)\n\n";
+
+  print_row("configuration",
+            {"DCT cycles", "port stalls", "SHA cycles", "port stalls"},
+            26);
+
+  const auto row = [&](const std::string& name, unsigned budget, bool fwd) {
+    ProcessorConfig cfg;
+    cfg.reg_port_budget = budget;
+    cfg.forwarding = fwd;
+    EpicSimulator a =
+        driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+    EpicSimulator b =
+        driver::run_minic_on_epic(w2.minic_source, cfg, {}, big_sim());
+    print_row(name,
+              {cat(a.stats().cycles), cat(a.stats().stall_reg_ports),
+               cat(b.stats().cycles), cat(b.stats().stall_reg_ports)},
+              26);
+  };
+
+  row("4 ports + forwarding", 4, true);
+  row("8 ports + forwarding (paper)", 8, true);
+  row("8 ports, no forwarding", 8, false);
+  row("16 ports + forwarding", 16, true);
+  row("16 ports, no forwarding", 16, false);
+
+  std::cout << "\n--- unified-memory contention (data steals fetch "
+               "bandwidth) ---\n";
+  for (bool contention : {false, true}) {
+    ProcessorConfig cfg;
+    cfg.unified_memory_contention = contention;
+    EpicSimulator a =
+        driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+    std::cout << pad_right(contention ? "shared banks" : "separate data port",
+                           26)
+              << pad_left(cat(a.stats().cycles), 12) << "  (mem stalls "
+              << a.stats().stall_mem_contention << ")\n";
+  }
+  std::cout << "\npaper design point: 8 ports with forwarding — the "
+               "scheduler packs around the budget, so stalls stay near "
+               "zero; disabling forwarding exposes the limit\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// §5.1 resource usage (paper): slices as a function of the number of
+// ALUs (4181/6779/9367/~11955, ~2600 per ALU), register file in block
+// RAM with negligible slice cost, multiplication on block multipliers,
+// 41.8 MHz clock independent of ALU count. Plus the width sweep the
+// parameterisation enables.
+#include <iostream>
+
+#include "core/custom.hpp"
+#include "fpga/model.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace cepic;
+  using cepic::fpga::estimate;
+
+  std::cout << "=== §5.1 resource usage (analytic Virtex-II model) ===\n\n";
+
+  std::cout << "--- slices vs number of ALUs   [paper: 4181 / 6779 / 9367 / "
+               "~11955, ~2600 per ALU] ---\n";
+  std::cout << pad_right("ALUs", 8) << pad_left("slices", 10)
+            << pad_left("BRAMs", 8) << pad_left("MULT18", 8)
+            << pad_left("fmax", 10) << "\n";
+  double prev = 0;
+  for (unsigned alus = 1; alus <= 4; ++alus) {
+    ProcessorConfig cfg;
+    cfg.num_alus = alus;
+    const auto e = estimate(cfg);
+    std::cout << pad_right(cat(alus), 8) << pad_left(fixed(e.slices, 0), 10)
+              << pad_left(cat(e.block_rams), 8)
+              << pad_left(cat(e.block_mults), 8)
+              << pad_left(cat(fixed(e.fmax_mhz, 1), " MHz"), 10);
+    if (alus > 1) std::cout << "   (+" << fixed(e.slices - prev, 0) << ")";
+    prev = e.slices;
+    std::cout << "\n";
+  }
+
+  std::cout << "\n--- register file size  [paper: SelectRAM; negligible "
+               "slice / fmax effect] ---\n";
+  std::cout << pad_right("GPRs", 8) << pad_left("slices", 10)
+            << pad_left("BRAMs", 8) << pad_left("fmax", 10) << "\n";
+  for (unsigned gprs : {16u, 32u, 64u}) {
+    ProcessorConfig cfg;
+    cfg.num_gprs = gprs;
+    if (gprs < 32) cfg.num_preds = 16;
+    const auto e = estimate(cfg);
+    std::cout << pad_right(cat(gprs), 8) << pad_left(fixed(e.slices, 0), 10)
+              << pad_left(cat(e.block_rams), 8)
+              << pad_left(cat(fixed(e.fmax_mhz, 1), " MHz"), 10) << "\n";
+  }
+
+  std::cout << "\n--- datapath width (customisation parameter) ---\n";
+  std::cout << pad_right("width", 8) << pad_left("slices", 10)
+            << pad_left("fmax", 10) << "\n";
+  for (unsigned width : {16u, 32u, 64u}) {
+    ProcessorConfig cfg;
+    cfg.datapath_width = width;
+    const auto e = estimate(cfg);
+    std::cout << pad_right(cat(width, "b"), 8)
+              << pad_left(fixed(e.slices, 0), 10)
+              << pad_left(cat(fixed(e.fmax_mhz, 1), " MHz"), 10) << "\n";
+  }
+
+  std::cout << "\n--- ALU feature trims (paper §3.3: drop unused "
+               "operations) ---\n";
+  const auto full = estimate(ProcessorConfig{});
+  ProcessorConfig no_div;
+  no_div.alu.has_div = false;
+  ProcessorConfig lean = no_div;
+  lean.alu.has_shift = false;
+  lean.alu.has_minmax = false;
+  std::cout << pad_right("full ALU set", 22)
+            << pad_left(fixed(full.slices, 0), 10) << " slices\n";
+  std::cout << pad_right("no divider", 22)
+            << pad_left(fixed(estimate(no_div).slices, 0), 10) << " slices\n";
+  std::cout << pad_right("add/logic only", 22)
+            << pad_left(fixed(estimate(lean).slices, 0), 10) << " slices\n";
+
+  std::cout << "\n--- default configuration breakdown ---\n";
+  std::cout << full.report();
+  std::cout << fpga::estimate_power(full).report();
+
+  std::cout << "\n--- pipeline depth (paper §6 future work) ---\n";
+  std::cout << pad_right("stages", 8) << pad_left("slices", 10)
+            << pad_left("fmax", 10) << pad_left("power", 10) << "\n";
+  for (unsigned stages : {2u, 3u, 4u}) {
+    ProcessorConfig cfg;
+    cfg.pipeline_stages = stages;
+    const auto e = estimate(cfg);
+    std::cout << pad_right(cat(stages), 8) << pad_left(fixed(e.slices, 0), 10)
+              << pad_left(cat(fixed(e.fmax_mhz, 1), " MHz"), 10)
+              << pad_left(cat(fixed(fpga::estimate_power(e).total(), 0),
+                              " mW"), 10)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 1 (paper §5.2): clock cycles for SHA, AES, DCT and Dijkstra on
+// the StrongARM SA-110 and on the EPIC processor with 1-4 ALUs, plus
+// the paper's headline cycle ratios (SA-110 / EPIC-4ALU).
+//
+// Paper prose ground truth (Table 1's absolute values did not survive
+// text extraction): with 4 ALUs the EPIC design completes in ~1.7x
+// (Dijkstra), ~3.8x (SHA) and ~12.3x (DCT) fewer cycles than the
+// SA-110, while AES stays roughly flat in the number of ALUs.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  using namespace cepic::bench;
+
+  const Sizes sizes = parse_sizes(argc, argv);
+  const auto workloads = workloads::all_workloads(
+      sizes.sha_dim, sizes.aes_iters, sizes.dct_dim, sizes.dijkstra_nodes);
+
+  std::cout << "=== Table 1: clock cycles per benchmark ===\n";
+  std::cout << "(SHA " << sizes.sha_dim << "x" << sizes.sha_dim
+            << " image, AES x" << sizes.aes_iters << ", DCT "
+            << sizes.dct_dim << "x" << sizes.dct_dim << ", Dijkstra "
+            << sizes.dijkstra_nodes << " nodes)\n\n";
+
+  print_row("", {"SHA", "AES", "DCT", "Dijkstra"});
+
+  std::vector<std::uint64_t> sa110;
+  {
+    std::vector<std::string> cells;
+    for (const auto& w : workloads) {
+      const RunResult r = run_sarm(w);
+      check_outputs("SA-110/" + w.name, r);
+      sa110.push_back(r.cycles);
+      cells.push_back(cat(r.cycles));
+    }
+    print_row("SA-110", cells);
+  }
+
+  std::vector<std::uint64_t> epic4;
+  for (unsigned alus = 1; alus <= 4; ++alus) {
+    std::vector<std::string> cells;
+    for (const auto& w : workloads) {
+      const RunResult r = run_epic(w, epic_with_alus(alus));
+      check_outputs(cat(alus, "ALU/", w.name), r);
+      if (alus == 4) epic4.push_back(r.cycles);
+      cells.push_back(cat(r.cycles));
+    }
+    print_row(cat(alus, alus == 1 ? " ALU" : " ALUs"), cells);
+  }
+
+  std::cout << "\ncycle ratio SA-110 / EPIC(4 ALUs)   [paper: SHA 3.8x, "
+               "DCT 12.3x, Dijkstra 1.7x]\n";
+  std::vector<std::string> cells;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    cells.push_back(cat(fixed(static_cast<double>(sa110[i]) /
+                                  static_cast<double>(epic4[i]),
+                              2),
+                        "x"));
+  }
+  print_row("ratio", cells);
+  return 0;
+}

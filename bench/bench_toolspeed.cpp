@@ -1,0 +1,122 @@
+// S1: tooling throughput (google-benchmark) — how fast the CEPIC tools
+// themselves run: MiniC compilation, optimisation, EPIC backend,
+// assembly, binary encode/decode, and the simulated MIPS of both cycle
+// simulators.
+#include <benchmark/benchmark.h>
+
+#include "asmtool/assembler.hpp"
+#include "driver/driver.hpp"
+#include "frontend/irgen.hpp"
+#include "ir/interp.hpp"
+#include "opt/opt.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace cepic;
+
+const workloads::Workload& dct_workload() {
+  static const workloads::Workload w = workloads::make_dct(16);
+  return w;
+}
+
+void BM_Frontend(benchmark::State& state) {
+  const auto& w = dct_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::compile_to_ir(w.minic_source));
+  }
+}
+BENCHMARK(BM_Frontend);
+
+void BM_Optimize(benchmark::State& state) {
+  const auto& w = dct_workload();
+  const ir::Module base = minic::compile_to_ir(w.minic_source);
+  for (auto _ : state) {
+    ir::Module m = base;
+    opt::optimize(m);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_Optimize);
+
+void BM_EpicBackend(benchmark::State& state) {
+  const auto& w = dct_workload();
+  ir::Module m = minic::compile_to_ir(w.minic_source);
+  opt::optimize(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend::compile_ir_to_asm(m, ProcessorConfig{}));
+  }
+}
+BENCHMARK(BM_EpicBackend);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto& w = dct_workload();
+  const auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const Program p = asmtool::assemble(compiled.asm_text, ProcessorConfig{});
+    ops += p.code.size();
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Assembler);
+
+void BM_BinaryRoundtrip(benchmark::State& state) {
+  const auto& w = dct_workload();
+  const auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Program::deserialize(compiled.program.serialize()));
+  }
+}
+BENCHMARK(BM_BinaryRoundtrip);
+
+void BM_EpicSimulator(benchmark::State& state) {
+  const auto& w = dct_workload();
+  auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  EpicSimulator sim(compiled.program);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.reset();
+    sim.run();
+    cycles += sim.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EpicSimulator);
+
+void BM_SarmSimulator(benchmark::State& state) {
+  const auto& w = dct_workload();
+  auto program = driver::compile_minic_to_sarm(w.minic_source);
+  sarm::SarmSimulator sim(program);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.reset();
+    sim.run();
+    cycles += sim.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SarmSimulator);
+
+void BM_IrInterpreter(benchmark::State& state) {
+  const auto& w = dct_workload();
+  ir::Module m = minic::compile_to_ir(w.minic_source);
+  for (auto _ : state) {
+    ir::Interpreter interp(m);
+    benchmark::DoNotOptimize(interp.run());
+  }
+}
+BENCHMARK(BM_IrInterpreter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Shared harness for the paper-reproduction benches: runs a workload on
+// the SA-110 baseline and on EPIC customisations, and prints the
+// paper-style tables. Every bench binary accepts:
+//   --small      reduced workload sizes (CI-friendly)
+//   --sha N --aes N --dct N --dijkstra N   explicit sizes
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::bench {
+
+struct Sizes {
+  int sha_dim = 64;        // paper: 256x256 image
+  int aes_iters = 100;     // paper: 1000 iterations
+  int dct_dim = 64;        // paper: 256x256 image
+  int dijkstra_nodes = 32; // paper: "a large graph"
+};
+
+inline Sizes parse_sizes(int argc, char** argv) {
+  Sizes s;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> int {
+      if (i + 1 >= argc) throw Error(cat(arg, " needs a value"));
+      std::int64_t v = 0;
+      if (!parse_int(argv[++i], v)) throw Error(cat("bad value for ", arg));
+      return static_cast<int>(v);
+    };
+    if (arg == "--small") {
+      s = Sizes{16, 8, 16, 12};
+    } else if (arg == "--sha") {
+      s.sha_dim = next();
+    } else if (arg == "--aes") {
+      s.aes_iters = next();
+    } else if (arg == "--dct") {
+      s.dct_dim = next();
+    } else if (arg == "--dijkstra") {
+      s.dijkstra_nodes = next();
+    } else if (arg == "--help") {
+      std::cout << "flags: --small | --sha N | --aes N | --dct N |"
+                   " --dijkstra N\n";
+      std::exit(0);
+    }
+  }
+  return s;
+}
+
+/// Paper clock rates (§5.2): SA-110 at 100 MHz, the EPIC prototype at
+/// 41.8 MHz.
+inline constexpr double kSa110Mhz = 100.0;
+inline constexpr double kEpicMhz = 41.8;
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  bool output_ok = false;
+  double ilp = 0;
+};
+
+inline SimOptions big_sim() {
+  SimOptions o;
+  o.max_cycles = 8'000'000'000ull;
+  return o;
+}
+
+inline RunResult run_epic(const workloads::Workload& w,
+                          const ProcessorConfig& cfg,
+                          const driver::EpicCompileOptions& options = {}) {
+  EpicSimulator sim =
+      driver::run_minic_on_epic(w.minic_source, cfg, options, big_sim());
+  RunResult r;
+  r.cycles = sim.stats().cycles;
+  r.output_ok = sim.output() == w.expected_output;
+  r.ilp = sim.stats().ilp();
+  return r;
+}
+
+inline RunResult run_sarm(const workloads::Workload& w,
+                          const driver::SarmCompileOptions& options = {}) {
+  sarm::SarmOptionsSim so;
+  so.max_cycles = 8'000'000'000ull;
+  sarm::SarmSimulator sim =
+      driver::run_minic_on_sarm(w.minic_source, options, so);
+  RunResult r;
+  r.cycles = sim.stats().cycles;
+  r.output_ok = sim.output() == w.expected_output;
+  return r;
+}
+
+inline ProcessorConfig epic_with_alus(unsigned alus) {
+  ProcessorConfig cfg;
+  cfg.num_alus = alus;
+  return cfg;
+}
+
+inline void print_row(const std::string& head,
+                      const std::vector<std::string>& cells,
+                      std::size_t head_width = 14,
+                      std::size_t cell_width = 12) {
+  std::cout << pad_right(head, head_width);
+  for (const std::string& c : cells) std::cout << pad_left(c, cell_width);
+  std::cout << "\n";
+}
+
+inline void check_outputs(const std::string& name, const RunResult& r) {
+  if (!r.output_ok) {
+    std::cout << "!! " << name << ": OUTPUT MISMATCH vs golden — results "
+                 "invalid\n";
+  }
+}
+
+}  // namespace cepic::bench

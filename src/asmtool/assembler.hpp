@@ -1,0 +1,43 @@
+// The CEPIC assembler (paper §4.2): maps textual EPIC assembly onto
+// machine code for a *specific processor customisation*. Like the
+// paper's tool it needs no recompilation to re-target — hand it a
+// different configuration (or configuration file) and it packs MultiOps
+// to the new issue width, checks functional-unit constraints from the
+// machine description, pads with no-ops and re-encodes.
+//
+// Syntax:
+//   // comment (to end of line)
+//   .data                          switch to the data section
+//   .global <name> <words> [= w0 w1 ...]   reserve/initialise a global
+//   .text                          switch to the code section
+//   .entry <label>                 program entry bundle
+//   <label>:                       bundle label (several may stack)
+//   (pN) op d, s1, s2 ; op ... ;;  ops separated by `;`, `;;` ends the
+//                                  MultiOp (NOP-padded to issue width)
+// Operands: rN (GPR), pN (predicate), bN (BTR), #imm (decimal/hex
+// literal), @name (label -> bundle address, or data symbol -> byte
+// address).
+#pragma once
+
+#include <string_view>
+
+#include "core/program.hpp"
+
+namespace cepic::asmtool {
+
+/// Assemble for a configuration. Throws AsmError with a line number on
+/// any syntax, operand, range or bundle-constraint violation.
+Program assemble(std::string_view source, const ProcessorConfig& config);
+
+/// Convenience: the configuration itself comes from a configuration
+/// file ("configuration header file" in the paper), so a retarget needs
+/// no recompilation of the assembler.
+Program assemble_with_config_text(std::string_view source,
+                                  std::string_view config_text);
+
+/// Render a program back to assembly (labels from the symbol tables;
+/// branch-target literals stay numeric). assemble(disassemble(p)) keeps
+/// the encoded words bit-identical.
+std::string disassemble(const Program& program);
+
+}  // namespace cepic::asmtool

@@ -1,0 +1,88 @@
+#include <map>
+
+#include "asmtool/assembler.hpp"
+#include "support/text.hpp"
+
+namespace cepic::asmtool {
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  out += "// disassembly\n";
+
+  if (!program.data_symbols.empty()) {
+    out += ".data\n";
+    // Symbols sorted by address reproduce the original layout order.
+    std::map<std::uint32_t, std::string> by_addr;
+    for (const auto& [name, addr] : program.data_symbols) {
+      by_addr[addr] = name;
+    }
+    std::uint32_t end_addr =
+        kDataBase + static_cast<std::uint32_t>(program.data.size());
+    for (auto it = by_addr.begin(); it != by_addr.end(); ++it) {
+      const std::uint32_t addr = it->first;
+      const std::uint32_t next =
+          std::next(it) != by_addr.end() ? std::next(it)->first : end_addr;
+      const std::uint32_t words = (next - addr) / 4;
+      out += cat(".global ", it->second, " ", words);
+      // Emit initialiser words up to the last non-zero one.
+      std::uint32_t last_nonzero = 0;
+      bool any = false;
+      for (std::uint32_t w = 0; w < words; ++w) {
+        const std::uint32_t off = addr - kDataBase + w * 4;
+        const std::uint32_t value =
+            (static_cast<std::uint32_t>(program.data[off]) << 24) |
+            (static_cast<std::uint32_t>(program.data[off + 1]) << 16) |
+            (static_cast<std::uint32_t>(program.data[off + 2]) << 8) |
+            static_cast<std::uint32_t>(program.data[off + 3]);
+        if (value != 0) {
+          last_nonzero = w + 1;
+          any = true;
+        }
+      }
+      if (any) {
+        out += " =";
+        for (std::uint32_t w = 0; w < last_nonzero; ++w) {
+          const std::uint32_t off = addr - kDataBase + w * 4;
+          const std::uint32_t value =
+              (static_cast<std::uint32_t>(program.data[off]) << 24) |
+              (static_cast<std::uint32_t>(program.data[off + 1]) << 16) |
+              (static_cast<std::uint32_t>(program.data[off + 2]) << 8) |
+              static_cast<std::uint32_t>(program.data[off + 3]);
+          out += cat(" 0x", std::hex, value, std::dec);
+        }
+      }
+      out += "\n";
+    }
+  }
+
+  out += ".text\n";
+  // Invert the code symbol table: bundle -> labels.
+  std::multimap<std::uint32_t, std::string> labels;
+  for (const auto& [name, addr] : program.code_symbols) {
+    labels.emplace(addr, name);
+  }
+  for (const auto& [name, addr] : program.code_symbols) {
+    if (addr == program.entry_bundle) {
+      out += cat(".entry ", name, "\n");
+      break;
+    }
+  }
+
+  const std::size_t width = program.config.issue_width;
+  for (std::uint32_t b = 0; b < program.bundle_count(); ++b) {
+    for (auto [it, end] = labels.equal_range(b); it != end; ++it) {
+      out += cat(it->second, ":\n");
+    }
+    std::string ops;
+    for (std::size_t slot = 0; slot < width; ++slot) {
+      const Instruction& inst = program.code[b * width + slot];
+      if (inst.is_nop()) continue;
+      if (!ops.empty()) ops += " ; ";
+      ops += to_string(inst);
+    }
+    out += ops.empty() ? "nop ;;\n" : cat(ops, " ;;\n");
+  }
+  return out;
+}
+
+}  // namespace cepic::asmtool

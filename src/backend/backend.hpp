@@ -1,0 +1,57 @@
+// EPIC backend — the elcor role from the paper (§4.1): lowering from IR
+// to HPL-PD-subset machine operations, register allocation over the
+// configured register files, dependence-aware resource-constrained list
+// scheduling driven by the Mdes, and emission of textual assembly that
+// the configuration-driven assembler (asmtool) turns into machine code.
+#pragma once
+
+#include <string>
+
+#include "backend/machine.hpp"
+#include "core/config.hpp"
+#include "ir/ir.hpp"
+#include "mdes/mdes.hpp"
+
+namespace cepic::backend {
+
+struct BackendOptions {
+  /// Initial stack pointer (must match the simulator's memory size).
+  std::uint32_t stack_top = std::uint32_t{1} << 22;
+  /// Schedule greedily for ILP; when false each op gets its own bundle
+  /// (ablation baseline for the scheduler's contribution).
+  bool schedule = true;
+};
+
+/// Compile a verified IR module to CEPIC assembly text for the given
+/// processor configuration. Throws Error/CompileError when the module
+/// needs operations the customisation lacks (e.g. DIV on a divider-less
+/// ALU) or exceeds ABI limits (more than 8 arguments).
+std::string compile_ir_to_asm(const ir::Module& module,
+                              const ProcessorConfig& config,
+                              const BackendOptions& options = {});
+
+// ---- pipeline stages, exposed for unit tests ----
+
+/// Lower one IR function to machine code with virtual registers.
+MFunc lower_function(const ir::Function& fn, const ir::Module& module,
+                     const ir::DataLayout& layout, const Mdes& mdes,
+                     const ProcessorConfig& config);
+
+/// Allocate physical registers (rewrites in place, adds spill code and
+/// patches frame adjustments). Throws Error if a register file is too
+/// small to allocate even with spilling.
+void allocate_registers(MFunc& fn, const ProcessorConfig& config);
+
+/// Pack each block into MultiOps obeying the Mdes resources, the issue
+/// width, dependence latencies and the register-port budget.
+ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
+                                const ProcessorConfig& config,
+                                bool schedule = true);
+
+/// Render scheduled functions + data section + entry stub as assembly.
+std::string emit_module_asm(const std::vector<ScheduledFunc>& funcs,
+                            const ir::Module& module,
+                            const ProcessorConfig& config,
+                            const BackendOptions& options);
+
+}  // namespace cepic::backend

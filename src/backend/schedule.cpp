@@ -1,0 +1,264 @@
+// Resource-constrained list scheduling (the core of the elcor role):
+// builds the dependence DAG of each block — true/anti/output register
+// dependences across all three register files, memory and output-port
+// ordering, and control edges that pin branches to the block end — and
+// packs operations into MultiOps honouring the Mdes functional-unit
+// counts, the issue width, operation latencies, and the register-file
+// controller's port budget with forwarding (paper §3.2). Priority is
+// critical-path height.
+#include <algorithm>
+#include <set>
+
+#include "backend/backend.hpp"
+#include "support/text.hpp"
+
+namespace cepic::backend {
+
+namespace {
+
+struct RegKey {
+  RegFile file;
+  std::uint32_t reg;
+  bool operator<(const RegKey& o) const {
+    return file < o.file || (file == o.file && reg < o.reg);
+  }
+};
+
+RegFile src_file(SrcSpec spec) {
+  switch (spec) {
+    case SrcSpec::Gpr:
+    case SrcSpec::GprOrLit: return RegFile::Gpr;
+    case SrcSpec::Pred: return RegFile::Pred;
+    case SrcSpec::Btr: return RegFile::Btr;
+    default: return RegFile::None;
+  }
+}
+
+struct InstSets {
+  std::set<RegKey> reads;
+  std::set<RegKey> writes;
+  bool is_branch = false;   ///< transfers control (BRU/BRCT/BRCF/BRL/BRR/HALT)
+  bool is_barrier = false;  ///< calls/returns: nothing moves across
+  bool mem_read = false;
+  bool mem_write = false;
+  bool is_out = false;
+};
+
+InstSets classify(const MInst& mi) {
+  InstSets s;
+  const Instruction& inst = mi.inst;
+  const OpInfo& info = inst.info();
+  const auto add_read = [&](RegFile f, std::uint32_t r) {
+    if (f == RegFile::None) return;
+    if (f == RegFile::Gpr && r == 0) return;   // r0 constant
+    if (f == RegFile::Pred && r == 0) return;  // p0 constant
+    s.reads.insert({f, r});
+  };
+  if (inst.src1.is_reg()) add_read(src_file(info.src1), inst.src1.reg);
+  if (inst.src2.is_reg()) add_read(src_file(info.src2), inst.src2.reg);
+  if (info.dest1_is_source) add_read(RegFile::Gpr, inst.dest1);
+  if (inst.pred != 0) add_read(RegFile::Pred, inst.pred);
+  if (info.writes_dest1() && !(info.dest1 == RegFile::Gpr && inst.dest1 == 0)) {
+    s.writes.insert({info.dest1, inst.dest1});
+    if (inst.pred != 0) add_read(info.dest1, inst.dest1);  // guarded def
+  }
+  if (info.dest2 != RegFile::None && inst.dest2 != 0) {
+    s.writes.insert({info.dest2, inst.dest2});
+    if (inst.pred != 0) add_read(info.dest2, inst.dest2);
+  }
+  s.is_branch = info.is_branch || inst.op == Op::HALT;
+  s.is_barrier = mi.is_barrier;
+  s.mem_read = info.is_load;
+  s.mem_write = info.is_store;
+  s.is_out = inst.op == Op::OUT;
+  return s;
+}
+
+struct Edge {
+  int to;
+  unsigned delay;
+};
+
+}  // namespace
+
+ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
+                                const ProcessorConfig& config,
+                                bool schedule) {
+  ScheduledFunc out;
+  out.name = fn.name;
+
+  for (const MBlock& block : fn.blocks) {
+    ScheduledFunc::Block sblock;
+    sblock.label = block.label;
+
+    if (!schedule) {
+      for (const MInst& mi : block.insts) sblock.bundles.push_back({mi});
+      out.blocks.push_back(std::move(sblock));
+      continue;
+    }
+
+    const int n = static_cast<int>(block.insts.size());
+    std::vector<InstSets> sets;
+    sets.reserve(block.insts.size());
+    for (const MInst& mi : block.insts) sets.push_back(classify(mi));
+
+    // ---- dependence edges ----
+    std::vector<std::vector<Edge>> succs(n);
+    std::vector<int> indegree(n, 0);
+    const auto add_edge = [&](int from, int to, unsigned delay) {
+      succs[from].push_back({to, delay});
+      ++indegree[to];
+    };
+
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < j; ++i) {
+        unsigned delay = 0;
+        bool dep = false;
+        // RAW: j reads something i writes.
+        for (const RegKey& w : sets[i].writes) {
+          if (sets[j].reads.count(w) != 0) {
+            dep = true;
+            delay = std::max(delay, mdes.latency(block.insts[i].inst.op));
+          }
+          // WAW: both write (keep order; distinct cycles).
+          if (sets[j].writes.count(w) != 0) {
+            dep = true;
+            delay = std::max(delay, 1u);
+          }
+        }
+        // WAR: j writes something i reads — same cycle is fine
+        // (MultiOps read before writing), so delay 0.
+        if (!dep) {
+          for (const RegKey& r : sets[i].reads) {
+            if (sets[j].writes.count(r) != 0) {
+              dep = true;
+              break;
+            }
+          }
+        }
+        // Memory and output-port ordering.
+        if (sets[i].mem_write && sets[j].mem_write) {
+          dep = true;
+          delay = std::max(delay, 1u);
+        }
+        if (sets[i].mem_write && sets[j].mem_read) {
+          dep = true;
+          delay = std::max(delay, 1u);
+        }
+        if (sets[i].mem_read && sets[j].mem_write) dep = true;  // delay 0
+        if (sets[i].is_out && sets[j].is_out) {
+          dep = true;
+          delay = std::max(delay, 1u);
+        }
+        // Control: branches sink to the end; nothing crosses barriers.
+        if (sets[j].is_branch || sets[j].is_barrier) dep = true;
+        if (sets[i].is_branch || sets[i].is_barrier) {
+          dep = true;
+          delay = std::max(delay, 1u);
+        }
+        if (dep) add_edge(i, j, delay);
+      }
+    }
+
+    // ---- priorities: critical-path height ----
+    std::vector<unsigned> height(n, 0);
+    for (int i = n - 1; i >= 0; --i) {
+      for (const Edge& e : succs[i]) {
+        height[i] = std::max(height[i], height[e.to] + std::max(e.delay, 1u));
+      }
+    }
+
+    // ---- cycle-by-cycle packing ----
+    std::vector<int> remaining_in = indegree;
+    std::vector<unsigned> earliest(n, 0);
+    std::vector<bool> done(n, false);
+    std::set<std::uint32_t> prev_cycle_writes;  // GPRs written last cycle
+    int scheduled = 0;
+    unsigned cycle = 0;
+    const unsigned width = mdes.issue_width();
+    const unsigned budget = mdes.reg_port_budget();
+    const bool fwd = mdes.forwarding();
+
+    while (scheduled < n) {
+      std::vector<MInst> bundle;
+      std::vector<int> bundle_idx;
+      unsigned used_alu = 0, used_cmpu = 0, used_lsu = 0, used_bru = 0;
+      std::set<std::uint32_t> cycle_writes;
+      unsigned port_reads = 0, port_writes = 0;
+
+      for (;;) {
+        // Candidates: all deps satisfied, ready at this cycle.
+        int best = -1;
+        for (int i = 0; i < n; ++i) {
+          if (done[i] || remaining_in[i] != 0 || earliest[i] > cycle) continue;
+          if (bundle.size() >= width) continue;
+          const FuClass fu = block.insts[i].inst.info().fu;
+          unsigned* used = nullptr;
+          unsigned avail = 0;
+          switch (fu) {
+            case FuClass::Alu: used = &used_alu; avail = mdes.units(FuClass::Alu); break;
+            case FuClass::Cmpu: used = &used_cmpu; avail = mdes.units(FuClass::Cmpu); break;
+            case FuClass::Lsu: used = &used_lsu; avail = mdes.units(FuClass::Lsu); break;
+            case FuClass::Bru: used = &used_bru; avail = mdes.units(FuClass::Bru); break;
+            case FuClass::None: break;
+          }
+          if (used != nullptr && *used >= avail) continue;
+          // Port budget check for the register file controller.
+          unsigned reads = 0, writes = 0;
+          for (const RegKey& r : sets[i].reads) {
+            if (r.file != RegFile::Gpr) continue;
+            if (fwd && prev_cycle_writes.count(r.reg) != 0) continue;
+            ++reads;
+          }
+          for (const RegKey& w : sets[i].writes) {
+            if (w.file == RegFile::Gpr) ++writes;
+          }
+          if (port_reads + port_writes + reads + writes > budget) continue;
+          if (best < 0 || height[i] > height[best] ||
+              (height[i] == height[best] && i < best)) {
+            best = i;
+          }
+        }
+        if (best < 0) break;
+
+        bundle.push_back(block.insts[best]);
+        bundle_idx.push_back(best);
+        done[best] = true;
+        ++scheduled;
+        const FuClass fu = block.insts[best].inst.info().fu;
+        if (fu == FuClass::Alu) ++used_alu;
+        if (fu == FuClass::Cmpu) ++used_cmpu;
+        if (fu == FuClass::Lsu) ++used_lsu;
+        if (fu == FuClass::Bru) ++used_bru;
+        for (const RegKey& r : sets[best].reads) {
+          if (r.file == RegFile::Gpr &&
+              !(fwd && prev_cycle_writes.count(r.reg) != 0)) {
+            ++port_reads;
+          }
+        }
+        for (const RegKey& w : sets[best].writes) {
+          if (w.file == RegFile::Gpr) {
+            ++port_writes;
+            cycle_writes.insert(w.reg);
+          }
+        }
+        for (const Edge& e : succs[best]) {
+          --remaining_in[e.to];
+          earliest[e.to] =
+              std::max(earliest[e.to], cycle + e.delay);
+        }
+      }
+
+      if (!bundle.empty()) sblock.bundles.push_back(std::move(bundle));
+      prev_cycle_writes = std::move(cycle_writes);
+      ++cycle;
+      CEPIC_CHECK(cycle < 1000000u, "scheduler failed to make progress");
+    }
+
+    out.blocks.push_back(std::move(sblock));
+  }
+  (void)config;
+  return out;
+}
+
+}  // namespace cepic::backend

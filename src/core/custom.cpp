@@ -1,0 +1,91 @@
+#include "core/custom.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+
+void CustomOpTable::install(unsigned slot, CustomOp op) {
+  CEPIC_CHECK(slot < ops_.size(), "custom op slot out of range");
+  CEPIC_CHECK(static_cast<bool>(op.eval), "custom op needs semantics");
+  ops_[slot] = std::move(op);
+}
+
+const CustomOp& CustomOpTable::get(unsigned slot) const {
+  CEPIC_CHECK(has(slot), cat("custom op slot ", slot, " not installed"));
+  return *ops_[slot];
+}
+
+std::optional<unsigned> CustomOpTable::slot_of(std::string_view name) const {
+  for (unsigned i = 0; i < ops_.size(); ++i) {
+    if (ops_[i] && ops_[i]->name == name) return i;
+  }
+  return std::nullopt;
+}
+
+CustomOpTable CustomOpTable::for_names(const std::vector<std::string>& names) {
+  CustomOpTable table;
+  for (unsigned i = 0; i < names.size(); ++i) {
+    auto op = builtin_custom_op(names[i]);
+    if (!op) {
+      throw ConfigError(cat("unknown custom op `", names[i],
+                            "`; built-ins: rotr, madd16, popc, sadd"));
+    }
+    table.install(i, std::move(*op));
+  }
+  return table;
+}
+
+std::optional<CustomOp> builtin_custom_op(std::string_view name) {
+  if (name == "rotr") {
+    CustomOp op;
+    op.name = "rotr";
+    op.eval = [](std::uint32_t a, std::uint32_t b) { return rotr32(a, b); };
+    op.slices_per_alu = 96.0;  // a 32-bit barrel rotator
+    return op;
+  }
+  if (name == "madd16") {
+    CustomOp op;
+    op.name = "madd16";
+    op.eval = [](std::uint32_t a, std::uint32_t b) {
+      const auto lo = static_cast<std::int32_t>(sign_extend(a & 0xFFFFu, 16)) *
+                      static_cast<std::int32_t>(sign_extend(b & 0xFFFFu, 16));
+      const auto hi = static_cast<std::int32_t>(sign_extend(a >> 16, 16)) *
+                      static_cast<std::int32_t>(sign_extend(b >> 16, 16));
+      return to_unsigned(lo + hi);
+    };
+    op.slices_per_alu = 64.0;  // adders only; multiplies map to block mults
+    op.block_mults_per_alu = 2;
+    return op;
+  }
+  if (name == "popc") {
+    CustomOp op;
+    op.name = "popc";
+    op.eval = [](std::uint32_t a, std::uint32_t b) {
+      return static_cast<std::uint32_t>(std::popcount(a)) + b;
+    };
+    op.slices_per_alu = 48.0;
+    return op;
+  }
+  if (name == "sadd") {
+    CustomOp op;
+    op.name = "sadd";
+    op.eval = [](std::uint32_t a, std::uint32_t b) {
+      const std::int64_t sum = static_cast<std::int64_t>(to_signed(a)) +
+                               static_cast<std::int64_t>(to_signed(b));
+      const std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+      const std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+      return to_unsigned(
+          static_cast<std::int32_t>(sum < lo ? lo : (sum > hi ? hi : sum)));
+    };
+    op.slices_per_alu = 40.0;
+    return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cepic

@@ -1,0 +1,63 @@
+// Custom-instruction support (paper §3.3): an application may bind up to
+// four extra ALU operations to the CUSTOM0..CUSTOM3 opcode slots. The
+// processor configuration names the enabled ops; this table supplies
+// their semantics (for the simulator) and their area cost (for the FPGA
+// model). Neither the assembler nor the simulator needs recompiling to
+// pick up a new custom op — mirroring the paper's claim for its tools.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/isa.hpp"
+
+namespace cepic {
+
+struct CustomOp {
+  std::string name;
+  /// Combinational semantics: (src1, src2) -> result, on the masked
+  /// datapath width.
+  std::function<std::uint32_t(std::uint32_t, std::uint32_t)> eval;
+  /// FPGA slice cost of adding this op to *each* ALU.
+  double slices_per_alu = 200.0;
+  /// Block multipliers consumed per ALU (e.g. madd16 uses multipliers).
+  unsigned block_mults_per_alu = 0;
+  unsigned latency = 1;
+};
+
+/// Registry binding CUSTOM0..3 slots to semantics. A default-constructed
+/// table has no ops; ops are installed by slot.
+class CustomOpTable {
+public:
+  void install(unsigned slot, CustomOp op);
+
+  bool has(unsigned slot) const {
+    return slot < ops_.size() && ops_[slot].has_value();
+  }
+  const CustomOp& get(unsigned slot) const;
+
+  /// Find the slot bound to `name`, if any.
+  std::optional<unsigned> slot_of(std::string_view name) const;
+
+  /// Builds a table binding `names[i]` to slot i using the built-in
+  /// library of example ops (see builtin_custom_op). Throws ConfigError
+  /// for unknown names.
+  static CustomOpTable for_names(const std::vector<std::string>& names);
+
+private:
+  std::array<std::optional<CustomOp>, 4> ops_;
+};
+
+/// Built-in example custom ops used by tests, examples and ablation A4:
+///   "rotr"   — 32-bit rotate right (SHA-256 sigma functions)
+///   "madd16" — dual 16-bit multiply-accumulate:
+///              lo16(s1)*lo16(s2) + hi16(s1)*hi16(s2), for DCT butterflies
+///   "popc"   — popcount(s1) + s2
+///   "sadd"   — signed saturating add
+std::optional<CustomOp> builtin_custom_op(std::string_view name);
+
+}  // namespace cepic

@@ -1,0 +1,26 @@
+// Binary encoding of instructions into the parameterisable fixed-width
+// format of paper Fig. 1. The OPCODE field holds the 12-bit operation id
+// plus two flags marking SRC1/SRC2 as inline literals; all other fields
+// are plain indices / literal bits. Encoding always validates against
+// the configuration first, so a successfully encoded word is always
+// decodable on a processor with the same configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/instruction.hpp"
+
+namespace cepic {
+
+/// Encode one instruction. Throws Error if the instruction fails
+/// validate_instruction() for `cfg`.
+std::uint64_t encode_instruction(const Instruction& inst,
+                                 const ProcessorConfig& cfg);
+
+/// Decode one instruction word. Throws Error on an unknown operation id,
+/// malformed literal flags, or out-of-range fields.
+Instruction decode_instruction(std::uint64_t word,
+                               const ProcessorConfig& cfg);
+
+}  // namespace cepic

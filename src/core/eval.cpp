@@ -1,0 +1,94 @@
+#include "core/eval.hpp"
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+
+namespace cepic {
+
+std::uint32_t mask_to_width(std::uint32_t v, unsigned width) {
+  if (width >= 32) return v;
+  return v & static_cast<std::uint32_t>(mask64(width));
+}
+
+std::int32_t signed_at_width(std::uint32_t v, unsigned width) {
+  if (width >= 32) return to_signed(v);
+  return static_cast<std::int32_t>(sign_extend(v, width));
+}
+
+std::uint32_t eval_alu(Op op, std::uint32_t a, std::uint32_t b,
+                       unsigned width, const CustomOpTable* custom) {
+  a = mask_to_width(a, width);
+  b = mask_to_width(b, width);
+  const std::int64_t sa = signed_at_width(a, width);
+  const std::int64_t sb = signed_at_width(b, width);
+  const unsigned shamt = width ? static_cast<unsigned>(b % width) : 0;
+
+  std::int64_t result = 0;
+  switch (op) {
+    case Op::ADD: result = sa + sb; break;
+    case Op::SUB: result = sa - sb; break;
+    case Op::MUL: result = sa * sb; break;
+    case Op::DIV:
+      if (sb == 0) {
+        result = 0;
+      } else {
+        // On a width-bit machine, most-negative / -1 overflows; define
+        // the result as most-negative (two's-complement wrap).
+        result = sa / sb;
+      }
+      break;
+    case Op::REM:
+      result = (sb == 0) ? sa : sa % sb;
+      break;
+    case Op::AND: return a & b;
+    case Op::OR: return a | b;
+    case Op::XOR: return a ^ b;
+    case Op::SHL: return mask_to_width(a << shamt, width);
+    case Op::SHRL: return a >> shamt;
+    case Op::SHRA:
+      return mask_to_width(
+          static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(sa) >> shamt),
+          width);
+    case Op::MIN: result = sa < sb ? sa : sb; break;
+    case Op::MAX: result = sa > sb ? sa : sb; break;
+    case Op::ABS: result = sa < 0 ? -sa : sa; break;
+    case Op::MOV: return a;
+    case Op::CUSTOM0:
+    case Op::CUSTOM1:
+    case Op::CUSTOM2:
+    case Op::CUSTOM3: {
+      CEPIC_CHECK(custom != nullptr && custom->has(custom_slot(op)),
+                  "custom op evaluated without installed semantics");
+      return mask_to_width(custom->get(custom_slot(op)).eval(a, b), width);
+    }
+    default:
+      CEPIC_CHECK(false, "eval_alu called on a non-ALU op");
+  }
+  return mask_to_width(static_cast<std::uint32_t>(result), width);
+}
+
+bool eval_cmpp(Op op, std::uint32_t a, std::uint32_t b, unsigned width) {
+  a = mask_to_width(a, width);
+  b = mask_to_width(b, width);
+  const std::int32_t sa = signed_at_width(a, width);
+  const std::int32_t sb = signed_at_width(b, width);
+  switch (op) {
+    case Op::CMPP_EQ: return a == b;
+    case Op::CMPP_NE: return a != b;
+    case Op::CMPP_LT: return sa < sb;
+    case Op::CMPP_LE: return sa <= sb;
+    case Op::CMPP_GT: return sa > sb;
+    case Op::CMPP_GE: return sa >= sb;
+    case Op::CMPP_LTU: return a < b;
+    case Op::CMPP_LEU: return a <= b;
+    case Op::CMPP_GTU: return a > b;
+    case Op::CMPP_GEU: return a >= b;
+    case Op::PSET: return a != 0;
+    default:
+      CEPIC_CHECK(false, "eval_cmpp called on a non-compare op");
+  }
+  return false;
+}
+
+}  // namespace cepic

@@ -1,0 +1,31 @@
+// Pure combinational semantics of the ALU and CMPU operations, shared by
+// the EPIC simulator and reused in tests as a single source of truth.
+// All arithmetic is performed on a `width`-bit datapath (paper §3.3:
+// "width of datapath and registers" is a customisation parameter);
+// values are carried in uint32_t and masked to the datapath width.
+#pragma once
+
+#include <cstdint>
+
+#include "core/custom.hpp"
+#include "core/isa.hpp"
+
+namespace cepic {
+
+/// Mask a value to the datapath width.
+std::uint32_t mask_to_width(std::uint32_t v, unsigned width);
+
+/// Interpret the low `width` bits of `v` as a signed value.
+std::int32_t signed_at_width(std::uint32_t v, unsigned width);
+
+/// Evaluate an ALU-class operation (including MOV/ABS and custom ops).
+/// Defined corner cases: divide by zero yields quotient 0 and remainder
+/// `a`; INT_MIN / -1 yields INT_MIN remainder 0; shift amounts are taken
+/// modulo the datapath width.
+std::uint32_t eval_alu(Op op, std::uint32_t a, std::uint32_t b,
+                       unsigned width, const CustomOpTable* custom = nullptr);
+
+/// Evaluate a compare-to-predicate condition (CMPP_* / PSET dest1 value).
+bool eval_cmpp(Op op, std::uint32_t a, std::uint32_t b, unsigned width);
+
+}  // namespace cepic

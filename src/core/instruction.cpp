@@ -1,0 +1,211 @@
+#include "core/instruction.hpp"
+
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+
+Instruction Instruction::make(Op op, std::uint32_t d1, Operand s1, Operand s2,
+                              std::uint32_t pred, std::uint32_t d2) {
+  Instruction i;
+  i.op = op;
+  i.dest1 = d1;
+  i.dest2 = d2;
+  i.src1 = s1;
+  i.src2 = s2;
+  i.pred = pred;
+  return i;
+}
+
+namespace {
+
+char file_prefix(RegFile f) {
+  switch (f) {
+    case RegFile::Gpr: return 'r';
+    case RegFile::Pred: return 'p';
+    case RegFile::Btr: return 'b';
+    case RegFile::None: break;
+  }
+  return '?';
+}
+
+RegFile src_file(SrcSpec spec) {
+  switch (spec) {
+    case SrcSpec::Gpr:
+    case SrcSpec::GprOrLit: return RegFile::Gpr;
+    case SrcSpec::Pred: return RegFile::Pred;
+    case SrcSpec::Btr: return RegFile::Btr;
+    case SrcSpec::None:
+    case SrcSpec::LitOnly: return RegFile::None;
+  }
+  return RegFile::None;
+}
+
+std::string operand_str(const Operand& o, SrcSpec spec) {
+  if (o.is_lit()) return cat('#', o.lit);
+  if (o.is_reg()) return cat(file_prefix(src_file(spec)), o.reg);
+  return "<none>";
+}
+
+unsigned reg_count(const ProcessorConfig& cfg, RegFile f) {
+  switch (f) {
+    case RegFile::Gpr: return cfg.num_gprs;
+    case RegFile::Pred: return cfg.num_preds;
+    case RegFile::Btr: return cfg.num_btrs;
+    case RegFile::None: break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string to_string(const Instruction& inst) {
+  const OpInfo& info = inst.info();
+  std::string s;
+  if (inst.pred != 0) s += cat("(p", inst.pred, ") ");
+  s += info.name;
+  bool first = true;
+  auto comma = [&] {
+    s += first ? " " : ", ";
+    first = false;
+  };
+  if (info.dest1 != RegFile::None) {
+    comma();
+    s += cat(file_prefix(info.dest1), inst.dest1);
+  }
+  if (info.dest2 != RegFile::None) {
+    comma();
+    s += cat(file_prefix(info.dest2), inst.dest2);
+  }
+  if (info.src1 != SrcSpec::None) {
+    comma();
+    s += operand_str(inst.src1, info.src1);
+  }
+  if (info.src2 != SrcSpec::None) {
+    comma();
+    s += operand_str(inst.src2, info.src2);
+  }
+  return s;
+}
+
+namespace {
+
+std::string check_src(const Operand& o, SrcSpec spec, const char* slot,
+                      const ProcessorConfig& cfg, bool zext) {
+  const InstructionFormat fmt = cfg.format();
+  switch (spec) {
+    case SrcSpec::None:
+      if (o.kind != Operand::Kind::None) return cat(slot, ": operand not allowed");
+      return {};
+    case SrcSpec::Gpr:
+    case SrcSpec::Pred:
+    case SrcSpec::Btr: {
+      if (!o.is_reg()) return cat(slot, ": register operand required");
+      const unsigned n = reg_count(cfg, src_file(spec));
+      if (o.reg >= n) return cat(slot, ": register index ", o.reg, " >= ", n);
+      return {};
+    }
+    case SrcSpec::LitOnly:
+      if (!o.is_lit()) return cat(slot, ": literal operand required");
+      break;
+    case SrcSpec::GprOrLit:
+      if (o.is_reg()) {
+        if (o.reg >= cfg.num_gprs) {
+          return cat(slot, ": register index ", o.reg, " >= ", cfg.num_gprs);
+        }
+        return {};
+      }
+      if (!o.is_lit()) return cat(slot, ": operand required");
+      break;
+  }
+  // Literal range check against the SRC field width.
+  if (zext) {
+    if (!fits_unsigned(static_cast<std::uint32_t>(o.lit), fmt.src_bits)) {
+      return cat(slot, ": literal ", o.lit, " does not fit in ",
+                 fmt.src_bits, " unsigned bits");
+    }
+  } else if (!fits_signed(o.lit, fmt.src_bits)) {
+    return cat(slot, ": literal ", o.lit, " does not fit in ", fmt.src_bits,
+               " signed bits");
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_instruction(const Instruction& inst,
+                                 const ProcessorConfig& cfg) {
+  const OpInfo& info = inst.info();
+
+  if (is_custom(inst.op) && custom_slot(inst.op) >= cfg.custom_ops.size()) {
+    return cat(info.name, ": custom slot not enabled in configuration");
+  }
+  if (inst.op == Op::DIV || inst.op == Op::REM) {
+    if (!cfg.alu.has_div) return cat(info.name, ": ALU division disabled");
+  }
+  if (inst.op == Op::MUL && !cfg.alu.has_mul) {
+    return "mul: ALU multiplication disabled";
+  }
+  if ((inst.op == Op::SHL || inst.op == Op::SHRA || inst.op == Op::SHRL) &&
+      !cfg.alu.has_shift) {
+    return cat(info.name, ": ALU shifter disabled");
+  }
+  if ((inst.op == Op::MIN || inst.op == Op::MAX || inst.op == Op::ABS) &&
+      !cfg.alu.has_minmax) {
+    return cat(info.name, ": ALU min/max disabled");
+  }
+
+  if (info.dest1 != RegFile::None) {
+    const unsigned n = reg_count(cfg, info.dest1);
+    if (inst.dest1 >= n) return cat("dest1 index ", inst.dest1, " >= ", n);
+  } else if (inst.dest1 != 0) {
+    return "dest1 not allowed";
+  }
+  if (info.dest2 != RegFile::None) {
+    const unsigned n = reg_count(cfg, info.dest2);
+    if (inst.dest2 >= n) return cat("dest2 index ", inst.dest2, " >= ", n);
+  } else if (inst.dest2 != 0) {
+    return "dest2 not allowed";
+  }
+
+  if (auto err = check_src(inst.src1, info.src1, "src1", cfg,
+                           info.literal_zero_extends);
+      !err.empty()) {
+    return err;
+  }
+  if (auto err = check_src(inst.src2, info.src2, "src2", cfg,
+                           info.literal_zero_extends);
+      !err.empty()) {
+    return err;
+  }
+
+  if (inst.pred >= cfg.num_preds) {
+    return cat("guard predicate p", inst.pred, " >= ", cfg.num_preds);
+  }
+
+  const unsigned regs = count_reg_reads(inst) + count_reg_writes(inst);
+  if (regs > cfg.max_regs_per_instr) {
+    return cat("instruction uses ", regs, " register operands, cap is ",
+               cfg.max_regs_per_instr);
+  }
+  return {};
+}
+
+unsigned count_reg_reads(const Instruction& inst) {
+  const OpInfo& info = inst.info();
+  unsigned n = 0;
+  if (inst.src1.is_reg()) ++n;
+  if (inst.src2.is_reg()) ++n;
+  if (info.dest1_is_source) ++n;  // store value operand
+  return n;
+}
+
+unsigned count_reg_writes(const Instruction& inst) {
+  const OpInfo& info = inst.info();
+  unsigned n = 0;
+  if (info.writes_dest1()) ++n;
+  if (info.dest2 != RegFile::None) ++n;
+  return n;
+}
+
+}  // namespace cepic

@@ -1,0 +1,242 @@
+#include "core/isa.hpp"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace cepic {
+
+namespace {
+
+// Shorthand builders keep the table readable.
+constexpr OpInfo alu2(Op op, std::string_view name, bool zext = false) {
+  OpInfo i;
+  i.op = op;
+  i.name = name;
+  i.fu = FuClass::Alu;
+  i.dest1 = RegFile::Gpr;
+  i.src1 = SrcSpec::GprOrLit;
+  i.src2 = SrcSpec::GprOrLit;
+  i.literal_zero_extends = zext;
+  return i;
+}
+
+constexpr OpInfo alu1(Op op, std::string_view name) {
+  OpInfo i;
+  i.op = op;
+  i.name = name;
+  i.fu = FuClass::Alu;
+  i.dest1 = RegFile::Gpr;
+  i.src1 = SrcSpec::GprOrLit;
+  return i;
+}
+
+constexpr OpInfo cmpp(Op op, std::string_view name, bool zext) {
+  OpInfo i;
+  i.op = op;
+  i.name = name;
+  i.fu = FuClass::Cmpu;
+  i.dest1 = RegFile::Pred;
+  i.dest2 = RegFile::Pred;
+  i.src1 = SrcSpec::GprOrLit;
+  i.src2 = SrcSpec::GprOrLit;
+  i.literal_zero_extends = zext;
+  return i;
+}
+
+constexpr OpInfo load(Op op, std::string_view name, bool speculative) {
+  OpInfo i;
+  i.op = op;
+  i.name = name;
+  i.fu = FuClass::Lsu;
+  i.dest1 = RegFile::Gpr;
+  i.src1 = SrcSpec::Gpr;
+  i.src2 = SrcSpec::GprOrLit;
+  i.is_load = true;
+  i.latency = 2;  // overridden by the MDES from config.load_latency
+  (void)speculative;
+  return i;
+}
+
+constexpr OpInfo store(Op op, std::string_view name) {
+  OpInfo i;
+  i.op = op;
+  i.name = name;
+  i.fu = FuClass::Lsu;
+  i.dest1 = RegFile::Gpr;  // value operand, read not written
+  i.dest1_is_source = true;
+  i.src1 = SrcSpec::Gpr;
+  i.src2 = SrcSpec::GprOrLit;
+  i.is_store = true;
+  return i;
+}
+
+constexpr std::array<OpInfo, kNumOps> make_table() {
+  std::array<OpInfo, kNumOps> t{};
+
+  auto set = [&t](OpInfo info) {
+    t[static_cast<std::size_t>(info.op)] = info;
+  };
+
+  {
+    OpInfo nop;
+    nop.op = Op::NOP;
+    nop.name = "nop";
+    set(nop);
+  }
+
+  set(alu2(Op::ADD, "add"));
+  set(alu2(Op::SUB, "sub"));
+  set(alu2(Op::MUL, "mul"));
+  set(alu2(Op::DIV, "div"));
+  set(alu2(Op::REM, "rem"));
+  set(alu2(Op::AND, "and", /*zext=*/true));
+  set(alu2(Op::OR, "or", /*zext=*/true));
+  set(alu2(Op::XOR, "xor", /*zext=*/true));
+  set(alu2(Op::SHL, "shl", /*zext=*/true));
+  set(alu2(Op::SHRA, "shra", /*zext=*/true));
+  set(alu2(Op::SHRL, "shrl", /*zext=*/true));
+  set(alu2(Op::MIN, "min"));
+  set(alu2(Op::MAX, "max"));
+  set(alu1(Op::ABS, "abs"));
+  set(alu1(Op::MOV, "mov"));
+
+  set(cmpp(Op::CMPP_EQ, "cmpp.eq", false));
+  set(cmpp(Op::CMPP_NE, "cmpp.ne", false));
+  set(cmpp(Op::CMPP_LT, "cmpp.lt", false));
+  set(cmpp(Op::CMPP_LE, "cmpp.le", false));
+  set(cmpp(Op::CMPP_GT, "cmpp.gt", false));
+  set(cmpp(Op::CMPP_GE, "cmpp.ge", false));
+  set(cmpp(Op::CMPP_LTU, "cmpp.ltu", true));
+  set(cmpp(Op::CMPP_LEU, "cmpp.leu", true));
+  set(cmpp(Op::CMPP_GTU, "cmpp.gtu", true));
+  set(cmpp(Op::CMPP_GEU, "cmpp.geu", true));
+  {
+    OpInfo i;
+    i.op = Op::PSET;
+    i.name = "pset";
+    i.fu = FuClass::Cmpu;
+    i.dest1 = RegFile::Pred;
+    i.src1 = SrcSpec::GprOrLit;
+    set(i);
+  }
+
+  set(load(Op::LDW, "ldw", false));
+  set(load(Op::LDB, "ldb", false));
+  set(load(Op::LDBU, "ldbu", false));
+  set(load(Op::LDWS, "ldws", true));
+  set(store(Op::STW, "stw"));
+  set(store(Op::STB, "stb"));
+  {
+    OpInfo i;
+    i.op = Op::OUT;
+    i.name = "out";
+    i.fu = FuClass::Lsu;
+    i.src1 = SrcSpec::GprOrLit;
+    set(i);
+  }
+
+  {
+    OpInfo i;
+    i.op = Op::PBR;
+    i.name = "pbr";
+    i.fu = FuClass::Bru;
+    i.dest1 = RegFile::Btr;
+    i.src1 = SrcSpec::LitOnly;
+    i.literal_zero_extends = true;  // bundle addresses are unsigned
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::BRU;
+    i.name = "bru";
+    i.fu = FuClass::Bru;
+    i.src1 = SrcSpec::Btr;
+    i.is_branch = true;
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::BRCT;
+    i.name = "brct";
+    i.fu = FuClass::Bru;
+    i.src1 = SrcSpec::Btr;
+    i.src2 = SrcSpec::Pred;
+    i.is_branch = true;
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::BRCF;
+    i.name = "brcf";
+    i.fu = FuClass::Bru;
+    i.src1 = SrcSpec::Btr;
+    i.src2 = SrcSpec::Pred;
+    i.is_branch = true;
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::BRL;
+    i.name = "brl";
+    i.fu = FuClass::Bru;
+    i.dest1 = RegFile::Gpr;
+    i.src1 = SrcSpec::Btr;
+    i.is_branch = true;
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::BRR;
+    i.name = "brr";
+    i.fu = FuClass::Bru;
+    i.src1 = SrcSpec::Gpr;
+    i.is_branch = true;
+    set(i);
+  }
+  {
+    OpInfo i;
+    i.op = Op::HALT;
+    i.name = "halt";
+    i.fu = FuClass::Bru;
+    set(i);
+  }
+
+  set(alu2(Op::CUSTOM0, "custom0"));
+  set(alu2(Op::CUSTOM1, "custom1"));
+  set(alu2(Op::CUSTOM2, "custom2"));
+  set(alu2(Op::CUSTOM3, "custom3"));
+
+  return t;
+}
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = make_table();
+
+const std::unordered_map<std::string_view, Op>& name_map() {
+  static const std::unordered_map<std::string_view, Op> map = [] {
+    std::unordered_map<std::string_view, Op> m;
+    for (const OpInfo& info : kOpTable) {
+      if (!info.name.empty()) m.emplace(info.name, info.op);
+    }
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
+
+const OpInfo& op_info(Op op) {
+  const auto idx = static_cast<std::size_t>(op);
+  CEPIC_CHECK(idx < kNumOps, "op out of range");
+  return kOpTable[idx];
+}
+
+std::optional<Op> op_by_name(std::string_view name) {
+  const auto& m = name_map();
+  if (auto it = m.find(name); it != m.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace cepic

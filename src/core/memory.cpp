@@ -1,0 +1,69 @@
+#include "core/memory.hpp"
+
+#include "core/program.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+
+DataMemory::DataMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
+  CEPIC_CHECK(size_bytes >= kDataBase, "data memory smaller than data base");
+}
+
+void DataMemory::load_image(std::uint32_t base,
+                            std::span<const std::uint8_t> image) {
+  CEPIC_CHECK(base + image.size() <= bytes_.size(),
+              "data image does not fit in memory");
+  std::copy(image.begin(), image.end(), bytes_.begin() + base);
+}
+
+void DataMemory::check(std::uint32_t addr, unsigned n, bool write) const {
+  if (addr < kDataBase) {
+    throw SimError(cat(write ? "store" : "load", " to unmapped low address 0x",
+                       std::hex, addr, " (null guard)"));
+  }
+  if (static_cast<std::size_t>(addr) + n > bytes_.size()) {
+    throw SimError(cat(write ? "store" : "load", " past end of memory: 0x",
+                       std::hex, addr));
+  }
+  if (n == 4 && (addr & 3u) != 0) {
+    throw SimError(cat("misaligned word ", write ? "store" : "load",
+                       " at 0x", std::hex, addr));
+  }
+}
+
+std::uint32_t DataMemory::read_word(std::uint32_t addr) const {
+  check(addr, 4, false);
+  // Big-endian, as the paper's architecture.
+  return (static_cast<std::uint32_t>(bytes_[addr]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[addr + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[addr + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[addr + 3]);
+}
+
+void DataMemory::write_word(std::uint32_t addr, std::uint32_t value) {
+  check(addr, 4, true);
+  bytes_[addr] = static_cast<std::uint8_t>(value >> 24);
+  bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 16);
+  bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 8);
+  bytes_[addr + 3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint8_t DataMemory::read_byte(std::uint32_t addr) const {
+  check(addr, 1, false);
+  return bytes_[addr];
+}
+
+void DataMemory::write_byte(std::uint32_t addr, std::uint8_t value) {
+  check(addr, 1, true);
+  bytes_[addr] = value;
+}
+
+std::uint32_t DataMemory::read_word_speculative(std::uint32_t addr) const {
+  if (addr < kDataBase || (addr & 3u) != 0 ||
+      static_cast<std::size_t>(addr) + 4 > bytes_.size()) {
+    return 0;
+  }
+  return read_word(addr);
+}
+
+}  // namespace cepic

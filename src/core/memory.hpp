@@ -1,0 +1,44 @@
+// Byte-addressed big-endian data memory for the EPIC and SARM
+// simulators. Address 0..kDataBase-1 is unmapped (null guard); word
+// accesses must be 4-byte aligned. Speculative loads (HPL-PD LDWS) use
+// the *_speculative accessors, which never fault and return 0 instead —
+// exactly the "non-trapping load" EPIC mechanism.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cepic {
+
+class DataMemory {
+public:
+  explicit DataMemory(std::size_t size_bytes);
+
+  /// Copy an image into memory starting at `base`.
+  void load_image(std::uint32_t base, std::span<const std::uint8_t> image);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint32_t read_word(std::uint32_t addr) const;
+  void write_word(std::uint32_t addr, std::uint32_t value);
+  std::uint8_t read_byte(std::uint32_t addr) const;
+  void write_byte(std::uint32_t addr, std::uint8_t value);
+
+  /// Non-trapping word read: out-of-range, unmapped or misaligned
+  /// addresses yield 0.
+  std::uint32_t read_word_speculative(std::uint32_t addr) const;
+
+  /// Direct image access for loaders and tests.
+  std::span<std::uint8_t> raw() { return bytes_; }
+  std::span<const std::uint8_t> raw() const { return bytes_; }
+
+private:
+  void check(std::uint32_t addr, unsigned bytes, bool write) const;
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace cepic

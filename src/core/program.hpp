@@ -1,0 +1,59 @@
+// Program: the unit the assembler produces and the simulator executes.
+// Code is a flat sequence of instructions grouped into fixed-width
+// MultiOps of `issue_width` slots (NOP-padded by the assembler, paper
+// §4.2); branch targets are bundle addresses. A program also carries the
+// initial data-memory image, symbol tables, and the configuration it was
+// assembled for (binaries are configuration-specific, as on the real
+// processor).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/instruction.hpp"
+
+namespace cepic {
+
+/// Base byte address of the data segment in data memory. Address 0 is
+/// kept unmapped so stray null-based accesses fault loudly.
+inline constexpr std::uint32_t kDataBase = 64;
+
+struct Program {
+  ProcessorConfig config;
+  /// Flat code; size is always a multiple of config.issue_width.
+  std::vector<Instruction> code;
+  /// Initial data image, loaded at kDataBase.
+  std::vector<std::uint8_t> data;
+  /// Entry bundle address.
+  std::uint32_t entry_bundle = 0;
+  /// Label -> bundle address (kept for disassembly and debugging).
+  std::map<std::string, std::uint32_t> code_symbols;
+  /// Global name -> absolute byte address in data memory.
+  std::map<std::string, std::uint32_t> data_symbols;
+
+  std::size_t bundle_count() const {
+    return config.issue_width == 0 ? 0 : code.size() / config.issue_width;
+  }
+
+  /// The instructions of bundle `addr`.
+  std::span<const Instruction> bundle(std::uint32_t addr) const;
+
+  /// Append one bundle; `ops` must contain at most issue_width entries
+  /// and is NOP-padded. Returns the new bundle's address.
+  std::uint32_t append_bundle(std::span<const Instruction> ops);
+
+  /// Encode all instructions to raw 64-bit words (validates each).
+  std::vector<std::uint64_t> encode_code() const;
+
+  /// Serialise to the CEPX binary container (big-endian, matching the
+  /// paper's big-endian architecture) and back. Symbols, data image and
+  /// the configuration text are all preserved.
+  std::vector<std::uint8_t> serialize() const;
+  static Program deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace cepic

@@ -1,0 +1,53 @@
+#include "driver/driver.hpp"
+
+#include "asmtool/assembler.hpp"
+#include "frontend/irgen.hpp"
+
+namespace cepic::driver {
+
+EpicCompileResult compile_minic_to_epic(std::string_view source,
+                                        const ProcessorConfig& config,
+                                        const EpicCompileOptions& options) {
+  EpicCompileResult result;
+  result.module = minic::compile_to_ir(source);
+  if (options.optimize) {
+    opt::optimize(result.module, options.opt);
+  }
+  result.asm_text =
+      backend::compile_ir_to_asm(result.module, config, options.backend);
+  result.program = asmtool::assemble(result.asm_text, config);
+  return result;
+}
+
+EpicSimulator run_minic_on_epic(std::string_view source,
+                                const ProcessorConfig& config,
+                                const EpicCompileOptions& options,
+                                const SimOptions& sim_options) {
+  EpicCompileOptions opts = options;
+  // The backend's stack-top constant must match the simulated memory.
+  opts.backend.stack_top = static_cast<std::uint32_t>(sim_options.mem_size);
+  EpicCompileResult compiled = compile_minic_to_epic(source, config, opts);
+  EpicSimulator sim(std::move(compiled.program),
+                    CustomOpTable::for_names(config.custom_ops), sim_options);
+  sim.run();
+  return sim;
+}
+
+sarm::SProgram compile_minic_to_sarm(std::string_view source,
+                                     const SarmCompileOptions& options) {
+  ir::Module module = minic::compile_to_ir(source);
+  if (options.optimize) opt::optimize(module, options.opt);
+  return sarm::compile_ir_to_sarm(module, options.backend);
+}
+
+sarm::SarmSimulator run_minic_on_sarm(std::string_view source,
+                                      const SarmCompileOptions& options,
+                                      const sarm::SarmOptionsSim& sim_options) {
+  SarmCompileOptions opts = options;
+  opts.backend.stack_top = static_cast<std::uint32_t>(sim_options.mem_size);
+  sarm::SarmSimulator sim(compile_minic_to_sarm(source, opts), sim_options);
+  sim.run();
+  return sim;
+}
+
+}  // namespace cepic::driver

@@ -1,0 +1,67 @@
+// One-call compilation pipelines: MiniC source -> optimised IR -> EPIC
+// assembly -> machine code (via the assembler) -> ready-to-run
+// simulator. This is the library equivalent of the paper's tool flow
+// (IMPACT -> elcor -> assembler -> processor).
+#pragma once
+
+#include <string>
+
+#include "backend/backend.hpp"
+#include "core/program.hpp"
+#include "ir/ir.hpp"
+#include "opt/opt.hpp"
+#include "sarm/codegen.hpp"
+#include "sarm/sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace cepic::driver {
+
+struct EpicCompileOptions {
+  opt::OptOptions opt;
+  backend::BackendOptions backend;
+  bool optimize = true;
+};
+
+struct EpicCompileResult {
+  ir::Module module;      ///< optimised IR
+  std::string asm_text;   ///< backend output fed to the assembler
+  Program program;        ///< assembled machine code
+};
+
+/// Compile MiniC to an EPIC program for `config`.
+EpicCompileResult compile_minic_to_epic(std::string_view source,
+                                        const ProcessorConfig& config,
+                                        const EpicCompileOptions& options = {});
+
+/// Compile and run on the cycle-level simulator; returns the simulator
+/// so callers can inspect stats, outputs and state. `main`'s return
+/// value is left in r3.
+EpicSimulator run_minic_on_epic(std::string_view source,
+                                const ProcessorConfig& config,
+                                const EpicCompileOptions& options = {},
+                                const SimOptions& sim_options = {});
+
+struct SarmCompileOptions {
+  opt::OptOptions opt;
+  sarm::SarmOptions backend;
+  bool optimize = true;
+
+  SarmCompileOptions() {
+    // The scalar baseline is compiled conventionally: EPIC-style
+    // if-conversion off (its light ARM counterpart, conditional
+    // execution, is applied by the SARM code generator itself).
+    opt.if_convert = false;
+  }
+};
+
+/// Compile MiniC for the SA-110-like scalar baseline.
+sarm::SProgram compile_minic_to_sarm(std::string_view source,
+                                     const SarmCompileOptions& options = {});
+
+/// Compile and run on the SA-110 cycle-model simulator; `main`'s return
+/// value is left in r0.
+sarm::SarmSimulator run_minic_on_sarm(
+    std::string_view source, const SarmCompileOptions& options = {},
+    const sarm::SarmOptionsSim& sim_options = {});
+
+}  // namespace cepic::driver

@@ -1,0 +1,143 @@
+#include "fpga/model.hpp"
+
+#include <cmath>
+
+#include "support/text.hpp"
+
+namespace cepic::fpga {
+
+namespace {
+
+// Slice budgets at 32-bit width (see header for calibration).
+constexpr double kFdiBase = 400.0;
+constexpr double kFdiPerIssue = 80.0;
+constexpr double kWriteback = 130.0;
+constexpr double kRfCtrlBase = 150.0;
+constexpr double kRfCtrlPerPort = 8.0;
+constexpr double kLsu = 185.0;
+constexpr double kCmpu = 140.0;
+constexpr double kBruBase = 132.0;
+constexpr double kBruPerBtr = 4.0;
+
+// One full-featured 32-bit ALU = 2598 slices.
+constexpr double kAluAdder = 230.0;
+constexpr double kAluLogic = 175.0;
+constexpr double kAluShifter = 870.0;
+constexpr double kAluDivider = 935.0;
+constexpr double kAluMinMax = 128.0;
+constexpr double kAluDecodeMux = 260.0;
+
+// 32-bit multiply from 18x18 block multipliers (truncated product).
+constexpr unsigned kBlockMultsPerMul32 = 3;
+
+constexpr double kBaseFmaxMhz = 41.8;
+
+}  // namespace
+
+ResourceEstimate estimate(const ProcessorConfig& config,
+                          const CustomOpTable* custom) {
+  config.validate();
+  ResourceEstimate e;
+  const double width_scale = config.datapath_width / 32.0;
+
+  e.slices_fdi = kFdiBase + kFdiPerIssue * config.issue_width;
+  e.slices_writeback = kWriteback * width_scale;
+  e.slices_rf_ctrl = kRfCtrlBase + kRfCtrlPerPort * config.reg_port_budget;
+  if (!config.forwarding) e.slices_rf_ctrl -= 60.0;  // no bypass network
+  e.slices_lsu = kLsu * width_scale;
+  e.slices_cmpu = kCmpu * width_scale;
+  e.slices_bru = kBruBase + kBruPerBtr * config.num_btrs;
+
+  double per_alu = kAluAdder + kAluLogic + kAluDecodeMux;
+  if (config.alu.has_shift) per_alu += kAluShifter;
+  if (config.alu.has_div) per_alu += kAluDivider;
+  if (config.alu.has_minmax) per_alu += kAluMinMax;
+  per_alu *= width_scale;
+
+  unsigned mults_per_alu = 0;
+  if (config.alu.has_mul) {
+    mults_per_alu += static_cast<unsigned>(
+        std::ceil(kBlockMultsPerMul32 * width_scale));
+  }
+  if (custom != nullptr) {
+    for (unsigned slot = 0; slot < config.custom_ops.size(); ++slot) {
+      if (custom->has(slot)) {
+        per_alu += custom->get(slot).slices_per_alu * width_scale;
+        mults_per_alu += custom->get(slot).block_mults_per_alu;
+      }
+    }
+  }
+  e.slices_per_alu = per_alu;
+  e.slices_alus = per_alu * config.num_alus;
+
+  e.slices = e.slices_fdi + e.slices_writeback + e.slices_rf_ctrl +
+             e.slices_lsu + e.slices_cmpu + e.slices_bru + e.slices_alus;
+
+  // Register file in SelectRAM: two interleaved dual-port banks driven
+  // at 4x clock, plus one block for the instruction-fetch buffer.
+  const unsigned rf_bits = config.num_gprs * config.datapath_width;
+  const unsigned blocks_per_bank = (rf_bits + 18431) / 18432;
+  e.block_rams = 2 * blocks_per_bank + 1;
+
+  e.block_mults = mults_per_alu * config.num_alus;
+
+  // Pipeline registers: each extra stage adds flop stages across the
+  // datapath (issue width x instruction width plus result buses).
+  if (config.pipeline_stages > 2) {
+    e.slices += 90.0 * config.issue_width * width_scale *
+                (config.pipeline_stages - 2);
+  }
+
+  // Clock: set by the execute stage (ALU + forwarding mux), which
+  // widens with the datapath; parallel ALUs do not lengthen it. Deeper
+  // pipelines split that path (paper §6: "with further optimisations in
+  // the datapath additional speedup should be possible"); returns
+  // diminish because the register-file controller still runs at 4x. The
+  // 4x controller also caps scaling for very wide port budgets.
+  e.fmax_mhz = kBaseFmaxMhz * std::pow(32.0 / config.datapath_width, 0.30);
+  if (config.pipeline_stages == 3) e.fmax_mhz *= 1.35;
+  if (config.pipeline_stages == 4) e.fmax_mhz *= 1.55;
+  if (config.reg_port_budget > 8) {
+    e.fmax_mhz *= 8.0 / config.reg_port_budget;
+  }
+  return e;
+}
+
+std::string ResourceEstimate::report() const {
+  std::string s;
+  s += cat("slices:        ", fixed(slices, 0), "\n");
+  s += cat("  fetch/decode/issue ", fixed(slices_fdi, 0), "\n");
+  s += cat("  writeback          ", fixed(slices_writeback, 0), "\n");
+  s += cat("  regfile controller ", fixed(slices_rf_ctrl, 0), "\n");
+  s += cat("  LSU                ", fixed(slices_lsu, 0), "\n");
+  s += cat("  CMPU               ", fixed(slices_cmpu, 0), "\n");
+  s += cat("  BRU                ", fixed(slices_bru, 0), "\n");
+  s += cat("  ALUs               ", fixed(slices_alus, 0), " (",
+           fixed(slices_per_alu, 0), " each)\n");
+  s += cat("block RAMs:    ", block_rams, "\n");
+  s += cat("block mults:   ", block_mults, "\n");
+  s += cat("fmax:          ", fixed(fmax_mhz, 1), " MHz\n");
+  return s;
+}
+
+PowerEstimate estimate_power(const ResourceEstimate& resources,
+                             double activity) {
+  // Coefficients for a Virtex-II-class 1.5V process: ~4 uW per
+  // slice*MHz at full activity, ~12 uW per embedded block*MHz, plus
+  // configured-area leakage. Calibrated so the paper's 4-ALU default at
+  // 41.8 MHz lands in the half-watt region typical of era reports [14].
+  PowerEstimate p;
+  const double blocks = resources.block_rams + resources.block_mults;
+  p.dynamic_mw = activity * resources.fmax_mhz *
+                 (resources.slices * 0.004 + blocks * 0.012);
+  p.static_mw = 120.0 + resources.slices * 0.008;
+  return p;
+}
+
+std::string PowerEstimate::report() const {
+  return cat("power:         ", fixed(total(), 0), " mW (dynamic ",
+             fixed(dynamic_mw, 0), " + static ", fixed(static_mw, 0),
+             ")\n");
+}
+
+}  // namespace cepic::fpga

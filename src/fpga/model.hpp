@@ -1,0 +1,66 @@
+// Analytic FPGA resource/timing model for the customisable EPIC
+// processor on a Xilinx Virtex-II-class device — the stand-in for the
+// paper's place-and-route results (§5.1). Calibrated to the published
+// figures:
+//   * designs with 1/2/3/4 ALUs occupy 4181/6779/9367/~11955 slices,
+//     i.e. ~2600 slices per ALU over a ~1585-slice base;
+//   * the register file maps to block RAM ("SelectRAM"), so growing it
+//     costs block RAM, not slices, and does not move the critical path;
+//   * multiplication uses the on-chip block multipliers (MULT18X18);
+//   * the prototype clocks at 41.8 MHz regardless of ALU count (the
+//     ALUs are parallel and off the critical path).
+//
+// The decomposition below is a *model*, not a netlist: each term is a
+// plausible slice budget for the corresponding unit, chosen so the
+// calibration points are met; trends (linearity in ALUs, width scaling,
+// feature trims, custom-op costs) follow the architecture.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/custom.hpp"
+
+namespace cepic::fpga {
+
+struct ResourceEstimate {
+  double slices = 0;
+  unsigned block_rams = 0;    ///< 18 Kbit SelectRAM blocks
+  unsigned block_mults = 0;   ///< MULT18X18 primitives
+  double fmax_mhz = 0;
+
+  /// Per-component slice breakdown (for the report and ablations).
+  double slices_fdi = 0;       ///< fetch/decode/issue
+  double slices_writeback = 0;
+  double slices_rf_ctrl = 0;   ///< register file controller (4x clock)
+  double slices_lsu = 0;
+  double slices_cmpu = 0;
+  double slices_bru = 0;
+  double slices_alus = 0;      ///< all ALUs together
+  double slices_per_alu = 0;
+
+  std::string report() const;
+};
+
+/// Estimate resources for a configuration (custom ops add their
+/// per-ALU slice and multiplier costs).
+ResourceEstimate estimate(const ProcessorConfig& config,
+                          const CustomOpTable* custom = nullptr);
+
+/// Power model (paper §6 future work: "characterising the trade-offs in
+/// performance, size and power consumption"). Virtex-II-era CMOS:
+/// dynamic power scales with switched capacitance (~slices and the
+/// embedded blocks) x clock x activity; static power with configured
+/// area. Returns milliwatts.
+struct PowerEstimate {
+  double dynamic_mw = 0;
+  double static_mw = 0;
+  double total() const { return dynamic_mw + static_mw; }
+
+  std::string report() const;
+};
+
+PowerEstimate estimate_power(const ResourceEstimate& resources,
+                             double activity = 0.25);
+
+}  // namespace cepic::fpga

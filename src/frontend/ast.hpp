@@ -1,0 +1,108 @@
+// MiniC abstract syntax tree, produced by the parser and consumed by the
+// IR generator (irgen.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+
+namespace cepic::minic {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  IntLit,   ///< value
+  Var,      ///< name
+  Index,    ///< lhs[rhs] where lhs is a Var naming an array
+  Call,     ///< name(args...)
+  Unary,    ///< op rhs  (op in {-, ~, !})
+  Binary,   ///< lhs op rhs
+  Assign,   ///< lhs op= rhs (op == Assign for plain `=`)
+  Ternary,  ///< cond ? lhs : rhs
+  IncDec,   ///< ++/-- lhs (prefix or postfix)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::IntLit;
+  int line = 0;
+  int col = 0;
+  std::int64_t value = 0;     ///< IntLit
+  std::string name;           ///< Var / Call
+  Tok op = Tok::End;          ///< Unary/Binary/Assign operator, ++/--
+  bool prefix = false;        ///< IncDec
+  ExprPtr lhs;
+  ExprPtr rhs;
+  ExprPtr cond;               ///< Ternary condition
+  std::vector<ExprPtr> args;  ///< Call arguments
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  Expr,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Block,
+  Empty,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Empty;
+  int line = 0;
+  int col = 0;
+  ExprPtr expr;   ///< Expr stmt / condition / return value / scalar init
+  StmtPtr init;   ///< For initialiser (Decl or Expr stmt)
+  StmtPtr step;   ///< For step (Expr stmt)
+  StmtPtr then_s; ///< If-then, and loop bodies
+  StmtPtr else_s; ///< If-else
+  std::vector<StmtPtr> body;  ///< Block
+
+  // Decl fields.
+  std::string name;
+  bool is_array = false;
+  /// Declared element count; -1 when the size comes from the initialiser
+  /// (`int a[] = {...}` / string).
+  int array_size = -1;
+  std::vector<ExprPtr> init_list;
+  bool has_init_list = false;
+  std::string str_init;
+  bool has_str_init = false;
+};
+
+struct ParamDecl {
+  std::string name;
+  bool is_array = false;  ///< `int x[]` — passed as an address
+  int line = 0;
+  int col = 0;
+};
+
+struct FuncDecl {
+  std::string name;
+  bool returns_value = false;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  ///< always a Block
+  int line = 0;
+  int col = 0;
+};
+
+/// A parsed translation unit: globals (as Decl statements) + functions.
+struct Unit {
+  std::vector<StmtPtr> globals;
+  std::vector<FuncDecl> functions;
+};
+
+/// Parse a token stream. Throws CompileError on syntax errors.
+Unit parse(const std::vector<Token>& tokens);
+
+}  // namespace cepic::minic

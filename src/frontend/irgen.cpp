@@ -1,0 +1,833 @@
+#include "frontend/irgen.hpp"
+
+#include <unordered_map>
+
+#include "core/eval.hpp"
+#include "support/bits.hpp"
+#include "ir/verify.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::minic {
+
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::Value;
+using ir::VReg;
+
+[[noreturn]] void err(const Expr& e, const std::string& msg) {
+  throw CompileError(msg, e.line, e.col);
+}
+[[noreturn]] void err(const Stmt& s, const std::string& msg) {
+  throw CompileError(msg, s.line, s.col);
+}
+
+IrOp binary_ir_op(Tok op) {
+  switch (op) {
+    case Tok::Plus: return IrOp::Add;
+    case Tok::Minus: return IrOp::Sub;
+    case Tok::Star: return IrOp::Mul;
+    case Tok::Slash: return IrOp::Div;
+    case Tok::Percent: return IrOp::Rem;
+    case Tok::Amp: return IrOp::And;
+    case Tok::Pipe: return IrOp::Or;
+    case Tok::Caret: return IrOp::Xor;
+    case Tok::Shl: return IrOp::Shl;
+    case Tok::Shr: return IrOp::Shra;
+    case Tok::Sar: return IrOp::Shrl;
+    case Tok::EqEq: return IrOp::CmpEq;
+    case Tok::NotEq: return IrOp::CmpNe;
+    case Tok::Lt: return IrOp::CmpLt;
+    case Tok::Le: return IrOp::CmpLe;
+    case Tok::Gt: return IrOp::CmpGt;
+    case Tok::Ge: return IrOp::CmpGe;
+    default:
+      CEPIC_CHECK(false, "not a binary operator token");
+  }
+}
+
+IrOp compound_ir_op(Tok op) {
+  switch (op) {
+    case Tok::PlusEq: return IrOp::Add;
+    case Tok::MinusEq: return IrOp::Sub;
+    case Tok::StarEq: return IrOp::Mul;
+    case Tok::SlashEq: return IrOp::Div;
+    case Tok::PercentEq: return IrOp::Rem;
+    case Tok::AmpEq: return IrOp::And;
+    case Tok::PipeEq: return IrOp::Or;
+    case Tok::CaretEq: return IrOp::Xor;
+    case Tok::ShlEq: return IrOp::Shl;
+    case Tok::ShrEq: return IrOp::Shra;
+    default:
+      CEPIC_CHECK(false, "not a compound-assignment token");
+  }
+}
+
+/// Constant expression evaluator (global initialisers, array sizes).
+std::int32_t eval_const(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return static_cast<std::int32_t>(e.value);
+    case ExprKind::Unary: {
+      const std::int32_t v = eval_const(*e.rhs);
+      switch (e.op) {
+        case Tok::Minus: return -v;
+        case Tok::Tilde: return ~v;
+        case Tok::Bang: return v == 0 ? 1 : 0;
+        default: break;
+      }
+      err(e, "unsupported operator in constant expression");
+    }
+    case ExprKind::Binary: {
+      if (e.op == Tok::AmpAmp) {
+        return (eval_const(*e.lhs) != 0 && eval_const(*e.rhs) != 0) ? 1 : 0;
+      }
+      if (e.op == Tok::PipePipe) {
+        return (eval_const(*e.lhs) != 0 || eval_const(*e.rhs) != 0) ? 1 : 0;
+      }
+      const auto a = to_unsigned(eval_const(*e.lhs));
+      const auto b = to_unsigned(eval_const(*e.rhs));
+      const IrOp op = binary_ir_op(e.op);
+      if (ir::is_cmp(op)) {
+        // Map to the core evaluator through the interpreter's tables is
+        // overkill here; compare directly.
+        const auto sa = to_signed(a);
+        const auto sb = to_signed(b);
+        switch (op) {
+          case IrOp::CmpEq: return a == b;
+          case IrOp::CmpNe: return a != b;
+          case IrOp::CmpLt: return sa < sb;
+          case IrOp::CmpLe: return sa <= sb;
+          case IrOp::CmpGt: return sa > sb;
+          case IrOp::CmpGe: return sa >= sb;
+          default: break;
+        }
+      }
+      switch (op) {
+        case IrOp::Add: return to_signed(eval_alu(Op::ADD, a, b, 32));
+        case IrOp::Sub: return to_signed(eval_alu(Op::SUB, a, b, 32));
+        case IrOp::Mul: return to_signed(eval_alu(Op::MUL, a, b, 32));
+        case IrOp::Div: return to_signed(eval_alu(Op::DIV, a, b, 32));
+        case IrOp::Rem: return to_signed(eval_alu(Op::REM, a, b, 32));
+        case IrOp::And: return to_signed(a & b);
+        case IrOp::Or: return to_signed(a | b);
+        case IrOp::Xor: return to_signed(a ^ b);
+        case IrOp::Shl: return to_signed(eval_alu(Op::SHL, a, b, 32));
+        case IrOp::Shra: return to_signed(eval_alu(Op::SHRA, a, b, 32));
+        case IrOp::Shrl: return to_signed(eval_alu(Op::SHRL, a, b, 32));
+        default: break;
+      }
+      err(e, "unsupported operator in constant expression");
+    }
+    case ExprKind::Ternary:
+      return eval_const(*e.cond) != 0 ? eval_const(*e.lhs)
+                                      : eval_const(*e.rhs);
+    default:
+      err(e, "expression is not constant");
+  }
+}
+
+struct Symbol {
+  enum class Kind {
+    GlobalScalar,
+    GlobalArray,
+    ParamScalar,
+    ParamArray,   ///< incoming address in vreg
+    LocalScalar,
+    LocalArray,   ///< frame_offset bytes into the frame
+  };
+  Kind kind = Kind::LocalScalar;
+  int global_index = -1;
+  VReg vreg = ir::kNoVReg;
+  std::uint32_t frame_offset = 0;
+  std::uint32_t size_words = 0;
+
+  bool is_array() const {
+    return kind == Kind::GlobalArray || kind == Kind::ParamArray ||
+           kind == Kind::LocalArray;
+  }
+};
+
+struct FuncSig {
+  bool returns_value = false;
+  std::vector<bool> param_is_array;
+};
+
+class IrGen {
+public:
+  explicit IrGen(const Unit& unit) : unit_(unit) {}
+
+  ir::Module run() {
+    collect_globals();
+    collect_signatures();
+    for (const FuncDecl& fn : unit_.functions) gen_function(fn);
+    return std::move(module_);
+  }
+
+private:
+  // ---------- module-level collection ----------
+
+  void collect_globals() {
+    for (const StmtPtr& s : unit_.globals) {
+      const Stmt& d = *s;
+      if (globals_.count(d.name) != 0) {
+        err(d, cat("redefinition of global `", d.name, "`"));
+      }
+      ir::Global g;
+      g.name = d.name;
+      if (!d.is_array) {
+        g.size_words = 1;
+        if (d.has_init_list) {
+          g.init_words.push_back(to_unsigned(eval_const(*d.init_list[0])));
+        }
+      } else {
+        std::vector<std::uint32_t> init;
+        if (d.has_str_init) {
+          for (char c : d.str_init) {
+            init.push_back(static_cast<unsigned char>(c));
+          }
+        } else if (d.has_init_list) {
+          for (const ExprPtr& e : d.init_list) {
+            init.push_back(to_unsigned(eval_const(*e)));
+          }
+        }
+        if (d.array_size == -2) {
+          const std::int32_t n = eval_const(*d.expr);
+          if (n <= 0) err(d, "array size must be positive");
+          g.size_words = static_cast<std::uint32_t>(n);
+        } else {
+          if (init.empty()) err(d, "cannot infer size of `[]` array");
+          g.size_words = static_cast<std::uint32_t>(init.size());
+        }
+        if (init.size() > g.size_words) {
+          err(d, "too many initialisers");
+        }
+        g.init_words = std::move(init);
+      }
+      Symbol sym;
+      sym.kind = d.is_array ? Symbol::Kind::GlobalArray
+                            : Symbol::Kind::GlobalScalar;
+      sym.global_index = static_cast<int>(module_.globals.size());
+      sym.size_words = g.size_words;
+      globals_.emplace(d.name, sym);
+      module_.globals.push_back(std::move(g));
+    }
+  }
+
+  void collect_signatures() {
+    for (const FuncDecl& fn : unit_.functions) {
+      if (sigs_.count(fn.name) != 0) {
+        throw CompileError(cat("redefinition of function `", fn.name, "`"),
+                           fn.line, fn.col);
+      }
+      FuncSig sig;
+      sig.returns_value = fn.returns_value;
+      for (const ParamDecl& p : fn.params) {
+        sig.param_is_array.push_back(p.is_array);
+      }
+      sigs_.emplace(fn.name, std::move(sig));
+    }
+  }
+
+  // ---------- per-function state ----------
+
+  ir::Function* fn_ = nullptr;
+  int cur_block_ = 0;
+  std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+  std::vector<std::pair<int, int>> loop_stack_;  // (continue_bb, break_bb)
+
+  void emit(IrInst inst) { fn_->blocks[cur_block_].insts.push_back(std::move(inst)); }
+
+  bool block_terminated() const {
+    const auto& insts = fn_->blocks[cur_block_].insts;
+    return !insts.empty() && ir::is_terminator(insts.back().op);
+  }
+
+  int new_block(std::string label) { return fn_->add_block(std::move(label)); }
+
+  void switch_to(int block) { cur_block_ = block; }
+
+  void br_to(int block) {
+    if (!block_terminated()) {
+      IrInst br;
+      br.op = IrOp::Br;
+      br.block_then = block;
+      emit(std::move(br));
+    }
+  }
+
+  VReg fresh() { return fn_->fresh_vreg(); }
+
+  VReg emit_binary(IrOp op, Value a, Value b) {
+    IrInst inst;
+    inst.op = op;
+    inst.dst = fresh();
+    inst.a = a;
+    inst.b = b;
+    const VReg dst = inst.dst;
+    emit(std::move(inst));
+    return dst;
+  }
+
+  void emit_mov(VReg dst, Value v) {
+    IrInst inst;
+    inst.op = IrOp::Mov;
+    inst.dst = dst;
+    inst.a = v;
+    emit(std::move(inst));
+  }
+
+  // ---------- symbols ----------
+
+  const Symbol* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (auto found = it->find(name); found != it->end()) {
+        return &found->second;
+      }
+    }
+    if (auto found = globals_.find(name); found != globals_.end()) {
+      return &found->second;
+    }
+    return nullptr;
+  }
+
+  void declare(const Stmt& at, const std::string& name, Symbol sym) {
+    auto& scope = scopes_.back();
+    if (scope.count(name) != 0) {
+      err(at, cat("redeclaration of `", name, "` in the same scope"));
+    }
+    scope.emplace(name, sym);
+  }
+
+  // ---------- functions ----------
+
+  void gen_function(const FuncDecl& decl) {
+    ir::Function fn;
+    fn.name = decl.name;
+    fn.returns_value = decl.returns_value;
+    module_.functions.push_back(std::move(fn));
+    fn_ = &module_.functions.back();
+
+    scopes_.clear();
+    scopes_.emplace_back();
+    loop_stack_.clear();
+
+    switch_to(new_block("entry"));
+
+    for (const ParamDecl& p : decl.params) {
+      Symbol sym;
+      sym.kind = p.is_array ? Symbol::Kind::ParamArray
+                            : Symbol::Kind::ParamScalar;
+      sym.vreg = fresh();
+      fn_->params.push_back(sym.vreg);
+      auto& scope = scopes_.back();
+      if (scope.count(p.name) != 0) {
+        throw CompileError(cat("duplicate parameter `", p.name, "`"), p.line,
+                           p.col);
+      }
+      scope.emplace(p.name, sym);
+    }
+
+    gen_stmt(*decl.body);
+
+    if (!block_terminated()) {
+      IrInst ret;
+      ret.op = IrOp::Ret;
+      if (fn_->returns_value) ret.a = Value::i(0);
+      emit(std::move(ret));
+    }
+    // Any dangling dead blocks (after break/return) need terminators too.
+    for (auto& block : fn_->blocks) {
+      if (block.insts.empty() || !ir::is_terminator(block.insts.back().op)) {
+        IrInst ret;
+        ret.op = IrOp::Ret;
+        if (fn_->returns_value) ret.a = Value::i(0);
+        block.insts.push_back(std::move(ret));
+      }
+    }
+  }
+
+  // ---------- statements ----------
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Empty:
+        return;
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (const StmtPtr& child : s.body) gen_stmt(*child);
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::Expr:
+        gen_expr_for_effect(*s.expr);
+        return;
+      case StmtKind::Decl:
+        gen_decl(s);
+        return;
+      case StmtKind::If: {
+        const int bb_then = new_block("then");
+        const int bb_else = s.else_s ? new_block("else") : -1;
+        const int bb_join = new_block("endif");
+        gen_cond(*s.expr, bb_then, s.else_s ? bb_else : bb_join);
+        switch_to(bb_then);
+        gen_stmt(*s.then_s);
+        br_to(bb_join);
+        if (s.else_s) {
+          switch_to(bb_else);
+          gen_stmt(*s.else_s);
+          br_to(bb_join);
+        }
+        switch_to(bb_join);
+        return;
+      }
+      case StmtKind::While: {
+        const int bb_cond = new_block("while.cond");
+        const int bb_body = new_block("while.body");
+        const int bb_exit = new_block("while.end");
+        br_to(bb_cond);
+        switch_to(bb_cond);
+        gen_cond(*s.expr, bb_body, bb_exit);
+        loop_stack_.push_back({bb_cond, bb_exit});
+        switch_to(bb_body);
+        gen_stmt(*s.then_s);
+        br_to(bb_cond);
+        loop_stack_.pop_back();
+        switch_to(bb_exit);
+        return;
+      }
+      case StmtKind::DoWhile: {
+        const int bb_body = new_block("do.body");
+        const int bb_cond = new_block("do.cond");
+        const int bb_exit = new_block("do.end");
+        br_to(bb_body);
+        loop_stack_.push_back({bb_cond, bb_exit});
+        switch_to(bb_body);
+        gen_stmt(*s.then_s);
+        br_to(bb_cond);
+        loop_stack_.pop_back();
+        switch_to(bb_cond);
+        gen_cond(*s.expr, bb_body, bb_exit);
+        switch_to(bb_exit);
+        return;
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();  // for-init scope
+        if (s.init) gen_stmt(*s.init);
+        const int bb_cond = new_block("for.cond");
+        const int bb_body = new_block("for.body");
+        const int bb_step = new_block("for.step");
+        const int bb_exit = new_block("for.end");
+        br_to(bb_cond);
+        switch_to(bb_cond);
+        if (s.expr) {
+          gen_cond(*s.expr, bb_body, bb_exit);
+        } else {
+          br_to(bb_body);
+        }
+        loop_stack_.push_back({bb_step, bb_exit});
+        switch_to(bb_body);
+        gen_stmt(*s.then_s);
+        br_to(bb_step);
+        switch_to(bb_step);
+        if (s.step) gen_stmt(*s.step);
+        br_to(bb_cond);
+        loop_stack_.pop_back();
+        scopes_.pop_back();
+        switch_to(bb_exit);
+        return;
+      }
+      case StmtKind::Return: {
+        IrInst ret;
+        ret.op = IrOp::Ret;
+        if (s.expr) {
+          if (!fn_->returns_value) err(s, "void function returning a value");
+          ret.a = gen_value(*s.expr);
+        } else if (fn_->returns_value) {
+          err(s, "non-void function needs a return value");
+        }
+        emit(std::move(ret));
+        switch_to(new_block("dead"));
+        return;
+      }
+      case StmtKind::Break: {
+        if (loop_stack_.empty()) err(s, "break outside a loop");
+        IrInst br;
+        br.op = IrOp::Br;
+        br.block_then = loop_stack_.back().second;
+        emit(std::move(br));
+        switch_to(new_block("dead"));
+        return;
+      }
+      case StmtKind::Continue: {
+        if (loop_stack_.empty()) err(s, "continue outside a loop");
+        IrInst br;
+        br.op = IrOp::Br;
+        br.block_then = loop_stack_.back().first;
+        emit(std::move(br));
+        switch_to(new_block("dead"));
+        return;
+      }
+    }
+  }
+
+  void gen_decl(const Stmt& s) {
+    if (!s.is_array) {
+      Symbol sym;
+      sym.kind = Symbol::Kind::LocalScalar;
+      sym.vreg = fresh();
+      declare(s, s.name, sym);
+      emit_mov(sym.vreg,
+               s.has_init_list ? gen_value(*s.init_list[0]) : Value::i(0));
+      return;
+    }
+    // Local array: carve out frame space.
+    std::uint32_t size_words = 0;
+    if (s.array_size == -2) {
+      const std::int32_t n = eval_const(*s.expr);
+      if (n <= 0) err(s, "array size must be positive");
+      size_words = static_cast<std::uint32_t>(n);
+    } else if (s.has_str_init) {
+      size_words = static_cast<std::uint32_t>(s.str_init.size());
+    } else if (s.has_init_list) {
+      size_words = static_cast<std::uint32_t>(s.init_list.size());
+    } else {
+      err(s, "cannot infer size of `[]` array");
+    }
+    Symbol sym;
+    sym.kind = Symbol::Kind::LocalArray;
+    sym.frame_offset = fn_->frame_bytes;
+    sym.size_words = size_words;
+    fn_->frame_bytes += size_words * 4;
+    declare(s, s.name, sym);
+
+    if (s.has_str_init || s.has_init_list) {
+      const VReg base = emit_frame_addr(sym.frame_offset);
+      std::uint32_t i = 0;
+      if (s.has_str_init) {
+        for (char ch : s.str_init) {
+          emit_store_word(Value::r(base), Value::i(static_cast<std::int32_t>(i * 4)),
+                          Value::i(static_cast<unsigned char>(ch)));
+          ++i;
+        }
+      } else {
+        if (s.init_list.size() > size_words) err(s, "too many initialisers");
+        for (const ExprPtr& e : s.init_list) {
+          emit_store_word(Value::r(base), Value::i(static_cast<std::int32_t>(i * 4)),
+                          gen_value(*e));
+          ++i;
+        }
+      }
+    }
+  }
+
+  VReg emit_frame_addr(std::uint32_t offset) {
+    IrInst inst;
+    inst.op = IrOp::FrameAddr;
+    inst.dst = fresh();
+    inst.a = Value::i(static_cast<std::int32_t>(offset));
+    const VReg dst = inst.dst;
+    emit(std::move(inst));
+    return dst;
+  }
+
+  void emit_store_word(Value base, Value offset, Value value) {
+    IrInst inst;
+    inst.op = IrOp::StoreW;
+    inst.a = base;
+    inst.b = offset;
+    inst.c = value;
+    emit(std::move(inst));
+  }
+
+  // ---------- conditions ----------
+
+  void gen_cond(const Expr& e, int bb_true, int bb_false) {
+    if (e.kind == ExprKind::Binary && e.op == Tok::AmpAmp) {
+      const int bb_mid = new_block("and.rhs");
+      gen_cond(*e.lhs, bb_mid, bb_false);
+      switch_to(bb_mid);
+      gen_cond(*e.rhs, bb_true, bb_false);
+      return;
+    }
+    if (e.kind == ExprKind::Binary && e.op == Tok::PipePipe) {
+      const int bb_mid = new_block("or.rhs");
+      gen_cond(*e.lhs, bb_true, bb_mid);
+      switch_to(bb_mid);
+      gen_cond(*e.rhs, bb_true, bb_false);
+      return;
+    }
+    if (e.kind == ExprKind::Unary && e.op == Tok::Bang) {
+      gen_cond(*e.rhs, bb_false, bb_true);
+      return;
+    }
+    if (e.kind == ExprKind::IntLit) {
+      IrInst br;
+      br.op = IrOp::Br;
+      br.block_then = e.value != 0 ? bb_true : bb_false;
+      emit(std::move(br));
+      return;
+    }
+    IrInst br;
+    br.op = IrOp::CondBr;
+    br.a = gen_value(e);
+    br.block_then = bb_true;
+    br.block_else = bb_false;
+    emit(std::move(br));
+  }
+
+  // ---------- expressions ----------
+
+  /// Address (base, byte-offset) of an array element or the storage of a
+  /// global scalar.
+  struct Place {
+    enum class Kind { ScalarReg, GlobalWord, Element } kind;
+    VReg reg = ir::kNoVReg;  // ScalarReg
+    Value base;              // GlobalWord/Element base address
+    Value offset;            // Element byte offset (imm or reg)
+  };
+
+  Value gaddr_of(int global_index) {
+    IrInst inst;
+    inst.op = IrOp::GlobalAddr;
+    inst.dst = fresh();
+    inst.global_index = global_index;
+    const VReg dst = inst.dst;
+    emit(std::move(inst));
+    return Value::r(dst);
+  }
+
+  Value array_base(const Expr& e) {
+    if (e.kind != ExprKind::Var) err(e, "expected an array name");
+    const Symbol* sym = lookup(e.name);
+    if (sym == nullptr) err(e, cat("use of undeclared `", e.name, "`"));
+    switch (sym->kind) {
+      case Symbol::Kind::GlobalArray:
+        return gaddr_of(sym->global_index);
+      case Symbol::Kind::ParamArray:
+        return Value::r(sym->vreg);
+      case Symbol::Kind::LocalArray:
+        return Value::r(emit_frame_addr(sym->frame_offset));
+      default:
+        err(e, cat("`", e.name, "` is not an array"));
+    }
+  }
+
+  Place place_of(const Expr& e) {
+    if (e.kind == ExprKind::Var) {
+      const Symbol* sym = lookup(e.name);
+      if (sym == nullptr) err(e, cat("use of undeclared `", e.name, "`"));
+      if (sym->is_array()) err(e, cat("array `", e.name, "` used as a value"));
+      if (sym->kind == Symbol::Kind::GlobalScalar) {
+        Place p;
+        p.kind = Place::Kind::GlobalWord;
+        p.base = gaddr_of(sym->global_index);
+        p.offset = Value::i(0);
+        return p;
+      }
+      Place p;
+      p.kind = Place::Kind::ScalarReg;
+      p.reg = sym->vreg;
+      return p;
+    }
+    if (e.kind == ExprKind::Index) {
+      Place p;
+      p.kind = Place::Kind::Element;
+      p.base = array_base(*e.lhs);
+      const Value idx = gen_value(*e.rhs);
+      if (idx.is_imm()) {
+        p.offset = Value::i(idx.imm * 4);
+      } else {
+        p.offset = Value::r(emit_binary(IrOp::Shl, idx, Value::i(2)));
+      }
+      return p;
+    }
+    err(e, "expression is not assignable");
+  }
+
+  Value load_place(const Place& p) {
+    if (p.kind == Place::Kind::ScalarReg) return Value::r(p.reg);
+    IrInst inst;
+    inst.op = IrOp::LoadW;
+    inst.dst = fresh();
+    inst.a = p.base;
+    inst.b = p.offset;
+    const VReg dst = inst.dst;
+    emit(std::move(inst));
+    return Value::r(dst);
+  }
+
+  void store_place(const Place& p, Value v) {
+    if (p.kind == Place::Kind::ScalarReg) {
+      emit_mov(p.reg, v);
+      return;
+    }
+    emit_store_word(p.base, p.offset, v);
+  }
+
+  void gen_expr_for_effect(const Expr& e) { (void)gen_value(e); }
+
+  Value gen_value(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return Value::i(static_cast<std::int32_t>(e.value));
+      case ExprKind::Var:
+      case ExprKind::Index:
+        return load_place(place_of(e));
+      case ExprKind::Call:
+        return gen_call(e);
+      case ExprKind::Unary: {
+        const Value v = gen_value(*e.rhs);
+        switch (e.op) {
+          case Tok::Minus:
+            return Value::r(emit_binary(IrOp::Sub, Value::i(0), v));
+          case Tok::Tilde:
+            return Value::r(emit_binary(IrOp::Xor, v, Value::i(-1)));
+          case Tok::Bang:
+            return Value::r(emit_binary(IrOp::CmpEq, v, Value::i(0)));
+          default:
+            err(e, "unsupported unary operator");
+        }
+      }
+      case ExprKind::Binary: {
+        if (e.op == Tok::AmpAmp || e.op == Tok::PipePipe) {
+          return gen_short_circuit(e);
+        }
+        const Value a = gen_value(*e.lhs);
+        const Value b = gen_value(*e.rhs);
+        return Value::r(emit_binary(binary_ir_op(e.op), a, b));
+      }
+      case ExprKind::Assign: {
+        const Place p = place_of(*e.lhs);
+        Value v;
+        if (e.op == Tok::Assign) {
+          v = gen_value(*e.rhs);
+        } else {
+          const Value old = load_place(p);
+          v = Value::r(
+              emit_binary(compound_ir_op(e.op), old, gen_value(*e.rhs)));
+        }
+        store_place(p, v);
+        return v;
+      }
+      case ExprKind::IncDec: {
+        const Place p = place_of(*e.lhs);
+        const Value old = load_place(p);
+        const IrOp op = e.op == Tok::PlusPlus ? IrOp::Add : IrOp::Sub;
+        const Value updated = Value::r(emit_binary(op, old, Value::i(1)));
+        if (e.prefix) {
+          store_place(p, updated);
+          return updated;
+        }
+        // Postfix: capture the old value before the store clobbers a
+        // scalar register.
+        const VReg saved = fresh();
+        emit_mov(saved, old);
+        store_place(p, updated);
+        return Value::r(saved);
+      }
+      case ExprKind::Ternary: {
+        const int bb_then = new_block("sel.then");
+        const int bb_else = new_block("sel.else");
+        const int bb_join = new_block("sel.end");
+        const VReg result = fresh();
+        gen_cond(*e.cond, bb_then, bb_else);
+        switch_to(bb_then);
+        emit_mov(result, gen_value(*e.lhs));
+        br_to(bb_join);
+        switch_to(bb_else);
+        emit_mov(result, gen_value(*e.rhs));
+        br_to(bb_join);
+        switch_to(bb_join);
+        return Value::r(result);
+      }
+    }
+    err(e, "unsupported expression");
+  }
+
+  Value gen_short_circuit(const Expr& e) {
+    const int bb_true = new_block("sc.true");
+    const int bb_false = new_block("sc.false");
+    const int bb_join = new_block("sc.end");
+    const VReg result = fresh();
+    gen_cond(e, bb_true, bb_false);
+    switch_to(bb_true);
+    emit_mov(result, Value::i(1));
+    br_to(bb_join);
+    switch_to(bb_false);
+    emit_mov(result, Value::i(0));
+    br_to(bb_join);
+    switch_to(bb_join);
+    return Value::r(result);
+  }
+
+  Value gen_call(const Expr& e) {
+    // Builtins.
+    if (e.name == "out") {
+      if (e.args.size() != 1) err(e, "out() takes one argument");
+      IrInst inst;
+      inst.op = IrOp::Out;
+      inst.a = gen_value(*e.args[0]);
+      emit(std::move(inst));
+      return Value::i(0);
+    }
+    if (e.name == "min" || e.name == "max") {
+      if (e.args.size() != 2) err(e, cat(e.name, "() takes two arguments"));
+      const Value a = gen_value(*e.args[0]);
+      const Value b = gen_value(*e.args[1]);
+      return Value::r(
+          emit_binary(e.name == "min" ? IrOp::Min : IrOp::Max, a, b));
+    }
+    if (e.name == "abs") {
+      if (e.args.size() != 1) err(e, "abs() takes one argument");
+      const Value a = gen_value(*e.args[0]);
+      const Value neg = Value::r(emit_binary(IrOp::Sub, Value::i(0), a));
+      return Value::r(emit_binary(IrOp::Max, a, neg));
+    }
+
+    const auto sig = sigs_.find(e.name);
+    if (sig == sigs_.end()) {
+      err(e, cat("call to undeclared function `", e.name, "`"));
+    }
+    if (sig->second.param_is_array.size() != e.args.size()) {
+      err(e, cat("`", e.name, "` expects ",
+                 sig->second.param_is_array.size(), " arguments, got ",
+                 e.args.size()));
+    }
+    IrInst inst;
+    inst.op = IrOp::Call;
+    inst.callee = e.name;
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (sig->second.param_is_array[i]) {
+        inst.args.push_back(array_base(*e.args[i]));
+      } else {
+        inst.args.push_back(gen_value(*e.args[i]));
+      }
+    }
+    if (sig->second.returns_value) inst.dst = fresh();
+    const VReg dst = inst.dst;
+    emit(std::move(inst));
+    return dst == ir::kNoVReg ? Value::i(0) : Value::r(dst);
+  }
+
+  const Unit& unit_;
+  ir::Module module_;
+  std::unordered_map<std::string, Symbol> globals_;
+  std::unordered_map<std::string, FuncSig> sigs_;
+};
+
+}  // namespace
+
+ir::Module generate_ir(const Unit& unit) { return IrGen(unit).run(); }
+
+ir::Module compile_to_ir(std::string_view source) {
+  const std::vector<Token> tokens = lex(source);
+  const Unit unit = parse(tokens);
+  ir::Module module = generate_ir(unit);
+  ir::verify_module(module);
+  return module;
+}
+
+}  // namespace cepic::minic

@@ -1,0 +1,23 @@
+// Semantic analysis + IR generation for MiniC. Symbols are scoped;
+// scalars live in virtual registers (non-SSA: assignment rewrites the
+// same vreg), arrays live in memory (globals at their laid-out address,
+// locals in the frame, array parameters as incoming addresses).
+//
+// Builtins: out(x) emits to the output port; min/max/abs map to the
+// corresponding IR (and ultimately HPL-PD) operations.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "ir/ir.hpp"
+
+namespace cepic::minic {
+
+/// Lower a parsed unit to IR. Throws CompileError on semantic errors.
+ir::Module generate_ir(const Unit& unit);
+
+/// Convenience: lex + parse + generate + verify.
+ir::Module compile_to_ir(std::string_view source);
+
+}  // namespace cepic::minic

@@ -1,0 +1,310 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::minic {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> map = {
+      {"int", Tok::KwInt},       {"void", Tok::KwVoid},
+      {"if", Tok::KwIf},         {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+      {"do", Tok::KwDo},         {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+  };
+  return map;
+}
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> lex_all() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_ws_and_comments();
+      Token t = next_token();
+      const bool end = t.kind == Tok::End;
+      out.push_back(std::move(t));
+      if (end) return out;
+    }
+  }
+
+private:
+  [[noreturn]] void error(const std::string& msg) const {
+    // Report the start of the offending token, not the scan position.
+    throw CompileError(msg, tok_line_, tok_col_);
+  }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  bool match(char c) {
+    if (peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      tok_line_ = line_;
+      tok_col_ = col_;
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') error("unterminated block comment");
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = tok_line_;
+    t.col = tok_col_;
+    return t;
+  }
+
+  char escape_char(char c) {
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        error(cat("unknown escape \\", std::string(1, c)));
+    }
+  }
+
+  Token next_token() {
+    tok_line_ = line_;
+    tok_col_ = col_;
+    if (pos_ >= src_.size()) return make(Tok::End);
+
+    const char c = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name(1, c);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        name += advance();
+      }
+      if (auto it = keywords().find(name); it != keywords().end()) {
+        return make(it->second);
+      }
+      Token t = make(Tok::Ident);
+      t.text = std::move(name);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits(1, c);
+      if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+        digits += advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+          digits += advance();
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          digits += advance();
+        }
+      }
+      std::int64_t value = 0;
+      if (!parse_int(digits, value) || value > 0xFFFFFFFFll) {
+        error(cat("bad integer literal `", digits, "`"));
+      }
+      Token t = make(Tok::IntLit);
+      t.value = value;
+      return t;
+    }
+
+    if (c == '\'') {
+      char v = advance();
+      if (v == '\\') v = escape_char(advance());
+      if (!match('\'')) error("unterminated character literal");
+      Token t = make(Tok::IntLit);
+      t.value = static_cast<unsigned char>(v);
+      return t;
+    }
+
+    if (c == '"') {
+      std::string bytes;
+      for (;;) {
+        if (peek() == '\0') error("unterminated string literal");
+        char v = advance();
+        if (v == '"') break;
+        if (v == '\\') v = escape_char(advance());
+        bytes += v;
+      }
+      Token t = make(Tok::StrLit);
+      t.text = std::move(bytes);
+      return t;
+    }
+
+    switch (c) {
+      case '(': return make(Tok::LParen);
+      case ')': return make(Tok::RParen);
+      case '{': return make(Tok::LBrace);
+      case '}': return make(Tok::RBrace);
+      case '[': return make(Tok::LBracket);
+      case ']': return make(Tok::RBracket);
+      case ';': return make(Tok::Semi);
+      case ',': return make(Tok::Comma);
+      case '?': return make(Tok::Question);
+      case ':': return make(Tok::Colon);
+      case '~': return make(Tok::Tilde);
+      case '+':
+        if (match('+')) return make(Tok::PlusPlus);
+        if (match('=')) return make(Tok::PlusEq);
+        return make(Tok::Plus);
+      case '-':
+        if (match('-')) return make(Tok::MinusMinus);
+        if (match('=')) return make(Tok::MinusEq);
+        return make(Tok::Minus);
+      case '*':
+        return match('=') ? make(Tok::StarEq) : make(Tok::Star);
+      case '/':
+        return match('=') ? make(Tok::SlashEq) : make(Tok::Slash);
+      case '%':
+        return match('=') ? make(Tok::PercentEq) : make(Tok::Percent);
+      case '&':
+        if (match('&')) return make(Tok::AmpAmp);
+        if (match('=')) return make(Tok::AmpEq);
+        return make(Tok::Amp);
+      case '|':
+        if (match('|')) return make(Tok::PipePipe);
+        if (match('=')) return make(Tok::PipeEq);
+        return make(Tok::Pipe);
+      case '^':
+        return match('=') ? make(Tok::CaretEq) : make(Tok::Caret);
+      case '!':
+        return match('=') ? make(Tok::NotEq) : make(Tok::Bang);
+      case '=':
+        return match('=') ? make(Tok::EqEq) : make(Tok::Assign);
+      case '<':
+        if (match('<')) return match('=') ? make(Tok::ShlEq) : make(Tok::Shl);
+        if (match('=')) return make(Tok::Le);
+        return make(Tok::Lt);
+      case '>':
+        if (match('>')) {
+          if (match('>')) return make(Tok::Sar);  // >>> logical
+          return match('=') ? make(Tok::ShrEq) : make(Tok::Shr);
+        }
+        if (match('=')) return make(Tok::Ge);
+        return make(Tok::Gt);
+      default:
+        error(cat("unexpected character `", std::string(1, c), "`"));
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).lex_all();
+}
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::StrLit: return "string literal";
+    case Tok::KwInt: return "`int`";
+    case Tok::KwVoid: return "`void`";
+    case Tok::KwIf: return "`if`";
+    case Tok::KwElse: return "`else`";
+    case Tok::KwWhile: return "`while`";
+    case Tok::KwFor: return "`for`";
+    case Tok::KwDo: return "`do`";
+    case Tok::KwReturn: return "`return`";
+    case Tok::KwBreak: return "`break`";
+    case Tok::KwContinue: return "`continue`";
+    case Tok::LParen: return "`(`";
+    case Tok::RParen: return "`)`";
+    case Tok::LBrace: return "`{`";
+    case Tok::RBrace: return "`}`";
+    case Tok::LBracket: return "`[`";
+    case Tok::RBracket: return "`]`";
+    case Tok::Semi: return "`;`";
+    case Tok::Comma: return "`,`";
+    case Tok::Question: return "`?`";
+    case Tok::Colon: return "`:`";
+    case Tok::Plus: return "`+`";
+    case Tok::Minus: return "`-`";
+    case Tok::Star: return "`*`";
+    case Tok::Slash: return "`/`";
+    case Tok::Percent: return "`%`";
+    case Tok::Amp: return "`&`";
+    case Tok::Pipe: return "`|`";
+    case Tok::Caret: return "`^`";
+    case Tok::Tilde: return "`~`";
+    case Tok::Bang: return "`!`";
+    case Tok::Lt: return "`<`";
+    case Tok::Gt: return "`>`";
+    case Tok::Le: return "`<=`";
+    case Tok::Ge: return "`>=`";
+    case Tok::EqEq: return "`==`";
+    case Tok::NotEq: return "`!=`";
+    case Tok::AmpAmp: return "`&&`";
+    case Tok::PipePipe: return "`||`";
+    case Tok::Shl: return "`<<`";
+    case Tok::Shr: return "`>>`";
+    case Tok::Sar: return "`>>>`";
+    case Tok::Assign: return "`=`";
+    case Tok::PlusEq: return "`+=`";
+    case Tok::MinusEq: return "`-=`";
+    case Tok::StarEq: return "`*=`";
+    case Tok::SlashEq: return "`/=`";
+    case Tok::PercentEq: return "`%=`";
+    case Tok::AmpEq: return "`&=`";
+    case Tok::PipeEq: return "`|=`";
+    case Tok::CaretEq: return "`^=`";
+    case Tok::ShlEq: return "`<<=`";
+    case Tok::ShrEq: return "`>>=`";
+    case Tok::PlusPlus: return "`++`";
+    case Tok::MinusMinus: return "`--`";
+  }
+  return "?";
+}
+
+}  // namespace cepic::minic

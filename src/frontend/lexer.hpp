@@ -1,0 +1,53 @@
+// Lexer for MiniC, the C subset the CEPIC toolchain compiles (the role
+// filled by IMPACT's C front-end in the paper's Trimaran flow).
+// Supported: `int`/`void`, functions, `int[]` parameters, globals with
+// initialiser lists or string literals, full C expression grammar with
+// `>>>` (logical shift right, since `>>` is arithmetic on MiniC ints),
+// character literals, decimal/hex integers, `//` and `/* */` comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cepic::minic {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  StrLit,
+  // keywords
+  KwInt, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwDo,
+  KwReturn, KwBreak, KwContinue,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Question, Colon,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Shl, Shr, Sar,  // << >>(arith) >>>(logical)
+  Assign,
+  PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+  AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
+  PlusPlus, MinusMinus,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       ///< identifier name or string-literal bytes
+  std::int64_t value = 0; ///< integer literal value
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenise a whole translation unit. Throws CompileError on bad input.
+std::vector<Token> lex(std::string_view source);
+
+/// Human-readable token-kind name for diagnostics.
+const char* tok_name(Tok t);
+
+}  // namespace cepic::minic

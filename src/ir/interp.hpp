@@ -1,0 +1,55 @@
+// Reference interpreter for the IR — the golden semantic model that the
+// compiled EPIC and SARM executions are validated against in tests. It
+// shares the word-level operation semantics (core/eval.hpp) and the
+// memory model (core/memory.hpp, globals at kDataBase, big-endian) with
+// the simulators, so outputs are bit-identical across all three
+// executions by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "ir/ir.hpp"
+
+namespace cepic::ir {
+
+struct InterpOptions {
+  std::size_t mem_size = std::size_t{1} << 22;
+  std::uint64_t max_steps = 500'000'000;
+  unsigned max_call_depth = 256;
+};
+
+struct InterpResult {
+  std::uint32_t ret = 0;
+  std::vector<std::uint32_t> output;
+  std::uint64_t steps = 0;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(const Module& module, InterpOptions options = {});
+
+  /// Execute `entry` with the given arguments. Throws SimError on
+  /// faults, runaway execution or call-depth overflow.
+  InterpResult run(std::string_view entry = "main",
+                   std::span<const std::uint32_t> args = {});
+
+  DataMemory& memory() { return mem_; }
+  const DataLayout& layout() const { return layout_; }
+
+private:
+  std::uint32_t call(const Function& fn,
+                     const std::vector<std::uint32_t>& args, unsigned depth);
+
+  const Module& module_;
+  InterpOptions options_;
+  DataLayout layout_;
+  DataMemory mem_;
+  std::uint32_t sp_ = 0;
+  std::uint64_t steps_ = 0;
+  std::vector<std::uint32_t> output_;
+};
+
+}  // namespace cepic::ir

@@ -1,0 +1,119 @@
+#include "ir/ir.hpp"
+#include "support/text.hpp"
+
+namespace cepic::ir {
+
+namespace {
+
+std::string value_str(const Value& v) {
+  if (v.is_reg()) return cat('%', v.reg);
+  if (v.is_imm()) return cat(v.imm);
+  return "_";
+}
+
+}  // namespace
+
+std::string to_string(const IrInst& inst, const Module* module) {
+  std::string s;
+  if (inst.guard != kNoVReg) {
+    s += cat('[', inst.guard_negate ? "!%" : "%", inst.guard, "] ");
+  }
+  switch (inst.op) {
+    case IrOp::StoreW:
+    case IrOp::StoreB:
+      s += cat(ir_op_name(inst.op), " [", value_str(inst.a), " + ",
+               value_str(inst.b), "] <- ", value_str(inst.c));
+      return s;
+    case IrOp::LoadW:
+    case IrOp::LoadB:
+    case IrOp::LoadBU:
+      s += cat('%', inst.dst, " = ", ir_op_name(inst.op), " [",
+               value_str(inst.a), " + ", value_str(inst.b), "]");
+      return s;
+    case IrOp::GlobalAddr: {
+      std::string name = cat("g", inst.global_index);
+      if (module != nullptr && inst.global_index >= 0 &&
+          inst.global_index < static_cast<int>(module->globals.size())) {
+        name = module->globals[inst.global_index].name;
+      }
+      s += cat('%', inst.dst, " = gaddr @", name);
+      return s;
+    }
+    case IrOp::FrameAddr:
+      s += cat('%', inst.dst, " = faddr +", value_str(inst.a));
+      return s;
+    case IrOp::Call: {
+      if (inst.dst != kNoVReg) s += cat('%', inst.dst, " = ");
+      s += cat("call @", inst.callee, "(");
+      for (std::size_t i = 0; i < inst.args.size(); ++i) {
+        if (i) s += ", ";
+        s += value_str(inst.args[i]);
+      }
+      s += ")";
+      return s;
+    }
+    case IrOp::Out:
+      s += cat("out ", value_str(inst.a));
+      return s;
+    case IrOp::Br:
+      s += cat("br .b", inst.block_then);
+      return s;
+    case IrOp::CondBr:
+      s += cat("condbr ", value_str(inst.a), " ? .b", inst.block_then,
+               " : .b", inst.block_else);
+      return s;
+    case IrOp::Ret:
+      s += inst.a.is_none() ? "ret" : cat("ret ", value_str(inst.a));
+      return s;
+    case IrOp::Mov:
+      s += cat('%', inst.dst, " = ", value_str(inst.a));
+      return s;
+    default:
+      s += cat('%', inst.dst, " = ", ir_op_name(inst.op), " ",
+               value_str(inst.a), ", ", value_str(inst.b));
+      return s;
+  }
+}
+
+std::string to_string(const Function& fn, const Module* module) {
+  std::string s = cat(fn.returns_value ? "int " : "void ", fn.name, "(");
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) s += ", ";
+    s += cat('%', fn.params[i]);
+  }
+  s += cat(") frame=", fn.frame_bytes, " {\n");
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    const BasicBlock& block = fn.blocks[bi];
+    s += cat(".b", bi);
+    if (!block.label.empty()) s += cat(" (", block.label, ")");
+    s += ":\n";
+    for (const IrInst& inst : block.insts) {
+      s += cat("  ", to_string(inst, module), "\n");
+    }
+  }
+  s += "}\n";
+  return s;
+}
+
+std::string to_string(const Module& module) {
+  std::string s;
+  for (std::size_t gi = 0; gi < module.globals.size(); ++gi) {
+    const Global& g = module.globals[gi];
+    s += cat("global @", g.name, "[", g.size_words, "]");
+    if (!g.init_words.empty()) {
+      s += " = {";
+      for (std::size_t i = 0; i < g.init_words.size(); ++i) {
+        if (i) s += ", ";
+        s += cat(static_cast<std::int32_t>(g.init_words[i]));
+      }
+      s += "}";
+    }
+    s += "\n";
+  }
+  for (const Function& fn : module.functions) {
+    s += to_string(fn, &module);
+  }
+  return s;
+}
+
+}  // namespace cepic::ir

@@ -1,0 +1,170 @@
+#include "ir/verify.hpp"
+
+#include <set>
+
+#include "support/text.hpp"
+
+namespace cepic::ir {
+
+namespace {
+
+[[noreturn]] void fail(const Function& fn, std::size_t bi, std::size_t ii,
+                       const std::string& msg) {
+  throw InternalError(cat("IR verify: ", fn.name, " .b", bi, " inst ", ii,
+                          ": ", msg));
+}
+
+}  // namespace
+
+void verify_function(const Function& fn, const Module* module) {
+  if (fn.blocks.empty()) {
+    throw InternalError(cat("IR verify: ", fn.name, ": no blocks"));
+  }
+  if (fn.frame_bytes % 4 != 0) {
+    throw InternalError(cat("IR verify: ", fn.name, ": unaligned frame"));
+  }
+  for (VReg p : fn.params) {
+    if (p == kNoVReg || p >= fn.next_vreg) {
+      throw InternalError(cat("IR verify: ", fn.name, ": bad param vreg"));
+    }
+  }
+
+  const auto check_value = [&](const Value& v, std::size_t bi, std::size_t ii,
+                               const char* slot, bool required) {
+    if (v.is_none()) {
+      if (required) fail(fn, bi, ii, cat(slot, " operand missing"));
+      return;
+    }
+    if (v.is_reg() && (v.reg == kNoVReg || v.reg >= fn.next_vreg)) {
+      fail(fn, bi, ii, cat(slot, " vreg %", v.reg, " out of range"));
+    }
+  };
+  const auto check_block_ref = [&](int target, std::size_t bi, std::size_t ii) {
+    if (target < 0 || target >= static_cast<int>(fn.blocks.size())) {
+      fail(fn, bi, ii, cat("branch target .b", target, " out of range"));
+    }
+  };
+
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    const BasicBlock& block = fn.blocks[bi];
+    if (block.insts.empty() || !is_terminator(block.insts.back().op)) {
+      throw InternalError(
+          cat("IR verify: ", fn.name, " .b", bi, ": missing terminator"));
+    }
+    for (std::size_t ii = 0; ii < block.insts.size(); ++ii) {
+      const IrInst& inst = block.insts[ii];
+      if (is_terminator(inst.op) && ii + 1 != block.insts.size()) {
+        fail(fn, bi, ii, "terminator in the middle of a block");
+      }
+      if (inst.guard != kNoVReg && inst.guard >= fn.next_vreg) {
+        fail(fn, bi, ii, "guard vreg out of range");
+      }
+      if (inst.guard != kNoVReg && is_terminator(inst.op)) {
+        fail(fn, bi, ii, "terminators cannot be guarded");
+      }
+      if (has_dst(inst)) {
+        if (inst.dst == kNoVReg || inst.dst >= fn.next_vreg) {
+          fail(fn, bi, ii, cat("dst vreg %", inst.dst, " out of range"));
+        }
+      }
+      switch (inst.op) {
+        case IrOp::Mov:
+          check_value(inst.a, bi, ii, "a", true);
+          break;
+        case IrOp::LoadW:
+        case IrOp::LoadB:
+        case IrOp::LoadBU:
+          check_value(inst.a, bi, ii, "base", true);
+          check_value(inst.b, bi, ii, "offset", true);
+          break;
+        case IrOp::StoreW:
+        case IrOp::StoreB:
+          check_value(inst.a, bi, ii, "base", true);
+          check_value(inst.b, bi, ii, "offset", true);
+          check_value(inst.c, bi, ii, "value", true);
+          break;
+        case IrOp::GlobalAddr:
+          if (module != nullptr &&
+              (inst.global_index < 0 ||
+               inst.global_index >=
+                   static_cast<int>(module->globals.size()))) {
+            fail(fn, bi, ii, "global index out of range");
+          }
+          break;
+        case IrOp::FrameAddr:
+          if (!inst.a.is_imm()) fail(fn, bi, ii, "faddr needs imm offset");
+          if (inst.a.imm < 0 ||
+              static_cast<std::uint32_t>(inst.a.imm) >= std::max(fn.frame_bytes, 1u)) {
+            fail(fn, bi, ii, "faddr offset outside frame");
+          }
+          break;
+        case IrOp::Call: {
+          for (std::size_t ai = 0; ai < inst.args.size(); ++ai) {
+            check_value(inst.args[ai], bi, ii, "arg", true);
+          }
+          if (module != nullptr) {
+            const Function* callee = module->find_function(inst.callee);
+            if (callee == nullptr) {
+              fail(fn, bi, ii, cat("unknown callee @", inst.callee));
+            }
+            if (callee->params.size() != inst.args.size()) {
+              fail(fn, bi, ii,
+                   cat("call @", inst.callee, " expects ",
+                       callee->params.size(), " args, got ",
+                       inst.args.size()));
+            }
+            if (inst.dst != kNoVReg && !callee->returns_value) {
+              fail(fn, bi, ii, "void callee used as a value");
+            }
+          }
+          break;
+        }
+        case IrOp::Out:
+          check_value(inst.a, bi, ii, "a", true);
+          break;
+        case IrOp::Br:
+          check_block_ref(inst.block_then, bi, ii);
+          break;
+        case IrOp::CondBr:
+          check_value(inst.a, bi, ii, "cond", true);
+          check_block_ref(inst.block_then, bi, ii);
+          check_block_ref(inst.block_else, bi, ii);
+          break;
+        case IrOp::Ret:
+          if (fn.returns_value && inst.a.is_none()) {
+            fail(fn, bi, ii, "ret without value in value-returning function");
+          }
+          break;
+        default:
+          // Binary ALU and compares.
+          check_value(inst.a, bi, ii, "a", true);
+          check_value(inst.b, bi, ii, "b", true);
+          break;
+      }
+    }
+  }
+}
+
+void verify_module(const Module& module, bool require_main) {
+  std::set<std::string> names;
+  for (const Function& fn : module.functions) {
+    if (!names.insert(fn.name).second) {
+      throw InternalError(cat("IR verify: duplicate function @", fn.name));
+    }
+    verify_function(fn, &module);
+  }
+  std::set<std::string> globals;
+  for (const Global& g : module.globals) {
+    if (!globals.insert(g.name).second) {
+      throw InternalError(cat("IR verify: duplicate global @", g.name));
+    }
+    if (g.size_words == 0) {
+      throw InternalError(cat("IR verify: zero-sized global @", g.name));
+    }
+  }
+  if (require_main && module.find_function("main") == nullptr) {
+    throw InternalError("IR verify: no `main` function");
+  }
+}
+
+}  // namespace cepic::ir

@@ -1,0 +1,20 @@
+// Structural verifier for the IR, run after the frontend and after every
+// optimisation pass in debug flows. Throws cepic::InternalError with a
+// location string on the first violation.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace cepic::ir {
+
+/// Check one function: every block ends with exactly one terminator,
+/// branch targets exist, vregs are in range, operand shapes match the
+/// opcode, guards are registers, call targets resolve (when `module`
+/// given) and argument counts match.
+void verify_function(const Function& fn, const Module* module = nullptr);
+
+/// Verify all functions plus module-level rules (unique names, a `main`
+/// if `require_main`).
+void verify_module(const Module& module, bool require_main = false);
+
+}  // namespace cepic::ir

@@ -1,0 +1,88 @@
+#include "opt/cfg.hpp"
+
+namespace cepic::opt {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::VReg;
+
+std::vector<int> successors(const ir::BasicBlock& block) {
+  const IrInst& t = block.terminator();
+  switch (t.op) {
+    case IrOp::Br:
+      return {t.block_then};
+    case IrOp::CondBr:
+      if (t.block_then == t.block_else) return {t.block_then};
+      return {t.block_then, t.block_else};
+    default:
+      return {};
+  }
+}
+
+std::vector<std::vector<int>> predecessors(const ir::Function& fn) {
+  std::vector<std::vector<int>> preds(fn.blocks.size());
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (int s : successors(fn.blocks[b])) {
+      preds[s].push_back(static_cast<int>(b));
+    }
+  }
+  return preds;
+}
+
+VReg def_of(const IrInst& inst) {
+  return ir::has_dst(inst) ? inst.dst : ir::kNoVReg;
+}
+
+Liveness compute_liveness(const ir::Function& fn) {
+  const std::size_t nb = fn.blocks.size();
+  const std::size_t nv = fn.next_vreg;
+  Liveness lv;
+  lv.live_in.assign(nb, std::vector<bool>(nv, false));
+  lv.live_out.assign(nb, std::vector<bool>(nv, false));
+
+  // use[b]: upward-exposed reads; def[b]: vregs surely defined before any
+  // later read in b. A guarded def does not kill (the old value may flow
+  // through), so guarded defs are not added to def[b].
+  std::vector<std::vector<bool>> use(nb, std::vector<bool>(nv, false));
+  std::vector<std::vector<bool>> def(nb, std::vector<bool>(nv, false));
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (const IrInst& inst : fn.blocks[b].insts) {
+      for_each_use(inst, [&](const ir::Value& v) {
+        if (v.is_reg() && !def[b][v.reg]) use[b][v.reg] = true;
+      });
+      if (inst.guard != ir::kNoVReg && !def[b][inst.guard]) {
+        use[b][inst.guard] = true;
+      }
+      const VReg d = def_of(inst);
+      if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) def[b][d] = true;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = nb; bi-- > 0;) {
+      std::vector<bool>& out = lv.live_out[bi];
+      for (int s : successors(fn.blocks[bi])) {
+        const std::vector<bool>& sin = lv.live_in[s];
+        for (std::size_t v = 0; v < nv; ++v) {
+          if (sin[v] && !out[v]) {
+            out[v] = true;
+            changed = true;
+          }
+        }
+      }
+      std::vector<bool>& in = lv.live_in[bi];
+      for (std::size_t v = 0; v < nv; ++v) {
+        const bool want = use[bi][v] || (out[v] && !def[bi][v]);
+        if (want && !in[v]) {
+          in[v] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return lv;
+}
+
+}  // namespace cepic::opt

@@ -1,0 +1,88 @@
+// Local (per-block) copy and constant propagation on the non-SSA IR.
+// `mov d, x` records d -> x; later reads of d become x until either d or
+// x is redefined. Guarded movs are conditional and are not propagated.
+#include <unordered_map>
+
+#include "opt/cfg.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::opt {
+
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::Value;
+using ir::VReg;
+
+class CopyMap {
+public:
+  void clear() { map_.clear(); }
+
+  /// Resolve v through the copy chain.
+  Value resolve(Value v) const {
+    int fuel = 64;  // chains are short; guard against cycles regardless
+    while (v.is_reg() && fuel-- > 0) {
+      const auto it = map_.find(v.reg);
+      if (it == map_.end()) return v;
+      v = it->second;
+    }
+    return v;
+  }
+
+  void record(VReg dst, Value src) { map_[dst] = src; }
+
+  /// A definition of d invalidates d's entry and entries copying from d.
+  void kill(VReg d) {
+    map_.erase(d);
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.is_reg() && it->second.reg == d) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+private:
+  std::unordered_map<VReg, Value> map_;
+};
+
+}  // namespace
+
+bool pass_copy_propagate(ir::Function& fn) {
+  bool changed = false;
+  CopyMap copies;
+  for (ir::BasicBlock& block : fn.blocks) {
+    copies.clear();
+    for (IrInst& inst : block.insts) {
+      for_each_use(inst, [&](Value& v) {
+        const Value resolved = copies.resolve(v);
+        if (!(resolved == v)) {
+          v = resolved;
+          changed = true;
+        }
+      });
+      // Note: the guard is deliberately not rewritten — a guard must
+      // stay a vreg, and the backend prefers compare results directly.
+      if (inst.guard != ir::kNoVReg) {
+        const Value g = copies.resolve(Value::r(inst.guard));
+        if (g.is_reg() && g.reg != inst.guard) {
+          inst.guard = g.reg;
+          changed = true;
+        }
+      }
+      const VReg d = def_of(inst);
+      if (d != ir::kNoVReg) {
+        copies.kill(d);
+        if (inst.op == IrOp::Mov && inst.guard == ir::kNoVReg) {
+          const Value src = inst.a;
+          if (!(src.is_reg() && src.reg == d)) copies.record(d, src);
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace cepic::opt

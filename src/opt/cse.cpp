@@ -1,0 +1,95 @@
+// Local common-subexpression elimination: within a block, a pure
+// computation with identical operands reuses the earlier result via a
+// mov. Loads participate too, invalidated by any store or call (no alias
+// analysis — conservative). Guarded instructions neither create nor
+// reuse entries (their result is conditional), but their defs still
+// invalidate.
+#include <vector>
+
+#include "opt/cfg.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::opt {
+
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+using ir::Value;
+using ir::VReg;
+
+struct Entry {
+  IrOp op;
+  Value a, b;
+  int global_index;
+  VReg result;
+};
+
+bool value_eq(const Value& x, const Value& y) { return x == y; }
+
+bool cse_eligible(const IrInst& inst) {
+  if (inst.guard != ir::kNoVReg) return false;
+  switch (inst.op) {
+    case IrOp::GlobalAddr:
+    case IrOp::FrameAddr:
+    case IrOp::LoadW:
+    case IrOp::LoadB:
+    case IrOp::LoadBU:
+      return true;
+    default:
+      return ir::is_binary_alu(inst.op) || ir::is_cmp(inst.op);
+  }
+}
+
+}  // namespace
+
+bool pass_cse(ir::Function& fn) {
+  bool changed = false;
+  std::vector<Entry> table;
+  for (ir::BasicBlock& block : fn.blocks) {
+    table.clear();
+    for (IrInst& inst : block.insts) {
+      // Stores and calls clobber memory: drop load entries.
+      if (ir::is_store(inst.op) || inst.op == IrOp::Call) {
+        std::erase_if(table,
+                      [](const Entry& e) { return ir::is_load(e.op); });
+      }
+
+      if (cse_eligible(inst)) {
+        const Entry* hit = nullptr;
+        for (const Entry& e : table) {
+          if (e.op == inst.op && value_eq(e.a, inst.a) &&
+              value_eq(e.b, inst.b) && e.global_index == inst.global_index) {
+            hit = &e;
+            break;
+          }
+        }
+        if (hit != nullptr) {
+          const VReg dst = inst.dst;
+          const VReg src = hit->result;
+          inst = IrInst{};
+          inst.op = IrOp::Mov;
+          inst.dst = dst;
+          inst.a = Value::r(src);
+          changed = true;
+        }
+      }
+
+      const VReg d = def_of(inst);
+      if (d != ir::kNoVReg) {
+        // Any redefinition invalidates entries using or producing d.
+        std::erase_if(table, [d](const Entry& e) {
+          return e.result == d || (e.a.is_reg() && e.a.reg == d) ||
+                 (e.b.is_reg() && e.b.reg == d);
+        });
+        if (cse_eligible(inst) && inst.op != IrOp::Mov) {
+          table.push_back(
+              {inst.op, inst.a, inst.b, inst.global_index, inst.dst});
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace cepic::opt

@@ -1,0 +1,42 @@
+// Automatic custom-instruction candidate generation — the paper's §6
+// future work ("supporting automatic generation of custom
+// instructions"). Mines the optimised IR for fusable producer→consumer
+// idioms whose intermediate value has a single use, weights occurrences
+// by loop depth, and proposes candidates ranked by the ALU operations a
+// fused instruction would save. Recognised idioms with a built-in
+// implementation (e.g. the 3-op rotate → `rotr`) name it, so a designer
+// can enable the op in the configuration directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace cepic::opt {
+
+struct CustomCandidate {
+  /// Human-readable pattern, e.g. "rotate (shrl|shl|or)" or "mul+add".
+  std::string pattern;
+  /// Name of a built-in custom op implementing it ("" if none).
+  std::string builtin;
+  /// Static occurrences in the module.
+  std::uint64_t occurrences = 0;
+  /// Occurrences weighted by loop depth (x10 per nesting level).
+  std::uint64_t weighted = 0;
+  /// ALU operations removed per occurrence by fusing.
+  unsigned ops_saved = 0;
+
+  /// Ranking key: weighted dynamic estimate of operations saved.
+  std::uint64_t score() const { return weighted * ops_saved; }
+};
+
+/// Analyse a module; returns candidates sorted by descending score.
+/// `max_candidates` caps the generic pair patterns reported.
+std::vector<CustomCandidate> find_custom_candidates(
+    const ir::Module& module, std::size_t max_candidates = 8);
+
+/// Render as a designer-facing report.
+std::string format_candidates(const std::vector<CustomCandidate>& candidates);
+
+}  // namespace cepic::opt

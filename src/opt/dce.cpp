@@ -1,0 +1,61 @@
+// Liveness-based dead-code elimination: a pure instruction whose result
+// is not live immediately after it is removed. Iterates the global
+// liveness fixed point, then sweeps each block backwards.
+#include "opt/cfg.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::opt {
+
+namespace {
+
+using ir::IrInst;
+using ir::VReg;
+
+bool removable(const IrInst& inst) {
+  return !ir::has_side_effects(inst) && ir::has_dst(inst);
+}
+
+}  // namespace
+
+bool pass_dce(ir::Function& fn) {
+  bool changed = false;
+  bool again = true;
+  while (again) {
+    again = false;
+    const Liveness lv = compute_liveness(fn);
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      ir::BasicBlock& block = fn.blocks[bi];
+      std::vector<bool> live = lv.live_out[bi];
+      // Walk backwards maintaining the live set; collect dead indices.
+      std::vector<bool> dead(block.insts.size(), false);
+      for (std::size_t i = block.insts.size(); i-- > 0;) {
+        const IrInst& inst = block.insts[i];
+        const VReg d = def_of(inst);
+        if (removable(inst) && d != ir::kNoVReg && !live[d]) {
+          dead[i] = true;
+          continue;  // its uses do not become live
+        }
+        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) live[d] = false;
+        for_each_use(inst, [&](const ir::Value& v) {
+          if (v.is_reg()) live[v.reg] = true;
+        });
+        if (inst.guard != ir::kNoVReg) live[inst.guard] = true;
+      }
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < block.insts.size(); ++i) {
+        if (!dead[i]) {
+          if (out != i) block.insts[out] = std::move(block.insts[i]);
+          ++out;
+        }
+      }
+      if (out != block.insts.size()) {
+        block.insts.resize(out);
+        changed = true;
+        again = true;  // removing uses can expose more dead defs
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace cepic::opt

@@ -1,0 +1,45 @@
+// Machine-independent optimiser — the IMPACT role in the paper's
+// Trimaran-based flow (§4.1). Classic passes over the non-SSA IR plus
+// if-conversion, the transformation EPIC predication exists for.
+// Individual passes are exposed for unit testing and for the ablation
+// benches (A1 measures if-conversion on/off).
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace cepic::opt {
+
+struct OptOptions {
+  bool fold = true;          ///< constant folding + algebraic simplification
+  bool copy_propagate = true;
+  bool cse = true;           ///< local common-subexpression elimination
+  /// Loop-invariant code motion. Off by default: hoisting lengthens
+  /// live ranges, which costs spills on the register-starved SARM
+  /// baseline and turns forwarded operands into register-file reads on
+  /// EPIC; without pressure-awareness it is a net loss on most of the
+  /// paper's workloads (measured in EXPERIMENTS.md). Kept as an option
+  /// for experimentation and exercised by the test suite.
+  bool licm = false;
+  bool dce = true;           ///< liveness-based dead-code elimination
+  bool simplify_cfg = true;  ///< jump threading, block merging, unreachable
+  bool inline_calls = true;  ///< bottom-up leaf inlining
+  bool if_convert = true;    ///< hammocks -> guarded (predicated) code
+  int inline_max_insts = 200;
+  int if_convert_max_ops = 10;
+  int max_rounds = 4;
+};
+
+/// Run the full pipeline to a fixed point (bounded by max_rounds).
+void optimize(ir::Module& module, const OptOptions& options = {});
+
+// ---- individual passes; each returns true if it changed anything ----
+bool pass_constfold(ir::Function& fn);
+bool pass_copy_propagate(ir::Function& fn);
+bool pass_cse(ir::Function& fn);
+bool pass_licm(ir::Function& fn);
+bool pass_dce(ir::Function& fn);
+bool pass_simplify_cfg(ir::Function& fn);
+bool pass_if_convert(ir::Function& fn, int max_ops);
+bool pass_inline(ir::Module& module, int max_insts);
+
+}  // namespace cepic::opt

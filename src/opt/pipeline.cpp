@@ -1,0 +1,36 @@
+#include "ir/verify.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::opt {
+
+void optimize(ir::Module& module, const OptOptions& options) {
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    if (options.inline_calls) {
+      changed |= pass_inline(module, options.inline_max_insts);
+    }
+    for (ir::Function& fn : module.functions) {
+      if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
+      if (options.fold) changed |= pass_constfold(fn);
+      if (options.copy_propagate) changed |= pass_copy_propagate(fn);
+      if (options.cse) changed |= pass_cse(fn);
+      if (options.licm) {
+        changed |= pass_licm(fn);
+        if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
+        if (options.copy_propagate) changed |= pass_copy_propagate(fn);
+        if (options.cse) changed |= pass_cse(fn);
+      }
+      if (options.fold) changed |= pass_constfold(fn);
+      if (options.copy_propagate) changed |= pass_copy_propagate(fn);
+      if (options.dce) changed |= pass_dce(fn);
+      if (options.if_convert) {
+        changed |= pass_if_convert(fn, options.if_convert_max_ops);
+        if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
+      }
+    }
+    if (!changed) break;
+  }
+  ir::verify_module(module);
+}
+
+}  // namespace cepic::opt

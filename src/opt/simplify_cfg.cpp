@@ -1,0 +1,152 @@
+// Control-flow cleanup: thread jumps through empty forwarding blocks,
+// merge single-predecessor fallthrough chains (bigger blocks = bigger
+// scheduling regions for the EPIC list scheduler), fold trivial
+// conditional branches, and drop unreachable blocks.
+#include <algorithm>
+
+#include "opt/cfg.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::opt {
+
+namespace {
+
+using ir::IrInst;
+using ir::IrOp;
+
+/// A block containing only `br X` forwards to X.
+bool is_forwarder(const ir::BasicBlock& block, int& target) {
+  if (block.insts.size() != 1) return false;
+  const IrInst& t = block.insts[0];
+  if (t.op != IrOp::Br) return false;
+  target = t.block_then;
+  return true;
+}
+
+int thread_target(const ir::Function& fn, int target) {
+  int fuel = static_cast<int>(fn.blocks.size());
+  int next = 0;
+  while (fuel-- > 0 && is_forwarder(fn.blocks[target], next) &&
+         next != target) {
+    target = next;
+  }
+  return target;
+}
+
+bool thread_jumps(ir::Function& fn) {
+  bool changed = false;
+  for (ir::BasicBlock& block : fn.blocks) {
+    IrInst& t = block.insts.back();
+    if (t.op == IrOp::Br) {
+      const int nt = thread_target(fn, t.block_then);
+      if (nt != t.block_then) {
+        t.block_then = nt;
+        changed = true;
+      }
+    } else if (t.op == IrOp::CondBr) {
+      const int nt = thread_target(fn, t.block_then);
+      const int ne = thread_target(fn, t.block_else);
+      if (nt != t.block_then || ne != t.block_else) {
+        t.block_then = nt;
+        t.block_else = ne;
+        changed = true;
+      }
+      // Both arms equal: degrade to an unconditional branch.
+      if (t.block_then == t.block_else) {
+        const int target = t.block_then;
+        t = IrInst{};
+        t.op = IrOp::Br;
+        t.block_then = target;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool merge_chains(ir::Function& fn) {
+  bool changed = false;
+  const auto preds = predecessors(fn);
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (;;) {
+      ir::BasicBlock& block = fn.blocks[b];
+      IrInst& t = block.insts.back();
+      if (t.op != IrOp::Br) break;
+      const int succ = t.block_then;
+      if (succ == static_cast<int>(b) || succ == 0) break;  // not entry
+      if (preds[succ].size() != 1) break;
+      // Splice succ's instructions in place of our Br. succ becomes
+      // unreachable and is removed below.
+      block.insts.pop_back();
+      ir::BasicBlock& victim = fn.blocks[succ];
+      std::move(victim.insts.begin(), victim.insts.end(),
+                std::back_inserter(block.insts));
+      victim.insts.clear();
+      IrInst dead_ret;
+      dead_ret.op = IrOp::Ret;
+      if (fn.returns_value) dead_ret.a = ir::Value::i(0);
+      victim.insts.push_back(dead_ret);
+      changed = true;
+      // The merged terminator may itself be a Br to another mergeable
+      // block, but preds are stale now; stop and let the next round
+      // continue.
+      break;
+    }
+  }
+  return changed;
+}
+
+bool remove_unreachable(ir::Function& fn) {
+  std::vector<bool> reachable(fn.blocks.size(), false);
+  std::vector<int> stack = {0};
+  reachable[0] = true;
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    for (int s : successors(fn.blocks[b])) {
+      if (!reachable[s]) {
+        reachable[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  if (std::all_of(reachable.begin(), reachable.end(),
+                  [](bool r) { return r; })) {
+    return false;
+  }
+  std::vector<int> remap(fn.blocks.size(), -1);
+  std::vector<ir::BasicBlock> kept;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    if (reachable[b]) {
+      remap[b] = static_cast<int>(kept.size());
+      kept.push_back(std::move(fn.blocks[b]));
+    }
+  }
+  for (ir::BasicBlock& block : kept) {
+    IrInst& t = block.insts.back();
+    if (t.op == IrOp::Br) t.block_then = remap[t.block_then];
+    if (t.op == IrOp::CondBr) {
+      t.block_then = remap[t.block_then];
+      t.block_else = remap[t.block_else];
+    }
+  }
+  fn.blocks = std::move(kept);
+  return true;
+}
+
+}  // namespace
+
+bool pass_simplify_cfg(ir::Function& fn) {
+  bool changed = false;
+  for (int round = 0; round < 8; ++round) {
+    bool round_changed = false;
+    round_changed |= thread_jumps(fn);
+    round_changed |= merge_chains(fn);
+    round_changed |= remove_unreachable(fn);
+    if (!round_changed) break;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace cepic::opt

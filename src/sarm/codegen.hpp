@@ -1,0 +1,24 @@
+// IR -> SARM code generation: the same optimised IR that feeds the EPIC
+// backend is compiled for the scalar baseline, so the paper's comparison
+// (§5.2) is compiler-fair — both targets get identical middle-end
+// treatment; only the backends differ.
+#pragma once
+
+#include "ir/ir.hpp"
+#include "sarm/isa.hpp"
+
+namespace cepic::sarm {
+
+struct SarmOptions {
+  std::uint32_t stack_top = std::uint32_t{1} << 22;
+  /// Fold constant shifts into the barrel-shifter operand of the
+  /// consumer (free on ARM); disable to measure its effect.
+  bool fold_shifts = true;
+};
+
+/// Compile a verified IR module (with a `main`) to a linked SARM
+/// program. Throws Error on ABI violations (more than 4 arguments).
+SProgram compile_ir_to_sarm(const ir::Module& module,
+                            const SarmOptions& options = {});
+
+}  // namespace cepic::sarm

@@ -1,0 +1,113 @@
+#include "sarm/isa.hpp"
+
+#include "support/text.hpp"
+
+namespace cepic::sarm {
+
+namespace {
+
+const char* op_name(SOp op) {
+  switch (op) {
+    case SOp::Add: return "add";
+    case SOp::Sub: return "sub";
+    case SOp::Rsb: return "rsb";
+    case SOp::Mul: return "mul";
+    case SOp::And: return "and";
+    case SOp::Orr: return "orr";
+    case SOp::Eor: return "eor";
+    case SOp::Bic: return "bic";
+    case SOp::Mov: return "mov";
+    case SOp::Mvn: return "mvn";
+    case SOp::Lsl: return "lsl";
+    case SOp::Lsr: return "lsr";
+    case SOp::Asr: return "asr";
+    case SOp::Min: return "min";
+    case SOp::Max: return "max";
+    case SOp::Cmp: return "cmp";
+    case SOp::Ldr: return "ldr";
+    case SOp::Str: return "str";
+    case SOp::Ldrb: return "ldrb";
+    case SOp::Strb: return "strb";
+    case SOp::B: return "b";
+    case SOp::Bl: return "bl";
+    case SOp::Bx: return "bx";
+    case SOp::Out: return "out";
+    case SOp::Halt: return "halt";
+    case SOp::SDiv: return "sdiv";
+    case SOp::SRem: return "srem";
+  }
+  return "?";
+}
+
+std::string op2_str(const Operand2& o) {
+  if (o.is_imm) return cat('#', o.imm);
+  std::string s = cat('r', o.rm);
+  if (o.shift != Shift::None) {
+    const char* sh = o.shift == Shift::Lsl ? "lsl"
+                     : o.shift == Shift::Lsr ? "lsr" : "asr";
+    s += cat(", ", sh, " #", static_cast<int>(o.shift_amount));
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* cond_name(Cond cond) {
+  switch (cond) {
+    case Cond::AL: return "";
+    case Cond::EQ: return "eq";
+    case Cond::NE: return "ne";
+    case Cond::LT: return "lt";
+    case Cond::LE: return "le";
+    case Cond::GT: return "gt";
+    case Cond::GE: return "ge";
+    case Cond::LO: return "lo";
+    case Cond::LS: return "ls";
+    case Cond::HI: return "hi";
+    case Cond::HS: return "hs";
+  }
+  return "?";
+}
+
+std::string to_string(const SInst& inst) {
+  std::string s = cat(op_name(inst.op), cond_name(inst.cond));
+  switch (inst.op) {
+    case SOp::B:
+    case SOp::Bl:
+      return cat(s, " ", inst.target);
+    case SOp::Bx:
+      return cat(s, " r", inst.rn);
+    case SOp::Halt:
+      return s;
+    case SOp::Out:
+      return cat(s, " ", op2_str(inst.op2));
+    case SOp::Cmp:
+      return cat(s, " r", inst.rn, ", ", op2_str(inst.op2));
+    case SOp::Mov:
+    case SOp::Mvn:
+      return cat(s, " r", inst.rd, ", ", op2_str(inst.op2));
+    case SOp::Ldr:
+    case SOp::Ldrb:
+    case SOp::Str:
+    case SOp::Strb:
+      return cat(s, " r", inst.rd, ", [r", inst.rn, ", ", op2_str(inst.op2),
+                 "]");
+    default:
+      return cat(s, " r", inst.rd, ", r", inst.rn, ", ", op2_str(inst.op2));
+  }
+}
+
+std::string to_string(const SProgram& program) {
+  std::string out;
+  std::size_t sym = 0;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    while (sym < program.symbols.size() && program.symbols[sym].second == i) {
+      out += cat(program.symbols[sym].first, ":\n");
+      ++sym;
+    }
+    out += cat("  ", i, ": ", to_string(program.code[i]), "\n");
+  }
+  return out;
+}
+
+}  // namespace cepic::sarm

@@ -1,0 +1,98 @@
+// SARM: the scalar ARM-flavoured baseline standing in for the StrongARM
+// SA-110 (the paper compares against SimIt-ARM cycle counts, §5.2).
+// Single-issue, in-order, condition codes, conditional execution, a free
+// barrel shifter on the second operand — the architectural features that
+// drive the SA-110's cycle behaviour. The divide instruction does not
+// exist (as on real ARM); the code generator emits a software-divide
+// pseudo-op charged with a fixed cycle cost.
+//
+// ABI: r0..r3 arguments / r0 return value, r4..r12 allocatable
+// temporaries, r13 = sp, r14 = lr. All caller-save. Frame layout:
+// [0,4) saved lr, [4, 4+frame_bytes) locals, then spill slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cepic::sarm {
+
+enum class SOp : std::uint8_t {
+  Add, Sub, Rsb, Mul,
+  And, Orr, Eor, Bic,
+  Mov, Mvn,
+  Lsl, Lsr, Asr,
+  Min, Max,  // lowered to CMP + conditional MOV by the codegen; never emitted
+  Cmp,
+  Ldr, Str, Ldrb, Strb,
+  B, Bl, Bx,
+  Out,
+  Halt,
+  SDiv, SRem,  ///< software-divide pseudo-ops (library-routine stand-in)
+};
+
+enum class Cond : std::uint8_t {
+  AL, EQ, NE, LT, LE, GT, GE, LO, LS, HI, HS,
+};
+
+enum class Shift : std::uint8_t { None, Lsl, Lsr, Asr };
+
+/// The flexible second operand: register (optionally shifted by a
+/// constant through the barrel shifter, which is free) or immediate.
+struct Operand2 {
+  bool is_imm = true;
+  std::uint32_t rm = 0;
+  std::int32_t imm = 0;
+  Shift shift = Shift::None;
+  std::uint8_t shift_amount = 0;
+
+  static Operand2 reg(std::uint32_t r, Shift s = Shift::None,
+                      std::uint8_t amount = 0) {
+    Operand2 o;
+    o.is_imm = false;
+    o.rm = r;
+    o.shift = s;
+    o.shift_amount = amount;
+    return o;
+  }
+  static Operand2 immediate(std::int32_t v) {
+    Operand2 o;
+    o.is_imm = true;
+    o.imm = v;
+    return o;
+  }
+};
+
+struct SInst {
+  SOp op = SOp::Mov;
+  Cond cond = Cond::AL;
+  std::uint32_t rd = 0;  ///< destination; store value for Str/Strb
+  std::uint32_t rn = 0;  ///< first operand / memory base
+  Operand2 op2;          ///< second operand / memory offset
+  int target = -1;       ///< branch target (block id, then inst index)
+};
+
+/// Fixed registers.
+inline constexpr std::uint32_t kR0 = 0;
+inline constexpr std::uint32_t kSp = 13;
+inline constexpr std::uint32_t kLr = 14;
+inline constexpr std::uint32_t kNumRegs = 16;
+inline constexpr std::uint32_t kMaxArgs = 4;
+inline constexpr std::uint32_t kFirstAllocatable = 4;   // r4..r12
+inline constexpr std::uint32_t kLastAllocatable = 12;
+
+/// A linked SARM program: flat instruction vector with resolved branch
+/// targets, plus the initial data image (same layout as the EPIC side).
+struct SProgram {
+  std::vector<SInst> code;
+  std::uint32_t entry = 0;
+  std::vector<std::uint8_t> data;
+  /// Function name -> first instruction (for debugging/disassembly).
+  std::vector<std::pair<std::string, std::uint32_t>> symbols;
+};
+
+std::string to_string(const SInst& inst);
+std::string to_string(const SProgram& program);
+const char* cond_name(Cond cond);
+
+}  // namespace cepic::sarm

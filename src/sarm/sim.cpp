@@ -1,0 +1,238 @@
+#include "sarm/sim.hpp"
+
+#include <algorithm>
+
+#include "core/program.hpp"
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace cepic::sarm {
+
+SarmSimulator::SarmSimulator(SProgram program, SarmOptionsSim options)
+    : program_(std::move(program)),
+      options_(options),
+      regs_(kNumRegs, 0),
+      mem_(options.mem_size) {
+  reset();
+}
+
+void SarmSimulator::reset() {
+  std::fill(regs_.begin(), regs_.end(), 0);
+  flags_ = Flags{};
+  mem_ = DataMemory(options_.mem_size);
+  mem_.load_image(kDataBase, program_.data);
+  pc_ = program_.entry;
+  halted_ = false;
+  last_was_load_ = false;
+  last_load_reg_ = 0;
+  output_.clear();
+  stats_ = SarmStats{};
+}
+
+std::uint32_t SarmSimulator::reg(unsigned i) const {
+  CEPIC_CHECK(i < kNumRegs, "register index");
+  return regs_[i];
+}
+
+void SarmSimulator::set_reg(unsigned i, std::uint32_t v) {
+  CEPIC_CHECK(i < kNumRegs, "register index");
+  regs_[i] = v;
+}
+
+bool SarmSimulator::cond_passes(Cond cond) const {
+  switch (cond) {
+    case Cond::AL: return true;
+    case Cond::EQ: return flags_.z;
+    case Cond::NE: return !flags_.z;
+    case Cond::LT: return flags_.n != flags_.v;
+    case Cond::GE: return flags_.n == flags_.v;
+    case Cond::GT: return !flags_.z && flags_.n == flags_.v;
+    case Cond::LE: return flags_.z || flags_.n != flags_.v;
+    case Cond::LO: return !flags_.c;
+    case Cond::HS: return flags_.c;
+    case Cond::HI: return flags_.c && !flags_.z;
+    case Cond::LS: return !flags_.c || flags_.z;
+  }
+  return false;
+}
+
+std::uint32_t SarmSimulator::eval_op2(const Operand2& op2) const {
+  if (op2.is_imm) return static_cast<std::uint32_t>(op2.imm);
+  const std::uint32_t v = regs_[op2.rm];
+  switch (op2.shift) {
+    case Shift::None: return v;
+    case Shift::Lsl: return v << op2.shift_amount;
+    case Shift::Lsr: return op2.shift_amount ? v >> op2.shift_amount : v;
+    case Shift::Asr:
+      return static_cast<std::uint32_t>(to_signed(v) >>
+                                        std::min<unsigned>(op2.shift_amount, 31));
+  }
+  return v;
+}
+
+bool SarmSimulator::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.code.size()) {
+    throw SimError(cat("SARM pc ", pc_, " past end of program"));
+  }
+  const SInst& inst = program_.code[pc_];
+  ++stats_.insts_executed;
+  ++stats_.cycles;
+
+  // Load-use interlock (value read the cycle after a load).
+  if (last_was_load_) {
+    bool uses = false;
+    switch (inst.op) {
+      case SOp::B:
+      case SOp::Bl:
+      case SOp::Halt:
+        break;
+      case SOp::Bx:
+        uses = inst.rn == last_load_reg_;
+        break;
+      default: {
+        if (!inst.op2.is_imm && inst.op2.rm == last_load_reg_) uses = true;
+        switch (inst.op) {
+          case SOp::Mov:
+          case SOp::Mvn:
+          case SOp::Out:
+            break;
+          case SOp::Str:
+          case SOp::Strb:
+            uses |= inst.rd == last_load_reg_ || inst.rn == last_load_reg_;
+            break;
+          default:
+            uses |= inst.rn == last_load_reg_;
+            break;
+        }
+        break;
+      }
+    }
+    if (uses) {
+      ++stats_.cycles;
+      ++stats_.load_use_stalls;
+    }
+  }
+  last_was_load_ = false;
+
+  const bool execute = cond_passes(inst.cond);
+  std::uint32_t next_pc = pc_ + 1;
+
+  if (execute) {
+    ++stats_.insts_committed;
+    const std::uint32_t n = regs_[inst.rn];
+    const std::uint32_t m = eval_op2(inst.op2);
+    switch (inst.op) {
+      case SOp::Add: regs_[inst.rd] = n + m; break;
+      case SOp::Sub: regs_[inst.rd] = n - m; break;
+      case SOp::Rsb: regs_[inst.rd] = m - n; break;
+      case SOp::Mul:
+        regs_[inst.rd] = n * m;
+        stats_.cycles += options_.mul_extra_cycles;
+        stats_.mul_cycles += options_.mul_extra_cycles;
+        break;
+      case SOp::And: regs_[inst.rd] = n & m; break;
+      case SOp::Orr: regs_[inst.rd] = n | m; break;
+      case SOp::Eor: regs_[inst.rd] = n ^ m; break;
+      case SOp::Bic: regs_[inst.rd] = n & ~m; break;
+      case SOp::Mov: regs_[inst.rd] = m; break;
+      case SOp::Mvn: regs_[inst.rd] = ~m; break;
+      case SOp::Lsl: regs_[inst.rd] = n << (m & 31); break;
+      case SOp::Lsr: regs_[inst.rd] = (m & 31) ? n >> (m & 31) : n; break;
+      case SOp::Asr:
+        regs_[inst.rd] =
+            static_cast<std::uint32_t>(to_signed(n) >> (m & 31));
+        break;
+      case SOp::Min:
+      case SOp::Max:
+        CEPIC_CHECK(false, "min/max are lowered by the code generator");
+        break;
+      case SOp::Cmp: {
+        const std::uint64_t wide =
+            static_cast<std::uint64_t>(n) - static_cast<std::uint64_t>(m);
+        const std::uint32_t result = static_cast<std::uint32_t>(wide);
+        flags_.z = result == 0;
+        flags_.n = to_signed(result) < 0;
+        flags_.c = n >= m;  // no borrow
+        flags_.v = ((n ^ m) & (n ^ result) & 0x80000000u) != 0;
+        break;
+      }
+      case SOp::Ldr:
+        regs_[inst.rd] = mem_.read_word(n + m);
+        ++stats_.mem_reads;
+        last_was_load_ = true;
+        last_load_reg_ = inst.rd;
+        break;
+      case SOp::Ldrb:
+        regs_[inst.rd] = mem_.read_byte(n + m);
+        ++stats_.mem_reads;
+        last_was_load_ = true;
+        last_load_reg_ = inst.rd;
+        break;
+      case SOp::Str:
+        mem_.write_word(n + m, regs_[inst.rd]);
+        ++stats_.mem_writes;
+        break;
+      case SOp::Strb:
+        mem_.write_byte(n + m, static_cast<std::uint8_t>(regs_[inst.rd]));
+        ++stats_.mem_writes;
+        break;
+      case SOp::B:
+        next_pc = static_cast<std::uint32_t>(inst.target);
+        ++stats_.branches_taken;
+        stats_.cycles += options_.taken_branch_penalty;
+        break;
+      case SOp::Bl:
+        regs_[kLr] = pc_ + 1;
+        next_pc = static_cast<std::uint32_t>(inst.target);
+        ++stats_.branches_taken;
+        stats_.cycles += options_.taken_branch_penalty;
+        break;
+      case SOp::Bx:
+        next_pc = n;
+        ++stats_.branches_taken;
+        stats_.cycles += options_.taken_branch_penalty;
+        break;
+      case SOp::Out:
+        output_.push_back(m);
+        break;
+      case SOp::Halt:
+        halted_ = true;
+        return false;
+      case SOp::SDiv:
+      case SOp::SRem: {
+        // Software divide routine: same defined corner cases as the
+        // EPIC divider (q=0/r=n for m==0; INT_MIN/-1 wraps).
+        const std::int32_t sn = to_signed(n);
+        const std::int32_t sm = to_signed(m);
+        std::int32_t q = 0, r = sn;
+        if (sm != 0) {
+          const std::int64_t wq = static_cast<std::int64_t>(sn) / sm;
+          q = static_cast<std::int32_t>(wq);
+          r = static_cast<std::int32_t>(static_cast<std::int64_t>(sn) % sm);
+        }
+        regs_[inst.rd] = to_unsigned(inst.op == SOp::SDiv ? q : r);
+        stats_.cycles += options_.div_total_cycles - 1;
+        stats_.div_cycles += options_.div_total_cycles - 1;
+        break;
+      }
+    }
+  } else if (inst.op == SOp::B || inst.op == SOp::Bl || inst.op == SOp::Bx) {
+    ++stats_.branches_not_taken;
+  }
+
+  pc_ = next_pc;
+  if (stats_.cycles > options_.max_cycles) {
+    throw SimError(cat("SARM cycle limit exceeded (", options_.max_cycles,
+                       ") — runaway program?"));
+  }
+  return true;
+}
+
+const SarmStats& SarmSimulator::run() {
+  while (step()) {
+  }
+  return stats_;
+}
+
+}  // namespace cepic::sarm

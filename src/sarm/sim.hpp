@@ -1,0 +1,77 @@
+// SARM simulator with an SA-110-like cycle model (the SimIt-ARM role
+// from paper §5.2): single-issue in-order 5-stage pipeline —
+//   * 1 cycle per issued instruction (condition-failed ones too);
+//   * MUL: +2 cycles (SA-110 multiplies take 1-3 depending on operand);
+//   * load-use interlock: +1 cycle when the very next executed
+//     instruction reads a just-loaded register;
+//   * taken branches (B/BL/BX): +2 cycles of fetch bubbles;
+//   * software divide pseudo-ops: 35 cycles total (ARM has no divide
+//     instruction; this models the shift-subtract library routine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory.hpp"
+#include "sarm/isa.hpp"
+
+namespace cepic::sarm {
+
+struct SarmStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t insts_executed = 0;   ///< issued (including cond-failed)
+  std::uint64_t insts_committed = 0;  ///< condition passed
+  std::uint64_t branches_taken = 0;
+  std::uint64_t branches_not_taken = 0;
+  std::uint64_t load_use_stalls = 0;
+  std::uint64_t mul_cycles = 0;
+  std::uint64_t div_cycles = 0;
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+};
+
+struct SarmOptionsSim {
+  std::uint64_t max_cycles = 2'000'000'000;
+  std::size_t mem_size = std::size_t{1} << 22;
+  unsigned mul_extra_cycles = 2;
+  unsigned div_total_cycles = 35;
+  unsigned taken_branch_penalty = 2;
+};
+
+class SarmSimulator {
+public:
+  explicit SarmSimulator(SProgram program, SarmOptionsSim options = {});
+
+  void reset();
+  const SarmStats& run();  ///< until HALT; throws SimError on faults
+  bool step();
+
+  std::uint32_t reg(unsigned i) const;
+  void set_reg(unsigned i, std::uint32_t v);
+  const std::vector<std::uint32_t>& output() const { return output_; }
+  const SarmStats& stats() const { return stats_; }
+  DataMemory& memory() { return mem_; }
+  bool halted() const { return halted_; }
+
+private:
+  struct Flags {
+    bool n = false, z = false, c = false, v = false;
+  };
+
+  bool cond_passes(Cond cond) const;
+  std::uint32_t eval_op2(const Operand2& op2) const;
+
+  SProgram program_;
+  SarmOptionsSim options_;
+  std::vector<std::uint32_t> regs_;
+  Flags flags_;
+  DataMemory mem_;
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint32_t last_load_reg_ = 0;
+  bool last_was_load_ = false;
+  std::vector<std::uint32_t> output_;
+  SarmStats stats_;
+};
+
+}  // namespace cepic::sarm

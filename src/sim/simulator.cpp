@@ -1,0 +1,446 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/eval.hpp"
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+
+EpicSimulator::EpicSimulator(Program program, CustomOpTable custom,
+                             SimOptions options)
+    : program_(std::move(program)),
+      custom_(std::move(custom)),
+      options_(options),
+      mdes_(program_.config, &custom_),
+      width_(program_.config.datapath_width),
+      gprs_(program_.config.num_gprs, 0),
+      preds_(program_.config.num_preds, 0),
+      btrs_(program_.config.num_btrs, 0),
+      gpr_ready_(program_.config.num_gprs, 0),
+      pred_ready_(program_.config.num_preds, 0),
+      btr_ready_(program_.config.num_btrs, 0),
+      mem_(options.mem_size) {
+  program_.config.validate();
+  CEPIC_CHECK(program_.code.size() % program_.config.issue_width == 0,
+              "program code is not a whole number of bundles");
+  // Install semantics for any config-enabled custom op the caller did
+  // not supply explicitly.
+  for (unsigned slot = 0; slot < program_.config.custom_ops.size(); ++slot) {
+    if (!custom_.has(slot)) {
+      auto op = builtin_custom_op(program_.config.custom_ops[slot]);
+      if (op) custom_.install(slot, std::move(*op));
+    }
+  }
+  reset();
+}
+
+void EpicSimulator::reset() {
+  std::fill(gprs_.begin(), gprs_.end(), 0);
+  std::fill(preds_.begin(), preds_.end(), 0);
+  std::fill(btrs_.begin(), btrs_.end(), 0);
+  std::fill(gpr_ready_.begin(), gpr_ready_.end(), 0);
+  std::fill(pred_ready_.begin(), pred_ready_.end(), 0);
+  std::fill(btr_ready_.begin(), btr_ready_.end(), 0);
+  preds_[0] = 1;  // p0 hardwired true
+  mem_ = DataMemory(options_.mem_size);
+  mem_.load_image(kDataBase, program_.data);
+  pc_ = program_.entry_bundle;
+  cycle_ = 0;
+  halted_ = false;
+  output_.clear();
+  stats_ = SimStats{};
+  trace_.clear();
+}
+
+std::uint32_t EpicSimulator::gpr(unsigned i) const {
+  CEPIC_CHECK(i < gprs_.size(), "gpr index");
+  return i == 0 ? 0 : gprs_[i];
+}
+
+void EpicSimulator::set_gpr(unsigned i, std::uint32_t v) {
+  CEPIC_CHECK(i < gprs_.size(), "gpr index");
+  if (i != 0) gprs_[i] = mask_to_width(v, width_);
+}
+
+bool EpicSimulator::pred(unsigned i) const {
+  CEPIC_CHECK(i < preds_.size(), "pred index");
+  return i == 0 ? true : preds_[i] != 0;
+}
+
+void EpicSimulator::set_pred(unsigned i, bool v) {
+  CEPIC_CHECK(i < preds_.size(), "pred index");
+  if (i != 0) preds_[i] = v ? 1 : 0;
+}
+
+std::uint32_t EpicSimulator::btr(unsigned i) const {
+  CEPIC_CHECK(i < btrs_.size(), "btr index");
+  return btrs_[i];
+}
+
+namespace {
+
+RegFile file_of_src(SrcSpec spec) {
+  switch (spec) {
+    case SrcSpec::Gpr:
+    case SrcSpec::GprOrLit: return RegFile::Gpr;
+    case SrcSpec::Pred: return RegFile::Pred;
+    case SrcSpec::Btr: return RegFile::Btr;
+    case SrcSpec::None:
+    case SrcSpec::LitOnly: return RegFile::None;
+  }
+  return RegFile::None;
+}
+
+}  // namespace
+
+std::uint64_t EpicSimulator::ready_cycle(RegFile file,
+                                         std::uint32_t index) const {
+  switch (file) {
+    case RegFile::Gpr: return index == 0 ? 0 : gpr_ready_[index];
+    case RegFile::Pred: return index == 0 ? 0 : pred_ready_[index];
+    case RegFile::Btr: return btr_ready_[index];
+    case RegFile::None: break;
+  }
+  return 0;
+}
+
+void EpicSimulator::note_ready(RegFile file, std::uint32_t index,
+                               std::uint64_t cycle) {
+  switch (file) {
+    case RegFile::Gpr:
+      if (index != 0) gpr_ready_[index] = cycle;
+      break;
+    case RegFile::Pred:
+      if (index != 0) pred_ready_[index] = cycle;
+      break;
+    case RegFile::Btr:
+      btr_ready_[index] = cycle;
+      break;
+    case RegFile::None:
+      break;
+  }
+}
+
+std::uint32_t EpicSimulator::read_operand(const Operand& o, SrcSpec spec,
+                                          bool zext) const {
+  (void)zext;  // literal extension already happened at decode/build time
+  if (o.is_lit()) return mask_to_width(static_cast<std::uint32_t>(o.lit), width_);
+  if (!o.is_reg()) return 0;
+  switch (file_of_src(spec)) {
+    case RegFile::Gpr: return gpr(o.reg);
+    case RegFile::Pred: return pred(o.reg) ? 1u : 0u;
+    case RegFile::Btr: return btr(o.reg);
+    case RegFile::None: break;
+  }
+  return 0;
+}
+
+bool EpicSimulator::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.bundle_count()) {
+    throw SimError(cat("pc 0x", std::hex, pc_, " past end of program"));
+  }
+
+  const std::span<const Instruction> bundle = program_.bundle(pc_);
+
+  // ---- Stage 1: fetch/decode/issue. Determine the issue cycle. ----
+  // (a) Scoreboard: all source operands must be ready.
+  std::uint64_t issue = cycle_;
+  for (const Instruction& inst : bundle) {
+    if (inst.is_nop()) continue;
+    const OpInfo& info = inst.info();
+    issue = std::max(issue, ready_cycle(RegFile::Pred, inst.pred));
+    if (inst.src1.is_reg()) {
+      issue = std::max(issue, ready_cycle(file_of_src(info.src1), inst.src1.reg));
+    }
+    if (inst.src2.is_reg()) {
+      issue = std::max(issue, ready_cycle(file_of_src(info.src2), inst.src2.reg));
+    }
+    if (info.dest1_is_source) {
+      issue = std::max(issue, ready_cycle(RegFile::Gpr, inst.dest1));
+    }
+  }
+  stats_.stall_scoreboard += issue - cycle_;
+
+  // (b) Register-file-controller port budget (paper §3.2): GPR reads not
+  // satisfied by forwarding plus GPR writes must fit in the budget;
+  // excess adds issue cycles. Delaying issue can turn a forwarded read
+  // into a port read, so iterate to a fixed point (converges fast: the
+  // port count only grows while forwarded reads remain).
+  const bool fwd = mdes_.forwarding();
+  const unsigned budget = mdes_.reg_port_budget();
+  std::uint64_t port_stall = 0;
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::uint64_t at = issue + port_stall;
+    unsigned ports = 0;
+    auto count_read = [&](std::uint32_t reg) {
+      if (reg == 0) return;  // r0 is hardwired, no port needed
+      const std::uint64_t r = gpr_ready_[reg];
+      if (!(fwd && r == at)) ++ports;
+    };
+    for (const Instruction& inst : bundle) {
+      if (inst.is_nop()) continue;
+      const OpInfo& info = inst.info();
+      if (inst.src1.is_reg() && file_of_src(info.src1) == RegFile::Gpr) {
+        count_read(inst.src1.reg);
+      }
+      if (inst.src2.is_reg() && file_of_src(info.src2) == RegFile::Gpr) {
+        count_read(inst.src2.reg);
+      }
+      if (info.dest1_is_source) count_read(inst.dest1);
+      if (info.writes_dest1() && info.dest1 == RegFile::Gpr && inst.dest1 != 0) {
+        ++ports;
+      }
+    }
+    const std::uint64_t needed =
+        ports == 0 ? 0 : (ports + budget - 1) / budget - 1;
+    if (needed == port_stall) break;
+    port_stall = needed;
+  }
+  stats_.stall_reg_ports += port_stall;
+  issue += port_stall;
+
+  // ---- Stage 2: execute + writeback (MultiOp semantics: all reads
+  // happen before any write of the same MultiOp). ----
+  struct PendingStore {
+    bool byte = false;
+    std::uint32_t addr = 0;
+    std::uint32_t value = 0;
+  };
+  std::vector<WriteBack> writes;
+  std::vector<PendingStore> stores;
+  bool branch_taken = false;
+  std::uint32_t branch_target = 0;
+  bool halt_now = false;
+  bool any_mem = false;
+  unsigned useful_ops = 0;
+
+  for (const Instruction& inst : bundle) {
+    if (inst.is_nop()) {
+      ++stats_.nops;
+      continue;
+    }
+    ++useful_ops;
+    ++stats_.ops_executed;
+    const OpInfo& info = inst.info();
+    if (!mdes_.op_supported(inst.op)) {
+      throw SimError(cat("operation `", std::string(info.name),
+                         "` not implemented on this customisation"));
+    }
+    const bool guard = pred(inst.pred);
+    if (!guard) {
+      ++stats_.ops_nullified;
+      continue;
+    }
+    ++stats_.ops_committed;
+
+    const std::uint32_t a =
+        read_operand(inst.src1, info.src1, info.literal_zero_extends);
+    const std::uint32_t b =
+        read_operand(inst.src2, info.src2, info.literal_zero_extends);
+    const std::uint64_t ready = issue + mdes_.latency(inst.op);
+
+    switch (info.fu) {
+      case FuClass::Alu: {
+        const std::uint32_t r = eval_alu(inst.op, a, b, width_, &custom_);
+        writes.push_back({RegFile::Gpr, inst.dest1, r, ready});
+        break;
+      }
+      case FuClass::Cmpu: {
+        const bool c = eval_cmpp(inst.op, a, b, width_);
+        writes.push_back({RegFile::Pred, inst.dest1, c ? 1u : 0u, ready});
+        if (info.dest2 != RegFile::None) {
+          writes.push_back({RegFile::Pred, inst.dest2, c ? 0u : 1u, ready});
+        }
+        break;
+      }
+      case FuClass::Lsu: {
+        if (inst.op == Op::OUT) {
+          output_.push_back(a);
+          break;
+        }
+        any_mem = true;
+        const std::uint32_t addr = a + b;
+        switch (inst.op) {
+          case Op::LDW:
+            writes.push_back({RegFile::Gpr, inst.dest1,
+                              mask_to_width(mem_.read_word(addr), width_),
+                              ready});
+            ++stats_.mem_reads;
+            break;
+          case Op::LDWS:
+            writes.push_back({RegFile::Gpr, inst.dest1,
+                              mask_to_width(mem_.read_word_speculative(addr),
+                                            width_),
+                              ready});
+            ++stats_.mem_reads;
+            break;
+          case Op::LDB: {
+            const std::uint8_t byte = mem_.read_byte(addr);
+            writes.push_back(
+                {RegFile::Gpr, inst.dest1,
+                 mask_to_width(static_cast<std::uint32_t>(
+                                   static_cast<std::int32_t>(
+                                       static_cast<std::int8_t>(byte))),
+                               width_),
+                 ready});
+            ++stats_.mem_reads;
+            break;
+          }
+          case Op::LDBU:
+            writes.push_back({RegFile::Gpr, inst.dest1,
+                              static_cast<std::uint32_t>(mem_.read_byte(addr)),
+                              ready});
+            ++stats_.mem_reads;
+            break;
+          case Op::STW:
+            stores.push_back({false, addr, gpr(inst.dest1)});
+            ++stats_.mem_writes;
+            break;
+          case Op::STB:
+            stores.push_back({true, addr, gpr(inst.dest1)});
+            ++stats_.mem_writes;
+            break;
+          default:
+            CEPIC_CHECK(false, "unhandled LSU op");
+        }
+        break;
+      }
+      case FuClass::Bru: {
+        switch (inst.op) {
+          case Op::PBR:
+            writes.push_back({RegFile::Btr, inst.dest1,
+                              static_cast<std::uint32_t>(inst.src1.lit),
+                              ready});
+            break;
+          case Op::BRU:
+            if (!branch_taken) {
+              branch_taken = true;
+              branch_target = a;
+            }
+            break;
+          case Op::BRCT:
+          case Op::BRCF: {
+            const bool cond = b != 0;
+            const bool take = inst.op == Op::BRCT ? cond : !cond;
+            if (take) {
+              if (!branch_taken) {
+                branch_taken = true;
+                branch_target = a;
+              }
+            } else {
+              ++stats_.branches_not_taken;
+            }
+            break;
+          }
+          case Op::BRL:
+            writes.push_back({RegFile::Gpr, inst.dest1, pc_ + 1, ready});
+            if (!branch_taken) {
+              branch_taken = true;
+              branch_target = a;
+            }
+            break;
+          case Op::BRR:
+            if (!branch_taken) {
+              branch_taken = true;
+              branch_target = a;
+            }
+            break;
+          case Op::HALT:
+            halt_now = true;
+            break;
+          default:
+            CEPIC_CHECK(false, "unhandled BRU op");
+        }
+        break;
+      }
+      case FuClass::None:
+        break;
+    }
+  }
+
+  // Writeback: memory first (loads above read pre-store memory), then
+  // registers in op order (later writes win on WAW within a MultiOp).
+  for (const PendingStore& s : stores) {
+    if (s.byte) {
+      mem_.write_byte(s.addr, static_cast<std::uint8_t>(s.value));
+    } else {
+      mem_.write_word(s.addr, s.value);
+    }
+  }
+  for (const WriteBack& w : writes) {
+    switch (w.file) {
+      case RegFile::Gpr:
+        set_gpr(w.index, w.value);
+        break;
+      case RegFile::Pred:
+        set_pred(w.index, w.value != 0);
+        break;
+      case RegFile::Btr:
+        btrs_[w.index] = w.value;
+        break;
+      case RegFile::None:
+        break;
+    }
+    note_ready(w.file, w.index, w.ready);
+  }
+
+  // ---- Advance time and control flow. ----
+  ++stats_.bundles_issued;
+  stats_.bundle_width_hist[std::min<std::size_t>(useful_ops, 8)]++;
+  cycle_ = issue + 1;
+
+  if (program_.config.unified_memory_contention && any_mem) {
+    ++cycle_;
+    ++stats_.stall_mem_contention;
+  }
+
+  if (options_.collect_trace && trace_.size() < options_.trace_limit) {
+    std::string text;
+    for (const Instruction& inst : bundle) {
+      if (inst.is_nop()) continue;
+      if (!text.empty()) text += " || ";
+      text += to_string(inst);
+    }
+    trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
+  }
+
+  if (halt_now) {
+    halted_ = true;
+    stats_.cycles = cycle_;
+    return false;
+  }
+
+  if (branch_taken) {
+    ++stats_.branches_taken;
+    // A taken branch flushes everything in front of execute: one bubble
+    // per pipeline stage before it (1 on the 2-stage prototype).
+    const unsigned bubbles = program_.config.pipeline_stages - 1;
+    stats_.branch_bubbles += bubbles;
+    cycle_ += bubbles;
+    if (branch_target >= program_.bundle_count()) {
+      throw SimError(cat("branch to bundle ", branch_target,
+                         " past end of program"));
+    }
+    pc_ = branch_target;
+  } else {
+    ++pc_;
+  }
+
+  stats_.cycles = cycle_;
+  if (cycle_ > options_.max_cycles) {
+    throw SimError(cat("cycle limit exceeded (", options_.max_cycles,
+                       " cycles) — runaway program?"));
+  }
+  return true;
+}
+
+const SimStats& EpicSimulator::run() {
+  while (step()) {
+  }
+  return stats_;
+}
+
+}  // namespace cepic

@@ -1,0 +1,114 @@
+// Cycle-level simulator of the customisable EPIC processor (the
+// ReaCT-ILP role from the paper, §5.2). Models the prototype's 2-stage
+// pipeline (Fetch/Decode/Issue | Execute/WriteBack, paper Fig. 2):
+//
+//  * one MultiOp of up to issue_width operations issues per cycle;
+//  * MultiOp semantics: all operands are read before any result of the
+//    same MultiOp is written;
+//  * the register file controller allows `reg_port_budget` register
+//    read+write operations per cycle; exceeding it stalls issue
+//    (paper §3.2). Results produced in the immediately preceding cycle
+//    are satisfied by forwarding and cost no read port;
+//  * operand readiness is scoreboarded, so hand-written assembly that
+//    ignores latencies still executes correctly — it just stalls;
+//  * a taken branch flushes the fetch stage: one bubble cycle;
+//  * predicated operations execute but are nullified on a false guard;
+//  * optionally, every data-memory access steals one cycle of
+//    instruction-fetch bandwidth (unified_memory_contention, ablation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/custom.hpp"
+#include "core/program.hpp"
+#include "mdes/mdes.hpp"
+#include "core/memory.hpp"
+#include "sim/stats.hpp"
+
+namespace cepic {
+
+struct SimOptions {
+  std::uint64_t max_cycles = 2'000'000'000;
+  std::size_t mem_size = std::size_t{1} << 22;  // 4 MiB
+  bool collect_trace = false;
+  std::size_t trace_limit = 4096;
+};
+
+struct TraceEntry {
+  std::uint64_t cycle = 0;
+  std::uint32_t bundle = 0;
+  std::string text;
+};
+
+class EpicSimulator {
+public:
+  explicit EpicSimulator(Program program, CustomOpTable custom = {},
+                         SimOptions options = {});
+
+  /// Reset architectural state and statistics (keeps the program).
+  void reset();
+
+  /// Run until HALT. Throws SimError on a fault or cycle-limit overrun.
+  const SimStats& run();
+
+  /// Execute one MultiOp (for microtests). Returns false once halted.
+  bool step();
+
+  bool halted() const { return halted_; }
+
+  // --- architectural state access (tests, examples) ---
+  std::uint32_t gpr(unsigned i) const;
+  void set_gpr(unsigned i, std::uint32_t v);
+  bool pred(unsigned i) const;
+  void set_pred(unsigned i, bool v);
+  std::uint32_t btr(unsigned i) const;
+  std::uint32_t pc() const { return pc_; }
+
+  DataMemory& memory() { return mem_; }
+  const DataMemory& memory() const { return mem_; }
+
+  /// Values emitted through the OUT port, in order.
+  const std::vector<std::uint32_t>& output() const { return output_; }
+
+  const SimStats& stats() const { return stats_; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  const Program& program() const { return program_; }
+
+private:
+  struct WriteBack {
+    RegFile file = RegFile::None;
+    std::uint32_t index = 0;
+    std::uint32_t value = 0;
+    std::uint64_t ready = 0;
+  };
+
+  std::uint32_t read_operand(const Operand& o, SrcSpec spec, bool zext) const;
+  std::uint64_t ready_cycle(RegFile file, std::uint32_t index) const;
+  void note_ready(RegFile file, std::uint32_t index, std::uint64_t cycle);
+
+  Program program_;
+  CustomOpTable custom_;
+  SimOptions options_;
+  Mdes mdes_;
+  unsigned width_;
+
+  std::vector<std::uint32_t> gprs_;
+  std::vector<std::uint8_t> preds_;
+  std::vector<std::uint32_t> btrs_;
+  std::vector<std::uint64_t> gpr_ready_;
+  std::vector<std::uint64_t> pred_ready_;
+  std::vector<std::uint64_t> btr_ready_;
+  DataMemory mem_;
+
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycle_ = 0;
+  bool halted_ = false;
+
+  std::vector<std::uint32_t> output_;
+  SimStats stats_;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace cepic

@@ -1,0 +1,44 @@
+// Cycle-accounting statistics reported by the EPIC simulator — the
+// quantities Table 1 and Figs. 3–5 of the paper are built from, plus the
+// stall breakdown used by the ablation benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cepic {
+
+struct SimStats {
+  std::uint64_t cycles = 0;          ///< total processor cycles
+  std::uint64_t bundles_issued = 0;  ///< MultiOps issued
+  std::uint64_t ops_executed = 0;    ///< non-NOP ops entering execute
+  std::uint64_t ops_committed = 0;   ///< ops whose guard predicate was true
+  std::uint64_t ops_nullified = 0;   ///< ops squashed by a false predicate
+  std::uint64_t nops = 0;            ///< NOP padding slots fetched
+
+  std::uint64_t stall_scoreboard = 0;   ///< operand-not-ready stalls
+  std::uint64_t stall_reg_ports = 0;    ///< register-port budget stalls (§3.2)
+  std::uint64_t stall_mem_contention = 0;  ///< unified-memory fetch steals
+  std::uint64_t branch_bubbles = 0;     ///< taken-branch fetch flushes
+
+  std::uint64_t mem_reads = 0;
+  std::uint64_t mem_writes = 0;
+  std::uint64_t branches_taken = 0;
+  std::uint64_t branches_not_taken = 0;
+
+  /// Histogram of useful (non-NOP) ops per issued bundle, index 0..8.
+  std::array<std::uint64_t, 9> bundle_width_hist{};
+
+  /// Achieved instruction-level parallelism: committed ops per cycle.
+  double ilp() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(ops_committed) /
+                             static_cast<double>(cycles);
+  }
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+}  // namespace cepic

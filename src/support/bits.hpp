@@ -1,0 +1,78 @@
+// Bit-field manipulation helpers used by the instruction encoder/decoder
+// and the simulators. All word-level state in CEPIC is carried in
+// uint32_t/uint64_t; signed interpretation happens explicitly via
+// to_signed()/sign_extend() so that shifts and field packing stay
+// well-defined (Core Guidelines ES.101/ES.102).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace cepic {
+
+/// A mask with the low `n` bits set; n may be 0..64.
+constexpr std::uint64_t mask64(unsigned n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Extract bits [lo, lo+width) of `word`.
+constexpr std::uint64_t extract_bits(std::uint64_t word, unsigned lo,
+                                     unsigned width) {
+  return (word >> lo) & mask64(width);
+}
+
+/// Return `word` with bits [lo, lo+width) replaced by the low bits of
+/// `value`. Bits of `value` above `width` must be zero.
+inline std::uint64_t insert_bits(std::uint64_t word, unsigned lo,
+                                 unsigned width, std::uint64_t value) {
+  CEPIC_CHECK((value & ~mask64(width)) == 0, "field value overflows width");
+  return (word & ~(mask64(width) << lo)) | (value << lo);
+}
+
+/// Sign-extend the low `bits` bits of `v` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t v, unsigned bits) {
+  if (bits == 0 || bits >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+  const std::uint64_t low = v & mask64(bits);
+  return static_cast<std::int64_t>((low ^ m) - m);
+}
+
+/// Does the signed value `v` fit in `bits` bits (two's complement)?
+constexpr bool fits_signed(std::int64_t v, unsigned bits) {
+  if (bits >= 64) return true;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// Does the unsigned value `v` fit in `bits` bits?
+constexpr bool fits_unsigned(std::uint64_t v, unsigned bits) {
+  return bits >= 64 || v <= mask64(bits);
+}
+
+/// Number of bits needed to index `n` distinct values (ceil(log2(n))),
+/// with a minimum of 1.
+constexpr unsigned index_bits(std::uint64_t n) {
+  if (n <= 2) return 1;
+  return static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+/// Reinterpret a uint32 as int32 (two's complement), without UB.
+constexpr std::int32_t to_signed(std::uint32_t v) {
+  return static_cast<std::int32_t>(v);
+}
+
+/// Reinterpret an int32 as uint32.
+constexpr std::uint32_t to_unsigned(std::int32_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+
+/// 32-bit rotate right.
+constexpr std::uint32_t rotr32(std::uint32_t v, unsigned n) {
+  return std::rotr(v, static_cast<int>(n & 31));
+}
+
+}  // namespace cepic

@@ -1,0 +1,53 @@
+// Deterministic PRNG used for synthetic workload inputs and property
+// tests. xorshift64* — tiny, fast and identical across platforms, so
+// every golden value in tests and EXPERIMENTS.md is reproducible.
+// The MiniC workloads embed the same algorithm (32-bit variant) so that
+// the simulated programs and their native golden references generate
+// byte-identical input data.
+#pragma once
+
+#include <cstdint>
+
+namespace cepic {
+
+class Prng {
+public:
+  explicit constexpr Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 1) {}
+
+  constexpr std::uint64_t next_u64() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  constexpr std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  constexpr std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next_u64() % bound);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  constexpr std::int32_t next_in(std::int32_t lo, std::int32_t hi) {
+    const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int32_t>(next_below(span));
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// The 32-bit xorshift used *inside* MiniC workloads (state is a single
+/// int). Kept here so native golden references match the simulated code.
+constexpr std::uint32_t xorshift32(std::uint32_t s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+}  // namespace cepic

@@ -1,0 +1,337 @@
+// AES-128 workload: MiniC source generator + FIPS-197 native reference.
+// The paper's benchmark "encrypts `Hello AES World!' 1000 times and then
+// decrypts it"; we chain the block through `iterations` encryptions,
+// then decrypt the same number of times and verify the round trip.
+#include <array>
+
+#include "support/text.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::workloads {
+
+namespace {
+
+// ---- GF(2^8) tables ----
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint8_t gmul(std::uint8_t x, std::uint8_t y) {
+  std::uint8_t r = 0;
+  while (y != 0) {
+    if (y & 1) r ^= x;
+    x = xtime(x);
+    y >>= 1;
+  }
+  return r;
+}
+
+const std::array<std::uint8_t, 256>& sbox() {
+  static const std::array<std::uint8_t, 256> table = [] {
+    // Multiplicative inverses by brute force, then the affine transform.
+    std::array<std::uint8_t, 256> inv{};
+    for (int x = 1; x < 256; ++x) {
+      for (int y = 1; y < 256; ++y) {
+        if (gmul(static_cast<std::uint8_t>(x),
+                 static_cast<std::uint8_t>(y)) == 1) {
+          inv[x] = static_cast<std::uint8_t>(y);
+          break;
+        }
+      }
+    }
+    std::array<std::uint8_t, 256> s{};
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t b = inv[x];
+      std::uint8_t r = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int bit = ((b >> i) & 1) ^ ((b >> ((i + 4) & 7)) & 1) ^
+                        ((b >> ((i + 5) & 7)) & 1) ^
+                        ((b >> ((i + 6) & 7)) & 1) ^
+                        ((b >> ((i + 7) & 7)) & 1) ^ ((0x63 >> i) & 1);
+        r |= static_cast<std::uint8_t>(bit << i);
+      }
+      s[x] = r;
+    }
+    return s;
+  }();
+  return table;
+}
+
+const std::array<std::uint8_t, 256>& inv_sbox() {
+  static const std::array<std::uint8_t, 256> table = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) t[sbox()[i]] = static_cast<std::uint8_t>(i);
+    return t;
+  }();
+  return table;
+}
+
+using Block = std::array<std::uint8_t, 16>;
+using RoundKeys = std::array<std::uint8_t, 176>;
+
+RoundKeys expand_key(const std::vector<std::uint8_t>& key) {
+  RoundKeys rk{};
+  for (int i = 0; i < 16; ++i) rk[i] = key[i];
+  std::uint8_t rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    std::uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2], rk[i - 1]};
+    if (i % 16 == 0) {
+      const std::uint8_t tmp = t[0];
+      t[0] = static_cast<std::uint8_t>(sbox()[t[1]] ^ rcon);
+      t[1] = sbox()[t[2]];
+      t[2] = sbox()[t[3]];
+      t[3] = sbox()[tmp];
+      rcon = xtime(rcon);
+    }
+    for (int j = 0; j < 4; ++j) rk[i + j] = rk[i - 16 + j] ^ t[j];
+  }
+  return rk;
+}
+
+// State is column-major as in FIPS-197: state[r + 4c].
+void add_round_key(Block& s, const RoundKeys& rk, int round) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[round * 16 + i];
+}
+
+void sub_bytes(Block& s, bool inverse) {
+  const auto& t = inverse ? inv_sbox() : sbox();
+  for (auto& b : s) b = t[b];
+}
+
+void shift_rows(Block& s, bool inverse) {
+  Block out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int shift = inverse ? -r : r;
+      out[r + 4 * c] = s[r + 4 * (((c + shift) % 4 + 4) % 4)];
+    }
+  }
+  s = out;
+}
+
+void mix_columns(Block& s, bool inverse) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t a[4];
+    for (int r = 0; r < 4; ++r) a[r] = s[r + 4 * c];
+    for (int r = 0; r < 4; ++r) {
+      if (!inverse) {
+        s[r + 4 * c] = static_cast<std::uint8_t>(
+            gmul(a[r], 2) ^ gmul(a[(r + 1) % 4], 3) ^ a[(r + 2) % 4] ^
+            a[(r + 3) % 4]);
+      } else {
+        s[r + 4 * c] = static_cast<std::uint8_t>(
+            gmul(a[r], 14) ^ gmul(a[(r + 1) % 4], 11) ^
+            gmul(a[(r + 2) % 4], 13) ^ gmul(a[(r + 3) % 4], 9));
+      }
+    }
+  }
+}
+
+Block encrypt_block_ref(const RoundKeys& rk, Block s) {
+  add_round_key(s, rk, 0);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes(s, false);
+    shift_rows(s, false);
+    mix_columns(s, false);
+    add_round_key(s, rk, round);
+  }
+  sub_bytes(s, false);
+  shift_rows(s, false);
+  add_round_key(s, rk, 10);
+  return s;
+}
+
+Block decrypt_block_ref(const RoundKeys& rk, Block s) {
+  add_round_key(s, rk, 10);
+  shift_rows(s, true);
+  sub_bytes(s, true);
+  for (int round = 9; round >= 1; --round) {
+    add_round_key(s, rk, round);
+    mix_columns(s, true);
+    shift_rows(s, true);
+    sub_bytes(s, true);
+  }
+  add_round_key(s, rk, 0);
+  return s;
+}
+
+std::string bytes_list(const std::uint8_t* v, std::size_t n) {
+  std::string s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) s += ", ";
+    s += cat("0x", std::hex, static_cast<unsigned>(v[i]), std::dec);
+  }
+  return s;
+}
+
+constexpr const char* kMessage = "Hello AES World!";
+constexpr const char* kKey = "CEPIC secret key";
+
+}  // namespace
+
+std::vector<std::uint8_t> aes128_encrypt_block(
+    const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& in) {
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  s = encrypt_block_ref(expand_key(key), s);
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::uint8_t> aes128_decrypt_block(
+    const std::vector<std::uint8_t>& key,
+    const std::vector<std::uint8_t>& in) {
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  s = decrypt_block_ref(expand_key(key), s);
+  return {s.begin(), s.end()};
+}
+
+Workload make_aes(int iterations) {
+  std::string src = cat(
+      "// AES-128: encrypt the message ", iterations,
+      " times, decrypt back, verify\n",
+      "int SBOX[256] = {", bytes_list(sbox().data(), 256), "};\n",
+      "int INV_SBOX[256] = {", bytes_list(inv_sbox().data(), 256), "};\n",
+      "int key[16] = \"", kKey, "\";\n",
+      "int msg[16] = \"", kMessage, "\";\n",
+      "int rk[176];\n",
+      "int st[16];\n",
+      "int tmp[16];\n",
+      R"(
+int xt(int x) { return ((x << 1) ^ ((0 - (x >>> 7)) & 27)) & 255; }
+
+int gmul(int x, int y) {
+  int r = 0;
+  while (y > 0) {
+    if (y & 1) r ^= x;
+    x = xt(x);
+    y = y >>> 1;
+  }
+  return r & 255;
+}
+
+void expand_key() {
+  for (int i = 0; i < 16; i++) rk[i] = key[i];
+  int rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    int t0 = rk[i-4]; int t1 = rk[i-3]; int t2 = rk[i-2]; int t3 = rk[i-1];
+    if (i % 16 == 0) {
+      int old = t0;
+      t0 = SBOX[t1] ^ rcon;
+      t1 = SBOX[t2];
+      t2 = SBOX[t3];
+      t3 = SBOX[old];
+      rcon = xt(rcon);
+    }
+    rk[i]   = rk[i-16] ^ t0;
+    rk[i+1] = rk[i-15] ^ t1;
+    rk[i+2] = rk[i-14] ^ t2;
+    rk[i+3] = rk[i-13] ^ t3;
+  }
+}
+
+void add_round_key(int round) {
+  for (int i = 0; i < 16; i++) st[i] ^= rk[round * 16 + i];
+}
+
+void shift_rows(int inverse) {
+  for (int i = 0; i < 16; i++) tmp[i] = st[i];
+  for (int r = 0; r < 4; r++) {
+    for (int c = 0; c < 4; c++) {
+      int from;
+      if (inverse) { from = (c - r + 4) % 4; } else { from = (c + r) % 4; }
+      st[r + 4 * c] = tmp[r + 4 * from];
+    }
+  }
+}
+
+void encrypt() {
+  add_round_key(0);
+  for (int round = 1; round <= 9; round++) {
+    for (int i = 0; i < 16; i++) st[i] = SBOX[st[i]];
+    shift_rows(0);
+    for (int c = 0; c < 4; c++) {
+      int a0 = st[4*c]; int a1 = st[4*c+1]; int a2 = st[4*c+2]; int a3 = st[4*c+3];
+      st[4*c]   = xt(a0) ^ (xt(a1) ^ a1) ^ a2 ^ a3;
+      st[4*c+1] = a0 ^ xt(a1) ^ (xt(a2) ^ a2) ^ a3;
+      st[4*c+2] = a0 ^ a1 ^ xt(a2) ^ (xt(a3) ^ a3);
+      st[4*c+3] = (xt(a0) ^ a0) ^ a1 ^ a2 ^ xt(a3);
+    }
+    add_round_key(round);
+  }
+  for (int i = 0; i < 16; i++) st[i] = SBOX[st[i]];
+  shift_rows(0);
+  add_round_key(10);
+}
+
+void decrypt() {
+  add_round_key(10);
+  shift_rows(1);
+  for (int i = 0; i < 16; i++) st[i] = INV_SBOX[st[i]];
+  for (int round = 9; round >= 1; round--) {
+    add_round_key(round);
+    for (int c = 0; c < 4; c++) {
+      int a0 = st[4*c]; int a1 = st[4*c+1]; int a2 = st[4*c+2]; int a3 = st[4*c+3];
+      st[4*c]   = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+      st[4*c+1] = gmul(a0, 9)  ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+      st[4*c+2] = gmul(a0, 13) ^ gmul(a1, 9)  ^ gmul(a2, 14) ^ gmul(a3, 11);
+      st[4*c+3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9)  ^ gmul(a3, 14);
+    }
+    shift_rows(1);
+    for (int i = 0; i < 16; i++) st[i] = INV_SBOX[st[i]];
+  }
+  add_round_key(0);
+}
+
+int main() {
+)",
+      "  int iters = ", iterations, ";\n",
+      R"(
+  expand_key();
+  for (int i = 0; i < 16; i++) st[i] = msg[i];
+  int cks = 0;
+  for (int it = 0; it < iters; it++) {
+    encrypt();
+    cks ^= (st[0] << 24) | (st[5] << 16) | (st[10] << 8) | st[15];
+    cks = (cks << 1) | (cks >>> 31);
+  }
+  for (int it = 0; it < iters; it++) decrypt();
+  int match = 1;
+  for (int i = 0; i < 16; i++) {
+    out(st[i]);
+    if (st[i] != msg[i]) match = 0;
+  }
+  out(cks);
+  out(match);
+  return match;
+}
+)");
+
+  // Native golden: same chained loop.
+  const std::vector<std::uint8_t> key(kKey, kKey + 16);
+  const RoundKeys rk = expand_key(key);
+  Block s{};
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(kMessage[i]);
+  std::uint32_t cks = 0;
+  for (int it = 0; it < iterations; ++it) {
+    s = encrypt_block_ref(rk, s);
+    cks ^= (static_cast<std::uint32_t>(s[0]) << 24) |
+           (static_cast<std::uint32_t>(s[5]) << 16) |
+           (static_cast<std::uint32_t>(s[10]) << 8) |
+           static_cast<std::uint32_t>(s[15]);
+    cks = (cks << 1) | (cks >> 31);
+  }
+  for (int it = 0; it < iterations; ++it) s = decrypt_block_ref(rk, s);
+
+  Workload w;
+  w.name = "aes";
+  w.minic_source = std::move(src);
+  for (int i = 0; i < 16; ++i) w.expected_output.push_back(s[i]);
+  w.expected_output.push_back(cks);
+  w.expected_output.push_back(1);  // round-trip must match
+  return w;
+}
+
+}  // namespace cepic::workloads

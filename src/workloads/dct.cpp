@@ -1,0 +1,214 @@
+// Fixed-point 8x8 DCT workload: MiniC source generator + bit-identical
+// native reference. Forward pass uses an unnormalised cosine table T
+// (scale 256); the inverse folds the DCT-III weights (first row halved,
+// overall 1/4 per dimension) into table D. Shift bookkeeping:
+//   S_raw  = T · f · T^T            (<= ~1.07e9, fits int32)
+//   F      = S_raw >> 12            (stored coefficients)
+//   Q1     = (D^T · F) >> 10
+//   f'     = (D applied on other axis · Q1 + 8192) >> 14
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::workloads {
+
+namespace {
+
+struct Tables {
+  int fwd[64];  // T[u*8+x] = round(256 * cos((2x+1)u*pi/16))
+  int inv[64];  // D[u*8+x] = round(256 * w(u) * cos((2x+1)u*pi/16)),
+                // w(0)=0.5, w(u>0)=1
+};
+
+const Tables& tables() {
+  static const Tables t = [] {
+    Tables out{};
+    for (int u = 0; u < 8; ++u) {
+      for (int x = 0; x < 8; ++x) {
+        const double c = std::cos((2 * x + 1) * u * 3.14159265358979323846 /
+                                  16.0);
+        out.fwd[u * 8 + x] = static_cast<int>(std::lround(256.0 * c));
+        const double w = u == 0 ? 0.5 : 1.0;
+        out.inv[u * 8 + x] = static_cast<int>(std::lround(256.0 * w * c));
+      }
+    }
+    return out;
+  }();
+  return t;
+}
+
+/// The exact integer pipeline shared (conceptually) with the MiniC code:
+/// process one 8x8 block in place; returns via out-params.
+void block_roundtrip(const int f[64], int coeff[64], int recon[64]) {
+  const Tables& t = tables();
+  int p1[64];
+  // Forward: p1[u][x] = sum_y T[u][y] f[y][x]
+  for (int u = 0; u < 8; ++u) {
+    for (int x = 0; x < 8; ++x) {
+      int acc = 0;
+      for (int y = 0; y < 8; ++y) acc += t.fwd[u * 8 + y] * f[y * 8 + x];
+      p1[u * 8 + x] = acc;
+    }
+  }
+  // coeff[u][v] = (sum_x T[v][x] p1[u][x]) >> 12
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      int acc = 0;
+      for (int x = 0; x < 8; ++x) acc += t.fwd[v * 8 + x] * p1[u * 8 + x];
+      coeff[u * 8 + v] = acc >> 12;
+    }
+  }
+  // Inverse: q1[y][v] = (sum_u D[u][y] coeff[u][v]) >> 10
+  int q1[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int v = 0; v < 8; ++v) {
+      int acc = 0;
+      for (int u = 0; u < 8; ++u) acc += t.inv[u * 8 + y] * coeff[u * 8 + v];
+      q1[y * 8 + v] = acc >> 10;
+    }
+  }
+  // recon[y][x] = (sum_v D[v][x] q1[y][v] + 8192) >> 14
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      int acc = 0;
+      for (int v = 0; v < 8; ++v) acc += t.inv[v * 8 + x] * q1[y * 8 + v];
+      recon[y * 8 + x] = (acc + 8192) >> 14;
+    }
+  }
+}
+
+}  // namespace
+
+const int* dct_coeff_table() { return tables().fwd; }
+
+Workload make_dct(int dim) {
+  CEPIC_CHECK(dim % 8 == 0, "DCT image dimension must be a multiple of 8");
+  const Tables& t = tables();
+
+  // Generate an unrolled 1D transform: out_u = sum_k table[u][k] * x_k
+  // (or table[k][u] when transposed), as a balanced tree of adds (short
+  // critical path for the list scheduler), with a final arithmetic
+  // shift. `in_stride`/`out_stride` are baked in as literals so array
+  // addressing stays cheap; reading straight out of the image row uses
+  // stride `dim`.
+  const auto gen_pass = [&](const char* fn_name, const int* table,
+                            bool transpose, int in_stride, int out_stride,
+                            int shift, int rounding) {
+    std::string body = cat("void ", fn_name,
+                           "(int src[], int dst[], int sbase, int dbase) {\n");
+    for (int k = 0; k < 8; ++k) {
+      body += cat("  int x", k, " = src[sbase + ", k * in_stride, "];\n");
+    }
+    for (int u = 0; u < 8; ++u) {
+      // m_k = c_k * x_k, summed as ((m0+m1)+(m2+m3)) + ((m4+m5)+(m6+m7)).
+      const auto term = [&](int k) {
+        const int c = transpose ? table[k * 8 + u] : table[u * 8 + k];
+        return cat(c, " * x", k);
+      };
+      body += cat("  int o", u, " = ((", term(0), " + ", term(1), ") + (",
+                  term(2), " + ", term(3), ")) + ((", term(4), " + ",
+                  term(5), ") + (", term(6), " + ", term(7), "));\n");
+    }
+    for (int u = 0; u < 8; ++u) {
+      body += cat("  dst[dbase + ", u * out_stride, "] = (o", u);
+      if (rounding != 0) body += cat(" + ", rounding);
+      body += cat(") >> ", shift, ";\n");
+    }
+    body += "}\n";
+    return body;
+  };
+
+  // Unrolled per-block driver: forward columns read directly from the
+  // image (stride dim), everything else works on 8x8 scratch arrays.
+  std::string do_block = "void do_block(int base) {\n";
+  for (int x = 0; x < 8; ++x) {
+    do_block += cat("  fwd_col(img, p1, base + ", x, ", ", x, ");\n");
+  }
+  for (int u = 0; u < 8; ++u) {
+    do_block += cat("  fwd_row(p1, coef, ", u * 8, ", ", u * 8, ");\n");
+  }
+  for (int v = 0; v < 8; ++v) {
+    do_block += cat("  inv_col(coef, q1, ", v, ", ", v, ");\n");
+  }
+  for (int y = 0; y < 8; ++y) {
+    do_block += cat("  inv_row(q1, rec, ", y * 8, ", ", y * 8, ");\n");
+  }
+  // Checksums: coefficient/reconstruction hashes and total |error| vs
+  // the original pixels, inner dimension unrolled.
+  do_block += "  for (int i = 0; i < 64; i++) {\n";
+  do_block += "    coef_cks = coef_cks * 31 + coef[i];\n";
+  do_block += "    rec_cks = rec_cks * 31 + rec[i];\n";
+  do_block += "  }\n";
+  do_block += "  for (int y = 0; y < 8; y++) {\n";
+  do_block += cat("    int row = base + y * ", dim, ";\n");
+  do_block += cat("    int rrow = y * 8;\n");
+  for (int x = 0; x < 8; ++x) {
+    do_block += cat("    total_err += abs(rec[rrow + ", x,
+                    "] - img[row + ", x, "]);\n");
+  }
+  do_block += "  }\n}\n";
+
+  std::string src = cat(
+      "// fixed-point 8x8 DCT encode+decode of a ", dim, "x", dim,
+      " image (unrolled butterflies, literal coefficients)\n",
+      "int img[", dim * dim, "];\n",
+      "int p1[64];\n int coef[64];\n int q1[64];\n int rec[64];\n",
+      "int coef_cks;\n int rec_cks;\n int total_err;\n",
+      // Forward: image columns with T (stride dim), rows with T (>>12).
+      gen_pass("fwd_col", t.fwd, false, dim, 8, 0, 0),
+      gen_pass("fwd_row", t.fwd, false, 1, 1, 12, 0),
+      // Inverse: columns with D^T (>>10), rows with D^T (+8192 >> 14).
+      gen_pass("inv_col", t.inv, true, 8, 8, 10, 0),
+      gen_pass("inv_row", t.inv, true, 1, 1, 14, 8192),
+      do_block,
+      "int main() {\n",
+      "  int dimw = ", dim, ";\n",
+      R"(
+  int s = 1;
+  for (int i = 0; i < dimw * dimw; i++) {
+    s ^= s << 13; s ^= s >>> 17; s ^= s << 5;
+    img[i] = (s >>> 24) & 255;
+  }
+  coef_cks = 0; rec_cks = 0; total_err = 0;
+  for (int by = 0; by < dimw; by += 8)
+    for (int bx = 0; bx < dimw; bx += 8)
+      do_block(by * dimw + bx);
+  out(coef_cks);
+  out(rec_cks);
+  out(total_err);
+  return total_err;
+}
+)");
+
+  // Native golden with the same data and integer pipeline.
+  const std::vector<std::uint8_t> pixels = synthetic_bytes(
+      static_cast<std::size_t>(dim) * dim);
+  std::uint32_t coef_cks = 0, rec_cks = 0, total_err = 0;
+  int f[64], coeff[64], recon[64];
+  for (int by = 0; by < dim; by += 8) {
+    for (int bx = 0; bx < dim; bx += 8) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          f[y * 8 + x] = pixels[(by + y) * dim + bx + x];
+        }
+      }
+      block_roundtrip(f, coeff, recon);
+      for (int i = 0; i < 64; ++i) {
+        coef_cks = coef_cks * 31 + static_cast<std::uint32_t>(coeff[i]);
+        rec_cks = rec_cks * 31 + static_cast<std::uint32_t>(recon[i]);
+        total_err += static_cast<std::uint32_t>(std::abs(recon[i] - f[i]));
+      }
+    }
+  }
+
+  Workload w;
+  w.name = "dct";
+  w.minic_source = std::move(src);
+  w.expected_output = {coef_cks, rec_cks, total_err};
+  return w;
+}
+
+}  // namespace cepic::workloads

@@ -1,0 +1,141 @@
+// Dijkstra workload: all-pairs shortest paths over a synthetic dense
+// graph held as an adjacency matrix (paper §5.2: "finds the shortest
+// path between every pair of nodes in a large graph represented by an
+// adjacency matrix using Dijkstra's algorithm"). Linear min-scan per
+// extraction — the classic MiBench formulation, branch- and
+// compare-bound rather than arithmetic-bound.
+#include <vector>
+
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::workloads {
+
+namespace {
+
+constexpr int kInf = 1000000;
+
+/// Edge weights: ~75% density, weights 1..99, xorshift32(seed 2).
+std::vector<int> graph_weights(int nodes) {
+  std::vector<int> w(static_cast<std::size_t>(nodes) * nodes, 0);
+  std::uint32_t s = 2;
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      if (i == j) continue;
+      s = xorshift32(s);
+      const std::uint32_t r = s >> 16;
+      w[i * nodes + j] = (r % 4) == 0 ? 0 : 1 + static_cast<int>(r % 99);
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload make_dijkstra(int nodes) {
+  std::string src = cat(
+      "// all-pairs Dijkstra on a ", nodes, "-node adjacency matrix\n",
+      "int adj[", nodes * nodes, "];\n",
+      "int dist[", nodes, "];\n",
+      "int done[", nodes, "];\n",
+      R"(
+int dijkstra(int src, int n) {
+  for (int i = 0; i < n; i++) { dist[i] = 1000000; done[i] = 0; }
+  dist[src] = 0;
+  int sum = 0;
+  for (int iter = 0; iter < n; iter++) {
+    int best = 1000000;
+    int u = -1;
+    for (int i = 0; i < n; i++) {
+      if (!done[i] && dist[i] < best) { best = dist[i]; u = i; }
+    }
+    if (u < 0) break;
+    done[u] = 1;
+    sum += dist[u];
+    int row = u * n;
+    for (int v = 0; v < n; v++) {
+      int w = adj[row + v];
+      if (w != 0) {
+        int alt = dist[u] + w;
+        if (alt < dist[v]) dist[v] = alt;
+      }
+    }
+  }
+  return sum;
+}
+
+int main() {
+)",
+      "  int n = ", nodes, ";\n",
+      R"(
+  // Synthesise the graph (xorshift32, seed 2; ~75% edge density).
+  int s = 2;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (i == j) { adj[i * n + j] = 0; continue; }
+      s ^= s << 13; s ^= s >>> 17; s ^= s << 5;
+      int r = s >>> 16;
+      if (r % 4 == 0) { adj[i * n + j] = 0; }
+      else { adj[i * n + j] = 1 + r % 99; }
+    }
+  }
+  int cks = 0;
+  for (int src = 0; src < n; src++) {
+    cks = cks * 31 + dijkstra(src, n);
+  }
+  out(cks);
+  return cks;
+}
+)");
+
+  // Native golden: identical algorithm on identical weights.
+  const int n = nodes;
+  const std::vector<int> adj = graph_weights(n);
+  std::uint32_t cks = 0;
+  std::vector<int> dist(n), done(n);
+  for (int src_node = 0; src_node < n; ++src_node) {
+    for (int i = 0; i < n; ++i) {
+      dist[i] = kInf;
+      done[i] = 0;
+    }
+    dist[src_node] = 0;
+    int sum = 0;
+    for (int iter = 0; iter < n; ++iter) {
+      int best = kInf;
+      int u = -1;
+      for (int i = 0; i < n; ++i) {
+        if (!done[i] && dist[i] < best) {
+          best = dist[i];
+          u = i;
+        }
+      }
+      if (u < 0) break;
+      done[u] = 1;
+      sum += dist[u];
+      for (int v = 0; v < n; ++v) {
+        const int w = adj[u * n + v];
+        if (w != 0 && dist[u] + w < dist[v]) dist[v] = dist[u] + w;
+      }
+    }
+    cks = cks * 31 + static_cast<std::uint32_t>(sum);
+  }
+
+  Workload w;
+  w.name = "dijkstra";
+  w.minic_source = std::move(src);
+  w.expected_output = {cks};
+  return w;
+}
+
+std::vector<Workload> all_workloads(int sha_dim, int aes_iters, int dct_dim,
+                                    int dijkstra_nodes) {
+  std::vector<Workload> out;
+  out.push_back(make_sha(sha_dim));
+  out.push_back(make_aes(aes_iters));
+  out.push_back(make_dct(dct_dim));
+  out.push_back(make_dijkstra(dijkstra_nodes));
+  return out;
+}
+
+}  // namespace cepic::workloads

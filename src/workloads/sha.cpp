@@ -1,0 +1,171 @@
+// SHA-256 workload: MiniC source generator + FIPS-180 native reference.
+#include <array>
+
+#include "support/bits.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::workloads {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kH0 = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+std::string words_list(const std::uint32_t* v, std::size_t n) {
+  std::string s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) s += ", ";
+    s += cat("0x", std::hex, v[i], std::dec);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> synthetic_bytes(std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  std::uint32_t s = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = xorshift32(s);
+    bytes[i] = static_cast<std::uint8_t>(s >> 24);
+  }
+  return bytes;
+}
+
+std::vector<std::uint32_t> sha256_reference(
+    const std::vector<std::uint8_t>& message) {
+  std::vector<std::uint8_t> m = message;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(m.size()) * 8;
+  m.push_back(0x80);
+  while (m.size() % 64 != 56) m.push_back(0);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    m.push_back(static_cast<std::uint8_t>(bit_len >> shift));
+  }
+
+  std::array<std::uint32_t, 8> h = kH0;
+  std::array<std::uint32_t, 64> w{};
+  for (std::size_t off = 0; off < m.size(); off += 64) {
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<std::uint32_t>(m[off + 4 * t]) << 24) |
+             (static_cast<std::uint32_t>(m[off + 4 * t + 1]) << 16) |
+             (static_cast<std::uint32_t>(m[off + 4 * t + 2]) << 8) |
+             static_cast<std::uint32_t>(m[off + 4 * t + 3]);
+    }
+    for (int t = 16; t < 64; ++t) {
+      const std::uint32_t s0 = rotr32(w[t - 15], 7) ^ rotr32(w[t - 15], 18) ^
+                               (w[t - 15] >> 3);
+      const std::uint32_t s1 = rotr32(w[t - 2], 17) ^ rotr32(w[t - 2], 19) ^
+                               (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int t = 0; t < 64; ++t) {
+      const std::uint32_t S1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + S1 + ch + kK[t] + w[t];
+      const std::uint32_t S0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = S0 + maj;
+      hh = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+    h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+  }
+  return {h.begin(), h.end()};
+}
+
+Workload make_sha(int dim) {
+  const int n = dim * dim * 3;
+  // Padded message size (whole 64-byte blocks).
+  const int padded = ((n + 8) / 64 + 1) * 64;
+
+  std::string src = cat(
+      "// SHA-256 of a ", dim, "x", dim, " synthetic RGB image\n",
+      "int K[64] = {", words_list(kK.data(), kK.size()), "};\n",
+      "int H[8] = {", words_list(kH0.data(), kH0.size()), "};\n",
+      "int msg[", padded, "];\n",
+      "int W[64];\n",
+      R"(
+void sha_block(int buf[], int off) {
+  for (int t = 0; t < 16; t++) {
+    int i = off + 4 * t;
+    W[t] = (buf[i] << 24) | (buf[i+1] << 16) | (buf[i+2] << 8) | buf[i+3];
+  }
+  for (int t = 16; t < 64; t++) {
+    int x = W[t-15];
+    int s0 = ((x >>> 7) | (x << 25)) ^ ((x >>> 18) | (x << 14)) ^ (x >>> 3);
+    int y = W[t-2];
+    int s1 = ((y >>> 17) | (y << 15)) ^ ((y >>> 19) | (y << 13)) ^ (y >>> 10);
+    W[t] = W[t-16] + s0 + W[t-7] + s1;
+  }
+  int a = H[0]; int b = H[1]; int c = H[2]; int d = H[3];
+  int e = H[4]; int f = H[5]; int g = H[6]; int h = H[7];
+  for (int t = 0; t < 64; t++) {
+    int S1 = ((e >>> 6) | (e << 26)) ^ ((e >>> 11) | (e << 21))
+           ^ ((e >>> 25) | (e << 7));
+    int ch = (e & f) ^ (~e & g);
+    int t1 = h + S1 + ch + K[t] + W[t];
+    int S0 = ((a >>> 2) | (a << 30)) ^ ((a >>> 13) | (a << 19))
+           ^ ((a >>> 22) | (a << 10));
+    int maj = (a & b) ^ (a & c) ^ (b & c);
+    int t2 = S0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  H[0] += a; H[1] += b; H[2] += c; H[3] += d;
+  H[4] += e; H[5] += f; H[6] += g; H[7] += h;
+}
+)",
+      "int main() {\n",
+      "  int n = ", n, ";\n",
+      R"(
+  // Synthesise the image bytes (xorshift32, seed 1).
+  int s = 1;
+  for (int i = 0; i < n; i++) {
+    s ^= s << 13; s ^= s >>> 17; s ^= s << 5;
+    msg[i] = (s >>> 24) & 255;
+  }
+  // FIPS-180 padding: 0x80, zeros, 64-bit bit length (big-endian).
+  msg[n] = 0x80;
+)",
+      "  int padded = ", padded, ";\n",
+      R"(
+  for (int i = n + 1; i < padded - 8; i++) msg[i] = 0;
+  int bits = n << 3;
+  msg[padded-8] = 0; msg[padded-7] = 0; msg[padded-6] = 0; msg[padded-5] = 0;
+  msg[padded-4] = (bits >>> 24) & 255;
+  msg[padded-3] = (bits >>> 16) & 255;
+  msg[padded-2] = (bits >>> 8) & 255;
+  msg[padded-1] = bits & 255;
+  for (int off = 0; off < padded; off += 64) sha_block(msg, off);
+  for (int i = 0; i < 8; i++) out(H[i]);
+  return H[0];
+}
+)");
+
+  Workload w;
+  w.name = "sha";
+  w.minic_source = std::move(src);
+  w.expected_output = sha256_reference(synthetic_bytes(n));
+  return w;
+}
+
+}  // namespace cepic::workloads

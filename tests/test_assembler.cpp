@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "asmtool/assembler.hpp"
+#include "sim/simulator.hpp"
+
+namespace cepic {
+namespace {
+
+using asmtool::assemble;
+
+TEST(Assembler, BundlesAndNopPadding) {
+  const Program p = assemble(
+      "mov r1, #5 ; add r2, r1, #2 ;;\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  ASSERT_EQ(p.bundle_count(), 2u);
+  EXPECT_EQ(p.code[0].op, Op::MOV);
+  EXPECT_EQ(p.code[1].op, Op::ADD);
+  EXPECT_TRUE(p.code[2].is_nop());
+  EXPECT_TRUE(p.code[3].is_nop());
+}
+
+TEST(Assembler, MultiLineBundle) {
+  // A MultiOp may span lines; `;;` ends it.
+  const Program p = assemble(
+      "mov r1, #5\n"
+      "mov r2, #6 ;;\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  ASSERT_EQ(p.bundle_count(), 2u);
+  EXPECT_EQ(p.code[1].op, Op::MOV);
+}
+
+TEST(Assembler, LabelsResolveToBundles) {
+  const Program p = assemble(
+      "start:\n"
+      "pbr b1, @target ;;\n"
+      "bru b1 ;;\n"
+      "mov r5, #1 ;;\n"
+      "target:\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  EXPECT_EQ(p.code_symbols.at("start"), 0u);
+  EXPECT_EQ(p.code_symbols.at("target"), 3u);
+  EXPECT_EQ(p.code[0].src1.lit, 3);
+}
+
+TEST(Assembler, EntryDirective) {
+  const Program p = assemble(
+      "pad: nop ;;\n"
+      ".entry main\n"
+      "main: halt ;;\n",
+      ProcessorConfig{});
+  EXPECT_EQ(p.entry_bundle, 1u);
+}
+
+TEST(Assembler, DataSectionAndSymbols) {
+  const Program p = assemble(
+      ".data\n"
+      ".global table 4 = 1 2 0xFF\n"
+      ".global scratch 2\n"
+      ".text\n"
+      "mov r1, @table ;;\n"
+      "mov r2, @scratch ;;\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  EXPECT_EQ(p.data_symbols.at("table"), kDataBase);
+  EXPECT_EQ(p.data_symbols.at("scratch"), kDataBase + 16);
+  EXPECT_EQ(p.data.size(), 24u);
+  EXPECT_EQ(p.data[3], 1);          // big-endian word 1
+  EXPECT_EQ(p.data[11], 0xFF);      // third word
+  EXPECT_EQ(p.code[0].src1.lit, static_cast<std::int32_t>(kDataBase));
+}
+
+TEST(Assembler, GuardedOps) {
+  const Program p = assemble(
+      "cmpp.lt p1, p2, r3, #10 ;;\n"
+      "(p1) add r4, r4, #1 ;;\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  EXPECT_EQ(p.code[0].op, Op::CMPP_LT);
+  EXPECT_EQ(p.code[0].dest2, 2u);
+  EXPECT_EQ(p.code[4].pred, 1u);
+}
+
+TEST(Assembler, CommentsIgnored) {
+  const Program p = assemble(
+      "// full line comment\n"
+      "mov r1, #5 ;; // trailing comment\n"
+      "halt ;;\n",
+      ProcessorConfig{});
+  EXPECT_EQ(p.bundle_count(), 2u);
+}
+
+TEST(Assembler, RetargetsViaConfigWithoutRecompilation) {
+  // The same source assembles to different widths purely from the
+  // configuration file (paper §4.2).
+  const char* src =
+      "mov r1, #1 ; mov r2, #2 ;;\n"
+      "halt ;;\n";
+  const Program wide = asmtool::assemble_with_config_text(
+      src, "issue_width = 4\n");
+  const Program narrow = asmtool::assemble_with_config_text(
+      src, "issue_width = 2\n");
+  EXPECT_EQ(wide.code.size(), 8u);
+  EXPECT_EQ(narrow.code.size(), 4u);
+}
+
+TEST(Assembler, RejectsOverWideBundle) {
+  ProcessorConfig cfg;
+  cfg.issue_width = 2;
+  EXPECT_THROW(
+      assemble("mov r1, #1 ; mov r2, #2 ; mov r3, #3 ;;\nhalt ;;\n", cfg),
+      AsmError);
+}
+
+TEST(Assembler, RejectsFunctionalUnitOversubscription) {
+  // Two memory ops in one MultiOp, but there is a single LSU.
+  EXPECT_THROW(assemble("ldw r2, r1, #0 ; ldw r3, r1, #4 ;;\nhalt ;;\n",
+                        ProcessorConfig{}),
+               AsmError);
+  // Two branches, single BRU.
+  EXPECT_THROW(assemble("bru b1 ; bru b2 ;;\nhalt ;;\n", ProcessorConfig{}),
+               AsmError);
+  // Five ALU ops would exceed issue width anyway; use a 2-ALU config
+  // with width 4 and three adds.
+  ProcessorConfig cfg;
+  cfg.num_alus = 2;
+  EXPECT_THROW(
+      assemble("add r2, r2, #1 ; add r3, r3, #1 ; add r4, r4, #1 ;;\n"
+               "halt ;;\n",
+               cfg),
+      AsmError);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+  EXPECT_THROW(assemble("frob r1, r2 ;;\n", ProcessorConfig{}), AsmError);
+}
+
+TEST(Assembler, RejectsBadOperands) {
+  const ProcessorConfig cfg;
+  EXPECT_THROW(assemble("add r1 ;;\n", cfg), AsmError);               // missing
+  EXPECT_THROW(assemble("add r1, r2, r3, r4 ;;\n", cfg), AsmError);   // extra
+  EXPECT_THROW(assemble("add p1, r2, r3 ;;\n", cfg), AsmError);       // file
+  EXPECT_THROW(assemble("bru #3 ;;\n", cfg), AsmError);               // lit
+  EXPECT_THROW(assemble("add r1, r2, #99999 ;;\n", cfg), AsmError);   // range
+  EXPECT_THROW(assemble("add r99, r2, #1 ;;\n", cfg), AsmError);      // reg
+}
+
+TEST(Assembler, RejectsUndefinedSymbols) {
+  EXPECT_THROW(assemble("pbr b1, @nowhere ;;\nhalt ;;\n", ProcessorConfig{}),
+               AsmError);
+  EXPECT_THROW(assemble("mov r1, @nodata ;;\nhalt ;;\n", ProcessorConfig{}),
+               AsmError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW(assemble("a: nop ;;\na: halt ;;\n", ProcessorConfig{}),
+               AsmError);
+}
+
+TEST(Assembler, RejectsDanglingOps) {
+  EXPECT_THROW(assemble("mov r1, #1\n", ProcessorConfig{}), AsmError);
+}
+
+TEST(Assembler, RejectsBranchTargetPastEnd) {
+  EXPECT_THROW(assemble("pbr b1, #99 ;;\nhalt ;;\n", ProcessorConfig{}),
+               AsmError);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop ;;\nnop ;;\nfrob ;;\n", ProcessorConfig{});
+    FAIL();
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Assembler, AssembledProgramRunsOnSimulator) {
+  const Program p = assemble(
+      ".data\n"
+      ".global v 1 = 41\n"
+      ".text\n"
+      "mov r10, @v ;;\n"
+      "ldw r11, r10, #0 ;;\n"
+      "add r11, r11, #1 ;;\n"
+      "out r11 ; halt ;;\n",
+      ProcessorConfig{});
+  EpicSimulator sim(p);
+  sim.run();
+  ASSERT_EQ(sim.output().size(), 1u);
+  EXPECT_EQ(sim.output()[0], 42u);
+}
+
+TEST(Disassembler, RoundtripPreservesEncoding) {
+  const Program p = assemble(
+      ".data\n"
+      ".global tab 3 = 7 8 9\n"
+      ".text\n"
+      ".entry go\n"
+      "go:\n"
+      "mov r10, @tab ; pbr b1, @done ;;\n"
+      "ldw r11, r10, #4 ;;\n"
+      "cmpp.gt p1, p2, r11, #5 ;;\n"
+      "(p1) out r11 ;;\n"
+      "bru b1 ;;\n"
+      "done: halt ;;\n",
+      ProcessorConfig{});
+  const std::string text = asmtool::disassemble(p);
+  const Program q = assemble(text, p.config);
+  EXPECT_EQ(p.encode_code(), q.encode_code());
+  EXPECT_EQ(p.data, q.data);
+  EXPECT_EQ(p.entry_bundle, q.entry_bundle);
+}
+
+TEST(Disassembler, MentionsLabelsAndGlobals) {
+  const Program p = assemble(
+      ".data\n.global g 2\n.text\nstart: halt ;;\n", ProcessorConfig{});
+  const std::string text = asmtool::disassemble(p);
+  EXPECT_NE(text.find("start:"), std::string::npos);
+  EXPECT_NE(text.find(".global g 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepic

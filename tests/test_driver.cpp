@@ -1,0 +1,102 @@
+// Driver-layer tests: the one-call pipelines, option threading, and the
+// equivalence between driver results and manually chained stages.
+#include <gtest/gtest.h>
+
+#include "asmtool/assembler.hpp"
+#include "driver/driver.hpp"
+#include "frontend/irgen.hpp"
+#include "opt/opt.hpp"
+
+namespace cepic::driver {
+namespace {
+
+const char* kProgram =
+    "int main() { int s = 0;"
+    " for (int i = 0; i < 6; i++) s += i * i;"
+    " out(s); return s; }";
+
+TEST(Driver, CompileProducesConsistentArtifacts) {
+  const ProcessorConfig cfg;
+  const EpicCompileResult r = compile_minic_to_epic(kProgram, cfg);
+  // The assembly must reassemble into the identical program.
+  const Program again = asmtool::assemble(r.asm_text, cfg);
+  EXPECT_EQ(again.encode_code(), r.program.encode_code());
+  EXPECT_EQ(r.program.config, cfg);
+  EXPECT_NE(r.asm_text.find("fn_main:"), std::string::npos);
+  // The optimised module is exposed for inspection.
+  EXPECT_NE(r.module.find_function("main"), nullptr);
+}
+
+TEST(Driver, RunReturnsReadySimulator) {
+  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{});
+  EXPECT_TRUE(sim.halted());
+  ASSERT_EQ(sim.output().size(), 1u);
+  EXPECT_EQ(sim.output()[0], 55u);
+  EXPECT_EQ(sim.gpr(3), 55u);
+  EXPECT_GT(sim.stats().cycles, 0u);
+}
+
+TEST(Driver, SimOptionsThreadThroughToStackTop) {
+  // A smaller memory must still work: the backend's stack-top constant
+  // follows sim_options.mem_size.
+  SimOptions small;
+  small.mem_size = 1 << 16;
+  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{}, {},
+                                        small);
+  EXPECT_EQ(sim.output()[0], 55u);
+  EXPECT_EQ(sim.memory().size(), std::size_t{1} << 16);
+}
+
+TEST(Driver, UnoptimisedPipelineAgrees) {
+  EpicCompileOptions no_opt;
+  no_opt.optimize = false;
+  EpicSimulator a = run_minic_on_epic(kProgram, ProcessorConfig{}, no_opt);
+  EpicSimulator b = run_minic_on_epic(kProgram, ProcessorConfig{});
+  EXPECT_EQ(a.output(), b.output());
+  // And the optimiser must actually pay for itself here.
+  EXPECT_LT(b.stats().cycles, a.stats().cycles);
+}
+
+TEST(Driver, SarmDefaultsDisableEpicIfConversion) {
+  const SarmCompileOptions options;
+  EXPECT_FALSE(options.opt.if_convert);
+  auto sim = run_minic_on_sarm(kProgram);
+  EXPECT_EQ(sim.output()[0], 55u);
+  EXPECT_EQ(sim.reg(0), 55u);
+}
+
+TEST(Driver, CompileErrorsPropagate) {
+  EXPECT_THROW(compile_minic_to_epic("int main() { return x; }",
+                                     ProcessorConfig{}),
+               CompileError);
+  EXPECT_THROW(compile_minic_to_sarm("int main( { }"), CompileError);
+}
+
+TEST(Driver, ConfigWithoutEnoughRegistersIsRejected) {
+  ProcessorConfig cfg;
+  cfg.num_gprs = 8;  // below the ABI's reserved set
+  EXPECT_THROW(compile_minic_to_epic(kProgram, cfg), Error);
+}
+
+TEST(Driver, CustomOpsConfigIsCarriedIntoTheBinary) {
+  ProcessorConfig cfg;
+  cfg.custom_ops = {"rotr"};
+  const EpicCompileResult r = compile_minic_to_epic(kProgram, cfg);
+  EXPECT_EQ(r.program.config.custom_ops, cfg.custom_ops);
+  // A simulator built from the serialised binary picks the ops back up.
+  const Program loaded = Program::deserialize(r.program.serialize());
+  EXPECT_EQ(loaded.config.custom_ops, cfg.custom_ops);
+}
+
+TEST(Driver, ProgramsAreReRunnableAfterReset) {
+  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{});
+  const auto first = sim.output();
+  const auto cycles = sim.stats().cycles;
+  sim.reset();
+  sim.run();
+  EXPECT_EQ(sim.output(), first);
+  EXPECT_EQ(sim.stats().cycles, cycles);  // deterministic cycle model
+}
+
+}  // namespace
+}  // namespace cepic::driver

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/eval.hpp"
+#include "support/bits.hpp"
+#include "support/prng.hpp"
+
+namespace cepic {
+namespace {
+
+constexpr unsigned W = 32;
+
+std::uint32_t alu(Op op, std::uint32_t a, std::uint32_t b) {
+  return eval_alu(op, a, b, W);
+}
+
+TEST(EvalAlu, Arithmetic) {
+  EXPECT_EQ(alu(Op::ADD, 2, 3), 5u);
+  EXPECT_EQ(alu(Op::SUB, 2, 3), to_unsigned(-1));
+  EXPECT_EQ(alu(Op::MUL, 7, 6), 42u);
+  EXPECT_EQ(alu(Op::MUL, to_unsigned(-4), 3), to_unsigned(-12));
+}
+
+TEST(EvalAlu, AddWrapsAtWidth) {
+  EXPECT_EQ(alu(Op::ADD, 0xFFFFFFFFu, 1), 0u);
+  EXPECT_EQ(alu(Op::MUL, 0x10000u, 0x10000u), 0u);
+}
+
+TEST(EvalAlu, SignedDivision) {
+  EXPECT_EQ(alu(Op::DIV, 7, 2), 3u);
+  EXPECT_EQ(alu(Op::DIV, to_unsigned(-7), 2), to_unsigned(-3));
+  EXPECT_EQ(alu(Op::REM, 7, 2), 1u);
+  EXPECT_EQ(alu(Op::REM, to_unsigned(-7), 2), to_unsigned(-1));
+}
+
+TEST(EvalAlu, DivisionByZeroIsDefined) {
+  EXPECT_EQ(alu(Op::DIV, 42, 0), 0u);
+  EXPECT_EQ(alu(Op::REM, 42, 0), 42u);
+}
+
+TEST(EvalAlu, DivisionOverflowWraps) {
+  const std::uint32_t int_min = 0x80000000u;
+  EXPECT_EQ(alu(Op::DIV, int_min, to_unsigned(-1)), int_min);
+  EXPECT_EQ(alu(Op::REM, int_min, to_unsigned(-1)), 0u);
+}
+
+TEST(EvalAlu, Logical) {
+  EXPECT_EQ(alu(Op::AND, 0xF0F0u, 0xFF00u), 0xF000u);
+  EXPECT_EQ(alu(Op::OR, 0xF0F0u, 0x0F0Fu), 0xFFFFu);
+  EXPECT_EQ(alu(Op::XOR, 0xFFFFu, 0x0F0Fu), 0xF0F0u);
+}
+
+TEST(EvalAlu, Shifts) {
+  EXPECT_EQ(alu(Op::SHL, 1, 31), 0x80000000u);
+  EXPECT_EQ(alu(Op::SHRL, 0x80000000u, 31), 1u);
+  EXPECT_EQ(alu(Op::SHRA, 0x80000000u, 31), 0xFFFFFFFFu);
+  EXPECT_EQ(alu(Op::SHRA, 0x40000000u, 30), 1u);
+  // Shift amounts reduce modulo the width.
+  EXPECT_EQ(alu(Op::SHL, 1, 32), 1u);
+  EXPECT_EQ(alu(Op::SHL, 1, 33), 2u);
+}
+
+TEST(EvalAlu, MinMaxAbs) {
+  EXPECT_EQ(alu(Op::MIN, to_unsigned(-3), 2), to_unsigned(-3));
+  EXPECT_EQ(alu(Op::MAX, to_unsigned(-3), 2), 2u);
+  EXPECT_EQ(alu(Op::ABS, to_unsigned(-3), 0), 3u);
+  EXPECT_EQ(alu(Op::ABS, 3, 0), 3u);
+  // |INT_MIN| wraps to INT_MIN, as on real two's-complement hardware.
+  EXPECT_EQ(alu(Op::ABS, 0x80000000u, 0), 0x80000000u);
+}
+
+TEST(EvalAlu, Mov) {
+  EXPECT_EQ(alu(Op::MOV, 123, 999), 123u);
+}
+
+TEST(EvalAlu, CustomOpDispatch) {
+  const CustomOpTable table = CustomOpTable::for_names({"rotr"});
+  EXPECT_EQ(eval_alu(Op::CUSTOM0, 0x80000001u, 1, W, &table), 0xC0000000u);
+  // Evaluating an uninstalled slot is an internal error.
+  EXPECT_THROW(eval_alu(Op::CUSTOM1, 1, 1, W, &table), InternalError);
+  EXPECT_THROW(eval_alu(Op::CUSTOM0, 1, 1, W, nullptr), InternalError);
+}
+
+TEST(EvalAlu, NarrowDatapath16) {
+  // A 16-bit datapath (a paper customisation parameter): arithmetic wraps
+  // at 16 bits and sign lives at bit 15.
+  EXPECT_EQ(eval_alu(Op::ADD, 0xFFFF, 1, 16), 0u);
+  EXPECT_EQ(eval_alu(Op::SHRA, 0x8000, 15, 16), 0xFFFFu);
+  EXPECT_EQ(eval_alu(Op::ABS, 0xFFFF, 0, 16), 1u);  // -1 at width 16
+  EXPECT_EQ(eval_alu(Op::MUL, 0x100, 0x100, 16), 0u);
+}
+
+TEST(EvalCmpp, SignedComparisons) {
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_LT, to_unsigned(-1), 0, W));
+  EXPECT_FALSE(eval_cmpp(Op::CMPP_LT, 0, to_unsigned(-1), W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_GE, 5, 5, W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_LE, to_unsigned(-5), to_unsigned(-5), W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_GT, 1, to_unsigned(-1), W));
+}
+
+TEST(EvalCmpp, UnsignedComparisons) {
+  EXPECT_FALSE(eval_cmpp(Op::CMPP_LTU, 0xFFFFFFFFu, 0, W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_GTU, 0xFFFFFFFFu, 0, W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_LEU, 3, 3, W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_GEU, 4, 3, W));
+}
+
+TEST(EvalCmpp, Equality) {
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_EQ, 7, 7, W));
+  EXPECT_FALSE(eval_cmpp(Op::CMPP_EQ, 7, 8, W));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_NE, 7, 8, W));
+}
+
+TEST(EvalCmpp, Pset) {
+  EXPECT_TRUE(eval_cmpp(Op::PSET, 5, 0, W));
+  EXPECT_FALSE(eval_cmpp(Op::PSET, 0, 0, W));
+}
+
+TEST(EvalCmpp, NarrowWidthComparesAtWidth) {
+  // 0xFFFF at width 16 is -1, which is < 0 signed but > 0 unsigned.
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_LT, 0xFFFF, 0, 16));
+  EXPECT_TRUE(eval_cmpp(Op::CMPP_GTU, 0xFFFF, 0, 16));
+}
+
+// Property: CMPP pairs are complementary for random inputs.
+TEST(EvalCmpp, PairsAreComplementary) {
+  Prng prng(99);
+  const std::pair<Op, Op> pairs[] = {
+      {Op::CMPP_EQ, Op::CMPP_NE}, {Op::CMPP_LT, Op::CMPP_GE},
+      {Op::CMPP_GT, Op::CMPP_LE}, {Op::CMPP_LTU, Op::CMPP_GEU},
+      {Op::CMPP_GTU, Op::CMPP_LEU}};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t a = prng.next_u32();
+    const std::uint32_t b = prng.next_below(4) == 0 ? a : prng.next_u32();
+    for (const auto& [op, complement] : pairs) {
+      EXPECT_NE(eval_cmpp(op, a, b, W), eval_cmpp(complement, a, b, W));
+    }
+  }
+}
+
+// Property: ALU semantics match native C++ arithmetic where defined.
+TEST(EvalAlu, MatchesNativeArithmeticProperty) {
+  Prng prng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int32_t a = to_signed(prng.next_u32());
+    const std::int32_t b = to_signed(prng.next_u32());
+    EXPECT_EQ(alu(Op::ADD, to_unsigned(a), to_unsigned(b)),
+              to_unsigned(static_cast<std::int32_t>(
+                  static_cast<std::int64_t>(a) + b)));
+    EXPECT_EQ(alu(Op::AND, to_unsigned(a), to_unsigned(b)),
+              to_unsigned(a) & to_unsigned(b));
+    if (b != 0 && !(a == std::numeric_limits<std::int32_t>::min() && b == -1)) {
+      EXPECT_EQ(alu(Op::DIV, to_unsigned(a), to_unsigned(b)),
+                to_unsigned(a / b));
+      EXPECT_EQ(alu(Op::REM, to_unsigned(a), to_unsigned(b)),
+                to_unsigned(a % b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cepic

@@ -1,0 +1,123 @@
+// FPGA model tests: calibration against the paper's §5.1 figures and
+// the trends the paper reports.
+#include <gtest/gtest.h>
+
+#include "fpga/model.hpp"
+
+namespace cepic::fpga {
+namespace {
+
+ResourceEstimate with_alus(unsigned n) {
+  ProcessorConfig cfg;
+  cfg.num_alus = n;
+  return estimate(cfg);
+}
+
+TEST(FpgaModel, CalibratedToPaperSliceCounts) {
+  // Paper §5.1: 1/2/3 ALUs -> 4181/6779/9367 slices (the 4-ALU figure
+  // did not survive the text extraction; the per-ALU delta gives
+  // ~11960). Model must be within 2%.
+  const double expected[] = {4181, 6779, 9367, 11955};
+  for (unsigned n = 1; n <= 4; ++n) {
+    const double got = with_alus(n).slices;
+    EXPECT_NEAR(got, expected[n - 1], expected[n - 1] * 0.02)
+        << n << " ALUs";
+  }
+}
+
+TEST(FpgaModel, PerAluCostNearPaper) {
+  // "each individual ALU occupies around 2600 slices".
+  const double delta = with_alus(4).slices - with_alus(3).slices;
+  EXPECT_NEAR(delta, 2600.0, 100.0);
+}
+
+TEST(FpgaModel, ClockIndependentOfAluCount) {
+  // "varying the number of ALUs has little impact on the critical path".
+  EXPECT_DOUBLE_EQ(with_alus(1).fmax_mhz, with_alus(4).fmax_mhz);
+  EXPECT_NEAR(with_alus(4).fmax_mhz, 41.8, 0.01);
+}
+
+TEST(FpgaModel, RegisterFileGrowsBramNotSlices) {
+  // "increasing the size of register file has negligible effects on
+  // number of slices taken up".
+  ProcessorConfig small;
+  small.num_gprs = 32;
+  ProcessorConfig big;
+  big.num_gprs = 64;
+  big.num_preds = 32;
+  const auto a = estimate(small);
+  const auto b = estimate(big);
+  EXPECT_DOUBLE_EQ(a.slices, b.slices);
+  EXPECT_LE(a.block_rams, b.block_rams);
+
+  ProcessorConfig wide;  // 64 GPRs x 32 bits = 2048 bits -> 1 block/bank
+  wide.num_gprs = 64;
+  wide.datapath_width = 32;
+  EXPECT_GE(estimate(wide).block_rams, 3u);
+}
+
+TEST(FpgaModel, MultiplierUsesBlockMults) {
+  // "Multiplication is supported by on-chip block multiplier."
+  ProcessorConfig cfg;
+  EXPECT_EQ(estimate(cfg).block_mults, 3u * cfg.num_alus);
+  cfg.alu.has_mul = false;
+  EXPECT_EQ(estimate(cfg).block_mults, 0u);
+}
+
+TEST(FpgaModel, FeatureTrimsShrinkAlus) {
+  ProcessorConfig full;
+  ProcessorConfig no_div = full;
+  no_div.alu.has_div = false;
+  ProcessorConfig lean = no_div;
+  lean.alu.has_shift = false;
+  lean.alu.has_minmax = false;
+  const double full_alu = estimate(full).slices_per_alu;
+  const double no_div_alu = estimate(no_div).slices_per_alu;
+  const double lean_alu = estimate(lean).slices_per_alu;
+  EXPECT_LT(no_div_alu, full_alu);
+  EXPECT_LT(lean_alu, no_div_alu);
+  // Dropping the divider saves ~900 slices per ALU.
+  EXPECT_NEAR(full_alu - no_div_alu, 935.0, 1.0);
+}
+
+TEST(FpgaModel, CustomOpsCostSlicesPerAlu) {
+  ProcessorConfig cfg;
+  cfg.custom_ops = {"rotr"};
+  const CustomOpTable table = CustomOpTable::for_names(cfg.custom_ops);
+  const double with_custom = estimate(cfg, &table).slices;
+  const double without = estimate(ProcessorConfig{}).slices;
+  EXPECT_NEAR(with_custom - without, 96.0 * cfg.num_alus, 1.0);
+
+  cfg.custom_ops = {"madd16"};
+  const CustomOpTable t2 = CustomOpTable::for_names(cfg.custom_ops);
+  EXPECT_EQ(estimate(cfg, &t2).block_mults, (3u + 2u) * cfg.num_alus);
+}
+
+TEST(FpgaModel, NarrowDatapathIsSmallerAndFaster) {
+  ProcessorConfig narrow;
+  narrow.datapath_width = 16;
+  const auto n = estimate(narrow);
+  const auto w = estimate(ProcessorConfig{});
+  EXPECT_LT(n.slices, w.slices);
+  EXPECT_GT(n.fmax_mhz, w.fmax_mhz);
+
+  ProcessorConfig wide;
+  wide.datapath_width = 64;
+  EXPECT_LT(estimate(wide).fmax_mhz, w.fmax_mhz);
+}
+
+TEST(FpgaModel, IssueWidthCostsFetchLogic) {
+  ProcessorConfig narrow;
+  narrow.issue_width = 1;
+  EXPECT_LT(estimate(narrow).slices, estimate(ProcessorConfig{}).slices);
+}
+
+TEST(FpgaModel, ReportMentionsEverything) {
+  const std::string r = estimate(ProcessorConfig{}).report();
+  EXPECT_NE(r.find("slices"), std::string::npos);
+  EXPECT_NE(r.find("block RAMs"), std::string::npos);
+  EXPECT_NE(r.find("41.8 MHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepic::fpga

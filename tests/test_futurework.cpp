@@ -1,0 +1,218 @@
+// Tests for the paper's §6 future-work features implemented here:
+// parameterised pipeline depth, automatic custom-instruction candidate
+// generation, and the power model.
+#include <gtest/gtest.h>
+
+#include "driver/driver.hpp"
+#include "fpga/model.hpp"
+#include "frontend/irgen.hpp"
+#include "ir/interp.hpp"
+#include "opt/custom_candidates.hpp"
+#include "opt/opt.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+// ---- pipeline depth ----
+
+TEST(PipelineDepth, ConfigValidatesAndRoundtrips) {
+  ProcessorConfig cfg;
+  cfg.pipeline_stages = 3;
+  cfg.validate();
+  EXPECT_EQ(ProcessorConfig::from_text(cfg.to_text()), cfg);
+  cfg.pipeline_stages = 1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.pipeline_stages = 5;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(PipelineDepth, TakenBranchBubblesScaleWithDepth) {
+  for (unsigned stages : {2u, 3u, 4u}) {
+    ProcessorConfig cfg;
+    cfg.pipeline_stages = stages;
+    Program p = make_program(cfg, {{pbr(1, 2)}, {bru(1)}, {halt()}});
+    EpicSimulator sim(std::move(p));
+    sim.run();
+    EXPECT_EQ(sim.stats().branch_bubbles, stages - 1) << stages;
+    EXPECT_EQ(sim.stats().cycles, 3u + (stages - 1)) << stages;
+  }
+}
+
+TEST(PipelineDepth, StraightLineCodeUnaffected) {
+  for (unsigned stages : {2u, 4u}) {
+    ProcessorConfig cfg;
+    cfg.pipeline_stages = stages;
+    Program p = make_program(cfg, {{mov(1, I(1))}, {mov(2, I(2))}, {halt()}});
+    EpicSimulator sim(std::move(p));
+    sim.run();
+    EXPECT_EQ(sim.stats().cycles, 3u);
+  }
+}
+
+TEST(PipelineDepth, DeeperPipeClocksHigherCostsSlices) {
+  ProcessorConfig two;
+  ProcessorConfig three = two;
+  three.pipeline_stages = 3;
+  const auto e2 = fpga::estimate(two);
+  const auto e3 = fpga::estimate(three);
+  EXPECT_GT(e3.fmax_mhz, e2.fmax_mhz);
+  EXPECT_GT(e3.slices, e2.slices);
+  EXPECT_NEAR(e3.fmax_mhz, 41.8 * 1.35, 0.1);
+}
+
+TEST(PipelineDepth, EndToEndStillCorrectAndBranchCodeSlower) {
+  const char* src =
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 50; i++) { if (i % 3 == 0) s += i; else s -= 1; }"
+      " out(s); return s; }";
+  ir::Module m = minic::compile_to_ir(src);
+  const auto gold = ir::Interpreter(m).run();
+
+  std::uint64_t prev = 0;
+  for (unsigned stages : {2u, 3u, 4u}) {
+    ProcessorConfig cfg;
+    cfg.pipeline_stages = stages;
+    driver::EpicCompileOptions options;
+    options.opt.if_convert = false;  // keep the branches for the test
+    EpicSimulator sim = driver::run_minic_on_epic(src, cfg, options);
+    EXPECT_EQ(sim.output(), gold.output) << stages;
+    if (prev != 0) {
+      EXPECT_GT(sim.stats().cycles, prev) << stages;
+    }
+    prev = sim.stats().cycles;
+  }
+}
+
+// ---- automatic custom-instruction candidates ----
+
+TEST(CustomCandidates, FindsRotateInSha) {
+  ir::Module m = minic::compile_to_ir(workloads::make_sha(8).minic_source);
+  opt::optimize(m);
+  const auto candidates = opt::find_custom_candidates(m);
+  ASSERT_FALSE(candidates.empty());
+  // The SHA sigma rotations must surface, mapped to the builtin rotr.
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (c.builtin == "rotr") {
+      found = true;
+      EXPECT_GE(c.occurrences, 8u);  // many rotations per round function
+      EXPECT_EQ(c.ops_saved, 2u);
+    }
+  }
+  EXPECT_TRUE(found) << opt::format_candidates(candidates);
+  // And it should rank at (or near) the top by score.
+  EXPECT_EQ(candidates[0].builtin, "rotr");
+}
+
+TEST(CustomCandidates, FindsMacInDct) {
+  ir::Module m = minic::compile_to_ir(workloads::make_dct(8).minic_source);
+  opt::optimize(m);
+  const auto candidates = opt::find_custom_candidates(m);
+  bool mac = false;
+  for (const auto& c : candidates) {
+    if (c.pattern.find("multiply-accumulate") != std::string::npos) {
+      mac = true;
+      EXPECT_GT(c.occurrences, 50u);  // 7 adds of products per 1D output
+    }
+  }
+  EXPECT_TRUE(mac) << opt::format_candidates(candidates);
+}
+
+TEST(CustomCandidates, LoopOccurrencesOutweighStraightLine) {
+  // One rotate in a hot loop must outrank two in straight-line code.
+  const char* src =
+      "int g[1];\n"
+      "int main() {"
+      "  int x = g[0];"
+      "  int a = (x >>> 3) | (x << 29);"   // straight-line rotate 1
+      "  int b = (a >>> 5) | (a << 27);"   // straight-line rotate 2
+      "  int s = b;"
+      "  for (int i = 0; i < 10; i++) {"
+      "    s = (s >>> 7) | (s << 25);"     // loop rotate
+      "    s += i * 3 + (s >>> 1);"        // loop pair patterns
+      "  }"
+      "  out(s); return s; }";
+  ir::Module m = minic::compile_to_ir(src);
+  opt::optimize(m);
+  const auto candidates = opt::find_custom_candidates(m);
+  ASSERT_FALSE(candidates.empty());
+  const auto* rot = [&]() -> const opt::CustomCandidate* {
+    for (const auto& c : candidates) {
+      if (c.builtin == "rotr") return &c;
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(rot, nullptr);
+  EXPECT_EQ(rot->occurrences, 3u);
+  // Two straight-line (weight 1 each) + one loop (weight 10) = 12.
+  EXPECT_GE(rot->weighted, 12u);
+}
+
+TEST(CustomCandidates, EmptyModuleHasNone) {
+  ir::Module m = minic::compile_to_ir("int main() { return 0; }");
+  EXPECT_TRUE(opt::find_custom_candidates(m).empty());
+}
+
+TEST(CustomCandidates, GuardedProducersAreNotFused) {
+  // A guarded def's consumer cannot be fused (the intermediate is
+  // conditional); the analysis must skip it rather than crash.
+  const char* src =
+      "int g[1];\n"
+      "int main() { int x = g[0]; int t = 0;"
+      " if (x > 0) t = x * 3;"
+      " return t + 1; }";
+  ir::Module m = minic::compile_to_ir(src);
+  opt::optimize(m);  // if-converts the hammock -> guarded mul
+  EXPECT_NO_THROW(opt::find_custom_candidates(m));
+}
+
+TEST(CustomCandidates, ReportMentionsConfigKey) {
+  ir::Module m = minic::compile_to_ir(workloads::make_sha(8).minic_source);
+  opt::optimize(m);
+  const std::string report =
+      opt::format_candidates(opt::find_custom_candidates(m));
+  EXPECT_NE(report.find("custom_ops = rotr"), std::string::npos);
+}
+
+// ---- power model ----
+
+TEST(PowerModel, ScalesWithAreaAndClock) {
+  ProcessorConfig small;
+  small.num_alus = 1;
+  ProcessorConfig big;
+  big.num_alus = 4;
+  const auto p_small = fpga::estimate_power(fpga::estimate(small));
+  const auto p_big = fpga::estimate_power(fpga::estimate(big));
+  EXPECT_GT(p_big.total(), p_small.total());
+  EXPECT_GT(p_big.dynamic_mw, p_small.dynamic_mw);
+  EXPECT_GT(p_big.static_mw, p_small.static_mw);
+
+  // Deeper pipeline -> higher clock -> more dynamic power.
+  ProcessorConfig fast = big;
+  fast.pipeline_stages = 3;
+  EXPECT_GT(fpga::estimate_power(fpga::estimate(fast)).dynamic_mw,
+            p_big.dynamic_mw);
+}
+
+TEST(PowerModel, ActivityScalesDynamicOnly) {
+  const auto r = fpga::estimate(ProcessorConfig{});
+  const auto idle = fpga::estimate_power(r, 0.05);
+  const auto busy = fpga::estimate_power(r, 0.50);
+  EXPECT_LT(idle.dynamic_mw, busy.dynamic_mw);
+  EXPECT_DOUBLE_EQ(idle.static_mw, busy.static_mw);
+}
+
+TEST(PowerModel, DefaultLandsInHalfWattRegion) {
+  const auto p = fpga::estimate_power(fpga::estimate(ProcessorConfig{}));
+  EXPECT_GT(p.total(), 200.0);
+  EXPECT_LT(p.total(), 1200.0);
+  EXPECT_NE(p.report().find("mW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepic

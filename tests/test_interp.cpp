@@ -1,0 +1,211 @@
+// End-to-end MiniC -> IR -> interpreter tests: the interpreter is the
+// golden model everything else is checked against, so its own behaviour
+// is pinned down here on whole programs.
+#include <gtest/gtest.h>
+
+#include "frontend/irgen.hpp"
+#include "ir/interp.hpp"
+#include "support/error.hpp"
+
+namespace cepic {
+namespace {
+
+std::vector<std::uint32_t> run_outputs(std::string_view src) {
+  const ir::Module m = minic::compile_to_ir(src);
+  ir::Interpreter interp(m);
+  return interp.run().output;
+}
+
+std::uint32_t run_ret(std::string_view src) {
+  const ir::Module m = minic::compile_to_ir(src);
+  ir::Interpreter interp(m);
+  return interp.run().ret;
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run_ret("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11u);
+  EXPECT_EQ(run_ret("int main() { return (2 + 3) * 4 % 7; }"), 6u);
+  EXPECT_EQ(run_ret("int main() { return -5 + 2; }"),
+            static_cast<std::uint32_t>(-3));
+}
+
+TEST(Interp, ShiftSemantics) {
+  // >> is arithmetic, >>> is logical.
+  EXPECT_EQ(run_ret("int main() { return (-8) >> 1; }"),
+            static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(run_ret("int main() { return (-8) >>> 1; }"), 0x7FFFFFFCu);
+  EXPECT_EQ(run_ret("int main() { return 1 << 31; }"), 0x80000000u);
+}
+
+TEST(Interp, ComparisonsAndLogic) {
+  EXPECT_EQ(run_ret("int main() { return (3 < 4) + (4 <= 4) + (5 > 4)"
+                    " + (4 >= 5) + (1 == 1) + (1 != 1); }"),
+            4u);
+  EXPECT_EQ(run_ret("int main() { return !0 + !7; }"), 1u);
+  EXPECT_EQ(run_ret("int main() { return ~0; }"), 0xFFFFFFFFu);
+}
+
+TEST(Interp, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(run_outputs("int t() { out(1); return 1; }\n"
+                        "int main() { 0 && t(); 1 || t(); 1 && t();"
+                        " return 0; }"),
+            (std::vector<std::uint32_t>{1}));
+}
+
+TEST(Interp, TernaryAndNestedTernary) {
+  EXPECT_EQ(run_ret("int main() { return 1 ? 10 : 20; }"), 10u);
+  EXPECT_EQ(run_ret("int main() { int x = 5;"
+                    " return x < 3 ? 1 : x < 7 ? 2 : 3; }"),
+            2u);
+}
+
+TEST(Interp, WhileAndForLoops) {
+  EXPECT_EQ(run_ret("int main() { int s = 0; int i = 1;"
+                    " while (i <= 10) { s += i; i++; } return s; }"),
+            55u);
+  EXPECT_EQ(run_ret("int main() { int s = 0;"
+                    " for (int i = 0; i < 5; i++) s += i * i; return s; }"),
+            30u);
+}
+
+TEST(Interp, DoWhileRunsAtLeastOnce) {
+  EXPECT_EQ(run_ret("int main() { int n = 0;"
+                    " do { n++; } while (0); return n; }"),
+            1u);
+}
+
+TEST(Interp, BreakAndContinue) {
+  EXPECT_EQ(run_ret("int main() { int s = 0;"
+                    " for (int i = 0; i < 100; i++) {"
+                    "   if (i == 5) break;"
+                    "   if (i % 2 == 0) continue;"
+                    "   s += i; }"
+                    " return s; }"),
+            4u);  // 1 + 3
+}
+
+TEST(Interp, NestedLoopsWithBreak) {
+  EXPECT_EQ(run_ret("int main() { int c = 0;"
+                    " for (int i = 0; i < 3; i++)"
+                    "   for (int j = 0; j < 10; j++) {"
+                    "     if (j == 2) break;"
+                    "     c++; }"
+                    " return c; }"),
+            6u);
+}
+
+TEST(Interp, GlobalsAndArrays) {
+  EXPECT_EQ(run_ret("int t[4] = {10, 20, 30, 40};\n"
+                    "int main() { t[1] = t[0] + t[2]; return t[1]; }"),
+            40u);
+  EXPECT_EQ(run_ret("int counter = 100;\n"
+                    "void bump() { counter += 1; }\n"
+                    "int main() { bump(); bump(); return counter; }"),
+            102u);
+}
+
+TEST(Interp, LocalArraysAndStringInit) {
+  EXPECT_EQ(run_ret("int main() { int a[3] = {1, 2, 3};"
+                    " return a[0] + a[1] + a[2]; }"),
+            6u);
+  EXPECT_EQ(run_ret("int main() { int s[] = \"AB\"; return s[0] * 256 + s[1]; }"),
+            65u * 256 + 66);
+}
+
+TEST(Interp, ArrayParametersShareStorage) {
+  EXPECT_EQ(run_ret("void fill(int a[], int n) {"
+                    "  for (int i = 0; i < n; i++) a[i] = i * i; }\n"
+                    "int main() { int buf[5]; fill(buf, 5);"
+                    " return buf[4] + buf[3]; }"),
+            25u);
+}
+
+TEST(Interp, GlobalArrayPassedToFunction) {
+  EXPECT_EQ(run_ret("int data[3] = {7, 8, 9};\n"
+                    "int sum(int a[], int n) { int s = 0;"
+                    "  for (int i = 0; i < n; i++) s += a[i]; return s; }\n"
+                    "int main() { return sum(data, 3); }"),
+            24u);
+}
+
+TEST(Interp, RecursionFibonacci) {
+  EXPECT_EQ(run_ret("int fib(int n) { if (n < 2) return n;"
+                    " return fib(n-1) + fib(n-2); }\n"
+                    "int main() { return fib(12); }"),
+            144u);
+}
+
+TEST(Interp, RecursionWithLocalArrays) {
+  // Each activation gets its own frame.
+  EXPECT_EQ(run_ret("int f(int n) { int a[2]; a[0] = n;"
+                    " if (n > 0) f(n - 1); return a[0]; }\n"
+                    "int main() { return f(5); }"),
+            5u);
+}
+
+TEST(Interp, IncDecSemantics) {
+  EXPECT_EQ(run_ret("int main() { int i = 5; int a = i++;"
+                    " int b = ++i; return a * 100 + b * 10 + i; }"),
+            5u * 100 + 7 * 10 + 7);
+  EXPECT_EQ(run_ret("int main() { int t[2] = {3, 0}; t[0]--;"
+                    " return t[0]; }"),
+            2u);
+}
+
+TEST(Interp, CompoundAssignments) {
+  EXPECT_EQ(run_ret("int main() { int x = 10; x += 5; x -= 3; x *= 2;"
+                    " x /= 4; x %= 4; x <<= 3; x >>= 1; x |= 1; x &= 0xF;"
+                    " x ^= 2; return x; }"),
+            ((((((10 + 5 - 3) * 2 / 4 % 4) << 3) >> 1) | 1) & 0xF) ^ 2u);
+}
+
+TEST(Interp, Builtins) {
+  EXPECT_EQ(run_ret("int main() { return min(3, -4) + max(10, 2) + abs(-7); }"),
+            static_cast<std::uint32_t>(-4 + 10 + 7));
+}
+
+TEST(Interp, OutStreamsInOrder) {
+  EXPECT_EQ(run_outputs("int main() { for (int i = 0; i < 3; i++) out(i * 7);"
+                        " return 0; }"),
+            (std::vector<std::uint32_t>{0, 7, 14}));
+}
+
+TEST(Interp, DivisionCornerCasesMatchHardwareModel) {
+  EXPECT_EQ(run_ret("int main() { return 7 / 0; }"), 0u);
+  EXPECT_EQ(run_ret("int main() { return 7 % 0; }"), 7u);
+  EXPECT_EQ(run_ret("int main() { return (-7) / 2; }"),
+            static_cast<std::uint32_t>(-3));
+}
+
+TEST(Interp, EntryWithArguments) {
+  const ir::Module m = minic::compile_to_ir("int f(int a, int b) { return a * b; }");
+  ir::Interpreter interp(m);
+  const std::uint32_t args[] = {6, 7};
+  EXPECT_EQ(interp.run("f", args).ret, 42u);
+}
+
+TEST(Interp, StepLimitStopsRunaway) {
+  const ir::Module m = minic::compile_to_ir("int main() { while (1) { } return 0; }");
+  ir::InterpOptions opts;
+  opts.max_steps = 10000;
+  ir::Interpreter interp(m, opts);
+  EXPECT_THROW(interp.run(), SimError);
+}
+
+TEST(Interp, CallDepthLimit) {
+  const ir::Module m = minic::compile_to_ir("int f(int n) { return f(n + 1); }");
+  ir::Interpreter interp(m);
+  const std::uint32_t args[] = {0};
+  EXPECT_THROW(interp.run("f", args), SimError);
+}
+
+TEST(Interp, XorshiftMatchesNative) {
+  // The MiniC xorshift32 used by workloads matches support/prng.hpp.
+  EXPECT_EQ(run_ret("int main() { int s = 1;"
+                    " s ^= s << 13; s ^= s >>> 17; s ^= s << 5;"
+                    " return s; }"),
+            270369u);
+}
+
+}  // namespace
+}  // namespace cepic

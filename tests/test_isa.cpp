@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "core/custom.hpp"
+#include "core/instruction.hpp"
+#include "core/isa.hpp"
+
+namespace cepic {
+namespace {
+
+using testutil_ops = int;
+
+TEST(Isa, EveryOpHasNameAndLookup) {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    const OpInfo& info = op_info(op);
+    ASSERT_FALSE(info.name.empty()) << "op id " << i;
+    const auto found = op_by_name(info.name);
+    ASSERT_TRUE(found.has_value()) << info.name;
+    EXPECT_EQ(*found, op);
+  }
+}
+
+TEST(Isa, UnknownNameLookupFails) {
+  EXPECT_FALSE(op_by_name("frobnicate").has_value());
+  EXPECT_FALSE(op_by_name("").has_value());
+  EXPECT_FALSE(op_by_name("ADD").has_value());  // mnemonics are lower-case
+}
+
+TEST(Isa, FuClassAssignment) {
+  EXPECT_EQ(op_info(Op::ADD).fu, FuClass::Alu);
+  EXPECT_EQ(op_info(Op::MUL).fu, FuClass::Alu);
+  EXPECT_EQ(op_info(Op::CMPP_LT).fu, FuClass::Cmpu);
+  EXPECT_EQ(op_info(Op::LDW).fu, FuClass::Lsu);
+  EXPECT_EQ(op_info(Op::STW).fu, FuClass::Lsu);
+  EXPECT_EQ(op_info(Op::BRCT).fu, FuClass::Bru);
+  EXPECT_EQ(op_info(Op::PBR).fu, FuClass::Bru);
+  EXPECT_EQ(op_info(Op::NOP).fu, FuClass::None);
+}
+
+TEST(Isa, CmppIsDualDestination) {
+  // HPL-PD two-target compares: DEST1 <- cond, DEST2 <- !cond.
+  const OpInfo& info = op_info(Op::CMPP_EQ);
+  EXPECT_EQ(info.dest1, RegFile::Pred);
+  EXPECT_EQ(info.dest2, RegFile::Pred);
+}
+
+TEST(Isa, StoreReadsDest1) {
+  EXPECT_TRUE(op_info(Op::STW).dest1_is_source);
+  EXPECT_TRUE(op_info(Op::STB).dest1_is_source);
+  EXPECT_FALSE(op_info(Op::STW).writes_dest1());
+  EXPECT_FALSE(op_info(Op::LDW).dest1_is_source);
+  EXPECT_TRUE(op_info(Op::LDW).writes_dest1());
+}
+
+TEST(Isa, BranchFlags) {
+  for (Op op : {Op::BRU, Op::BRCT, Op::BRCF, Op::BRL, Op::BRR}) {
+    EXPECT_TRUE(op_info(op).is_branch) << op_info(op).name;
+  }
+  EXPECT_FALSE(op_info(Op::PBR).is_branch);  // prepare-to-branch doesn't jump
+  EXPECT_FALSE(op_info(Op::HALT).is_branch);
+}
+
+TEST(Isa, MemFlags) {
+  EXPECT_TRUE(op_info(Op::LDW).is_load);
+  EXPECT_TRUE(op_info(Op::LDWS).is_load);
+  EXPECT_TRUE(op_info(Op::STB).is_store);
+  EXPECT_TRUE(op_info(Op::OUT).is_mem());
+  EXPECT_FALSE(op_info(Op::ADD).is_mem());
+}
+
+TEST(Isa, LogicalOpsZeroExtendLiterals) {
+  EXPECT_TRUE(op_info(Op::AND).literal_zero_extends);
+  EXPECT_TRUE(op_info(Op::SHL).literal_zero_extends);
+  EXPECT_TRUE(op_info(Op::CMPP_LTU).literal_zero_extends);
+  EXPECT_FALSE(op_info(Op::ADD).literal_zero_extends);
+  EXPECT_FALSE(op_info(Op::CMPP_LT).literal_zero_extends);
+}
+
+TEST(Isa, CustomSlotHelpers) {
+  EXPECT_TRUE(is_custom(Op::CUSTOM0));
+  EXPECT_TRUE(is_custom(Op::CUSTOM3));
+  EXPECT_FALSE(is_custom(Op::ADD));
+  EXPECT_EQ(custom_slot(Op::CUSTOM2), 2u);
+}
+
+TEST(Instruction, ToStringRendering) {
+  const Instruction add =
+      Instruction::make(Op::ADD, 3, Operand::r(4), Operand::imm(-5));
+  EXPECT_EQ(to_string(add), "add r3, r4, #-5");
+
+  Instruction guarded = add;
+  guarded.pred = 7;
+  EXPECT_EQ(to_string(guarded), "(p7) add r3, r4, #-5");
+
+  const Instruction cmp = Instruction::make(Op::CMPP_LT, 1, Operand::r(2),
+                                            Operand::r(3), 0, 4);
+  EXPECT_EQ(to_string(cmp), "cmpp.lt p1, p4, r2, r3");
+
+  const Instruction st =
+      Instruction::make(Op::STW, 5, Operand::r(6), Operand::imm(8));
+  EXPECT_EQ(to_string(st), "stw r5, r6, #8");
+
+  EXPECT_EQ(to_string(Instruction::nop()), "nop");
+  EXPECT_EQ(to_string(Instruction::make(Op::PBR, 2, Operand::imm(100))),
+            "pbr b2, #100");
+}
+
+TEST(Instruction, ValidateAcceptsWellFormed) {
+  const ProcessorConfig cfg;
+  EXPECT_EQ(validate_instruction(
+                Instruction::make(Op::ADD, 1, Operand::r(2), Operand::r(3)),
+                cfg),
+            "");
+  EXPECT_EQ(validate_instruction(Instruction::halt(), cfg), "");
+}
+
+TEST(Instruction, ValidateRejectsOutOfRangeRegisters) {
+  const ProcessorConfig cfg;  // 64 GPRs
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::ADD, 64, Operand::r(2), Operand::r(3)),
+                cfg),
+            "");
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::ADD, 1, Operand::r(64), Operand::r(3)),
+                cfg),
+            "");
+}
+
+TEST(Instruction, ValidateRejectsOutOfRangeLiteral) {
+  const ProcessorConfig cfg;  // 16-bit SRC fields
+  EXPECT_EQ(validate_instruction(Instruction::make(Op::ADD, 1, Operand::r(2),
+                                                   Operand::imm(32767)),
+                                 cfg),
+            "");
+  EXPECT_NE(validate_instruction(Instruction::make(Op::ADD, 1, Operand::r(2),
+                                                   Operand::imm(32768)),
+                                 cfg),
+            "");
+  // Logical ops zero-extend: 65535 fits, -1 does not.
+  EXPECT_EQ(validate_instruction(Instruction::make(Op::AND, 1, Operand::r(2),
+                                                   Operand::imm(65535)),
+                                 cfg),
+            "");
+  EXPECT_NE(validate_instruction(Instruction::make(Op::AND, 1, Operand::r(2),
+                                                   Operand::imm(-1)),
+                                 cfg),
+            "");
+}
+
+TEST(Instruction, ValidateRejectsWrongOperandKind) {
+  const ProcessorConfig cfg;
+  // BRU needs a BTR register, not a literal.
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::BRU, 0, Operand::imm(3)), cfg),
+            "");
+  // PBR needs a literal target, not a register.
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::PBR, 0, Operand::r(3)), cfg),
+            "");
+  // LDW base must be a register.
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::LDW, 1, Operand::imm(0), Operand::imm(0)),
+                cfg),
+            "");
+}
+
+TEST(Instruction, ValidateRespectsFeatureTrims) {
+  ProcessorConfig cfg;
+  cfg.alu.has_div = false;
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::DIV, 1, Operand::r(2), Operand::r(3)),
+                cfg),
+            "");
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::REM, 1, Operand::r(2), Operand::r(3)),
+                cfg),
+            "");
+  cfg.alu.has_div = true;
+  cfg.alu.has_mul = false;
+  EXPECT_NE(validate_instruction(
+                Instruction::make(Op::MUL, 1, Operand::r(2), Operand::r(3)),
+                cfg),
+            "");
+}
+
+TEST(Instruction, ValidateRejectsDisabledCustomSlot) {
+  ProcessorConfig cfg;  // no custom ops enabled
+  EXPECT_NE(validate_instruction(Instruction::make(Op::CUSTOM0, 1,
+                                                   Operand::r(2),
+                                                   Operand::r(3)),
+                                 cfg),
+            "");
+  cfg.custom_ops = {"rotr"};
+  EXPECT_EQ(validate_instruction(Instruction::make(Op::CUSTOM0, 1,
+                                                   Operand::r(2),
+                                                   Operand::r(3)),
+                                 cfg),
+            "");
+  EXPECT_NE(validate_instruction(Instruction::make(Op::CUSTOM1, 1,
+                                                   Operand::r(2),
+                                                   Operand::r(3)),
+                                 cfg),
+            "");
+}
+
+TEST(Instruction, RegisterOperandCounting) {
+  EXPECT_EQ(count_reg_reads(Instruction::make(Op::ADD, 1, Operand::r(2),
+                                              Operand::r(3))),
+            2u);
+  EXPECT_EQ(count_reg_writes(Instruction::make(Op::ADD, 1, Operand::r(2),
+                                               Operand::r(3))),
+            1u);
+  // Store: value + base are reads, nothing written.
+  EXPECT_EQ(count_reg_reads(Instruction::make(Op::STW, 5, Operand::r(6),
+                                              Operand::imm(0))),
+            2u);
+  EXPECT_EQ(count_reg_writes(Instruction::make(Op::STW, 5, Operand::r(6),
+                                               Operand::imm(0))),
+            0u);
+  // Dual-destination compare writes two predicates.
+  EXPECT_EQ(count_reg_writes(Instruction::make(Op::CMPP_EQ, 1, Operand::r(2),
+                                               Operand::r(3), 0, 2)),
+            2u);
+}
+
+TEST(CustomOps, BuiltinsEvaluate) {
+  const auto rotr = builtin_custom_op("rotr");
+  ASSERT_TRUE(rotr.has_value());
+  EXPECT_EQ(rotr->eval(0x80000001u, 1), 0xC0000000u);
+
+  const auto popc = builtin_custom_op("popc");
+  ASSERT_TRUE(popc.has_value());
+  EXPECT_EQ(popc->eval(0xFF, 2), 10u);
+
+  const auto sadd = builtin_custom_op("sadd");
+  ASSERT_TRUE(sadd.has_value());
+  EXPECT_EQ(sadd->eval(0x7FFFFFFFu, 1), 0x7FFFFFFFu);  // saturates
+  EXPECT_EQ(sadd->eval(0x80000000u, 0xFFFFFFFFu), 0x80000000u);
+
+  const auto madd = builtin_custom_op("madd16");
+  ASSERT_TRUE(madd.has_value());
+  // (3*5) + (2*4) = 23 with hi/lo packing.
+  const std::uint32_t a = (2u << 16) | 3u;
+  const std::uint32_t b = (4u << 16) | 5u;
+  EXPECT_EQ(madd->eval(a, b), 23u);
+
+  EXPECT_FALSE(builtin_custom_op("nonsense").has_value());
+}
+
+TEST(CustomOps, TableInstallAndLookup) {
+  CustomOpTable table = CustomOpTable::for_names({"rotr", "popc"});
+  EXPECT_TRUE(table.has(0));
+  EXPECT_TRUE(table.has(1));
+  EXPECT_FALSE(table.has(2));
+  EXPECT_EQ(table.get(0).name, "rotr");
+  EXPECT_EQ(table.slot_of("popc"), 1u);
+  EXPECT_FALSE(table.slot_of("rotl").has_value());
+  EXPECT_THROW(table.get(3), InternalError);
+  EXPECT_THROW(CustomOpTable::for_names({"bogus"}), ConfigError);
+}
+
+}  // namespace
+}  // namespace cepic

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "support/error.hpp"
+
+namespace cepic::minic {
+namespace {
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto toks = lex("int foo void while whilex _bar2");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::KwInt);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[2].kind, Tok::KwVoid);
+  EXPECT_EQ(toks[3].kind, Tok::KwWhile);
+  EXPECT_EQ(toks[4].kind, Tok::Ident);  // whilex is not a keyword
+  EXPECT_EQ(toks[5].text, "_bar2");
+  EXPECT_EQ(toks[6].kind, Tok::End);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto toks = lex("0 42 0xFF 0x1234abcd");
+  EXPECT_EQ(toks[0].value, 0);
+  EXPECT_EQ(toks[1].value, 42);
+  EXPECT_EQ(toks[2].value, 255);
+  EXPECT_EQ(toks[3].value, 0x1234ABCD);
+}
+
+TEST(Lexer, CharLiterals) {
+  const auto toks = lex("'A' '\\n' '\\0' '\\\\'");
+  EXPECT_EQ(toks[0].value, 'A');
+  EXPECT_EQ(toks[1].value, '\n');
+  EXPECT_EQ(toks[2].value, 0);
+  EXPECT_EQ(toks[3].value, '\\');
+}
+
+TEST(Lexer, StringLiterals) {
+  const auto toks = lex("\"Hello\\n\"");
+  ASSERT_EQ(toks[0].kind, Tok::StrLit);
+  EXPECT_EQ(toks[0].text, "Hello\n");
+}
+
+TEST(Lexer, ShiftOperatorsDisambiguate) {
+  EXPECT_EQ(kinds("<< >> >>> <<= >>= < > <= >="),
+            (std::vector<Tok>{Tok::Shl, Tok::Shr, Tok::Sar, Tok::ShlEq,
+                              Tok::ShrEq, Tok::Lt, Tok::Gt, Tok::Le, Tok::Ge,
+                              Tok::End}));
+}
+
+TEST(Lexer, CompoundAssignAndIncDec) {
+  EXPECT_EQ(kinds("+= -= *= /= %= &= |= ^= ++ -- + -"),
+            (std::vector<Tok>{Tok::PlusEq, Tok::MinusEq, Tok::StarEq,
+                              Tok::SlashEq, Tok::PercentEq, Tok::AmpEq,
+                              Tok::PipeEq, Tok::CaretEq, Tok::PlusPlus,
+                              Tok::MinusMinus, Tok::Plus, Tok::Minus,
+                              Tok::End}));
+}
+
+TEST(Lexer, LogicalOperators) {
+  EXPECT_EQ(kinds("&& || & | ! != == ="),
+            (std::vector<Tok>{Tok::AmpAmp, Tok::PipePipe, Tok::Amp, Tok::Pipe,
+                              Tok::Bang, Tok::NotEq, Tok::EqEq, Tok::Assign,
+                              Tok::End}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto toks = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("@"), CompileError);
+  EXPECT_THROW(lex("'ab'"), CompileError);
+  EXPECT_THROW(lex("\"unterminated"), CompileError);
+  EXPECT_THROW(lex("/* unterminated"), CompileError);
+  EXPECT_THROW(lex("'\\q'"), CompileError);
+}
+
+TEST(Lexer, ErrorCarriesLocation) {
+  try {
+    lex("int x;\n  @");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.col(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace cepic::minic

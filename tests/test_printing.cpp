@@ -1,0 +1,99 @@
+// Rendering tests: the IR printer, SARM listing and simulator stats
+// report — the human-facing surfaces tools and debugging rely on.
+#include <gtest/gtest.h>
+
+#include "driver/driver.hpp"
+#include "frontend/irgen.hpp"
+#include "sarm/isa.hpp"
+#include "sim/simulator.hpp"
+
+namespace cepic {
+namespace {
+
+TEST(IrPrinter, RendersFunctionsBlocksAndGlobals) {
+  const ir::Module m = minic::compile_to_ir(
+      "int tab[3] = {1, 2, 3};\n"
+      "int f(int a) { if (a > 0) return tab[a]; return -1; }");
+  const std::string text = ir::to_string(m);
+  EXPECT_NE(text.find("global @tab[3] = {1, 2, 3}"), std::string::npos);
+  EXPECT_NE(text.find("int f("), std::string::npos);
+  EXPECT_NE(text.find(".b0"), std::string::npos);
+  EXPECT_NE(text.find("cmp.gt"), std::string::npos);
+  EXPECT_NE(text.find("condbr"), std::string::npos);
+  EXPECT_NE(text.find("load.w ["), std::string::npos);
+  EXPECT_NE(text.find("gaddr @tab"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(IrPrinter, RendersGuardsAndCalls) {
+  ir::IrInst inst;
+  inst.op = ir::IrOp::Mov;
+  inst.dst = 5;
+  inst.a = ir::Value::i(7);
+  inst.guard = 3;
+  EXPECT_EQ(ir::to_string(inst), "[%3] %5 = 7");
+  inst.guard_negate = true;
+  EXPECT_EQ(ir::to_string(inst), "[!%3] %5 = 7");
+
+  ir::IrInst call;
+  call.op = ir::IrOp::Call;
+  call.dst = 9;
+  call.callee = "f";
+  call.args = {ir::Value::r(1), ir::Value::i(2)};
+  EXPECT_EQ(ir::to_string(call), "%9 = call @f(%1, 2)");
+}
+
+TEST(SarmPrinter, RendersInstructionsAndListing) {
+  sarm::SInst add;
+  add.op = sarm::SOp::Add;
+  add.rd = 2;
+  add.rn = 3;
+  add.op2 = sarm::Operand2::reg(4, sarm::Shift::Lsl, 2);
+  EXPECT_EQ(sarm::to_string(add), "add r2, r3, r4, lsl #2");
+
+  sarm::SInst mov;
+  mov.op = sarm::SOp::Mov;
+  mov.cond = sarm::Cond::LT;
+  mov.rd = 1;
+  mov.op2 = sarm::Operand2::immediate(-5);
+  EXPECT_EQ(sarm::to_string(mov), "movlt r1, #-5");
+
+  sarm::SInst ldr;
+  ldr.op = sarm::SOp::Ldr;
+  ldr.rd = 6;
+  ldr.rn = 13;
+  ldr.op2 = sarm::Operand2::immediate(8);
+  EXPECT_EQ(sarm::to_string(ldr), "ldr r6, [r13, #8]");
+
+  const sarm::SProgram p = driver::compile_minic_to_sarm(
+      "int main() { return 1; }");
+  const std::string listing = sarm::to_string(p);
+  EXPECT_NE(listing.find("__start:"), std::string::npos);
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+  EXPECT_NE(listing.find("bx r14"), std::string::npos);
+}
+
+TEST(StatsReport, MentionsEveryStallBucket) {
+  auto sim = driver::run_minic_on_epic(
+      "int main() { int s = 0;"
+      " for (int i = 0; i < 5; i++) s += i; out(s); return s; }",
+      ProcessorConfig{});
+  const std::string r = sim.stats().report();
+  for (const char* needle :
+       {"cycles:", "ILP", "scoreboard", "reg ports", "branch bubbles",
+        "bundle width histogram"}) {
+    EXPECT_NE(r.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ConfigText, IsSelfDescribing) {
+  const std::string text = ProcessorConfig{}.to_text();
+  for (const char* key :
+       {"num_alus", "num_gprs", "issue_width", "pipeline_stages",
+        "custom_ops"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace cepic

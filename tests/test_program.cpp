@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/program.hpp"
+#include "test_util.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+TEST(Program, AppendBundlePadsWithNops) {
+  Program p;
+  p.config = ProcessorConfig{};  // issue width 4
+  const std::vector<Instruction> ops = {add(1, R(2), R(3))};
+  p.append_bundle(std::span<const Instruction>(ops.data(), ops.size()));
+  ASSERT_EQ(p.code.size(), 4u);
+  EXPECT_EQ(p.code[0].op, Op::ADD);
+  EXPECT_TRUE(p.code[1].is_nop());
+  EXPECT_TRUE(p.code[3].is_nop());
+  EXPECT_EQ(p.bundle_count(), 1u);
+}
+
+TEST(Program, AppendBundleRejectsOverWidth) {
+  Program p;
+  p.config.issue_width = 2;
+  const std::vector<Instruction> ops = {add(1, R(2), R(3)), add(4, R(5), R(6)),
+                                        add(7, R(8), R(9))};
+  EXPECT_THROW(
+      p.append_bundle(std::span<const Instruction>(ops.data(), ops.size())),
+      InternalError);
+}
+
+TEST(Program, BundleAccess) {
+  const Program p = make_program(ProcessorConfig{},
+                                 {{add(1, R(2), R(3))}, {halt()}});
+  EXPECT_EQ(p.bundle_count(), 2u);
+  EXPECT_EQ(p.bundle(0)[0].op, Op::ADD);
+  EXPECT_EQ(p.bundle(1)[0].op, Op::HALT);
+  EXPECT_THROW(p.bundle(2), InternalError);
+}
+
+TEST(Program, EncodeCodeValidatesEverything) {
+  Program p = make_program(ProcessorConfig{}, {{add(1, R(2), R(3))}});
+  EXPECT_EQ(p.encode_code().size(), 4u);
+  p.code[0].dest1 = 999;  // corrupt
+  EXPECT_THROW(p.encode_code(), Error);
+}
+
+TEST(Program, SerializeRoundtrip) {
+  ProcessorConfig cfg;
+  cfg.num_alus = 2;
+  cfg.issue_width = 2;
+  Program p = make_program(
+      cfg, {{add(1, R(2), I(7)), mov(3, I(-1))},
+            {stw(1, 3, 0)},
+            {out(R(1)), halt()}});
+  p.entry_bundle = 1;
+  p.data = {1, 2, 3, 4, 0xFF};
+  p.code_symbols["main"] = 1;
+  p.data_symbols["table"] = kDataBase;
+
+  const std::vector<std::uint8_t> bytes = p.serialize();
+  const Program q = Program::deserialize(bytes);
+
+  EXPECT_EQ(q.config, p.config);
+  EXPECT_EQ(q.code, p.code);
+  EXPECT_EQ(q.data, p.data);
+  EXPECT_EQ(q.entry_bundle, 1u);
+  EXPECT_EQ(q.code_symbols.at("main"), 1u);
+  EXPECT_EQ(q.data_symbols.at("table"), kDataBase);
+}
+
+TEST(Program, DeserializeRejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(Program::deserialize(bytes), Error);
+}
+
+TEST(Program, DeserializeRejectsTruncation) {
+  const Program p = make_program(ProcessorConfig{}, {{halt()}});
+  std::vector<std::uint8_t> bytes = p.serialize();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(Program::deserialize(bytes), Error);
+}
+
+TEST(Program, DeserializeRejectsTrailingBytes) {
+  const Program p = make_program(ProcessorConfig{}, {{halt()}});
+  std::vector<std::uint8_t> bytes = p.serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(Program::deserialize(bytes), Error);
+}
+
+}  // namespace
+}  // namespace cepic

@@ -1,0 +1,241 @@
+// Cycle-accounting tests: each stall source of the modelled 2-stage
+// pipeline (paper §3.2) is pinned down cycle-by-cycle — scoreboard
+// (load-use) stalls, register-file-controller port stalls with and
+// without forwarding, taken-branch bubbles, unified-memory contention,
+// and the ILP statistics.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+EpicSimulator sim_of(std::initializer_list<std::vector<Instruction>> bundles,
+                     ProcessorConfig cfg = {}) {
+  return EpicSimulator(make_program(cfg, bundles));
+}
+
+TEST(SimTiming, OneBundlePerCycleWhenIndependent) {
+  auto sim = sim_of({{mov(1, I(1))}, {mov(2, I(2))}, {mov(3, I(3))}, {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().cycles, 4u);
+  EXPECT_EQ(sim.stats().stall_scoreboard, 0u);
+  EXPECT_EQ(sim.stats().stall_reg_ports, 0u);
+}
+
+TEST(SimTiming, AluChainRunsBackToBackViaForwarding) {
+  // Single-cycle ALU results are consumable by the next bundle.
+  auto sim = sim_of({{mov(1, I(1))},
+                     {add(1, R(1), I(1))},
+                     {add(1, R(1), I(1))},
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.gpr(1), 3u);
+  EXPECT_EQ(sim.stats().cycles, 4u);
+  EXPECT_EQ(sim.stats().stall_scoreboard, 0u);
+}
+
+TEST(SimTiming, LoadUseStallsOneCycle) {
+  // Default load latency 2: a consumer in the very next bundle waits one
+  // extra cycle.
+  auto sim = sim_of({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                     {ldw(2, 1, 0)},
+                     {add(3, R(2), I(1))},
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 1u);
+  EXPECT_EQ(sim.stats().cycles, 5u);
+}
+
+TEST(SimTiming, LoadUseWithGapDoesNotStall) {
+  auto sim = sim_of({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                     {ldw(2, 1, 0)},
+                     {mov(4, I(9))},  // independent filler bundle
+                     {add(3, R(2), I(1))},
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 0u);
+  EXPECT_EQ(sim.stats().cycles, 5u);
+}
+
+TEST(SimTiming, ConfigurableLoadLatency) {
+  ProcessorConfig cfg;
+  cfg.load_latency = 4;
+  auto sim = sim_of({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                     {ldw(2, 1, 0)},
+                     {add(3, R(2), I(1))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 3u);
+}
+
+TEST(SimTiming, TakenBranchCostsOneBubble) {
+  auto sim = sim_of({{pbr(1, 2)},
+                     {bru(1)},
+                     {halt()}});
+  sim.run();
+  // pbr @0, bru @1 (+1 bubble), halt @3 -> 4 cycles total.
+  EXPECT_EQ(sim.stats().cycles, 4u);
+  EXPECT_EQ(sim.stats().branch_bubbles, 1u);
+}
+
+TEST(SimTiming, NotTakenBranchHasNoBubble) {
+  auto sim = sim_of({{pbr(1, 2), cmpp(Op::CMPP_EQ, 1, 2, I(1), I(2))},
+                     {brct(1, 1)},  // p1 false: fall through
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().cycles, 3u);
+  EXPECT_EQ(sim.stats().branch_bubbles, 0u);
+}
+
+TEST(SimTiming, PortBudgetStallsWideRegisterTraffic) {
+  // Without forwarding every GPR read costs a port. A 4-op bundle with
+  // 8 distinct register reads + 4 writes = 12 port ops > 8 -> 1 stall.
+  ProcessorConfig cfg;
+  cfg.forwarding = false;
+  auto sim = sim_of({{add(9, R(1), R(2)), add(10, R(3), R(4)),
+                      add(11, R(5), R(6)), add(12, R(7), R(8))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_reg_ports, 1u);
+  EXPECT_EQ(sim.stats().cycles, 3u);
+}
+
+TEST(SimTiming, WiderPortBudgetRemovesStall) {
+  ProcessorConfig cfg;
+  cfg.forwarding = false;
+  cfg.reg_port_budget = 16;
+  auto sim = sim_of({{add(9, R(1), R(2)), add(10, R(3), R(4)),
+                      add(11, R(5), R(6)), add(12, R(7), R(8))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_reg_ports, 0u);
+  EXPECT_EQ(sim.stats().cycles, 2u);
+}
+
+TEST(SimTiming, ForwardingMitigatesPortPressure) {
+  // Paper §3.2: "this limitation is mitigated by forwarding of recently
+  // calculated results". The consuming bundle reads four values produced
+  // in the immediately preceding cycle: all four reads are forwarded,
+  // leaving only 4 writes -> no stall.
+  ProcessorConfig cfg;  // forwarding on, budget 8
+  auto sim = sim_of({{mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                     {add(5, R(1), R(2)), add(6, R(3), R(4)),
+                      add(7, R(1), R(3)), add(8, R(2), R(4))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_reg_ports, 0u);
+  EXPECT_EQ(sim.stats().cycles, 3u);
+
+  // Same program with forwarding disabled: 8 reads + 4 writes = 12 > 8.
+  ProcessorConfig no_fwd;
+  no_fwd.forwarding = false;
+  auto sim2 = sim_of({{mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                      {add(5, R(1), R(2)), add(6, R(3), R(4)),
+                       add(7, R(1), R(3)), add(8, R(2), R(4))},
+                      {halt()}},
+                     no_fwd);
+  sim2.run();
+  EXPECT_EQ(sim2.stats().stall_reg_ports, 1u);
+  EXPECT_EQ(sim2.stats().cycles, 4u);
+}
+
+TEST(SimTiming, StaleReadsCostPortsEvenWithForwarding) {
+  // Values produced long ago come from the register file, not the
+  // forwarding network.
+  ProcessorConfig cfg;  // budget 8, forwarding on
+  auto sim = sim_of({{mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                     {mov(9, I(9))},
+                     {mov(10, I(10))},
+                     {add(5, R(1), R(2)), add(6, R(3), R(4)),
+                      add(7, R(1), R(3)), add(8, R(2), R(4))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  // 8 stale reads + 4 writes = 12 ports -> 1 stall.
+  EXPECT_EQ(sim.stats().stall_reg_ports, 1u);
+}
+
+TEST(SimTiming, LiteralsAndR0CostNoPorts) {
+  ProcessorConfig cfg;
+  cfg.forwarding = false;
+  auto sim = sim_of({{add(9, R(0), I(1)), add(10, R(0), I(2)),
+                      add(11, R(0), I(3)), add(12, R(0), I(4))},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  // Only the 4 writes count.
+  EXPECT_EQ(sim.stats().stall_reg_ports, 0u);
+}
+
+TEST(SimTiming, UnifiedMemoryContentionAddsCyclePerMemBundle) {
+  ProcessorConfig cfg;
+  cfg.unified_memory_contention = true;
+  auto sim = sim_of({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                     {stw(1, 1, 0)},
+                     {ldw(2, 1, 0)},
+                     {halt()}},
+                    cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_mem_contention, 2u);
+  // mov @0, stw @1(+1), ldw @3(+1), halt @5 -> 6 cycles.
+  EXPECT_EQ(sim.stats().cycles, 6u);
+}
+
+TEST(SimTiming, OutDoesNotCountAsMemoryContention) {
+  ProcessorConfig cfg;
+  cfg.unified_memory_contention = true;
+  auto sim = sim_of({{out(I(1))}, {halt()}}, cfg);
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_mem_contention, 0u);
+}
+
+TEST(SimTiming, IlpStatisticsCountUsefulOps) {
+  auto sim = sim_of({{mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                     {halt()}});
+  sim.run();
+  const SimStats& st = sim.stats();
+  EXPECT_EQ(st.ops_executed, 5u);  // 4 movs + halt
+  EXPECT_EQ(st.nops, 3u);          // halt bundle padding
+  EXPECT_EQ(st.bundle_width_hist[4], 1u);
+  EXPECT_EQ(st.bundle_width_hist[1], 1u);
+  EXPECT_DOUBLE_EQ(st.ilp(), 5.0 / 2.0);
+}
+
+TEST(SimTiming, ScoreboardCoversPredicates) {
+  // The guard predicate written by CMPP in the previous bundle is ready
+  // for the next bundle (latency 1): no stall.
+  auto sim = sim_of({{cmpp(Op::CMPP_EQ, 1, 2, I(1), I(1))},
+                     {add(3, I(1), I(1), /*pred=*/1)},
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 0u);
+  EXPECT_EQ(sim.gpr(3), 2u);
+}
+
+TEST(SimTiming, ScoreboardCoversBtrs) {
+  auto sim = sim_of({{pbr(1, 2)}, {bru(1)}, {halt()}, {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 0u);
+}
+
+TEST(SimTiming, StoreValueIsScoreboarded) {
+  // STW reads its value through the DEST1 field; a just-loaded value
+  // must stall the store by one cycle.
+  auto sim = sim_of({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                     {ldw(2, 1, 0)},
+                     {stw(2, 1, 4)},
+                     {halt()}});
+  sim.run();
+  EXPECT_EQ(sim.stats().stall_scoreboard, 1u);
+}
+
+}  // namespace
+}  // namespace cepic

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+namespace {
+
+TEST(Bits, Mask64) {
+  EXPECT_EQ(mask64(0), 0u);
+  EXPECT_EQ(mask64(1), 1u);
+  EXPECT_EQ(mask64(16), 0xFFFFu);
+  EXPECT_EQ(mask64(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(mask64(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractInsertRoundtrip) {
+  std::uint64_t w = 0;
+  w = insert_bits(w, 0, 5, 0x1F);
+  w = insert_bits(w, 5, 16, 0xABCD);
+  w = insert_bits(w, 21, 16, 0x1234);
+  EXPECT_EQ(extract_bits(w, 0, 5), 0x1Fu);
+  EXPECT_EQ(extract_bits(w, 5, 16), 0xABCDu);
+  EXPECT_EQ(extract_bits(w, 21, 16), 0x1234u);
+}
+
+TEST(Bits, InsertRejectsOverflow) {
+  EXPECT_THROW(insert_bits(0, 0, 4, 16), InternalError);
+}
+
+TEST(Bits, InsertReplacesExisting) {
+  std::uint64_t w = insert_bits(~std::uint64_t{0}, 8, 8, 0x00);
+  EXPECT_EQ(extract_bits(w, 8, 8), 0u);
+  EXPECT_EQ(extract_bits(w, 0, 8), 0xFFu);
+  EXPECT_EQ(extract_bits(w, 16, 8), 0xFFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0x0, 1), 0);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(32767, 16));
+  EXPECT_FALSE(fits_signed(32768, 16));
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_FALSE(fits_signed(-32769, 16));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(65535, 16));
+  EXPECT_FALSE(fits_unsigned(65536, 16));
+}
+
+TEST(Bits, IndexBits) {
+  EXPECT_EQ(index_bits(2), 1u);
+  EXPECT_EQ(index_bits(16), 4u);
+  EXPECT_EQ(index_bits(17), 5u);
+  EXPECT_EQ(index_bits(64), 6u);
+  EXPECT_EQ(index_bits(65), 7u);
+}
+
+TEST(Bits, Rotr32) {
+  EXPECT_EQ(rotr32(0x80000001u, 1), 0xC0000000u);
+  EXPECT_EQ(rotr32(0x12345678u, 0), 0x12345678u);
+  EXPECT_EQ(rotr32(0x12345678u, 32), 0x12345678u);
+}
+
+TEST(Prng, Deterministic) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, BoundedDraws) {
+  Prng p(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = p.next_below(17);
+    EXPECT_LT(v, 17u);
+    const auto w = p.next_in(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+  }
+}
+
+TEST(Prng, Xorshift32MatchesKnownSequence) {
+  // First values of xorshift32 from seed 1 (used by MiniC workloads).
+  std::uint32_t s = 1;
+  s = xorshift32(s);
+  EXPECT_EQ(s, 270369u);
+  s = xorshift32(s);
+  EXPECT_EQ(s, 67634689u);
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Text, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, SplitWs) {
+  const auto parts = split_ws("  add   r1, r2 ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "add");
+  EXPECT_EQ(parts[1], "r1,");
+  EXPECT_EQ(parts[2], "r2");
+}
+
+TEST(Text, ParseIntDecimal) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(parse_int("-45", v));
+  EXPECT_EQ(v, -45);
+  EXPECT_TRUE(parse_int("+7", v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(Text, ParseIntHex) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("0xFF", v));
+  EXPECT_EQ(v, 255);
+  EXPECT_TRUE(parse_int("0x1234abcd", v));
+  EXPECT_EQ(v, 0x1234ABCD);
+  EXPECT_TRUE(parse_int("-0x10", v));
+  EXPECT_EQ(v, -16);
+}
+
+TEST(Text, ParseIntRejectsGarbage) {
+  std::int64_t v = 0;
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("0x", v));
+  EXPECT_FALSE(parse_int("-", v));
+  EXPECT_FALSE(parse_int("abc", v));
+}
+
+TEST(Text, CatAndPad) {
+  EXPECT_EQ(cat("a", 1, '-', 2.5), "a1-2.5");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace cepic

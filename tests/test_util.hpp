@@ -1,0 +1,70 @@
+// Shared helpers for CEPIC test suites: terse instruction builders and a
+// bundle-list-to-Program constructor so simulator microtests read like
+// annotated assembly.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/instruction.hpp"
+#include "core/program.hpp"
+
+namespace cepic::testutil {
+
+inline Operand R(std::uint32_t i) { return Operand::r(i); }
+inline Operand I(std::int32_t v) { return Operand::imm(v); }
+
+inline Instruction op3(Op o, std::uint32_t d, Operand a, Operand b,
+                       std::uint32_t pred = 0) {
+  return Instruction::make(o, d, a, b, pred);
+}
+
+inline Instruction add(std::uint32_t d, Operand a, Operand b,
+                       std::uint32_t pred = 0) {
+  return op3(Op::ADD, d, a, b, pred);
+}
+inline Instruction mov(std::uint32_t d, Operand a, std::uint32_t pred = 0) {
+  return Instruction::make(Op::MOV, d, a, {}, pred);
+}
+inline Instruction cmpp(Op cond, std::uint32_t p_true, std::uint32_t p_false,
+                        Operand a, Operand b) {
+  return Instruction::make(cond, p_true, a, b, 0, p_false);
+}
+inline Instruction ldw(std::uint32_t d, std::uint32_t base, std::int32_t off,
+                       std::uint32_t pred = 0) {
+  return Instruction::make(Op::LDW, d, R(base), I(off), pred);
+}
+inline Instruction stw(std::uint32_t value, std::uint32_t base,
+                       std::int32_t off, std::uint32_t pred = 0) {
+  return Instruction::make(Op::STW, value, R(base), I(off), pred);
+}
+inline Instruction pbr(std::uint32_t b, std::int32_t target) {
+  return Instruction::make(Op::PBR, b, I(target));
+}
+inline Instruction brct(std::uint32_t b, std::uint32_t p) {
+  return Instruction::make(Op::BRCT, 0, R(b), R(p));
+}
+inline Instruction brcf(std::uint32_t b, std::uint32_t p) {
+  return Instruction::make(Op::BRCF, 0, R(b), R(p));
+}
+inline Instruction bru(std::uint32_t b) {
+  return Instruction::make(Op::BRU, 0, R(b));
+}
+inline Instruction out(Operand v) {
+  return Instruction::make(Op::OUT, 0, v);
+}
+inline Instruction halt() { return Instruction::halt(); }
+
+/// Build a program from explicit bundles (each inner list ≤ issue width).
+inline Program make_program(const ProcessorConfig& cfg,
+                            std::initializer_list<std::vector<Instruction>>
+                                bundles) {
+  Program p;
+  p.config = cfg;
+  for (const auto& b : bundles) {
+    p.append_bundle(std::span<const Instruction>(b.data(), b.size()));
+  }
+  return p;
+}
+
+}  // namespace cepic::testutil

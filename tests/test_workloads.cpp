@@ -1,0 +1,196 @@
+// Workload validation: the native references against published test
+// vectors (NIST SHA-256, FIPS-197 AES), the MiniC programs against the
+// native golden streams on the IR interpreter, and a reduced-size pass
+// through both cycle simulators.
+#include <gtest/gtest.h>
+
+#include "driver/driver.hpp"
+#include "frontend/irgen.hpp"
+#include "ir/interp.hpp"
+#include "support/prng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic::workloads {
+namespace {
+
+std::vector<std::uint32_t> interp_run(const std::string& src) {
+  ir::Module m = minic::compile_to_ir(src);
+  ir::InterpOptions opts;
+  opts.max_steps = 2'000'000'000;
+  return ir::Interpreter(m, opts).run().output;
+}
+
+// ---- native reference vs published vectors ----
+
+TEST(GoldenSha, NistVectorAbc) {
+  // FIPS-180 test vector: SHA-256("abc").
+  const std::vector<std::uint8_t> abc = {'a', 'b', 'c'};
+  EXPECT_EQ(sha256_reference(abc),
+            (std::vector<std::uint32_t>{0xba7816bf, 0x8f01cfea, 0x414140de,
+                                        0x5dae2223, 0xb00361a3, 0x96177a9c,
+                                        0xb410ff61, 0xf20015ad}));
+}
+
+TEST(GoldenSha, NistVectorEmpty) {
+  EXPECT_EQ(sha256_reference({}),
+            (std::vector<std::uint32_t>{0xe3b0c442, 0x98fc1c14, 0x9afbf4c8,
+                                        0x996fb924, 0x27ae41e4, 0x649b934c,
+                                        0xa495991b, 0x7852b855}));
+}
+
+TEST(GoldenSha, NistVectorTwoBlocks) {
+  const char* s = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  const std::vector<std::uint8_t> m(s, s + 56);
+  EXPECT_EQ(sha256_reference(m),
+            (std::vector<std::uint32_t>{0x248d6a61, 0xd20638b8, 0xe5c02693,
+                                        0x0c3e6039, 0xa33ce459, 0x64ff2167,
+                                        0xf6ecedd4, 0x19db06c1}));
+}
+
+TEST(GoldenAes, Fips197Vector) {
+  // FIPS-197 Appendix C.1.
+  std::vector<std::uint8_t> key(16), pt(16);
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+    pt[i] = static_cast<std::uint8_t>(i * 0x11);
+  }
+  const std::vector<std::uint8_t> expected = {
+      0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+      0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(aes128_encrypt_block(key, pt), expected);
+  EXPECT_EQ(aes128_decrypt_block(key, expected), pt);
+}
+
+TEST(GoldenAes, EncryptDecryptRoundtripRandom) {
+  std::vector<std::uint8_t> key = synthetic_bytes(16);
+  std::vector<std::uint8_t> block = synthetic_bytes(32);
+  block.erase(block.begin(), block.begin() + 16);
+  EXPECT_EQ(aes128_decrypt_block(key, aes128_encrypt_block(key, block)),
+            block);
+}
+
+TEST(GoldenDct, ReconstructionErrorIsSmall) {
+  // The fixed-point pipeline must reconstruct within a tight bound of
+  // the original pixels (validated via the reported total error).
+  const Workload w = make_dct(16);
+  const std::uint32_t total_err = w.expected_output[2];
+  // 16x16 = 256 pixels; allow an average error well under 1 LSB.
+  EXPECT_LT(total_err, 256u);
+}
+
+TEST(GoldenDct, DcCoefficientMatchesMean) {
+  // For a constant block the DC term dominates and reconstruction is
+  // exact: feed a constant image through the table-driven roundtrip by
+  // checking total error reported for a constant variant.
+  const int* t = dct_coeff_table();
+  // Table sanity: row 0 is the constant basis (256 each).
+  for (int x = 0; x < 8; ++x) EXPECT_EQ(t[x], 256);
+  // Rows have (near) zero sum for u odd.
+  for (int u = 1; u < 8; u += 2) {
+    int sum = 0;
+    for (int x = 0; x < 8; ++x) sum += t[u * 8 + x];
+    EXPECT_LE(std::abs(sum), 4) << "row " << u;
+  }
+}
+
+TEST(GoldenDijkstra, MatchesFloydWarshall) {
+  // Independent check of the golden checksum via Floyd-Warshall.
+  const int n = 12;
+  const Workload w = make_dijkstra(n);
+
+  // Rebuild the same graph.
+  std::vector<int> adj(n * n, 0);
+  std::uint32_t s = 2;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      s = xorshift32(s);
+      const std::uint32_t r = s >> 16;
+      adj[i * n + j] = (r % 4) == 0 ? 0 : 1 + static_cast<int>(r % 99);
+    }
+  }
+  const int inf = 1000000;
+  std::vector<int> d(n * n, inf);
+  for (int i = 0; i < n; ++i) d[i * n + i] = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (adj[i * n + j] != 0) d[i * n + j] = adj[i * n + j];
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (d[i * n + k] + d[k * n + j] < d[i * n + j]) {
+          d[i * n + j] = d[i * n + k] + d[k * n + j];
+        }
+      }
+    }
+  }
+  std::uint32_t cks = 0;
+  for (int src = 0; src < n; ++src) {
+    int sum = 0;
+    for (int j = 0; j < n; ++j) {
+      if (d[src * n + j] < inf) sum += d[src * n + j];
+    }
+    cks = cks * 31 + static_cast<std::uint32_t>(sum);
+  }
+  EXPECT_EQ(w.expected_output[0], cks);
+}
+
+// ---- MiniC programs vs golden, on the interpreter (fast) ----
+
+TEST(WorkloadInterp, ShaMatchesGolden) {
+  const Workload w = make_sha(16);
+  EXPECT_EQ(interp_run(w.minic_source), w.expected_output);
+}
+
+TEST(WorkloadInterp, AesMatchesGolden) {
+  const Workload w = make_aes(4);
+  EXPECT_EQ(interp_run(w.minic_source), w.expected_output);
+}
+
+TEST(WorkloadInterp, DctMatchesGolden) {
+  const Workload w = make_dct(16);
+  EXPECT_EQ(interp_run(w.minic_source), w.expected_output);
+}
+
+TEST(WorkloadInterp, DijkstraMatchesGolden) {
+  const Workload w = make_dijkstra(12);
+  EXPECT_EQ(interp_run(w.minic_source), w.expected_output);
+}
+
+// ---- full pipeline: both simulators, reduced sizes ----
+
+class WorkloadSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSim, EpicAndSarmMatchGolden) {
+  const auto workloads = all_workloads(8, 2, 8, 8);
+  const Workload& w = workloads[GetParam()];
+
+  ProcessorConfig cfg;
+  auto epic = driver::run_minic_on_epic(w.minic_source, cfg);
+  EXPECT_EQ(epic.output(), w.expected_output) << w.name << " on EPIC";
+
+  auto sarm_sim = driver::run_minic_on_sarm(w.minic_source);
+  EXPECT_EQ(sarm_sim.output(), w.expected_output) << w.name << " on SARM";
+}
+
+std::string workload_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const names[] = {"sha", "aes", "dct", "dijkstra"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadSim, ::testing::Values(0, 1, 2, 3),
+                         workload_name);
+
+TEST(WorkloadSim, EpicOneAluAlsoCorrect) {
+  const Workload w = make_dct(8);
+  ProcessorConfig cfg;
+  cfg.num_alus = 1;
+  cfg.issue_width = 1;
+  auto epic = driver::run_minic_on_epic(w.minic_source, cfg);
+  EXPECT_EQ(epic.output(), w.expected_output);
+}
+
+}  // namespace
+}  // namespace cepic::workloads

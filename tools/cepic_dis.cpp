@@ -1,0 +1,37 @@
+// cepic-dis — disassemble a CEPX binary back to assembly.
+//
+//   cepic-dis prog.cepx [--config-out cpu.cfg]
+#include "tool_common.hpp"
+
+#include "asmtool/assembler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  return tools::tool_main("cepic-dis", [&]() -> int {
+    std::string path;
+    std::string config_out;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--config-out") {
+        if (i + 1 >= argc) throw Error("--config-out needs a value");
+        config_out = argv[++i];
+      } else if (arg[0] == '-') {
+        std::cerr << "usage: cepic-dis <prog.cepx> [--config-out cpu.cfg]\n";
+        return 2;
+      } else {
+        path = arg;
+      }
+    }
+    if (path.empty()) {
+      std::cerr << "usage: cepic-dis <prog.cepx> [--config-out cpu.cfg]\n";
+      return 2;
+    }
+    const Program program = Program::deserialize(tools::read_binary(path));
+    std::cout << asmtool::disassemble(program);
+    if (!config_out.empty()) {
+      tools::write_file(config_out, program.config.to_text());
+      std::cerr << "configuration written to " << config_out << "\n";
+    }
+    return 0;
+  });
+}

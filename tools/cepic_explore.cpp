@@ -1,0 +1,62 @@
+// cepic-explore — design-space exploration over a user's own MiniC
+// program: sweeps ALU count (and optionally pipeline depth) and reports
+// cycles, area, frequency, wall-clock time and power for each
+// customisation, the paper's intended workflow for its platform.
+//
+//   cepic-explore prog.mc [--pipeline]
+#include "tool_common.hpp"
+
+#include "driver/driver.hpp"
+#include "fpga/model.hpp"
+#include "support/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  return tools::tool_main("cepic-explore", [&]() -> int {
+    std::string path;
+    bool sweep_pipeline = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--pipeline") {
+        sweep_pipeline = true;
+      } else if (arg[0] == '-') {
+        std::cerr << "usage: cepic-explore <prog.mc> [--pipeline]\n";
+        return 2;
+      } else {
+        path = arg;
+      }
+    }
+    if (path.empty()) {
+      std::cerr << "usage: cepic-explore <prog.mc> [--pipeline]\n";
+      return 2;
+    }
+    const std::string source = tools::read_file(path);
+
+    std::cout << pad_right("configuration", 24) << pad_left("cycles", 10)
+              << pad_left("slices", 9) << pad_left("fmax", 9)
+              << pad_left("time(ms)", 10) << pad_left("power", 9) << "\n";
+    for (unsigned alus : {1u, 2u, 3u, 4u}) {
+      for (unsigned stages : sweep_pipeline
+                                 ? std::vector<unsigned>{2u, 3u}
+                                 : std::vector<unsigned>{2u}) {
+        ProcessorConfig cfg;
+        cfg.num_alus = alus;
+        cfg.pipeline_stages = stages;
+        EpicSimulator sim = driver::run_minic_on_epic(source, cfg);
+        const auto area = fpga::estimate(cfg);
+        const double ms =
+            static_cast<double>(sim.stats().cycles) / (area.fmax_mhz * 1e3);
+        std::cout << pad_right(cat(alus, " ALU / ", stages, "-stage"), 24)
+                  << pad_left(cat(sim.stats().cycles), 10)
+                  << pad_left(fixed(area.slices, 0), 9)
+                  << pad_left(fixed(area.fmax_mhz, 1), 9)
+                  << pad_left(fixed(ms, 3), 10)
+                  << pad_left(cat(fixed(fpga::estimate_power(area).total(), 0),
+                                  " mW"),
+                              9)
+                  << "\n";
+      }
+    }
+    return 0;
+  });
+}

@@ -1,0 +1,56 @@
+// cepic-sim — run a CEPX binary on the cycle-level EPIC simulator (the
+// ReaCT-ILP role); prints the output stream and the cycle statistics.
+//
+//   cepic-sim prog.cepx [--trace] [--max-cycles N]
+#include "tool_common.hpp"
+
+#include "sim/simulator.hpp"
+#include "support/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  return tools::tool_main("cepic-sim", [&]() -> int {
+    std::string path;
+    SimOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--trace") {
+        options.collect_trace = true;
+      } else if (arg == "--max-cycles") {
+        std::int64_t v = 0;
+        if (!parse_int(next(), v) || v <= 0) throw Error("bad --max-cycles");
+        options.max_cycles = static_cast<std::uint64_t>(v);
+      } else if (arg[0] == '-') {
+        std::cerr << "usage: cepic-sim <prog.cepx> [--trace] "
+                     "[--max-cycles N]\n";
+        return 2;
+      } else {
+        path = arg;
+      }
+    }
+    if (path.empty()) {
+      std::cerr << "usage: cepic-sim <prog.cepx> [--trace] [--max-cycles N]\n";
+      return 2;
+    }
+
+    EpicSimulator sim(Program::deserialize(tools::read_binary(path)), {},
+                      options);
+    sim.run();
+
+    if (options.collect_trace) {
+      for (const TraceEntry& t : sim.trace()) {
+        std::cout << "cycle " << pad_left(cat(t.cycle), 6) << "  bundle "
+                  << pad_left(cat(t.bundle), 5) << "  " << t.text << "\n";
+      }
+    }
+    std::cout << "output:";
+    for (std::uint32_t v : sim.output()) std::cout << " " << v;
+    std::cout << "\nreturn value (r3): " << sim.gpr(3) << "\n\n"
+              << sim.stats().report();
+    return 0;
+  });
+}

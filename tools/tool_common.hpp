@@ -1,0 +1,65 @@
+// Shared plumbing for the CEPIC command-line tools: file I/O and
+// configuration loading. Tools print a short usage and exit 2 on bad
+// arguments, exit 1 on tool errors (with the library's diagnostic).
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "support/error.hpp"
+
+namespace cepic::tools {
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+inline std::vector<std::uint8_t> read_binary(const std::string& path) {
+  const std::string s = read_file(path);
+  return {s.begin(), s.end()};
+}
+
+inline void write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+}
+
+inline void write_binary(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Load a processor configuration: default when `path` is empty.
+inline ProcessorConfig load_config(const std::string& path) {
+  if (path.empty()) return ProcessorConfig{};
+  return ProcessorConfig::from_text(read_file(path));
+}
+
+/// Run a tool main body with uniform error reporting.
+template <typename Fn>
+int tool_main(const char* tool, Fn&& body) {
+  try {
+    return body();
+  } catch (const Error& e) {
+    std::cerr << tool << ": " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << tool << ": internal error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace cepic::tools
