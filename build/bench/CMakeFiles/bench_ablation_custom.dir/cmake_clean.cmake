@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_custom.dir/bench_ablation_custom.cpp.o"
+  "CMakeFiles/bench_ablation_custom.dir/bench_ablation_custom.cpp.o.d"
+  "bench_ablation_custom"
+  "bench_ablation_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ifconv.dir/bench_ablation_ifconv.cpp.o"
+  "CMakeFiles/bench_ablation_ifconv.dir/bench_ablation_ifconv.cpp.o.d"
+  "bench_ablation_ifconv"
+  "bench_ablation_ifconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ifconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_issue.dir/bench_ablation_issue.cpp.o"
+  "CMakeFiles/bench_ablation_issue.dir/bench_ablation_issue.cpp.o.d"
+  "bench_ablation_issue"
+  "bench_ablation_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sha.dir/bench_fig3_sha.cpp.o"
+  "CMakeFiles/bench_fig3_sha.dir/bench_fig3_sha.cpp.o.d"
+  "bench_fig3_sha"
+  "bench_fig3_sha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

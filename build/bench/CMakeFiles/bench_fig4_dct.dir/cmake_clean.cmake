@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dct.dir/bench_fig4_dct.cpp.o"
+  "CMakeFiles/bench_fig4_dct.dir/bench_fig4_dct.cpp.o.d"
+  "bench_fig4_dct"
+  "bench_fig4_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dijkstra.dir/bench_fig5_dijkstra.cpp.o"
+  "CMakeFiles/bench_fig5_dijkstra.dir/bench_fig5_dijkstra.cpp.o.d"
+  "bench_fig5_dijkstra"
+  "bench_fig5_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toolspeed.dir/bench_toolspeed.cpp.o"
+  "CMakeFiles/bench_toolspeed.dir/bench_toolspeed.cpp.o.d"
+  "bench_toolspeed"
+  "bench_toolspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toolspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_tour.dir/asm_tour.cpp.o"
+  "CMakeFiles/asm_tour.dir/asm_tour.cpp.o.d"
+  "asm_tour"
+  "asm_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

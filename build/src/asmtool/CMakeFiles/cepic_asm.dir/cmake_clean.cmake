@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_asm.dir/assembler.cpp.o"
+  "CMakeFiles/cepic_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/cepic_asm.dir/disasm.cpp.o"
+  "CMakeFiles/cepic_asm.dir/disasm.cpp.o.d"
+  "libcepic_asm.a"
+  "libcepic_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

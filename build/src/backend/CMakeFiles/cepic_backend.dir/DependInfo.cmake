@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/emit.cpp" "src/backend/CMakeFiles/cepic_backend.dir/emit.cpp.o" "gcc" "src/backend/CMakeFiles/cepic_backend.dir/emit.cpp.o.d"
+  "/root/repo/src/backend/lower.cpp" "src/backend/CMakeFiles/cepic_backend.dir/lower.cpp.o" "gcc" "src/backend/CMakeFiles/cepic_backend.dir/lower.cpp.o.d"
+  "/root/repo/src/backend/regalloc.cpp" "src/backend/CMakeFiles/cepic_backend.dir/regalloc.cpp.o" "gcc" "src/backend/CMakeFiles/cepic_backend.dir/regalloc.cpp.o.d"
+  "/root/repo/src/backend/schedule.cpp" "src/backend/CMakeFiles/cepic_backend.dir/schedule.cpp.o" "gcc" "src/backend/CMakeFiles/cepic_backend.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cepic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cepic_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdes/CMakeFiles/cepic_mdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cepic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_backend.dir/emit.cpp.o"
+  "CMakeFiles/cepic_backend.dir/emit.cpp.o.d"
+  "CMakeFiles/cepic_backend.dir/lower.cpp.o"
+  "CMakeFiles/cepic_backend.dir/lower.cpp.o.d"
+  "CMakeFiles/cepic_backend.dir/regalloc.cpp.o"
+  "CMakeFiles/cepic_backend.dir/regalloc.cpp.o.d"
+  "CMakeFiles/cepic_backend.dir/schedule.cpp.o"
+  "CMakeFiles/cepic_backend.dir/schedule.cpp.o.d"
+  "libcepic_backend.a"
+  "libcepic_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/cepic_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/custom.cpp" "src/core/CMakeFiles/cepic_core.dir/custom.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/custom.cpp.o.d"
+  "/root/repo/src/core/encoding.cpp" "src/core/CMakeFiles/cepic_core.dir/encoding.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/encoding.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/core/CMakeFiles/cepic_core.dir/eval.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/eval.cpp.o.d"
+  "/root/repo/src/core/instruction.cpp" "src/core/CMakeFiles/cepic_core.dir/instruction.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/instruction.cpp.o.d"
+  "/root/repo/src/core/isa.cpp" "src/core/CMakeFiles/cepic_core.dir/isa.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/isa.cpp.o.d"
+  "/root/repo/src/core/memory.cpp" "src/core/CMakeFiles/cepic_core.dir/memory.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/memory.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/cepic_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/cepic_core.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_core.dir/config.cpp.o"
+  "CMakeFiles/cepic_core.dir/config.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/custom.cpp.o"
+  "CMakeFiles/cepic_core.dir/custom.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/encoding.cpp.o"
+  "CMakeFiles/cepic_core.dir/encoding.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/eval.cpp.o"
+  "CMakeFiles/cepic_core.dir/eval.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/instruction.cpp.o"
+  "CMakeFiles/cepic_core.dir/instruction.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/isa.cpp.o"
+  "CMakeFiles/cepic_core.dir/isa.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/memory.cpp.o"
+  "CMakeFiles/cepic_core.dir/memory.cpp.o.d"
+  "CMakeFiles/cepic_core.dir/program.cpp.o"
+  "CMakeFiles/cepic_core.dir/program.cpp.o.d"
+  "libcepic_core.a"
+  "libcepic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_driver.dir/driver.cpp.o"
+  "CMakeFiles/cepic_driver.dir/driver.cpp.o.d"
+  "libcepic_driver.a"
+  "libcepic_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

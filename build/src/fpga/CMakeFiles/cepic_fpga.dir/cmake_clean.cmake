@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_fpga.dir/model.cpp.o"
+  "CMakeFiles/cepic_fpga.dir/model.cpp.o.d"
+  "libcepic_fpga.a"
+  "libcepic_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_frontend.dir/irgen.cpp.o"
+  "CMakeFiles/cepic_frontend.dir/irgen.cpp.o.d"
+  "CMakeFiles/cepic_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/cepic_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/cepic_frontend.dir/parser.cpp.o"
+  "CMakeFiles/cepic_frontend.dir/parser.cpp.o.d"
+  "libcepic_frontend.a"
+  "libcepic_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

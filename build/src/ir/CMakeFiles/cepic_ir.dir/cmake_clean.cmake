@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_ir.dir/interp.cpp.o"
+  "CMakeFiles/cepic_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/cepic_ir.dir/ir.cpp.o"
+  "CMakeFiles/cepic_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/cepic_ir.dir/print.cpp.o"
+  "CMakeFiles/cepic_ir.dir/print.cpp.o.d"
+  "CMakeFiles/cepic_ir.dir/verify.cpp.o"
+  "CMakeFiles/cepic_ir.dir/verify.cpp.o.d"
+  "libcepic_ir.a"
+  "libcepic_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_mdes.dir/mdes.cpp.o"
+  "CMakeFiles/cepic_mdes.dir/mdes.cpp.o.d"
+  "libcepic_mdes.a"
+  "libcepic_mdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_mdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cfg.cpp" "src/opt/CMakeFiles/cepic_opt.dir/cfg.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/cfg.cpp.o.d"
+  "/root/repo/src/opt/constfold.cpp" "src/opt/CMakeFiles/cepic_opt.dir/constfold.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/constfold.cpp.o.d"
+  "/root/repo/src/opt/copyprop.cpp" "src/opt/CMakeFiles/cepic_opt.dir/copyprop.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/copyprop.cpp.o.d"
+  "/root/repo/src/opt/cse.cpp" "src/opt/CMakeFiles/cepic_opt.dir/cse.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/cse.cpp.o.d"
+  "/root/repo/src/opt/custom_candidates.cpp" "src/opt/CMakeFiles/cepic_opt.dir/custom_candidates.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/custom_candidates.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/opt/CMakeFiles/cepic_opt.dir/dce.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/dce.cpp.o.d"
+  "/root/repo/src/opt/ifconvert.cpp" "src/opt/CMakeFiles/cepic_opt.dir/ifconvert.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/ifconvert.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/opt/CMakeFiles/cepic_opt.dir/inline.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/inline.cpp.o.d"
+  "/root/repo/src/opt/licm.cpp" "src/opt/CMakeFiles/cepic_opt.dir/licm.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/licm.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "src/opt/CMakeFiles/cepic_opt.dir/pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/opt/simplify_cfg.cpp" "src/opt/CMakeFiles/cepic_opt.dir/simplify_cfg.cpp.o" "gcc" "src/opt/CMakeFiles/cepic_opt.dir/simplify_cfg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cepic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cepic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_opt.dir/cfg.cpp.o"
+  "CMakeFiles/cepic_opt.dir/cfg.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/constfold.cpp.o"
+  "CMakeFiles/cepic_opt.dir/constfold.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/copyprop.cpp.o"
+  "CMakeFiles/cepic_opt.dir/copyprop.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/cse.cpp.o"
+  "CMakeFiles/cepic_opt.dir/cse.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/custom_candidates.cpp.o"
+  "CMakeFiles/cepic_opt.dir/custom_candidates.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/dce.cpp.o"
+  "CMakeFiles/cepic_opt.dir/dce.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/ifconvert.cpp.o"
+  "CMakeFiles/cepic_opt.dir/ifconvert.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/inline.cpp.o"
+  "CMakeFiles/cepic_opt.dir/inline.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/licm.cpp.o"
+  "CMakeFiles/cepic_opt.dir/licm.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/pipeline.cpp.o"
+  "CMakeFiles/cepic_opt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cepic_opt.dir/simplify_cfg.cpp.o"
+  "CMakeFiles/cepic_opt.dir/simplify_cfg.cpp.o.d"
+  "libcepic_opt.a"
+  "libcepic_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

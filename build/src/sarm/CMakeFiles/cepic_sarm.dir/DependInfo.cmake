@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sarm/codegen.cpp" "src/sarm/CMakeFiles/cepic_sarm.dir/codegen.cpp.o" "gcc" "src/sarm/CMakeFiles/cepic_sarm.dir/codegen.cpp.o.d"
+  "/root/repo/src/sarm/isa.cpp" "src/sarm/CMakeFiles/cepic_sarm.dir/isa.cpp.o" "gcc" "src/sarm/CMakeFiles/cepic_sarm.dir/isa.cpp.o.d"
+  "/root/repo/src/sarm/sim.cpp" "src/sarm/CMakeFiles/cepic_sarm.dir/sim.cpp.o" "gcc" "src/sarm/CMakeFiles/cepic_sarm.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cepic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cepic_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cepic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

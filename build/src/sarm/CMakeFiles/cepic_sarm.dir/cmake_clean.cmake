@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_sarm.dir/codegen.cpp.o"
+  "CMakeFiles/cepic_sarm.dir/codegen.cpp.o.d"
+  "CMakeFiles/cepic_sarm.dir/isa.cpp.o"
+  "CMakeFiles/cepic_sarm.dir/isa.cpp.o.d"
+  "CMakeFiles/cepic_sarm.dir/sim.cpp.o"
+  "CMakeFiles/cepic_sarm.dir/sim.cpp.o.d"
+  "libcepic_sarm.a"
+  "libcepic_sarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_sarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

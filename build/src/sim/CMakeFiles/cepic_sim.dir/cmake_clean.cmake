@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cepic_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cepic_sim.dir/stats.cpp.o"
+  "CMakeFiles/cepic_sim.dir/stats.cpp.o.d"
+  "libcepic_sim.a"
+  "libcepic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_support.dir/text.cpp.o"
+  "CMakeFiles/cepic_support.dir/text.cpp.o.d"
+  "libcepic_support.a"
+  "libcepic_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

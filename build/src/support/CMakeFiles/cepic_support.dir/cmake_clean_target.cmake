@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcepic_support.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aes.cpp" "src/workloads/CMakeFiles/cepic_workloads.dir/aes.cpp.o" "gcc" "src/workloads/CMakeFiles/cepic_workloads.dir/aes.cpp.o.d"
+  "/root/repo/src/workloads/dct.cpp" "src/workloads/CMakeFiles/cepic_workloads.dir/dct.cpp.o" "gcc" "src/workloads/CMakeFiles/cepic_workloads.dir/dct.cpp.o.d"
+  "/root/repo/src/workloads/dijkstra.cpp" "src/workloads/CMakeFiles/cepic_workloads.dir/dijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/cepic_workloads.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/sha.cpp" "src/workloads/CMakeFiles/cepic_workloads.dir/sha.cpp.o" "gcc" "src/workloads/CMakeFiles/cepic_workloads.dir/sha.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

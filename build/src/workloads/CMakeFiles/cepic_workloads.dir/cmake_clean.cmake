@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic_workloads.dir/aes.cpp.o"
+  "CMakeFiles/cepic_workloads.dir/aes.cpp.o.d"
+  "CMakeFiles/cepic_workloads.dir/dct.cpp.o"
+  "CMakeFiles/cepic_workloads.dir/dct.cpp.o.d"
+  "CMakeFiles/cepic_workloads.dir/dijkstra.cpp.o"
+  "CMakeFiles/cepic_workloads.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/cepic_workloads.dir/sha.cpp.o"
+  "CMakeFiles/cepic_workloads.dir/sha.cpp.o.d"
+  "libcepic_workloads.a"
+  "libcepic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

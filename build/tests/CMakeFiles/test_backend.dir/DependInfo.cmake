@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/test_backend.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/test_backend.dir/test_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/cepic_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/cepic_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cepic_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdes/CMakeFiles/cepic_mdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cepic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cepic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_epic.dir/test_e2e_epic.cpp.o"
+  "CMakeFiles/test_e2e_epic.dir/test_e2e_epic.cpp.o.d"
+  "test_e2e_epic"
+  "test_e2e_epic.pdb"
+  "test_e2e_epic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_epic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_futurework.dir/test_futurework.cpp.o"
+  "CMakeFiles/test_futurework.dir/test_futurework.cpp.o.d"
+  "test_futurework"
+  "test_futurework.pdb"
+  "test_futurework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irgen.dir/test_irgen.cpp.o"
+  "CMakeFiles/test_irgen.dir/test_irgen.cpp.o.d"
+  "test_irgen"
+  "test_irgen.pdb"
+  "test_irgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

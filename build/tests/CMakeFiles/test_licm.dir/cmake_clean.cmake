@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_licm.dir/test_licm.cpp.o"
+  "CMakeFiles/test_licm.dir/test_licm.cpp.o.d"
+  "test_licm"
+  "test_licm.pdb"
+  "test_licm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_licm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdes.dir/test_mdes.cpp.o"
+  "CMakeFiles/test_mdes.dir/test_mdes.cpp.o.d"
+  "test_mdes"
+  "test_mdes.pdb"
+  "test_mdes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sarm.dir/test_sarm.cpp.o"
+  "CMakeFiles/test_sarm.dir/test_sarm.cpp.o.d"
+  "test_sarm"
+  "test_sarm.pdb"
+  "test_sarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

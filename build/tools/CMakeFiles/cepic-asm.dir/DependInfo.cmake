@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cepic_asm.cpp" "tools/CMakeFiles/cepic-asm.dir/cepic_asm.cpp.o" "gcc" "tools/CMakeFiles/cepic-asm.dir/cepic_asm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/cepic_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/cepic_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/cepic_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/cepic_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtool/CMakeFiles/cepic_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cepic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdes/CMakeFiles/cepic_mdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sarm/CMakeFiles/cepic_sarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cepic_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cepic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cepic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cepic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic-asm.dir/cepic_asm.cpp.o"
+  "CMakeFiles/cepic-asm.dir/cepic_asm.cpp.o.d"
+  "cepic-asm"
+  "cepic-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic-cc.dir/cepic_cc.cpp.o"
+  "CMakeFiles/cepic-cc.dir/cepic_cc.cpp.o.d"
+  "cepic-cc"
+  "cepic-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic-dis.dir/cepic_dis.cpp.o"
+  "CMakeFiles/cepic-dis.dir/cepic_dis.cpp.o.d"
+  "cepic-dis"
+  "cepic-dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic-dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic-explore.dir/cepic_explore.cpp.o"
+  "CMakeFiles/cepic-explore.dir/cepic_explore.cpp.o.d"
+  "cepic-explore"
+  "cepic-explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic-explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

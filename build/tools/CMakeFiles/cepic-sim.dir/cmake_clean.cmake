@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepic-sim.dir/cepic_sim.cpp.o"
+  "CMakeFiles/cepic-sim.dir/cepic_sim.cpp.o.d"
+  "cepic-sim"
+  "cepic-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepic-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
