@@ -6,7 +6,14 @@
 // text extraction): with 4 ALUs the EPIC design completes in ~1.7x
 // (Dijkstra), ~3.8x (SHA) and ~12.3x (DCT) fewer cycles than the
 // SA-110, while AES stays roughly flat in the number of ALUs.
+//
+// The EPIC side runs through the exploration engine (src/explore): one
+// 4-point ALU sweep per workload on a thread pool sized to the machine,
+// exactly the library path cepic-explore uses.
 #include "bench_util.hpp"
+
+#include "explore/explore.hpp"
+#include "explore/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace cepic;
@@ -36,14 +43,37 @@ int main(int argc, char** argv) {
     print_row("SA-110", cells);
   }
 
+  // One ALU sweep per workload through the exploration engine; rows of
+  // the printed table are (ALU count) x (workload), so gather the sweep
+  // results first and then print by row.
+  explore::SweepSpec spec;
+  for (unsigned alus = 1; alus <= 4; ++alus) spec.add(epic_with_alus(alus));
+  explore::ExploreOptions options;
+  options.jobs = explore::ThreadPool::hardware_jobs();
+  options.sim = big_sim();
+
+  std::vector<explore::SweepResult> sweeps;
+  for (const auto& w : workloads) {
+    sweeps.push_back(explore::run_sweep(w.minic_source, spec, options));
+    for (const auto& p : sweeps.back().points) {
+      if (!p.ok) {
+        std::cout << "!! " << w.name << "/" << p.config.summary()
+                  << ": " << p.error << "\n";
+      } else if (p.output_hash !=
+                 explore::hash_output(w.expected_output)) {
+        std::cout << "!! " << p.config.num_alus << "ALU/" << w.name
+                  << ": OUTPUT MISMATCH vs golden — results invalid\n";
+      }
+    }
+  }
+
   std::vector<std::uint64_t> epic4;
   for (unsigned alus = 1; alus <= 4; ++alus) {
     std::vector<std::string> cells;
-    for (const auto& w : workloads) {
-      const RunResult r = run_epic(w, epic_with_alus(alus));
-      check_outputs(cat(alus, "ALU/", w.name), r);
-      if (alus == 4) epic4.push_back(r.cycles);
-      cells.push_back(cat(r.cycles));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      const explore::PointResult& p = sweeps[wi].points[alus - 1];
+      if (alus == 4) epic4.push_back(p.cycles);
+      cells.push_back(cat(p.cycles));
     }
     print_row(cat(alus, alus == 1 ? " ALU" : " ALUs"), cells);
   }

@@ -152,6 +152,27 @@ ProcessorConfig ProcessorConfig::from_text(std::string_view text) {
   return cfg;
 }
 
+std::uint64_t ProcessorConfig::stable_hash() const { return fnv1a64(to_text()); }
+
+std::string ProcessorConfig::summary() const {
+  const ProcessorConfig def;
+  std::string s = cat(num_alus, "alu/", issue_width, "iss/", reg_port_budget,
+                      "port/", pipeline_stages, "stg");
+  if (num_gprs != def.num_gprs) s += cat("/g", num_gprs);
+  if (num_preds != def.num_preds) s += cat("/p", num_preds);
+  if (num_btrs != def.num_btrs) s += cat("/b", num_btrs);
+  if (datapath_width != def.datapath_width) s += cat("/w", datapath_width);
+  if (max_regs_per_instr != def.max_regs_per_instr) {
+    s += cat("/m", max_regs_per_instr);
+  }
+  if (load_latency != def.load_latency) s += cat("/l", load_latency);
+  if (!forwarding) s += "/nofwd";
+  if (unified_memory_contention) s += "/umc";
+  if (!(alu == def.alu)) s += "/trim";
+  if (!custom_ops.empty()) s += cat("/c", custom_ops.size());
+  return s;
+}
+
 std::string ProcessorConfig::to_text() const {
   std::string custom;
   for (std::size_t i = 0; i < custom_ops.size(); ++i) {

@@ -118,6 +118,16 @@ struct ProcessorConfig {
   /// Render as a configuration file (round-trips through from_text).
   std::string to_text() const;
 
+  /// Order-stable 64-bit hash of the canonical textual form, identical
+  /// across runs and platforms. Two configs hash equal iff they compare
+  /// equal (to_text() covers every field). Keys the explore result
+  /// cache, including its on-disk file.
+  std::uint64_t stable_hash() const;
+
+  /// Compact one-line description for sweep tables and CSV rows, e.g.
+  /// "2alu/4iss/8port/2stg" plus any non-default extras.
+  std::string summary() const;
+
   bool operator==(const ProcessorConfig&) const = default;
 };
 

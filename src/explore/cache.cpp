@@ -1,0 +1,121 @@
+#include "explore/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::explore {
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t& out, bool hex) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (hex && c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    const std::uint64_t base = hex ? 16 : 10;
+    if (v > (~std::uint64_t{0} - digit) / base) return false;  // overflow
+    v = v * base + digit;
+  }
+  out = v;
+  return true;
+}
+
+std::string to_hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::size_t ResultCache::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto fields = split_ws(line);
+    // v1 <src_hash hex> <cfg_hash hex> <cycles> <ops> <words> <hash hex> <ret>
+    if (fields.size() != 8 || fields[0] != "v1") continue;
+    Key key;
+    CacheEntry e;
+    std::uint64_t ret64 = 0;
+    if (!parse_u64(fields[1], key.first, /*hex=*/true)) continue;
+    if (!parse_u64(fields[2], key.second, /*hex=*/true)) continue;
+    if (!parse_u64(fields[3], e.cycles, /*hex=*/false)) continue;
+    if (!parse_u64(fields[4], e.ops_committed, /*hex=*/false)) continue;
+    if (!parse_u64(fields[5], e.output_words, /*hex=*/false)) continue;
+    if (!parse_u64(fields[6], e.output_hash, /*hex=*/true)) continue;
+    if (!parse_u64(fields[7], ret64, /*hex=*/false)) continue;
+    if (ret64 > 0xFFFFFFFFull) continue;
+    e.ret = static_cast<std::uint32_t>(ret64);
+    std::unique_lock<std::mutex> lock(mu_);
+    entries_[key] = e;
+    ++loaded;
+  }
+  return loaded;
+}
+
+void ResultCache::save_file(const std::string& path) const {
+  std::ostringstream os;
+  os << "# cepic-explore result cache. One line per (source, config) "
+        "point:\n"
+     << "# v1 src_hash cfg_hash cycles ops_committed out_words out_hash "
+        "ret\n";
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const auto& [key, e] : entries_) {
+      os << "v1 " << to_hex(key.first) << ' ' << to_hex(key.second) << ' '
+         << e.cycles << ' ' << e.ops_committed << ' ' << e.output_words << ' '
+         << to_hex(e.output_hash) << ' ' << e.ret << '\n';
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error(cat("cannot write cache file ", path));
+  out << os.str();
+  if (!out.flush()) throw Error(cat("failed writing cache file ", path));
+}
+
+bool ResultCache::lookup(const Key& key, CacheEntry& out) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void ResultCache::insert(const Key& key, const CacheEntry& entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  entries_[key] = entry;
+}
+
+std::size_t ResultCache::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace cepic::explore

@@ -1,0 +1,206 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/custom.hpp"
+#include "explore/thread_pool.hpp"
+#include "fpga/model.hpp"
+#include "support/text.hpp"
+
+namespace cepic::explore {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+/// Fill the derived analytic fields of a point from its config and the
+/// cached/simulated cycle count. Pure function of (config, cycles,
+/// ops_committed) — identical for cached and fresh points.
+void fill_analytics(PointResult& p) {
+  const CustomOpTable custom = CustomOpTable::for_names(p.config.custom_ops);
+  const fpga::ResourceEstimate area = fpga::estimate(p.config, &custom);
+  p.slices = area.slices;
+  p.block_rams = area.block_rams;
+  p.block_mults = area.block_mults;
+  p.fmax_mhz = area.fmax_mhz;
+  p.power_mw = fpga::estimate_power(area).total();
+  p.time_ms = static_cast<double>(p.cycles) / (area.fmax_mhz * 1e3);
+  p.ilp = p.cycles == 0 ? 0.0
+                        : static_cast<double>(p.ops_committed) /
+                              static_cast<double>(p.cycles);
+}
+
+/// Compile + simulate one point, or serve it from the cache. Never
+/// throws: failures land in PointResult::error.
+void run_point(std::string_view source, std::uint64_t source_hash,
+               const ExploreOptions& options, ResultCache& cache,
+               PointResult& p) {
+  const ResultCache::Key key{source_hash, p.config_hash};
+  CacheEntry entry;
+  if (cache.lookup(key, entry)) {
+    p.from_cache = true;
+  } else {
+    try {
+      p.config.validate();
+      EpicSimulator sim = driver::run_minic_on_epic(source, p.config,
+                                                    options.compile,
+                                                    options.sim);
+      entry.cycles = sim.stats().cycles;
+      entry.ops_committed = sim.stats().ops_committed;
+      entry.output_words = sim.output().size();
+      entry.output_hash = hash_output(sim.output());
+      entry.ret = sim.gpr(3);
+      cache.insert(key, entry);
+    } catch (const std::exception& e) {
+      p.ok = false;
+      p.error = e.what();
+      return;
+    }
+  }
+  p.ok = true;
+  p.cycles = entry.cycles;
+  p.ops_committed = entry.ops_committed;
+  p.output_words = entry.output_words;
+  p.output_hash = entry.output_hash;
+  p.ret = entry.ret;
+  fill_analytics(p);
+}
+
+/// True if `a` Pareto-dominates `b` on (cycles, slices, power).
+bool dominates(const PointResult& a, const PointResult& b) {
+  if (a.cycles > b.cycles || a.slices > b.slices || a.power_mw > b.power_mw) {
+    return false;
+  }
+  return a.cycles < b.cycles || a.slices < b.slices || a.power_mw < b.power_mw;
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << (c < 0x10 ? "0" : "") << std::hex
+             << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> SweepResult::pareto_indices() const {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].ok) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = j != i && points[j].ok && dominates(points[j], points[i]);
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+bool SweepResult::is_pareto(std::size_t index) const {
+  const auto frontier = pareto_indices();
+  return std::binary_search(frontier.begin(), frontier.end(), index);
+}
+
+std::string SweepResult::to_csv() const {
+  const auto frontier = pareto_indices();
+  std::string csv =
+      "point,config,alus,issue,ports,stages,ok,cycles,ilp,slices,brams,"
+      "mults,fmax_mhz,time_ms,power_mw,out_words,out_hash,ret,pareto\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    const bool pareto = std::binary_search(frontier.begin(), frontier.end(), i);
+    csv += cat(i, ",", p.config.summary(), ",", p.config.num_alus, ",",
+               p.config.issue_width, ",", p.config.reg_port_budget, ",",
+               p.config.pipeline_stages, ",", p.ok ? 1 : 0, ",", p.cycles, ",",
+               fixed(p.ilp, 3), ",", fixed(p.slices, 0), ",", p.block_rams,
+               ",", p.block_mults, ",", fixed(p.fmax_mhz, 1), ",",
+               fixed(p.time_ms, 3), ",", fixed(p.power_mw, 1), ",",
+               p.output_words, ",", hex64(p.output_hash), ",", p.ret, ",",
+               pareto ? 1 : 0, "\n");
+  }
+  return csv;
+}
+
+std::string SweepResult::to_json() const {
+  const auto frontier = pareto_indices();
+  std::ostringstream os;
+  os << "{\n  \"source_hash\": \"" << hex64(source_hash)
+     << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    const bool pareto = std::binary_search(frontier.begin(), frontier.end(), i);
+    os << "    {\"point\": " << i << ", \"config\": \"" << p.config.summary()
+       << "\", \"config_hash\": \"" << hex64(p.config_hash)
+       << "\", \"ok\": " << (p.ok ? "true" : "false");
+    if (p.ok) {
+      os << ", \"cycles\": " << p.cycles << ", \"ilp\": " << fixed(p.ilp, 3)
+         << ", \"slices\": " << fixed(p.slices, 0)
+         << ", \"brams\": " << p.block_rams << ", \"mults\": " << p.block_mults
+         << ", \"fmax_mhz\": " << fixed(p.fmax_mhz, 1)
+         << ", \"time_ms\": " << fixed(p.time_ms, 3)
+         << ", \"power_mw\": " << fixed(p.power_mw, 1)
+         << ", \"out_words\": " << p.output_words << ", \"out_hash\": \""
+         << hex64(p.output_hash) << "\", \"ret\": " << p.ret
+         << ", \"pareto\": " << (pareto ? "true" : "false");
+    } else {
+      os << ", \"error\": \"";
+      json_escape(os, p.error);
+      os << "\"";
+    }
+    os << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+SweepResult run_sweep(std::string_view source, const SweepSpec& spec,
+                      const ExploreOptions& options) {
+  SweepResult result;
+  result.source_hash = fnv1a64(source);
+  result.points.resize(spec.points.size());
+
+  ResultCache cache;
+  if (!options.cache_file.empty()) cache.load_file(options.cache_file);
+
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    result.points[i].config = spec.points[i];
+    result.points[i].config_hash = spec.points[i].stable_hash();
+  }
+
+  const unsigned jobs =
+      options.jobs == 0 ? ThreadPool::hardware_jobs() : options.jobs;
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      PointResult* p = &result.points[i];
+      pool.submit([source, p, &options, &cache, &result] {
+        run_point(source, result.source_hash, options, cache, *p);
+      });
+    }
+    pool.wait();
+  }
+
+  for (const PointResult& p : result.points) {
+    if (p.from_cache) ++result.cache_hits;
+  }
+  if (!options.cache_file.empty()) cache.save_file(options.cache_file);
+  return result;
+}
+
+}  // namespace cepic::explore

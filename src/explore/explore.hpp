@@ -1,0 +1,107 @@
+// Parallel design-space exploration engine — the paper's headline
+// workflow (§6, Table 1, Figs. 3–5) as a library: take one MiniC
+// program and a SweepSpec of processor customisations, compile and
+// simulate every point on a fixed-size thread pool, fold in the
+// analytic FPGA area/timing/power model, and aggregate everything into
+// a SweepResult with Pareto-frontier extraction (cycles x slices x
+// power) and CSV/JSON export.
+//
+// Determinism contract: results are stored at the point's index in the
+// SweepSpec, every metric is a pure function of (source, config), and
+// the exporters iterate in index order — so the output is byte-identical
+// for any jobs count and for cached vs. freshly simulated points.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "driver/driver.hpp"
+#include "explore/cache.hpp"
+#include "explore/sweep.hpp"
+#include "sim/simulator.hpp"
+#include "support/bits.hpp"
+
+namespace cepic::explore {
+
+/// Stable fingerprint of an OUT stream (each word folded LSB-first into
+/// a 64-bit FNV-1a hash). Used to compare a sweep point's output against
+/// a golden stream without retaining the stream itself.
+inline std::uint64_t hash_output(std::span<const std::uint32_t> words) {
+  std::uint64_t h = kFnvOffset64;
+  for (std::uint32_t w : words) {
+    for (unsigned b = 0; b < 4; ++b) {
+      h = fnv1a64_byte(h, static_cast<std::uint8_t>(w >> (8 * b)));
+    }
+  }
+  return h;
+}
+
+/// Outcome of one sweep point. When `ok` is false the point failed to
+/// compile or simulate and `error` carries the diagnostic; the metric
+/// fields are zero.
+struct PointResult {
+  ProcessorConfig config;
+  std::uint64_t config_hash = 0;
+  bool ok = false;
+  std::string error;
+  bool from_cache = false;  ///< served by the result cache (not exported)
+
+  // Simulation outcome (cacheable, integers).
+  std::uint64_t cycles = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t output_words = 0;
+  std::uint64_t output_hash = 0;
+  std::uint32_t ret = 0;
+
+  // Derived analytics (recomputed from config + cycles on every run).
+  double ilp = 0;
+  double slices = 0;
+  unsigned block_rams = 0;
+  unsigned block_mults = 0;
+  double fmax_mhz = 0;
+  double time_ms = 0;
+  double power_mw = 0;
+};
+
+struct SweepResult {
+  std::uint64_t source_hash = 0;
+  std::vector<PointResult> points;  ///< one per SweepSpec point, in order
+  std::size_t cache_hits = 0;       ///< points served from the cache
+
+  /// Indices (ascending) of the Pareto-optimal points under simultaneous
+  /// minimisation of cycles, slices and power. Failed points never
+  /// appear and never dominate.
+  std::vector<std::size_t> pareto_indices() const;
+
+  /// True if `index` is on the Pareto frontier.
+  bool is_pareto(std::size_t index) const;
+
+  /// CSV with a fixed header; one row per point in index order.
+  std::string to_csv() const;
+
+  /// JSON array of point objects, 2-space indented, in index order.
+  std::string to_json() const;
+};
+
+struct ExploreOptions {
+  /// Worker threads; 0 means "all hardware threads".
+  unsigned jobs = 1;
+  /// On-disk result cache file; empty disables persistence. The file is
+  /// loaded before the sweep and rewritten (old + new entries) after it.
+  std::string cache_file;
+  SimOptions sim;
+  driver::EpicCompileOptions compile;
+};
+
+/// Compile and simulate `source` at every point of `spec`. Per-point
+/// failures (invalid config, compile error, simulation fault) are
+/// captured in the corresponding PointResult rather than thrown; only
+/// infrastructure failures (unwritable cache file) escape.
+SweepResult run_sweep(std::string_view source, const SweepSpec& spec,
+                      const ExploreOptions& options = {});
+
+}  // namespace cepic::explore

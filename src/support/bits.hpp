@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "support/error.hpp"
 
@@ -73,6 +74,22 @@ constexpr std::uint32_t to_unsigned(std::int32_t v) {
 /// 32-bit rotate right.
 constexpr std::uint32_t rotr32(std::uint32_t v, unsigned n) {
   return std::rotr(v, static_cast<int>(n & 31));
+}
+
+inline constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ull;
+
+/// Fold one byte into a running 64-bit FNV-1a hash.
+constexpr std::uint64_t fnv1a64_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnvPrime64;
+}
+
+/// 64-bit FNV-1a over a byte string. Stable across runs and platforms —
+/// used wherever a persisted key is needed (the explore result cache).
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t h = kFnvOffset64) {
+  for (char c : bytes) h = fnv1a64_byte(h, static_cast<std::uint8_t>(c));
+  return h;
 }
 
 }  // namespace cepic

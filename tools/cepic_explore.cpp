@@ -1,62 +1,147 @@
-// cepic-explore — design-space exploration over a user's own MiniC
-// program: sweeps ALU count (and optionally pipeline depth) and reports
-// cycles, area, frequency, wall-clock time and power for each
-// customisation, the paper's intended workflow for its platform.
+// cepic-explore — parallel design-space exploration over a user's own
+// MiniC program (the paper's intended workflow, §6): sweep processor
+// customisations, compile and simulate every point on a thread pool,
+// and report cycles, area, frequency, wall-clock time and power, with
+// Pareto-frontier marking and CSV/JSON export.
 //
-//   cepic-explore prog.mc [--pipeline]
+//   cepic-explore prog.mc [options]
+//     --grid SPEC    sweep dimensions, e.g. alus=1..4,width=1..4,ports=4,8
+//                    (default: alus=1..4)
+//     --pipeline     also sweep pipeline stages 2..3 (legacy flag)
+//     --jobs N       worker threads; 0 = all hardware threads (default 1)
+//     --cache FILE   on-disk result cache (repeated points become free)
+//     --csv FILE     write the full result table as CSV ("-" = stdout)
+//     --json FILE    write the full result table as JSON ("-" = stdout)
+//     --pareto       print only Pareto-optimal points (cycles x slices
+//                    x power)
+//
+// Output is byte-identical for any --jobs value: results are ordered by
+// grid position, never by completion time.
 #include "tool_common.hpp"
 
-#include "driver/driver.hpp"
-#include "fpga/model.hpp"
+#include <algorithm>
+
+#include "explore/explore.hpp"
 #include "support/text.hpp"
+
+namespace {
+
+void write_file_or_stdout(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  cepic::tools::write_file(path, text);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-explore", [&]() -> int {
     std::string path;
+    std::string grid;
+    std::string csv_path;
+    std::string json_path;
     bool sweep_pipeline = false;
+    bool pareto_only = false;
+    explore::ExploreOptions options;
+
+    const auto usage = [] {
+      std::cerr << "usage: cepic-explore <prog.mc> [--grid SPEC] [--jobs N]"
+                   " [--cache FILE]\n"
+                   "                     [--csv FILE] [--json FILE]"
+                   " [--pareto] [--pipeline]\n";
+      return 2;
+    };
+    const auto next_arg = [&](int& i) -> std::string {
+      if (i + 1 >= argc) throw Error(cat(argv[i], " needs a value"));
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--pipeline") {
         sweep_pipeline = true;
-      } else if (arg[0] == '-') {
-        std::cerr << "usage: cepic-explore <prog.mc> [--pipeline]\n";
-        return 2;
+      } else if (arg == "--pareto") {
+        pareto_only = true;
+      } else if (arg == "--grid") {
+        grid = next_arg(i);
+      } else if (arg == "--jobs") {
+        std::int64_t v = 0;
+        if (!parse_int(next_arg(i), v) || v < 0) {
+          throw Error("--jobs needs a non-negative integer");
+        }
+        options.jobs = static_cast<unsigned>(v);
+      } else if (arg == "--cache") {
+        options.cache_file = next_arg(i);
+      } else if (arg == "--csv") {
+        csv_path = next_arg(i);
+      } else if (arg == "--json") {
+        json_path = next_arg(i);
+      } else if (arg[0] == '-' && arg != "-") {
+        return usage();
       } else {
         path = arg;
       }
     }
-    if (path.empty()) {
-      std::cerr << "usage: cepic-explore <prog.mc> [--pipeline]\n";
-      return 2;
-    }
+    if (path.empty()) return usage();
     const std::string source = tools::read_file(path);
 
-    std::cout << pad_right("configuration", 24) << pad_left("cycles", 10)
-              << pad_left("slices", 9) << pad_left("fmax", 9)
-              << pad_left("time(ms)", 10) << pad_left("power", 9) << "\n";
-    for (unsigned alus : {1u, 2u, 3u, 4u}) {
-      for (unsigned stages : sweep_pipeline
-                                 ? std::vector<unsigned>{2u, 3u}
-                                 : std::vector<unsigned>{2u}) {
-        ProcessorConfig cfg;
-        cfg.num_alus = alus;
-        cfg.pipeline_stages = stages;
-        EpicSimulator sim = driver::run_minic_on_epic(source, cfg);
-        const auto area = fpga::estimate(cfg);
-        const double ms =
-            static_cast<double>(sim.stats().cycles) / (area.fmax_mhz * 1e3);
-        std::cout << pad_right(cat(alus, " ALU / ", stages, "-stage"), 24)
-                  << pad_left(cat(sim.stats().cycles), 10)
-                  << pad_left(fixed(area.slices, 0), 9)
-                  << pad_left(fixed(area.fmax_mhz, 1), 9)
-                  << pad_left(fixed(ms, 3), 10)
-                  << pad_left(cat(fixed(fpga::estimate_power(area).total(), 0),
-                                  " mW"),
-                              9)
-                  << "\n";
+    if (grid.empty()) {
+      grid = sweep_pipeline ? "alus=1..4,stages=2..3" : "alus=1..4";
+    } else if (sweep_pipeline) {
+      grid += ",stages=2..3";
+    }
+    explore::SweepSpec spec = explore::SweepSpec::from_grid(grid);
+    const std::size_t dropped = spec.filter_invalid();
+    if (dropped != 0) {
+      std::cerr << "note: " << dropped
+                << " grid point(s) invalid, skipped\n";
+    }
+    if (spec.empty()) {
+      std::cerr << "error: grid `" << grid << "` has no valid points\n";
+      return 1;
+    }
+
+    const explore::SweepResult result =
+        explore::run_sweep(source, spec, options);
+
+    // When an export goes to stdout, the human table would corrupt it.
+    if (csv_path != "-" && json_path != "-") {
+      std::cout << pad_right("configuration", 26) << pad_left("cycles", 10)
+                << pad_left("slices", 9) << pad_left("fmax", 9)
+                << pad_left("time(ms)", 10) << pad_left("power", 9)
+                << "  pareto\n";
+      const auto frontier = result.pareto_indices();
+      for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const explore::PointResult& p = result.points[i];
+        if (!p.ok) {
+          std::cout << pad_right(p.config.summary(), 26) << "  error: "
+                    << p.error << "\n";
+          continue;
+        }
+        const bool pareto =
+            std::binary_search(frontier.begin(), frontier.end(), i);
+        if (pareto_only && !pareto) continue;
+        std::cout << pad_right(p.config.summary(), 26)
+                  << pad_left(cat(p.cycles), 10)
+                  << pad_left(fixed(p.slices, 0), 9)
+                  << pad_left(fixed(p.fmax_mhz, 1), 9)
+                  << pad_left(fixed(p.time_ms, 3), 10)
+                  << pad_left(cat(fixed(p.power_mw, 0), " mW"), 9)
+                  << (pareto ? "  *" : "") << "\n";
       }
     }
-    return 0;
+    if (result.cache_hits != 0) {
+      std::cerr << "cache: " << result.cache_hits << "/"
+                << result.points.size() << " points served from "
+                << options.cache_file << "\n";
+    }
+
+    if (!csv_path.empty()) write_file_or_stdout(csv_path, result.to_csv());
+    if (!json_path.empty()) write_file_or_stdout(json_path, result.to_json());
+    const bool any_ok = std::any_of(result.points.begin(), result.points.end(),
+                                    [](const auto& p) { return p.ok; });
+    return any_ok ? 0 : 1;
   });
 }
