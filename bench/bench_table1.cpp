@@ -7,13 +7,14 @@
 // (Dijkstra), ~3.8x (SHA) and ~12.3x (DCT) fewer cycles than the
 // SA-110, while AES stays roughly flat in the number of ALUs.
 //
-// The EPIC side runs through the exploration engine (src/explore): one
-// 4-point ALU sweep per workload on a thread pool sized to the machine,
-// exactly the library path cepic-explore uses.
+// The EPIC side runs through the exploration engine (src/explore): all
+// (workload, ALU count) pairs go through one run_sweep_batch call — a
+// single pipeline::Service with one shared thread pool and one artifact
+// store — exactly the library path cepic-explore uses.
 #include "bench_util.hpp"
 
 #include "explore/explore.hpp"
-#include "explore/thread_pool.hpp"
+#include "pipeline/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace cepic;
@@ -43,19 +44,22 @@ int main(int argc, char** argv) {
     print_row("SA-110", cells);
   }
 
-  // One ALU sweep per workload through the exploration engine; rows of
-  // the printed table are (ALU count) x (workload), so gather the sweep
-  // results first and then print by row.
+  // All (workload, ALU count) pairs in one batch through the
+  // exploration engine; rows of the printed table are (ALU count) x
+  // (workload), so gather the sweep results first and then print by row.
   explore::SweepSpec spec;
   for (unsigned alus = 1; alus <= 4; ++alus) spec.add(epic_with_alus(alus));
   explore::ExploreOptions options;
-  options.jobs = explore::ThreadPool::hardware_jobs();
+  options.jobs = pipeline::ThreadPool::hardware_jobs();
   options.sim = big_sim();
 
-  std::vector<explore::SweepResult> sweeps;
-  for (const auto& w : workloads) {
-    sweeps.push_back(explore::run_sweep(w.minic_source, spec, options));
-    for (const auto& p : sweeps.back().points) {
+  std::vector<std::string> sources;
+  for (const auto& w : workloads) sources.push_back(w.minic_source);
+  const std::vector<explore::SweepResult> sweeps =
+      explore::run_sweep_batch(sources, spec, options).sweeps;
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const auto& w = workloads[wi];
+    for (const auto& p : sweeps[wi].points) {
       if (!p.ok) {
         std::cout << "!! " << w.name << "/" << p.config.summary()
                   << ": " << p.error << "\n";

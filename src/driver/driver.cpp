@@ -1,21 +1,32 @@
 #include "driver/driver.hpp"
 
-#include "asmtool/assembler.hpp"
 #include "frontend/irgen.hpp"
 
 namespace cepic::driver {
 
+namespace {
+
+/// A fresh, memory-only Service per call: same bytes as the historical
+/// driver (the partition contract guarantees it), no cross-call state.
+pipeline::Service make_service(const EpicCompileOptions& options,
+                               const SimOptions& sim_options = {}) {
+  pipeline::Options popts;
+  popts.codegen = options;
+  popts.sim = sim_options;
+  return pipeline::Service(std::move(popts));
+}
+
+}  // namespace
+
 EpicCompileResult compile_minic_to_epic(std::string_view source,
                                         const ProcessorConfig& config,
                                         const EpicCompileOptions& options) {
+  pipeline::Service service = make_service(options);
+  pipeline::CompileArtifacts artifacts = service.compile(source, config);
   EpicCompileResult result;
-  result.module = minic::compile_to_ir(source);
-  if (options.optimize) {
-    opt::optimize(result.module, options.opt);
-  }
-  result.asm_text =
-      backend::compile_ir_to_asm(result.module, config, options.backend);
-  result.program = asmtool::assemble(result.asm_text, config);
+  result.module = std::move(artifacts.module);
+  result.asm_text = std::move(artifacts.asm_text);
+  result.program = std::move(artifacts.program);
   return result;
 }
 
@@ -23,14 +34,8 @@ EpicSimulator run_minic_on_epic(std::string_view source,
                                 const ProcessorConfig& config,
                                 const EpicCompileOptions& options,
                                 const SimOptions& sim_options) {
-  EpicCompileOptions opts = options;
-  // The backend's stack-top constant must match the simulated memory.
-  opts.backend.stack_top = static_cast<std::uint32_t>(sim_options.mem_size);
-  EpicCompileResult compiled = compile_minic_to_epic(source, config, opts);
-  EpicSimulator sim(std::move(compiled.program),
-                    CustomOpTable::for_names(config.custom_ops), sim_options);
-  sim.run();
-  return sim;
+  pipeline::Service service = make_service(options, sim_options);
+  return service.run(source, config);
 }
 
 sarm::SProgram compile_minic_to_sarm(std::string_view source,

@@ -1,7 +1,13 @@
-// One-call compilation pipelines: MiniC source -> optimised IR -> EPIC
-// assembly -> machine code (via the assembler) -> ready-to-run
-// simulator. This is the library equivalent of the paper's tool flow
-// (IMPACT -> elcor -> assembler -> processor).
+// One-call compilation pipelines. Since PR 2 the EPIC entry points are
+// thin deprecated shims over cepic::pipeline::Service (see
+// pipeline/pipeline.hpp): each call constructs a private, memory-only
+// Service, so behaviour is identical to the historical drivers but no
+// artifact is shared across calls. New code — anything that compiles
+// more than once, wants the persistent store, or runs batches — should
+// hold a pipeline::Service instead.
+//
+// The SARM (scalar baseline) drivers are not part of the EPIC pipeline
+// and remain native here.
 #pragma once
 
 #include <string>
@@ -10,17 +16,16 @@
 #include "core/program.hpp"
 #include "ir/ir.hpp"
 #include "opt/opt.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sarm/codegen.hpp"
 #include "sarm/sim.hpp"
 #include "sim/simulator.hpp"
 
 namespace cepic::driver {
 
-struct EpicCompileOptions {
-  opt::OptOptions opt;
-  backend::BackendOptions backend;
-  bool optimize = true;
-};
+/// Deprecated spelling of pipeline::CodegenOptions (field-for-field
+/// identical; kept so existing call sites compile unchanged).
+using EpicCompileOptions = pipeline::CodegenOptions;
 
 struct EpicCompileResult {
   ir::Module module;      ///< optimised IR
@@ -29,6 +34,7 @@ struct EpicCompileResult {
 };
 
 /// Compile MiniC to an EPIC program for `config`.
+/// Deprecated: use pipeline::Service::compile().
 EpicCompileResult compile_minic_to_epic(std::string_view source,
                                         const ProcessorConfig& config,
                                         const EpicCompileOptions& options = {});
@@ -36,6 +42,7 @@ EpicCompileResult compile_minic_to_epic(std::string_view source,
 /// Compile and run on the cycle-level simulator; returns the simulator
 /// so callers can inspect stats, outputs and state. `main`'s return
 /// value is left in r3.
+/// Deprecated: use pipeline::Service::run().
 EpicSimulator run_minic_on_epic(std::string_view source,
                                 const ProcessorConfig& config,
                                 const EpicCompileOptions& options = {},

@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "core/custom.hpp"
-#include "explore/thread_pool.hpp"
 #include "fpga/model.hpp"
 #include "support/text.hpp"
 
@@ -33,42 +32,6 @@ void fill_analytics(PointResult& p) {
   p.ilp = p.cycles == 0 ? 0.0
                         : static_cast<double>(p.ops_committed) /
                               static_cast<double>(p.cycles);
-}
-
-/// Compile + simulate one point, or serve it from the cache. Never
-/// throws: failures land in PointResult::error.
-void run_point(std::string_view source, std::uint64_t source_hash,
-               const ExploreOptions& options, ResultCache& cache,
-               PointResult& p) {
-  const ResultCache::Key key{source_hash, p.config_hash};
-  CacheEntry entry;
-  if (cache.lookup(key, entry)) {
-    p.from_cache = true;
-  } else {
-    try {
-      p.config.validate();
-      EpicSimulator sim = driver::run_minic_on_epic(source, p.config,
-                                                    options.compile,
-                                                    options.sim);
-      entry.cycles = sim.stats().cycles;
-      entry.ops_committed = sim.stats().ops_committed;
-      entry.output_words = sim.output().size();
-      entry.output_hash = hash_output(sim.output());
-      entry.ret = sim.gpr(3);
-      cache.insert(key, entry);
-    } catch (const std::exception& e) {
-      p.ok = false;
-      p.error = e.what();
-      return;
-    }
-  }
-  p.ok = true;
-  p.cycles = entry.cycles;
-  p.ops_committed = entry.ops_committed;
-  p.output_words = entry.output_words;
-  p.output_hash = entry.output_hash;
-  p.ret = entry.ret;
-  fill_analytics(p);
 }
 
 /// True if `a` Pareto-dominates `b` on (cycles, slices, power).
@@ -169,38 +132,54 @@ std::string SweepResult::to_json() const {
   return os.str();
 }
 
+SweepBatch run_sweep_batch(const std::vector<std::string>& sources,
+                           const SweepSpec& spec,
+                           const ExploreOptions& options) {
+  pipeline::Options popts;
+  popts.codegen = options.compile;
+  popts.sim = options.sim;
+  popts.jobs = options.jobs;
+  popts.store_dir = options.store_dir;
+  popts.result_cache_file = options.cache_file;
+  pipeline::Service service(popts);
+
+  const std::vector<pipeline::RunOutcome> outcomes =
+      service.run_batch(sources, spec.points);
+
+  SweepBatch batch;
+  batch.sweeps.resize(sources.size());
+  const std::size_t cols = spec.points.size();
+  for (std::size_t w = 0; w < sources.size(); ++w) {
+    SweepResult& result = batch.sweeps[w];
+    result.source_hash = fnv1a64(sources[w]);
+    result.points.resize(cols);
+    for (std::size_t p = 0; p < cols; ++p) {
+      PointResult& point = result.points[p];
+      const pipeline::RunOutcome& out = outcomes[w * cols + p];
+      point.config = spec.points[p];
+      point.config_hash = spec.points[p].stable_hash();
+      point.ok = out.ok;
+      point.error = out.error;
+      point.from_cache = out.from_result_cache;
+      if (point.from_cache) ++result.cache_hits;
+      if (!out.ok) continue;
+      point.cycles = out.cycles;
+      point.ops_committed = out.ops_committed;
+      point.output_words = out.output_words;
+      point.output_hash = out.output_hash;
+      point.ret = out.ret;
+      fill_analytics(point);
+    }
+  }
+  batch.stats = service.stats();
+  return batch;
+}
+
 SweepResult run_sweep(std::string_view source, const SweepSpec& spec,
                       const ExploreOptions& options) {
-  SweepResult result;
-  result.source_hash = fnv1a64(source);
-  result.points.resize(spec.points.size());
-
-  ResultCache cache;
-  if (!options.cache_file.empty()) cache.load_file(options.cache_file);
-
-  for (std::size_t i = 0; i < spec.points.size(); ++i) {
-    result.points[i].config = spec.points[i];
-    result.points[i].config_hash = spec.points[i].stable_hash();
-  }
-
-  const unsigned jobs =
-      options.jobs == 0 ? ThreadPool::hardware_jobs() : options.jobs;
-  {
-    ThreadPool pool(jobs);
-    for (std::size_t i = 0; i < result.points.size(); ++i) {
-      PointResult* p = &result.points[i];
-      pool.submit([source, p, &options, &cache, &result] {
-        run_point(source, result.source_hash, options, cache, *p);
-      });
-    }
-    pool.wait();
-  }
-
-  for (const PointResult& p : result.points) {
-    if (p.from_cache) ++result.cache_hits;
-  }
-  if (!options.cache_file.empty()) cache.save_file(options.cache_file);
-  return result;
+  SweepBatch batch =
+      run_sweep_batch({std::string(source)}, spec, options);
+  return std::move(batch.sweeps.front());
 }
 
 }  // namespace cepic::explore

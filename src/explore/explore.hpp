@@ -1,10 +1,18 @@
 // Parallel design-space exploration engine — the paper's headline
-// workflow (§6, Table 1, Figs. 3–5) as a library: take one MiniC
-// program and a SweepSpec of processor customisations, compile and
-// simulate every point on a fixed-size thread pool, fold in the
-// analytic FPGA area/timing/power model, and aggregate everything into
-// a SweepResult with Pareto-frontier extraction (cycles x slices x
-// power) and CSV/JSON export.
+// workflow (§6, Table 1, Figs. 3–5) as a library: take MiniC programs
+// and a SweepSpec of processor customisations, compile and simulate
+// every (program, point) pair through the shared pipeline::Service
+// batch scheduler, fold in the analytic FPGA area/timing/power model,
+// and aggregate everything into SweepResults with Pareto-frontier
+// extraction (cycles x slices x power) and CSV/JSON export.
+//
+// Since PR 2 the compile/simulate machinery lives in cepic::pipeline:
+// one content-addressed artifact store shares compiled Programs across
+// every sweep point whose codegen-relevant configuration slice matches
+// (so points differing only in pipeline_stages or memory contention
+// compile once), and one thread pool schedules the compile and simulate
+// steps of the whole batch as dependency-ordered tasks. This layer only
+// adds the FPGA analytics and the export formats.
 //
 // Determinism contract: results are stored at the point's index in the
 // SweepSpec, every metric is a pure function of (source, config), and
@@ -19,9 +27,8 @@
 #include <vector>
 
 #include "core/config.hpp"
-#include "driver/driver.hpp"
-#include "explore/cache.hpp"
 #include "explore/sweep.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/simulator.hpp"
 #include "support/bits.hpp"
 
@@ -31,13 +38,7 @@ namespace cepic::explore {
 /// a 64-bit FNV-1a hash). Used to compare a sweep point's output against
 /// a golden stream without retaining the stream itself.
 inline std::uint64_t hash_output(std::span<const std::uint32_t> words) {
-  std::uint64_t h = kFnvOffset64;
-  for (std::uint32_t w : words) {
-    for (unsigned b = 0; b < 4; ++b) {
-      h = fnv1a64_byte(h, static_cast<std::uint8_t>(w >> (8 * b)));
-    }
-  }
-  return h;
+  return fnv1a64_words(words);
 }
 
 /// Outcome of one sweep point. When `ok` is false the point failed to
@@ -90,17 +91,35 @@ struct SweepResult {
 struct ExploreOptions {
   /// Worker threads; 0 means "all hardware threads".
   unsigned jobs = 1;
-  /// On-disk result cache file; empty disables persistence. The file is
-  /// loaded before the sweep and rewritten (old + new entries) after it.
+  /// Explicit on-disk result cache file; empty defers to the store
+  /// (results persist at `<store_dir>/<version>/results.cache` when a
+  /// store is configured, nowhere otherwise). Kept for callers that
+  /// want result persistence without an artifact store.
   std::string cache_file;
+  /// Root of the persistent content-addressed artifact store (the
+  /// tools' `--cache DIR`); empty keeps artifact sharing in-memory.
+  std::string store_dir;
   SimOptions sim;
-  driver::EpicCompileOptions compile;
+  pipeline::CodegenOptions compile;
 };
 
-/// Compile and simulate `source` at every point of `spec`. Per-point
-/// failures (invalid config, compile error, simulation fault) are
-/// captured in the corresponding PointResult rather than thrown; only
-/// infrastructure failures (unwritable cache file) escape.
+/// A batch of sweeps (one per source) that shared a single
+/// pipeline::Service — one store, one scheduler, one result cache.
+struct SweepBatch {
+  std::vector<SweepResult> sweeps;  ///< one per source, in order
+  pipeline::ServiceStats stats;     ///< store / compile / simulate counters
+};
+
+/// Compile and simulate every source at every point of `spec` through
+/// one shared pipeline::Service. Per-point failures (invalid config,
+/// compile error, simulation fault) are captured in the corresponding
+/// PointResult rather than thrown; only infrastructure failures
+/// (unwritable store or cache file) escape.
+SweepBatch run_sweep_batch(const std::vector<std::string>& sources,
+                           const SweepSpec& spec,
+                           const ExploreOptions& options = {});
+
+/// Single-source convenience wrapper around run_sweep_batch.
 SweepResult run_sweep(std::string_view source, const SweepSpec& spec,
                       const ExploreOptions& options = {});
 

@@ -1,56 +1,14 @@
-// Fixed-size thread-pool executor for the design-space exploration
-// engine. Each sweep point (compile + simulate) is an independent task;
-// the pool runs them on `threads` worker threads and wait() blocks the
-// submitter until every task has drained. A pool of size 1 spawns no
-// threads at all and runs tasks inline in submit(), so `--jobs 1` is a
-// plain serial loop with zero synchronisation overhead and trivially
-// deterministic scheduling.
+// Compatibility shim: the thread pool moved into cepic::pipeline (PR 2)
+// where it schedules dependency-ordered compile and simulate tasks for
+// every client of the toolchain. This header keeps the old explore::
+// spelling alive for existing includes; new code should include
+// "pipeline/thread_pool.hpp" directly.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <vector>
+#include "pipeline/thread_pool.hpp"
 
 namespace cepic::explore {
 
-class ThreadPool {
-public:
-  /// `threads` is clamped to at least 1; pass hardware_jobs() for "all
-  /// cores".
-  explicit ThreadPool(unsigned threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  unsigned concurrency() const { return threads_; }
-
-  /// Enqueue a task. Tasks must not throw — wrap fallible work and
-  /// capture errors in the result slot instead.
-  void submit(std::function<void()> task);
-
-  /// Block until every submitted task has finished. The pool is
-  /// reusable: more tasks may be submitted afterwards.
-  void wait();
-
-  /// std::thread::hardware_concurrency(), never less than 1.
-  static unsigned hardware_jobs();
-
-private:
-  void worker();
-
-  unsigned threads_ = 1;
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;  ///< queued + currently executing
-  bool stop_ = false;
-};
+using ThreadPool = pipeline::ThreadPool;
 
 }  // namespace cepic::explore

@@ -1,0 +1,369 @@
+#include "pipeline/pipeline.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <sstream>
+
+#include "asmtool/assembler.hpp"
+#include "core/custom.hpp"
+#include "frontend/irgen.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "pipeline/version.hpp"
+#include "support/bits.hpp"
+#include "support/text.hpp"
+
+namespace cepic::pipeline {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+/// Canonical key material for the optimiser slice of CodegenOptions.
+/// Every field is spelled out so that adding one without extending this
+/// list shows up in review, not as a stale-artifact bug.
+std::string opt_options_text(const opt::OptOptions& o, bool optimize) {
+  return cat("optimize=", optimize ? 1 : 0, ";fold=", o.fold ? 1 : 0,
+             ";copyprop=", o.copy_propagate ? 1 : 0, ";cse=", o.cse ? 1 : 0,
+             ";licm=", o.licm ? 1 : 0, ";dce=", o.dce ? 1 : 0,
+             ";simplify_cfg=", o.simplify_cfg ? 1 : 0,
+             ";inline=", o.inline_calls ? 1 : 0,
+             ";if_convert=", o.if_convert ? 1 : 0,
+             ";inline_max=", o.inline_max_insts,
+             ";if_convert_max=", o.if_convert_max_ops,
+             ";rounds=", o.max_rounds);
+}
+
+/// Canonical key material for the backend slice (stack_top is passed
+/// separately because run paths derive it from sim.mem_size).
+std::string backend_options_text(const backend::BackendOptions& b,
+                                 std::uint32_t stack_top) {
+  return cat("schedule=", b.schedule ? 1 : 0, ";stack_top=", stack_top);
+}
+
+}  // namespace
+
+Service::Service(Options options)
+    : options_(std::move(options)),
+      store_(options_.store_dir),
+      codegen_text_(opt_options_text(options_.codegen.opt,
+                                     options_.codegen.optimize)) {}
+
+ProcessorConfig Service::codegen_slice(const ProcessorConfig& config) {
+  // The normative affects-simulation-only field list: everything the
+  // compiler, scheduler and assembler never read. Keep in sync with the
+  // partition documented in pipeline.hpp.
+  static const ProcessorConfig kDefaults;
+  ProcessorConfig slice = config;
+  slice.pipeline_stages = kDefaults.pipeline_stages;
+  slice.unified_memory_contention = kDefaults.unified_memory_contention;
+  return slice;
+}
+
+std::uint64_t Service::ir_key(std::string_view source) const {
+  return fnv1a64(source, fnv1a64(cat("ir|", store_version_tag(), "|",
+                                     codegen_text_, "|")));
+}
+
+std::uint64_t Service::artifact_key(std::string_view tag,
+                                    std::string_view source,
+                                    const ProcessorConfig& slice,
+                                    std::uint32_t stack_top) const {
+  const std::string material =
+      cat(tag, "|", store_version_tag(), "|", codegen_text_, "|",
+          backend_options_text(options_.codegen.backend, stack_top), "|",
+          slice.to_text(), "|");
+  return fnv1a64(source, fnv1a64(material));
+}
+
+ir::Module Service::compile_module(std::string_view source) {
+  const std::uint64_t key = ir_key(source);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = modules_.find(key);
+    if (it != modules_.end()) return it->second;
+  }
+  // One builder at a time: concurrent compile tasks for the same source
+  // (different configs) must not duplicate the frontend+optimiser work.
+  std::unique_lock<std::mutex> build(build_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = modules_.find(key);
+    if (it != modules_.end()) return it->second;
+  }
+  ir::Module module = minic::compile_to_ir(source);
+  if (options_.codegen.optimize) opt::optimize(module, options_.codegen.opt);
+  store_.put(Granularity::kIr, key, ir::to_string(module));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++frontend_runs_;
+    modules_[key] = module;
+  }
+  return module;
+}
+
+std::string Service::compile_ir_text(std::string_view source) {
+  std::string blob;
+  if (store_.get(Granularity::kIr, ir_key(source), blob)) return blob;
+  return ir::to_string(compile_module(source));
+}
+
+std::string Service::compile_asm_at(std::string_view source,
+                                    const ProcessorConfig& config,
+                                    std::uint32_t stack_top,
+                                    bool* from_store) {
+  const ProcessorConfig slice = codegen_slice(config);
+  const std::uint64_t key = artifact_key("asm", source, slice, stack_top);
+  std::string blob;
+  if (store_.get(Granularity::kAsm, key, blob)) {
+    if (from_store) *from_store = true;
+    return blob;
+  }
+  if (from_store) *from_store = false;
+  const ir::Module module = compile_module(source);
+  backend::BackendOptions backend_options = options_.codegen.backend;
+  backend_options.stack_top = stack_top;
+  // Compile against the slice: identical output by the partition
+  // contract, and canonical — the blob serves every simulation-only
+  // variant of `config` byte-for-byte.
+  std::string asm_text =
+      backend::compile_ir_to_asm(module, slice, backend_options);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++backend_runs_;
+  }
+  store_.put(Granularity::kAsm, key, asm_text);
+  return asm_text;
+}
+
+Program Service::compile_program_at(std::string_view source,
+                                    const ProcessorConfig& config,
+                                    std::uint32_t stack_top,
+                                    bool* from_store) {
+  const ProcessorConfig slice = codegen_slice(config);
+  const std::uint64_t key = artifact_key("prog", source, slice, stack_top);
+  std::string blob;
+  if (store_.get(Granularity::kProgram, key, blob)) {
+    Program program = Program::deserialize(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+    program.config = config;  // re-stamp simulation-only fields
+    if (from_store) *from_store = true;
+    return program;
+  }
+  if (from_store) *from_store = false;
+  const std::string asm_text =
+      compile_asm_at(source, config, stack_top, nullptr);
+  Program program = asmtool::assemble(asm_text, slice);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++assemble_runs_;
+  }
+  const std::vector<std::uint8_t> bytes = program.serialize();
+  store_.put(Granularity::kProgram, key,
+             std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+  program.config = config;
+  return program;
+}
+
+std::string Service::compile_asm(std::string_view source,
+                                 const ProcessorConfig& config) {
+  return compile_asm_at(source, config, options_.codegen.backend.stack_top,
+                        nullptr);
+}
+
+Program Service::compile_program(std::string_view source,
+                                 const ProcessorConfig& config) {
+  return compile_program_at(source, config,
+                            options_.codegen.backend.stack_top, nullptr);
+}
+
+CompileArtifacts Service::compile(std::string_view source,
+                                  const ProcessorConfig& config) {
+  CompileArtifacts artifacts;
+  const std::uint32_t stack_top = options_.codegen.backend.stack_top;
+  artifacts.module = compile_module(source);
+  artifacts.asm_text =
+      compile_asm_at(source, config, stack_top, &artifacts.asm_from_store);
+  artifacts.program = compile_program_at(source, config, stack_top,
+                                         &artifacts.program_from_store);
+  return artifacts;
+}
+
+EpicSimulator Service::run(std::string_view source,
+                           const ProcessorConfig& config) {
+  // The backend's stack-top constant must match the simulated memory.
+  Program program = compile_program_at(
+      source, config, static_cast<std::uint32_t>(options_.sim.mem_size),
+      nullptr);
+  EpicSimulator sim(std::move(program),
+                    CustomOpTable::for_names(config.custom_ops),
+                    options_.sim);
+  sim.run();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++simulations_;
+  }
+  return sim;
+}
+
+std::string Service::result_cache_path() const {
+  if (!options_.result_cache_file.empty()) return options_.result_cache_file;
+  if (store_.persistent()) {
+    return (std::filesystem::path(store_.directory()) / "results.cache")
+        .string();
+  }
+  return {};
+}
+
+std::vector<RunOutcome> Service::run_batch(
+    const std::vector<std::string>& sources,
+    const std::vector<ProcessorConfig>& configs) {
+  const std::size_t cols = configs.size();
+  std::vector<RunOutcome> outcomes(sources.size() * cols);
+
+  ResultCache results;
+  const std::string results_path = result_cache_path();
+  if (!results_path.empty()) results.load_file(results_path);
+
+  const std::uint32_t stack_top =
+      static_cast<std::uint32_t>(options_.sim.mem_size);
+  // Result-cache context: everything outside (source, config) that the
+  // simulation outcome depends on. Folded into the key so a cache file
+  // can never answer for different compile or simulation options.
+  const std::uint64_t context = fnv1a64(
+      cat("run|", store_version_tag(), "|", codegen_text_, "|",
+          backend_options_text(options_.codegen.backend, stack_top),
+          "|mem=", options_.sim.mem_size,
+          ";max_cycles=", options_.sim.max_cycles));
+
+  struct Item {
+    std::size_t index;   ///< slot in `outcomes`
+    std::size_t source;  ///< index into `sources`
+    std::size_t config;  ///< index into `configs`
+    ResultCache::Key key;
+  };
+  // Items not answered by the result cache, grouped by program store
+  // key: one compile task per group feeds its simulate tasks.
+  std::map<std::uint64_t, std::vector<Item>> groups;
+
+  for (std::size_t w = 0; w < sources.size(); ++w) {
+    const std::uint64_t source_hash =
+        fnv1a64(cat(hex64(fnv1a64(sources[w])), ":", hex64(context)));
+    for (std::size_t p = 0; p < cols; ++p) {
+      const std::size_t index = w * cols + p;
+      RunOutcome& out = outcomes[index];
+      try {
+        configs[p].validate();
+      } catch (const std::exception& e) {
+        out.error = e.what();
+        continue;
+      }
+      const ResultCache::Key key{source_hash, configs[p].stable_hash()};
+      CacheEntry entry;
+      if (results.lookup(key, entry)) {
+        out.ok = true;
+        out.from_result_cache = true;
+        out.cycles = entry.cycles;
+        out.ops_committed = entry.ops_committed;
+        out.output_words = entry.output_words;
+        out.output_hash = entry.output_hash;
+        out.ret = entry.ret;
+        continue;
+      }
+      groups[artifact_key("prog", sources[w], codegen_slice(configs[p]),
+                          stack_top)]
+          .push_back(Item{index, w, p, key});
+    }
+  }
+
+  {
+    ThreadPool pool(options_.jobs == 0 ? ThreadPool::hardware_jobs()
+                                       : options_.jobs);
+    for (auto& [key, items] : groups) {
+      (void)key;
+      const std::vector<Item>* group = &items;
+      pool.submit([this, group, &sources, &configs, &outcomes, &results,
+                   &pool, stack_top] {
+        const Item& first = group->front();
+        std::shared_ptr<const Program> shared;
+        try {
+          shared = std::make_shared<const Program>(
+              compile_program_at(sources[first.source], configs[first.config],
+                                 stack_top, nullptr));
+        } catch (const std::exception& e) {
+          for (const Item& item : *group) outcomes[item.index].error = e.what();
+          return;
+        }
+        for (const Item& item : *group) {
+          const Item* it = &item;
+          pool.submit([this, shared, it, &configs, &outcomes, &results] {
+            RunOutcome& out = outcomes[it->index];
+            try {
+              Program program = *shared;
+              // Re-stamp the full config: the simulator reads the
+              // simulation-only fields from Program::config.
+              program.config = configs[it->config];
+              EpicSimulator sim(
+                  std::move(program),
+                  CustomOpTable::for_names(configs[it->config].custom_ops),
+                  options_.sim);
+              sim.run();
+              CacheEntry entry;
+              entry.cycles = sim.stats().cycles;
+              entry.ops_committed = sim.stats().ops_committed;
+              entry.output_words = sim.output().size();
+              entry.output_hash = fnv1a64_words(sim.output());
+              entry.ret = sim.gpr(3);
+              results.insert(it->key, entry);
+              out.ok = true;
+              out.cycles = entry.cycles;
+              out.ops_committed = entry.ops_committed;
+              out.output_words = entry.output_words;
+              out.output_hash = entry.output_hash;
+              out.ret = entry.ret;
+              std::unique_lock<std::mutex> lock(mu_);
+              ++simulations_;
+            } catch (const std::exception& e) {
+              out.ok = false;
+              out.error = e.what();
+            }
+          });
+        }
+      });
+    }
+    pool.wait();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    result_hits_ += results.hits();
+    result_misses_ += results.misses();
+  }
+  if (!results_path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(results_path).parent_path(), ec);
+    results.save_file(results_path);
+  }
+  return outcomes;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.store = store_.stats();
+  std::unique_lock<std::mutex> lock(mu_);
+  s.frontend_runs = frontend_runs_;
+  s.backend_runs = backend_runs_;
+  s.assemble_runs = assemble_runs_;
+  s.simulations = simulations_;
+  s.result_hits = result_hits_;
+  s.result_misses = result_misses_;
+  return s;
+}
+
+}  // namespace cepic::pipeline

@@ -1,0 +1,229 @@
+// cepic::pipeline — the unified compile/run surface of the toolchain.
+//
+// A pipeline::Service owns (a) a content-addressed store of compilation
+// artifacts at three granularities (optimised IR, assembly text,
+// assembled Program) and (b) a shared thread-pool scheduler that runs
+// compile and simulate steps of a batch as separate dependency-ordered
+// tasks. Everything that used to go through the ad-hoc drivers —
+// driver::compile_minic_to_epic / run_minic_on_epic, explore::run_sweep,
+// the cepic-cc / cepic-sim / cepic-explore tools and the benches — is a
+// client of this API; the old driver entry points remain as thin
+// deprecated shims for one release.
+//
+// ## The options partition (what makes artifact sharing sound)
+//
+// Options::codegen holds everything that can change the bytes the
+// compiler or assembler produce; Options::sim holds everything that can
+// only change how an already-assembled Program behaves under
+// simulation. Store keys are derived exclusively from the codegen
+// partition plus the *codegen-relevant slice* of the ProcessorConfig:
+//
+//   affects-codegen (keyed):
+//     ProcessorConfig: num_alus, num_gprs, num_preds, num_btrs,
+//       issue_width, datapath_width, max_regs_per_instr,
+//       reg_port_budget, forwarding, load_latency, alu features,
+//       custom_ops. (Note: reg_port_budget, forwarding and load_latency
+//       feed the backend *scheduler* in this implementation, so unlike
+//       on the real hardware they change the emitted bundles and must
+//       be keyed.)
+//     CodegenOptions: every optimiser flag, backend options, optimize.
+//     SimOptions::mem_size — the one deliberate exception: the run/
+//       run_batch paths derive the backend's stack-top constant from it
+//       (exactly as the old driver did), so it is folded into the
+//       codegen keys.
+//   affects-simulation-only (never keyed into artifacts):
+//     ProcessorConfig: pipeline_stages, unified_memory_contention —
+//       the compiler, scheduler and assembler never read these, which
+//       is why sweep points differing only in them share one compiled
+//       Program. codegen_slice() is the normative definition.
+//     SimOptions: max_cycles, trace collection.
+//
+// Violating the partition (e.g. making the backend read
+// pipeline_stages) without moving the field into codegen_slice() /
+// the key material is a correctness bug: the store would serve stale
+// code. tests/test_pipeline.cpp pins the partition down.
+//
+// ## Determinism contract
+//
+// Batch outcomes are stored at their (source, config) slot and are pure
+// functions of the inputs, so results are byte-identical for any jobs
+// count and any cache temperature (cold, warm store, warm result
+// cache). tests/test_pipeline.cpp and the CI cache-correctness job
+// assert this literally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "core/config.hpp"
+#include "core/program.hpp"
+#include "ir/ir.hpp"
+#include "opt/opt.hpp"
+#include "pipeline/result_cache.hpp"
+#include "pipeline/store.hpp"
+#include "sim/simulator.hpp"
+
+namespace cepic::pipeline {
+
+/// The affects-codegen option partition (see the header comment).
+struct CodegenOptions {
+  opt::OptOptions opt;
+  backend::BackendOptions backend;
+  bool optimize = true;
+};
+
+/// One consolidated options struct for the whole pipeline, replacing
+/// the old EpicCompileOptions / SimOptions / cache-flag spread.
+struct Options {
+  /// Affects-codegen: keyed into every store key.
+  CodegenOptions codegen;
+  /// Affects-simulation-only, except mem_size (see header comment).
+  SimOptions sim;
+  /// Worker threads for run_batch; 0 means "all hardware threads".
+  /// Infrastructure — never keyed, never changes any output byte.
+  unsigned jobs = 1;
+  /// Root of the persistent content-addressed store; empty keeps all
+  /// artifact sharing in-memory (within this Service only). Artifacts
+  /// live under `<store_dir>/<store_version_tag()>/`.
+  std::string store_dir;
+  /// Simulation-result cache file. Empty + persistent store => the
+  /// default `<store_dir>/<version>/results.cache`; empty + no store
+  /// => no result persistence. (Kept separate from the store because
+  /// entries are keyed per *simulation*, not per artifact.)
+  std::string result_cache_file;
+};
+
+/// Everything compile() produces; the from-store flags say which
+/// granularities were served without recompilation.
+struct CompileArtifacts {
+  ir::Module module;     ///< optimised IR
+  std::string asm_text;  ///< backend output fed to the assembler
+  Program program;       ///< assembled machine code, config == requested
+  bool asm_from_store = false;
+  bool program_from_store = false;
+};
+
+/// Outcome of one batch item ((source, config) pair). When `ok` is
+/// false the item failed to compile or simulate and `error` carries the
+/// diagnostic; the metric fields are zero.
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  bool from_result_cache = false;  ///< simulation skipped entirely
+
+  std::uint64_t cycles = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t output_words = 0;
+  std::uint64_t output_hash = 0;  ///< FNV-1a fingerprint of the OUT stream
+  std::uint32_t ret = 0;          ///< main's return value (r3)
+};
+
+/// Counters for `--cache-stats`. compiles() == 0 on a fully warm run is
+/// the "zero recompilations" acceptance signal.
+struct ServiceStats {
+  StoreStats store;                  ///< per-granularity blob hits/misses
+  std::uint64_t frontend_runs = 0;   ///< MiniC -> optimised IR executions
+  std::uint64_t backend_runs = 0;    ///< IR -> assembly executions
+  std::uint64_t assemble_runs = 0;   ///< assembly -> Program executions
+  std::uint64_t simulations = 0;     ///< cycle-level simulations executed
+  std::uint64_t result_hits = 0;     ///< batch items served from results
+  std::uint64_t result_misses = 0;
+
+  /// Total compilation-stage executions (any stage, any granularity).
+  std::uint64_t compiles() const {
+    return frontend_runs + backend_runs + assemble_runs;
+  }
+};
+
+class Service {
+public:
+  explicit Service(Options options = {});
+
+  const Options& options() const { return options_; }
+
+  /// The codegen-relevant slice of a configuration: `config` with every
+  /// affects-simulation-only field reset to its default. Two configs
+  /// with equal slices share all compiled artifacts. This is the
+  /// normative definition of the options partition for ProcessorConfig.
+  static ProcessorConfig codegen_slice(const ProcessorConfig& config);
+
+  // --- single-shot API (replaces the driver:: entry points) ---
+
+  /// MiniC -> optimised IR. Shared across every config; repeated calls
+  /// with the same source build the IR once per Service.
+  ir::Module compile_module(std::string_view source);
+
+  /// Printed optimised IR, served from the store when possible (the
+  /// IR granularity persists as text).
+  std::string compile_ir_text(std::string_view source);
+
+  /// MiniC -> assembly for `config`, store-served when possible.
+  std::string compile_asm(std::string_view source,
+                          const ProcessorConfig& config);
+
+  /// MiniC -> assembled Program for `config`, store-served when
+  /// possible. The returned Program always carries the full requested
+  /// `config` (store blobs are canonicalised to the codegen slice and
+  /// re-stamped on the way out).
+  Program compile_program(std::string_view source,
+                          const ProcessorConfig& config);
+
+  /// All three granularities at once.
+  CompileArtifacts compile(std::string_view source,
+                           const ProcessorConfig& config);
+
+  /// Compile (store-served) and simulate; returns the simulator so
+  /// callers can inspect stats, outputs and state. `main`'s return
+  /// value is left in r3. Like the old driver, the backend's stack-top
+  /// constant is derived from sim.mem_size on this path.
+  EpicSimulator run(std::string_view source, const ProcessorConfig& config);
+
+  // --- batch API (the shared scheduler) ---
+
+  /// Compile and simulate every (source, config) pair: outcome of
+  /// sources[w] on configs[p] lands at index `w * configs.size() + p`.
+  /// One compile task per unique (source, codegen-slice) feeds the
+  /// simulate tasks that depend on it through one shared thread pool;
+  /// items already answered by the result cache schedule no work at
+  /// all. Per-item failures are captured in the RunOutcome; only
+  /// infrastructure failures (unwritable store/cache) escape.
+  std::vector<RunOutcome> run_batch(const std::vector<std::string>& sources,
+                                    const std::vector<ProcessorConfig>& configs);
+
+  /// Snapshot of all counters since construction.
+  ServiceStats stats() const;
+
+private:
+  std::uint64_t ir_key(std::string_view source) const;
+  std::uint64_t artifact_key(std::string_view tag, std::string_view source,
+                             const ProcessorConfig& slice,
+                             std::uint32_t stack_top) const;
+  std::string compile_asm_at(std::string_view source,
+                             const ProcessorConfig& config,
+                             std::uint32_t stack_top, bool* from_store);
+  Program compile_program_at(std::string_view source,
+                             const ProcessorConfig& config,
+                             std::uint32_t stack_top, bool* from_store);
+  std::string result_cache_path() const;
+
+  Options options_;
+  Store store_;
+  std::string codegen_text_;  ///< canonical codegen-options key material
+
+  mutable std::mutex mu_;
+  std::mutex build_mu_;  ///< serialises IR builds so each runs once
+  std::map<std::uint64_t, ir::Module> modules_;  ///< ir_key -> optimised IR
+  std::uint64_t frontend_runs_ = 0;
+  std::uint64_t backend_runs_ = 0;
+  std::uint64_t assemble_runs_ = 0;
+  std::uint64_t simulations_ = 0;
+  std::uint64_t result_hits_ = 0;
+  std::uint64_t result_misses_ = 0;
+};
+
+}  // namespace cepic::pipeline

@@ -1,4 +1,4 @@
-#include "explore/cache.hpp"
+#include "pipeline/result_cache.hpp"
 
 #include <fstream>
 #include <sstream>
@@ -6,7 +6,7 @@
 #include "support/error.hpp"
 #include "support/text.hpp"
 
-namespace cepic::explore {
+namespace cepic::pipeline {
 
 namespace {
 
@@ -68,7 +68,7 @@ std::size_t ResultCache::load_file(const std::string& path) {
 
 void ResultCache::save_file(const std::string& path) const {
   std::ostringstream os;
-  os << "# cepic-explore result cache. One line per (source, config) "
+  os << "# cepic pipeline result cache. One line per (source, config) "
         "point:\n"
      << "# v1 src_hash cfg_hash cycles ops_committed out_words out_hash "
         "ret\n";
@@ -118,4 +118,4 @@ std::uint64_t ResultCache::misses() const {
   return misses_;
 }
 
-}  // namespace cepic::explore
+}  // namespace cepic::pipeline

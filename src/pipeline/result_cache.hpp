@@ -1,0 +1,67 @@
+// Simulation-result cache for the batch pipeline (and, historically,
+// the exploration engine). A point's simulation outcome is fully
+// determined by (MiniC source, compile options, ProcessorConfig,
+// simulation memory/cycle limits); the pipeline keys entries by a pair
+// of stable 64-bit hashes covering exactly that material and every
+// repeated point — within one batch or across tool invocations via the
+// on-disk file — is free. Only the *simulation* outcome is cached
+// (cycle count, committed ops, OUT-stream fingerprint, return value);
+// the analytic area/power model is recomputed from the config on every
+// run, which keeps every cached field an integer and the file format
+// trivially round-trippable.
+//
+// File format: one `v1` line per entry, `#` comments; unknown or
+// malformed lines are ignored on load so stale files never break a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace cepic::pipeline {
+
+/// Cached simulation outcome of one (source, config) point.
+struct CacheEntry {
+  std::uint64_t cycles = 0;
+  std::uint64_t ops_committed = 0;
+  std::uint64_t output_words = 0;  ///< length of the OUT stream
+  std::uint64_t output_hash = 0;   ///< FNV-1a fingerprint of the stream
+  std::uint32_t ret = 0;           ///< main's return value (r3)
+
+  bool operator==(const CacheEntry&) const = default;
+};
+
+class ResultCache {
+public:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  ///< (source, config)
+
+  /// Merge entries from `path` into the cache. A missing file is not an
+  /// error (first run); malformed lines are skipped. Returns the number
+  /// of entries loaded.
+  std::size_t load_file(const std::string& path);
+
+  /// Write every entry to `path` (full rewrite, deterministic order).
+  /// Throws Error if the file cannot be written.
+  void save_file(const std::string& path) const;
+
+  /// Thread-safe lookup; counts a hit or miss.
+  bool lookup(const Key& key, CacheEntry& out) const;
+
+  /// Thread-safe insert (last writer wins; entries for the same key are
+  /// identical by construction).
+  void insert(const Key& key, const CacheEntry& entry);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<Key, CacheEntry> entries_;  ///< ordered => deterministic save
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace cepic::pipeline

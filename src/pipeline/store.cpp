@@ -1,0 +1,129 @@
+#include "pipeline/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "pipeline/version.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::pipeline {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+GranularityStats& stats_for(StoreStats& s, Granularity g) {
+  switch (g) {
+    case Granularity::kIr: return s.ir;
+    case Granularity::kAsm: return s.assembly;
+    default: return s.program;
+  }
+}
+
+/// Directory + file-extension naming per granularity. The extension is
+/// purely for humans poking at the store.
+const char* subdir(Granularity g) {
+  switch (g) {
+    case Granularity::kIr: return "ir";
+    case Granularity::kAsm: return "asm";
+    default: return "prog";
+  }
+}
+
+const char* extension(Granularity g) {
+  switch (g) {
+    case Granularity::kIr: return ".ir";
+    case Granularity::kAsm: return ".s";
+    default: return ".cepx";
+  }
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+Store::Store(std::string root, std::string version_tag) {
+  if (root.empty()) return;  // degenerate: behave as memory-only
+  if (version_tag.empty()) version_tag = store_version_tag();
+  dir_ = (fs::path(root) / version_tag).string();
+}
+
+std::string Store::object_path(Granularity g, std::uint64_t key) const {
+  return (fs::path(dir_) / subdir(g) / (hex16(key) + extension(g))).string();
+}
+
+bool Store::get(Granularity g, std::uint64_t key, std::string& blob) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto& map = mem_[static_cast<int>(g)];
+    const auto it = map.find(key);
+    if (it != map.end()) {
+      blob = it->second;
+      ++stats_for(stats_, g).hits;
+      return true;
+    }
+  }
+  if (!dir_.empty()) {
+    std::ifstream in(object_path(g, key), std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      blob = ss.str();
+      std::unique_lock<std::mutex> lock(mu_);
+      mem_[static_cast<int>(g)][key] = blob;
+      ++stats_for(stats_, g).hits;
+      return true;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_for(stats_, g).misses;
+  return false;
+}
+
+void Store::put(Granularity g, std::uint64_t key, std::string_view blob) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    mem_[static_cast<int>(g)][key] = std::string(blob);
+    ++stats_for(stats_, g).puts;
+  }
+  if (dir_.empty()) return;
+  const std::string path = object_path(g, key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) throw Error(cat("cannot create store directory for ", path));
+  // Temp file + rename: concurrent writers of the same key race only on
+  // identical content, and readers never see a partial object. The
+  // temp name carries the thread id so two threads never share one.
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  const std::string tmp = cat(path, ".tmp.", tid.str());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error(cat("cannot write store object ", tmp));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out.flush()) throw Error(cat("failed writing store object ", tmp));
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error(cat("cannot publish store object ", path));
+  }
+}
+
+StoreStats Store::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cepic::pipeline

@@ -1,0 +1,83 @@
+// Content-addressed store of compilation artifacts at three
+// granularities:
+//
+//   kIr       the optimised IR, printed (keyed by source + optimiser
+//             options only — shared by *every* processor configuration)
+//   kAsm      the backend's assembly text (keyed additionally by the
+//             codegen-relevant slice of the ProcessorConfig and the
+//             backend options)
+//   kProgram  the assembled Program, CEPX-serialised (same key material
+//             as kAsm; stored with the codegen slice embedded so one
+//             blob serves every simulation-only variant of the config)
+//
+// Keys are stable 64-bit content hashes computed by pipeline::Service
+// (see pipeline.cpp); the store itself only maps (granularity, key) to
+// an opaque blob. Blobs live in an in-memory map and, when a root
+// directory is given, under `<root>/<store_version_tag()>/<gran>/` —
+// one file per artifact, written via a temp file + rename so readers
+// never observe a torn write. Because the version tag names the
+// directory, artifacts written by an older toolchain (different
+// encoding, scheduler, container format...) are simply invisible to a
+// newer build and can never be replayed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cepic::pipeline {
+
+enum class Granularity { kIr = 0, kAsm = 1, kProgram = 2 };
+
+/// Hit/miss/write counters for one granularity. A disk read that
+/// succeeds counts as a hit (the artifact was reused across processes).
+struct GranularityStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+};
+
+struct StoreStats {
+  GranularityStats ir;
+  GranularityStats assembly;
+  GranularityStats program;
+};
+
+class Store {
+public:
+  /// Memory-only store (artifacts shared within one Service lifetime).
+  Store() = default;
+
+  /// Persistent store rooted at `root` (created on demand). Artifacts
+  /// live under `<root>/<version_tag>/`; `version_tag` defaults to
+  /// store_version_tag() and is parameterised only so tests can prove
+  /// the version isolation property.
+  explicit Store(std::string root, std::string version_tag = {});
+
+  /// Look up a blob. Memory first, then disk (a disk hit is promoted
+  /// into memory). Returns false on a miss.
+  bool get(Granularity g, std::uint64_t key, std::string& blob);
+
+  /// Record a blob in memory and, if persistent, on disk. Throws Error
+  /// if the disk write fails (a half-working store would silently lose
+  /// the cross-process reuse the caller asked for).
+  void put(Granularity g, std::uint64_t key, std::string_view blob);
+
+  StoreStats stats() const;
+
+  /// The versioned directory artifacts live in; empty if memory-only.
+  const std::string& directory() const { return dir_; }
+  bool persistent() const { return !dir_.empty(); }
+
+private:
+  std::string object_path(Granularity g, std::uint64_t key) const;
+
+  std::string dir_;  ///< <root>/<version_tag>, "" when memory-only
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> mem_[3];
+  StoreStats stats_;
+};
+
+}  // namespace cepic::pipeline

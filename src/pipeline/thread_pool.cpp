@@ -1,6 +1,6 @@
-#include "explore/thread_pool.hpp"
+#include "pipeline/thread_pool.hpp"
 
-namespace cepic::explore {
+namespace cepic::pipeline {
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads < 1 ? 1 : threads) {
   if (threads_ == 1) return;  // inline mode: no workers
@@ -61,4 +61,4 @@ unsigned ThreadPool::hardware_jobs() {
   return n < 1 ? 1 : n;
 }
 
-}  // namespace cepic::explore
+}  // namespace cepic::pipeline

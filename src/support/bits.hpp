@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string_view>
 
 #include "support/error.hpp"
@@ -85,10 +86,23 @@ constexpr std::uint64_t fnv1a64_byte(std::uint64_t h, std::uint8_t b) {
 }
 
 /// 64-bit FNV-1a over a byte string. Stable across runs and platforms —
-/// used wherever a persisted key is needed (the explore result cache).
+/// used wherever a persisted key is needed (the pipeline stores).
 constexpr std::uint64_t fnv1a64(std::string_view bytes,
                                 std::uint64_t h = kFnvOffset64) {
   for (char c : bytes) h = fnv1a64_byte(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+/// 64-bit FNV-1a over a word stream, each word folded LSB-first. The
+/// stable fingerprint of a simulation's OUT stream (pipeline result
+/// cache, explore exports).
+constexpr std::uint64_t fnv1a64_words(std::span<const std::uint32_t> words,
+                                      std::uint64_t h = kFnvOffset64) {
+  for (std::uint32_t w : words) {
+    for (unsigned b = 0; b < 4; ++b) {
+      h = fnv1a64_byte(h, static_cast<std::uint8_t>(w >> (8 * b)));
+    }
+  }
   return h;
 }
 

@@ -142,5 +142,48 @@ TEST(GeneratedDifferential, RandomProgramsAgreeAcrossIssueWidths) {
   }
 }
 
+/// Forwarding off forces the scheduler to cover full write-to-read
+/// latencies with explicit distance instead of bypass paths — a
+/// different schedule, the same architectural results.
+TEST(GeneratedDifferential, RandomProgramsAgreeWithForwardingOff) {
+  for (std::uint64_t seed = 30; seed <= 34; ++seed) {
+    Prng rng(seed * 0x9E3779B97F4A7C15ull);
+    const std::string src = generate_program(rng);
+    SCOPED_TRACE(cat("seed=", seed, "\n", src));
+    const ir::InterpResult gold = golden(src);
+    for (unsigned alus : {1u, 2u, 4u}) {
+      SCOPED_TRACE(cat("num_alus=", alus, " forwarding=0"));
+      ProcessorConfig cfg;
+      cfg.num_alus = alus;
+      cfg.forwarding = false;
+      EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+      EXPECT_EQ(sim.output(), gold.output);
+      EXPECT_EQ(sim.gpr(3), gold.ret);
+    }
+  }
+}
+
+/// Unified-memory contention stalls overlapping accesses; combined with
+/// deeper pipelines it reshuffles timing aggressively, but the
+/// architectural OUT stream and exit state must be untouched.
+TEST(GeneratedDifferential, RandomProgramsAgreeUnderMemoryContention) {
+  for (std::uint64_t seed = 35; seed <= 39; ++seed) {
+    Prng rng(seed * 0x9E3779B97F4A7C15ull);
+    const std::string src = generate_program(rng);
+    SCOPED_TRACE(cat("seed=", seed, "\n", src));
+    const ir::InterpResult gold = golden(src);
+    for (unsigned stages : {2u, 3u, 4u}) {
+      SCOPED_TRACE(cat("stages=", stages, " contention=1"));
+      ProcessorConfig cfg;
+      cfg.num_alus = 2;
+      cfg.pipeline_stages = stages;
+      cfg.unified_memory_contention = true;
+      EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+      EXPECT_EQ(sim.output(), gold.output);
+      EXPECT_EQ(sim.gpr(3), gold.ret);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cepic

@@ -1,0 +1,335 @@
+// The unified pipeline API (src/pipeline): the options partition
+// (codegen_slice), content-addressed store hits that are byte-identical
+// to cold compiles, artifact sharing across simulation-only config
+// variants, store version isolation, the batch scheduler's determinism,
+// and the zero-recompilation warm path that the CI cache-correctness
+// job checks end to end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "driver/driver.hpp"
+#include "explore/explore.hpp"
+#include "frontend/irgen.hpp"
+#include "opt/opt.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/store.hpp"
+#include "support/bits.hpp"
+
+namespace cepic::pipeline {
+namespace {
+
+const char* kProg =
+    "int main() {"
+    "  int acc = 0;"
+    "  for (int i = 1; i <= 30; i++) acc += i * i - (i << 1);"
+    "  out(acc); return acc & 0xFF; }";
+
+const char* kProg2 =
+    "int main() {"
+    "  int s = 1;"
+    "  for (int i = 0; i < 12; i++) { s = s * 3 + i; out(s & 0xFFFF); }"
+    "  return s & 0xFF; }";
+
+/// A fresh, empty scratch directory under the gtest temp dir.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pipeline_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A config that differs from `base` only in simulation-visible fields.
+ProcessorConfig sim_only_variant(ProcessorConfig base) {
+  base.pipeline_stages = base.pipeline_stages == 2 ? 3 : 2;
+  base.unified_memory_contention = !base.unified_memory_contention;
+  return base;
+}
+
+// ------------------------------------------------------- the partition
+
+TEST(CodegenSlice, ResetsExactlyTheSimulationOnlyFields) {
+  ProcessorConfig cfg;
+  cfg.num_alus = 3;
+  cfg.reg_port_budget = 6;
+  cfg.forwarding = false;
+  cfg.load_latency = 2;
+  cfg.pipeline_stages = 4;
+  cfg.unified_memory_contention = true;
+
+  const ProcessorConfig slice = Service::codegen_slice(cfg);
+  const ProcessorConfig defaults;
+  // Simulation-only fields are reset...
+  EXPECT_EQ(slice.pipeline_stages, defaults.pipeline_stages);
+  EXPECT_EQ(slice.unified_memory_contention,
+            defaults.unified_memory_contention);
+  // ...and everything the backend reads is preserved.
+  EXPECT_EQ(slice.num_alus, 3u);
+  EXPECT_EQ(slice.reg_port_budget, 6u);
+  EXPECT_FALSE(slice.forwarding);
+  EXPECT_EQ(slice.load_latency, 2u);
+}
+
+TEST(CodegenSlice, SimOnlyVariantsShareOneSliceDistinctBackendFieldsDoNot) {
+  ProcessorConfig a;
+  a.num_alus = 2;
+  const ProcessorConfig b = sim_only_variant(a);
+  EXPECT_EQ(Service::codegen_slice(a).stable_hash(),
+            Service::codegen_slice(b).stable_hash());
+
+  ProcessorConfig c = a;
+  c.forwarding = !c.forwarding;  // scheduler input => distinct slice
+  EXPECT_NE(Service::codegen_slice(a).stable_hash(),
+            Service::codegen_slice(c).stable_hash());
+}
+
+/// Pins the partition against the backend itself: compiling with the
+/// full config (sim-only fields varied) must produce the same assembly
+/// as compiling with the slice. If the backend ever starts reading
+/// pipeline_stages or unified_memory_contention, this fails and
+/// codegen_slice() must move the field to the keyed side.
+TEST(CodegenSlice, BackendOutputIsInvariantUnderSimOnlyFields) {
+  ProcessorConfig cfg;
+  cfg.num_alus = 2;
+  const ProcessorConfig variant = sim_only_variant(cfg);
+
+  ir::Module module = minic::compile_to_ir(kProg);
+  opt::optimize(module, {});
+  const std::string direct =
+      backend::compile_ir_to_asm(module, variant, {});
+  const std::string sliced =
+      backend::compile_ir_to_asm(module, Service::codegen_slice(variant), {});
+  EXPECT_EQ(direct, sliced);
+
+  Service service;
+  EXPECT_EQ(service.compile_asm(kProg, variant), direct);
+}
+
+// ------------------------------------------------------------- sharing
+
+TEST(Service, SimOnlyVariantsCompileOnceAndMatchTheDeprecatedDriver) {
+  ProcessorConfig base;
+  base.num_alus = 2;
+  const std::vector<ProcessorConfig> configs{base, sim_only_variant(base)};
+
+  Service service;
+  const std::vector<RunOutcome> outcomes =
+      service.run_batch({kProg}, configs);
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.frontend_runs, 1u);
+  EXPECT_EQ(stats.backend_runs, 1u);   // one compile serves both points
+  EXPECT_EQ(stats.assemble_runs, 1u);
+  EXPECT_EQ(stats.simulations, 2u);    // but each point is simulated
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EpicSimulator sim = driver::run_minic_on_epic(kProg, configs[i]);
+    EXPECT_EQ(outcomes[i].cycles, sim.stats().cycles) << i;
+    EXPECT_EQ(outcomes[i].output_hash, fnv1a64_words(sim.output())) << i;
+    EXPECT_EQ(outcomes[i].ret, sim.gpr(3)) << i;
+  }
+  // The variant changes simulated timing, so sharing the compiled
+  // program must not have collapsed the simulations.
+  EXPECT_NE(outcomes[0].cycles, outcomes[1].cycles);
+}
+
+TEST(Service, FrontendRunsOnceAcrossAluConfigs) {
+  Service service;
+  for (unsigned alus = 1; alus <= 4; ++alus) {
+    ProcessorConfig cfg;
+    cfg.num_alus = alus;
+    cfg.issue_width = alus;
+    (void)service.compile_program(kProg, cfg);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.frontend_runs, 1u);
+  EXPECT_EQ(stats.backend_runs, 4u);  // each ALU count is real codegen
+}
+
+TEST(Service, CompiledProgramCarriesTheFullRequestedConfig) {
+  ProcessorConfig cfg;
+  cfg.pipeline_stages = 4;
+  cfg.unified_memory_contention = true;
+
+  Service service;
+  const Program cold = service.compile_program(kProg, cfg);
+  EXPECT_EQ(cold.config.pipeline_stages, 4u);
+  EXPECT_TRUE(cold.config.unified_memory_contention);
+  // Second request is served from the in-memory store; still re-stamped.
+  const Program warm = service.compile_program(kProg, cfg);
+  EXPECT_EQ(warm.config.pipeline_stages, 4u);
+  EXPECT_EQ(cold.serialize(), warm.serialize());
+}
+
+// ------------------------------------------------------ persistent store
+
+TEST(Service, StoreHitsAcrossProcessesAreByteIdenticalToColdCompiles) {
+  const std::string dir = scratch_dir("store_bytes");
+  ProcessorConfig cfg;
+  cfg.num_alus = 2;
+  const ProcessorConfig variant = sim_only_variant(cfg);
+
+  Options options;
+  options.store_dir = dir;
+  std::vector<std::uint8_t> cold_bytes;
+  std::string cold_asm;
+  {
+    Service cold(options);
+    cold_bytes = cold.compile_program(kProg, cfg).serialize();
+    cold_asm = cold.compile_asm(kProg, cfg);
+    EXPECT_GE(cold.stats().compiles(), 1u);
+  }
+  // A fresh Service (fresh process, in effect) with the same store root
+  // must serve everything from disk without running any compile stage.
+  Service warm(options);
+  const CompileArtifacts served = warm.compile(kProg, variant);
+  EXPECT_TRUE(served.asm_from_store);
+  EXPECT_TRUE(served.program_from_store);
+  EXPECT_EQ(served.asm_text, cold_asm);
+
+  // Byte-identical Program: the stored blob is canonicalised to the
+  // codegen slice and re-stamped, so serialising with the *original*
+  // config must reproduce the cold bytes exactly.
+  Program restamped = served.program;
+  restamped.config = cfg;
+  EXPECT_EQ(restamped.serialize(), cold_bytes);
+
+  const ServiceStats stats = warm.stats();
+  EXPECT_EQ(stats.backend_runs, 0u);
+  EXPECT_EQ(stats.assemble_runs, 0u);
+  EXPECT_GE(stats.store.program.hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, VersionTagIsolatesIncompatibleToolchains) {
+  const std::string dir = scratch_dir("store_version");
+  {
+    Store a(dir, "vA");
+    a.put(Granularity::kAsm, 42, "blob-from-vA");
+  }
+  Store b(dir, "vB");
+  std::string blob;
+  EXPECT_FALSE(b.get(Granularity::kAsm, 42, blob));  // invisible across tags
+  Store a2(dir, "vA");
+  ASSERT_TRUE(a2.get(Granularity::kAsm, 42, blob));  // durable within a tag
+  EXPECT_EQ(blob, "blob-from-vA");
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ batch scheduler
+
+TEST(Service, WarmBatchRunsZeroCompilesAndZeroSimulations) {
+  const std::string dir = scratch_dir("warm_batch");
+  const std::vector<std::string> sources{kProg, kProg2};
+  std::vector<ProcessorConfig> configs;
+  for (unsigned alus = 1; alus <= 2; ++alus) {
+    for (unsigned stages = 2; stages <= 3; ++stages) {
+      ProcessorConfig cfg;
+      cfg.num_alus = alus;
+      cfg.pipeline_stages = stages;
+      configs.push_back(cfg);
+    }
+  }
+
+  Options options;
+  options.store_dir = dir;
+  options.jobs = 1;
+  std::vector<RunOutcome> cold;
+  {
+    Service service(options);
+    cold = service.run_batch(sources, configs);
+    // 2 sources x 2 ALU slices: stage variants share their compiles.
+    EXPECT_EQ(service.stats().backend_runs, 4u);
+    EXPECT_EQ(service.stats().simulations, 8u);
+  }
+
+  options.jobs = 4;  // jobs must not affect results either
+  Service warm(options);
+  const std::vector<RunOutcome> warm_outcomes =
+      warm.run_batch(sources, configs);
+  const ServiceStats stats = warm.stats();
+  EXPECT_EQ(stats.compiles(), 0u);
+  EXPECT_EQ(stats.simulations, 0u);
+  EXPECT_EQ(stats.result_hits, 8u);
+
+  ASSERT_EQ(warm_outcomes.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok) << cold[i].error;
+    EXPECT_TRUE(warm_outcomes[i].from_result_cache) << i;
+    EXPECT_EQ(warm_outcomes[i].cycles, cold[i].cycles) << i;
+    EXPECT_EQ(warm_outcomes[i].ops_committed, cold[i].ops_committed) << i;
+    EXPECT_EQ(warm_outcomes[i].output_words, cold[i].output_words) << i;
+    EXPECT_EQ(warm_outcomes[i].output_hash, cold[i].output_hash) << i;
+    EXPECT_EQ(warm_outcomes[i].ret, cold[i].ret) << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, ResultCacheNeverAnswersForDifferentCodegenOptions) {
+  const std::string dir = scratch_dir("result_keying");
+  ProcessorConfig cfg;
+
+  Options optimized;
+  optimized.store_dir = dir;
+  {
+    Service service(optimized);
+    const auto outcomes = service.run_batch({kProg}, {cfg});
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  }
+  Options unoptimized = optimized;
+  unoptimized.codegen.optimize = false;
+  Service service(unoptimized);
+  const auto outcomes = service.run_batch({kProg}, {cfg});
+  ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  // Same source, same config — but different codegen options must miss
+  // the persisted results and resimulate.
+  EXPECT_FALSE(outcomes[0].from_result_cache);
+  EXPECT_EQ(service.stats().simulations, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Service, BatchIndexingIsSourceMajorAndFailuresAreContained) {
+  ProcessorConfig good;
+  ProcessorConfig bad;
+  bad.num_alus = 0;  // validate() rejects
+
+  Service service;
+  const std::vector<std::string> sources{kProg, kProg2};
+  const auto outcomes = service.run_batch(sources, {good, bad});
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].ok);   // kProg  x good
+  EXPECT_FALSE(outcomes[1].ok);  // kProg  x bad
+  EXPECT_TRUE(outcomes[2].ok);   // kProg2 x good
+  EXPECT_FALSE(outcomes[3].ok);  // kProg2 x bad
+  EXPECT_NE(outcomes[1].error.find("num_alus"), std::string::npos);
+  // Distinct sources on the same config produce distinct outputs.
+  EXPECT_NE(outcomes[0].output_hash, outcomes[2].output_hash);
+}
+
+TEST(Explore, SweepBatchSharesCompilesAcrossSourcesAndMatchesRunSweep) {
+  explore::SweepSpec spec;
+  for (unsigned stages = 2; stages <= 4; ++stages) {
+    ProcessorConfig cfg;
+    cfg.pipeline_stages = stages;
+    spec.add(cfg);
+  }
+
+  explore::ExploreOptions options;
+  const explore::SweepBatch batch =
+      explore::run_sweep_batch({kProg, kProg2}, spec, options);
+  ASSERT_EQ(batch.sweeps.size(), 2u);
+  // 3 stage variants per source collapse onto one compile per source.
+  EXPECT_EQ(batch.stats.backend_runs, 2u);
+  EXPECT_EQ(batch.stats.simulations, 6u);
+
+  const explore::SweepResult lone = explore::run_sweep(kProg, spec, options);
+  EXPECT_EQ(batch.sweeps[0].to_csv(), lone.to_csv());
+  EXPECT_EQ(batch.sweeps[0].to_json(), lone.to_json());
+}
+
+}  // namespace
+}  // namespace cepic::pipeline

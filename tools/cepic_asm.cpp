@@ -10,34 +10,20 @@
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-asm", [&]() -> int {
-    std::string source_path;
     std::string out_path = "out.cepx";
     std::string config_path;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> std::string {
-        if (i + 1 >= argc) throw Error(arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "-o") {
-        out_path = next();
-      } else if (arg == "--config") {
-        config_path = next();
-      } else if (arg[0] == '-') {
-        std::cerr << "usage: cepic-asm <prog.s> [-o out.cepx] "
-                     "[--config cpu.cfg]\n";
-        return 2;
-      } else {
-        source_path = arg;
-      }
-    }
-    if (source_path.empty()) {
-      std::cerr << "usage: cepic-asm <prog.s> [-o out.cepx] "
-                   "[--config cpu.cfg]\n";
-      return 2;
-    }
-    const Program program = asmtool::assemble(
-        tools::read_file(source_path), tools::load_config(config_path));
+
+    tools::OptionTable table("cepic-asm <prog.s> [options]");
+    table.str("-o", "FILE", "output path (default: out.cepx)", &out_path);
+    tools::add_config_option(table, &config_path);
+
+    std::vector<std::string> positionals;
+    if (!table.parse(argc, argv, positionals)) return 2;
+    if (positionals.size() != 1) return table.usage();
+
+    const Program program =
+        asmtool::assemble(tools::read_file(positionals.front()),
+                          tools::load_config(config_path));
     tools::write_binary(out_path, program.serialize());
     std::cout << program.bundle_count() << " MultiOps, "
               << program.data.size() << " data bytes -> " << out_path

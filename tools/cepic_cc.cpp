@@ -1,100 +1,75 @@
 // cepic-cc — the CEPIC compiler driver: MiniC source in, EPIC assembly
 // or CEPX machine code out, for any processor customisation given as a
-// configuration file (paper §4).
+// configuration file (paper §4). Compilation goes through
+// pipeline::Service, so pointing `--cache` at a directory makes every
+// artifact (optimised IR, assembly, assembled Program) persistent and
+// shared with cepic-explore and later cc runs.
 //
 //   cepic-cc prog.mc -o prog.cepx [--config cpu.cfg]
 //   cepic-cc prog.mc --emit-asm -o prog.s
 //   cepic-cc prog.mc --emit-ir              # optimised IR to stdout
 //   cepic-cc prog.mc --no-opt --emit-asm    # skip the optimiser
 //   cepic-cc prog.mc --candidates           # custom-instruction mining
+//   cepic-cc prog.mc --cache .cepic-cache --cache-stats
 #include "tool_common.hpp"
 
-#include "driver/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "opt/custom_candidates.hpp"
-
-namespace {
-
-int usage() {
-  std::cerr <<
-      "usage: cepic-cc <source.mc> [options]\n"
-      "  -o <file>        output path (default: out.cepx / out.s)\n"
-      "  --config <file>  processor configuration file\n"
-      "  --emit-asm       emit textual assembly instead of a binary\n"
-      "  --emit-ir        print the (optimised) IR and stop\n"
-      "  --no-opt         disable the optimiser\n"
-      "  --no-schedule    one operation per MultiOp (debugging)\n"
-      "  --candidates     print custom-instruction candidates and stop\n";
-  return 2;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-cc", [&]() -> int {
-    std::string source_path;
     std::string out_path;
     std::string config_path;
     bool emit_asm = false;
     bool emit_ir = false;
     bool candidates = false;
-    driver::EpicCompileOptions options;
+    bool no_opt = false;
+    bool no_schedule = false;
+    bool cache_stats = false;
+    pipeline::Options options;
 
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> std::string {
-        if (i + 1 >= argc) throw Error(arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "-o") {
-        out_path = next();
-      } else if (arg == "--config") {
-        config_path = next();
-      } else if (arg == "--emit-asm") {
-        emit_asm = true;
-      } else if (arg == "--emit-ir") {
-        emit_ir = true;
-      } else if (arg == "--no-opt") {
-        options.optimize = false;
-      } else if (arg == "--no-schedule") {
-        options.backend.schedule = false;
-      } else if (arg == "--candidates") {
-        candidates = true;
-      } else if (arg == "--help" || arg[0] == '-') {
-        return usage();
-      } else if (source_path.empty()) {
-        source_path = arg;
-      } else {
-        return usage();
-      }
-    }
-    if (source_path.empty()) return usage();
+    tools::OptionTable table("cepic-cc <source.mc> [options]");
+    table.str("-o", "FILE", "output path (default: out.cepx / out.s)",
+              &out_path);
+    tools::add_config_option(table, &config_path);
+    table.flag("--emit-asm", "emit textual assembly instead of a binary",
+               &emit_asm);
+    table.flag("--emit-ir", "print the (optimised) IR and stop", &emit_ir);
+    table.flag("--no-opt", "disable the optimiser", &no_opt);
+    table.flag("--no-schedule", "one operation per MultiOp (debugging)",
+               &no_schedule);
+    table.flag("--candidates", "print custom-instruction candidates and stop",
+               &candidates);
+    tools::add_cache_options(table, &options.store_dir, &cache_stats);
+    tools::add_jobs_option(table, &options.jobs);
 
-    const std::string source = tools::read_file(source_path);
+    std::vector<std::string> positionals;
+    if (!table.parse(argc, argv, positionals)) return 2;
+    if (positionals.size() != 1) return table.usage();
+
+    options.codegen.optimize = !no_opt;
+    options.codegen.backend.schedule = !no_schedule;
+
+    const std::string source = tools::read_file(positionals.front());
     const ProcessorConfig config = tools::load_config(config_path);
 
-    if (emit_ir || candidates) {
-      ir::Module module = minic::compile_to_ir(source);
-      if (options.optimize) opt::optimize(module, options.opt);
-      if (candidates) {
-        std::cout << opt::format_candidates(
-            opt::find_custom_candidates(module));
-      } else {
-        std::cout << ir::to_string(module);
-      }
-      return 0;
-    }
+    pipeline::Service service(options);
 
-    const driver::EpicCompileResult result =
-        driver::compile_minic_to_epic(source, config, options);
-    if (emit_asm) {
+    if (candidates) {
+      // Candidate mining wants the IR data structure, not its printout.
+      std::cout << opt::format_candidates(
+          opt::find_custom_candidates(service.compile_module(source)));
+    } else if (emit_ir) {
+      std::cout << service.compile_ir_text(source);
+    } else if (emit_asm) {
       tools::write_file(out_path.empty() ? "out.s" : out_path,
-                        result.asm_text);
+                        service.compile_asm(source, config));
     } else {
       tools::write_binary(out_path.empty() ? "out.cepx" : out_path,
-                          result.program.serialize());
+                          service.compile_program(source, config).serialize());
     }
+    if (cache_stats) tools::print_cache_stats("cepic-cc", service.stats());
     return 0;
   });
 }

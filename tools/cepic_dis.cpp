@@ -8,25 +8,18 @@
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-dis", [&]() -> int {
-    std::string path;
     std::string config_out;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--config-out") {
-        if (i + 1 >= argc) throw Error("--config-out needs a value");
-        config_out = argv[++i];
-      } else if (arg[0] == '-') {
-        std::cerr << "usage: cepic-dis <prog.cepx> [--config-out cpu.cfg]\n";
-        return 2;
-      } else {
-        path = arg;
-      }
-    }
-    if (path.empty()) {
-      std::cerr << "usage: cepic-dis <prog.cepx> [--config-out cpu.cfg]\n";
-      return 2;
-    }
-    const Program program = Program::deserialize(tools::read_binary(path));
+
+    tools::OptionTable table("cepic-dis <prog.cepx> [options]");
+    table.str("--config-out", "FILE",
+              "write the embedded processor configuration", &config_out);
+
+    std::vector<std::string> positionals;
+    if (!table.parse(argc, argv, positionals)) return 2;
+    if (positionals.size() != 1) return table.usage();
+
+    const Program program =
+        Program::deserialize(tools::read_binary(positionals.front()));
     std::cout << asmtool::disassemble(program);
     if (!config_out.empty()) {
       tools::write_file(config_out, program.config.to_text());

@@ -5,40 +5,25 @@
 #include "tool_common.hpp"
 
 #include "sim/simulator.hpp"
-#include "support/text.hpp"
 
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-sim", [&]() -> int {
-    std::string path;
     SimOptions options;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> std::string {
-        if (i + 1 >= argc) throw Error(arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "--trace") {
-        options.collect_trace = true;
-      } else if (arg == "--max-cycles") {
-        std::int64_t v = 0;
-        if (!parse_int(next(), v) || v <= 0) throw Error("bad --max-cycles");
-        options.max_cycles = static_cast<std::uint64_t>(v);
-      } else if (arg[0] == '-') {
-        std::cerr << "usage: cepic-sim <prog.cepx> [--trace] "
-                     "[--max-cycles N]\n";
-        return 2;
-      } else {
-        path = arg;
-      }
-    }
-    if (path.empty()) {
-      std::cerr << "usage: cepic-sim <prog.cepx> [--trace] [--max-cycles N]\n";
-      return 2;
-    }
 
-    EpicSimulator sim(Program::deserialize(tools::read_binary(path)), {},
-                      options);
+    tools::OptionTable table("cepic-sim <prog.cepx> [options]");
+    table.flag("--trace", "print the per-cycle execution trace",
+               &options.collect_trace);
+    table.uint64_positive("--max-cycles", "N", "simulation cycle budget",
+                          &options.max_cycles);
+
+    std::vector<std::string> positionals;
+    if (!table.parse(argc, argv, positionals)) return 2;
+    if (positionals.size() != 1) return table.usage();
+
+    EpicSimulator sim(
+        Program::deserialize(tools::read_binary(positionals.front())), {},
+        options);
     sim.run();
 
     if (options.collect_trace) {

@@ -1,16 +1,24 @@
-// Shared plumbing for the CEPIC command-line tools: file I/O and
-// configuration loading. Tools print a short usage and exit 2 on bad
-// arguments, exit 1 on tool errors (with the library's diagnostic).
+// Shared plumbing for the CEPIC command-line tools: file I/O,
+// configuration loading, and — since PR 2 — one OptionTable parser so
+// every tool spells shared options identically (`--config FILE`,
+// `--cache DIR`, `--cache-stats`, `--jobs N`) and prints its usage from
+// the same table it parses with. Tools print a short usage and exit 2
+// on bad arguments, exit 1 on tool errors (with the library's
+// diagnostic).
 #pragma once
 
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
+#include "pipeline/pipeline.hpp"
 #include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace cepic::tools {
 
@@ -60,6 +68,174 @@ int tool_main(const char* tool, Fn&& body) {
     std::cerr << tool << ": internal error: " << e.what() << "\n";
     return 1;
   }
+}
+
+/// One option table per tool: declares the options once, parses from it
+/// and prints usage from it, so a flag can never drift between the two.
+/// Option names are matched exactly; the token `-` and anything not
+/// starting with `-` are positionals; `--help` or an unknown option
+/// prints usage. Malformed values throw Error (tool exit 1).
+class OptionTable {
+public:
+  /// `head` is the synopsis line after "usage: ", e.g.
+  /// "cepic-cc <source.mc> [options]".
+  explicit OptionTable(std::string head) : head_(std::move(head)) {}
+
+  /// A valueless switch: presence sets `*out` to true.
+  OptionTable& flag(std::string name, std::string help, bool* out) {
+    specs_.push_back({std::move(name), "", std::move(help),
+                      [out](const std::string&) { *out = true; }, false});
+    return *this;
+  }
+
+  /// A string-valued option: `--name META`.
+  OptionTable& str(std::string name, std::string meta, std::string help,
+                   std::string* out) {
+    specs_.push_back({std::move(name), std::move(meta), std::move(help),
+                      [out](const std::string& v) { *out = v; }, true});
+    return *this;
+  }
+
+  /// A non-negative integer option.
+  OptionTable& uint(std::string name, std::string meta, std::string help,
+                    unsigned* out) {
+    std::string flag_name = name;
+    specs_.push_back(
+        {std::move(name), std::move(meta), std::move(help),
+         [out, flag_name](const std::string& v) {
+           std::int64_t parsed = 0;
+           if (!parse_int(v, parsed) || parsed < 0) {
+             throw Error(flag_name + " needs a non-negative integer");
+           }
+           *out = static_cast<unsigned>(parsed);
+         },
+         true});
+    return *this;
+  }
+
+  /// A positive 64-bit integer option.
+  OptionTable& uint64_positive(std::string name, std::string meta,
+                               std::string help, std::uint64_t* out) {
+    std::string flag_name = name;
+    specs_.push_back({std::move(name), std::move(meta), std::move(help),
+                      [out, flag_name](const std::string& v) {
+                        std::int64_t parsed = 0;
+                        if (!parse_int(v, parsed) || parsed <= 0) {
+                          throw Error("bad " + flag_name);
+                        }
+                        *out = static_cast<std::uint64_t>(parsed);
+                      },
+                      true});
+    return *this;
+  }
+
+  /// Arbitrary handler for a valued option.
+  OptionTable& value(std::string name, std::string meta, std::string help,
+                     std::function<void(const std::string&)> apply) {
+    specs_.push_back({std::move(name), std::move(meta), std::move(help),
+                      std::move(apply), true});
+    return *this;
+  }
+
+  int usage() const {
+    std::cerr << "usage: " << head_ << "\n";
+    for (const Spec& s : specs_) {
+      std::string left = "  " + s.name;
+      if (!s.meta.empty()) left += " " + s.meta;
+      std::cerr << pad_right(left, 22) << s.help << "\n";
+    }
+    return 2;
+  }
+
+  /// Parse argv; positionals (in order) land in `positionals`. Returns
+  /// false after printing usage on `--help` or an unknown option.
+  bool parse(int argc, char** argv, std::vector<std::string>& positionals) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-" || arg.empty() || arg[0] != '-') {
+        positionals.push_back(arg);
+        continue;
+      }
+      const Spec* spec = nullptr;
+      for (const Spec& s : specs_) {
+        if (s.name == arg) {
+          spec = &s;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        usage();
+        return false;
+      }
+      std::string value;
+      if (spec->takes_value) {
+        if (i + 1 >= argc) throw Error(arg + " needs a value");
+        value = argv[++i];
+      }
+      spec->apply(value);
+    }
+    return true;
+  }
+
+private:
+  struct Spec {
+    std::string name;
+    std::string meta;  ///< value placeholder; empty for flags
+    std::string help;
+    std::function<void(const std::string&)> apply;
+    bool takes_value;
+  };
+
+  std::string head_;
+  std::vector<Spec> specs_;
+};
+
+// --- the canonical shared options ------------------------------------
+// Every tool that offers one of these MUST add it through the helper so
+// the spelling, placeholder and help text stay identical across
+// cepic-cc, cepic-sim and cepic-explore.
+
+/// `--config FILE` — processor configuration.
+inline void add_config_option(OptionTable& table, std::string* config_path) {
+  table.str("--config", "FILE", "processor configuration file", config_path);
+}
+
+/// `--cache DIR` + `--cache-stats` — the persistent content-addressed
+/// compile store (artifacts shared across configurations, tools and
+/// runs; results.cache lives inside it) and its stderr report.
+inline void add_cache_options(OptionTable& table, std::string* store_dir,
+                              bool* cache_stats) {
+  table.str("--cache", "DIR",
+            "persistent compile store (artifacts + results)", store_dir);
+  table.flag("--cache-stats", "report store hits/misses to stderr",
+             cache_stats);
+}
+
+/// `--jobs N` — shared thread-pool width.
+inline void add_jobs_option(OptionTable& table, unsigned* jobs) {
+  table.uint("--jobs", "N", "worker threads; 0 = all hardware threads",
+             jobs);
+}
+
+/// The `--cache-stats` report: one grep-able summary line (a fully warm
+/// run shows `compiles=0`) plus one line per store granularity.
+inline void print_cache_stats(const char* tool,
+                              const pipeline::ServiceStats& stats) {
+  const auto granularity = [&](const char* name,
+                               const pipeline::GranularityStats& g) {
+    std::cerr << tool << ": cache-stats " << name << " hits=" << g.hits
+              << " misses=" << g.misses << " puts=" << g.puts << "\n";
+  };
+  std::cerr << tool << ": cache-stats compiles=" << stats.compiles()
+            << " frontend=" << stats.frontend_runs
+            << " backend=" << stats.backend_runs
+            << " assemble=" << stats.assemble_runs
+            << " simulations=" << stats.simulations
+            << " result-hits=" << stats.result_hits
+            << " result-misses=" << stats.result_misses << "\n";
+  granularity("ir", stats.store.ir);
+  granularity("asm", stats.store.assembly);
+  granularity("program", stats.store.program);
 }
 
 }  // namespace cepic::tools
