@@ -20,6 +20,11 @@ struct BackendOptions {
   /// Schedule greedily for ILP; when false each op gets its own bundle
   /// (ablation baseline for the scheduler's contribution).
   bool schedule = true;
+  /// Test-only: when non-zero, the scheduler packs against this register
+  /// port budget instead of the Mdes one, leaving the emitted program's
+  /// configuration untouched. Used to fabricate contract-violating
+  /// schedules that mcheck must catch (the simulator merely stalls).
+  unsigned test_override_port_budget = 0;
 };
 
 /// Compile a verified IR module to CEPIC assembly text for the given
@@ -43,10 +48,15 @@ MFunc lower_function(const ir::Function& fn, const ir::Module& module,
 void allocate_registers(MFunc& fn, const ProcessorConfig& config);
 
 /// Pack each block into MultiOps obeying the Mdes resources, the issue
-/// width, dependence latencies and the register-port budget.
+/// width, dependence latencies and the register-port budget. Latency
+/// gaps are emitted as explicit empty bundles so that within a block,
+/// bundle index == issue cycle — the machine-level contract mcheck
+/// verifies statically. `override_port_budget` (0 = off) substitutes the
+/// Mdes budget, see BackendOptions::test_override_port_budget.
 ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
                                 const ProcessorConfig& config,
-                                bool schedule = true);
+                                bool schedule = true,
+                                unsigned override_port_budget = 0);
 
 /// Render scheduled functions + data section + entry stub as assembly.
 std::string emit_module_asm(const std::vector<ScheduledFunc>& funcs,

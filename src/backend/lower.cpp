@@ -213,7 +213,9 @@ private:
   void require_op(Op op) {
     if (!mdes_.op_supported(op)) {
       throw Error(cat("operation `", std::string(op_info(op).name),
-                      "` is not available on this customisation (see the "
+                      "` in @", fn_.name, " block ",
+                      out_.blocks[static_cast<std::size_t>(cur_)].label,
+                      " is not available on this customisation (see the "
                       "alu_* configuration switches)"));
     }
   }

@@ -79,7 +79,8 @@ public:
 
   void run() {
     if (config_.num_gprs <= CallConv::first_allocatable() + 1) {
-      throw Error(cat("configuration has only ", config_.num_gprs,
+      throw Error(cat("cannot allocate @", fn_.name,
+                      ": configuration has only ", config_.num_gprs,
                       " GPRs; the CEPIC ABI reserves r0-r11, so at least ",
                       CallConv::first_allocatable() + 2, " are required"));
     }

@@ -82,8 +82,8 @@ struct Edge {
 }  // namespace
 
 ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
-                                const ProcessorConfig& config,
-                                bool schedule) {
+                                const ProcessorConfig& config, bool schedule,
+                                unsigned override_port_budget) {
   ScheduledFunc out;
   out.name = fn.name;
 
@@ -176,7 +176,8 @@ ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
     int scheduled = 0;
     unsigned cycle = 0;
     const unsigned width = mdes.issue_width();
-    const unsigned budget = mdes.reg_port_budget();
+    const unsigned budget = override_port_budget != 0 ? override_port_budget
+                                                      : mdes.reg_port_budget();
     const bool fwd = mdes.forwarding();
 
     while (scheduled < n) {
@@ -249,10 +250,16 @@ ScheduledFunc schedule_function(const MFunc& fn, const Mdes& mdes,
         }
       }
 
-      if (!bundle.empty()) sblock.bundles.push_back(std::move(bundle));
+      // Latency gaps become explicit empty (all-NOP) bundles: fetching a
+      // NOP bundle costs the same cycle the scoreboard stall would have,
+      // and it keeps bundle index == issue cycle within the block — the
+      // invariant mcheck's port-budget and latency rules verify.
+      sblock.bundles.push_back(std::move(bundle));
       prev_cycle_writes = std::move(cycle_writes);
       ++cycle;
-      CEPIC_CHECK(cycle < 1000000u, "scheduler failed to make progress");
+      CEPIC_CHECK(cycle < 1000000u,
+                  cat("scheduler failed to make progress in @", fn.name,
+                      " block ", block.label));
     }
 
     out.blocks.push_back(std::move(sblock));

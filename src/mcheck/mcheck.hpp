@@ -1,0 +1,133 @@
+// mcheck — the config-aware machine-code verifier: a static analysis
+// over assembled core::Programs that proves (or refutes) the
+// architectural contract the backend and assembler are supposed to
+// honour, independently of the cycle simulator. It is parameterised by
+// the same ProcessorConfig/Mdes the backend consumes, so a customised
+// processor (trimmed ALU features, resized register files, narrowed
+// port budget) is checked against exactly the machine it will run on.
+//
+// Rules (docs/LINT.md has the full catalogue with paper citations):
+//
+//   structure         program shape: whole bundles, entry in range
+//   field-width       operands fit the customised encoding fields (§3.1)
+//   reg-bounds        register/predicate/BTR indices within file sizes
+//   fu-missing        operation absent from this customisation (§3.3)
+//   fu-oversubscribed more ops of one FU class in a MultiOp than units
+//   port-budget       worst-case register-port accounting per MultiOp:
+//                     flags MultiOps that must stall the 4x-clock RF
+//                     controller (§3.2) — independently reimplements the
+//                     budget logic of backend/schedule.cpp
+//   latency           def-use analysis across the schedule: operands
+//                     read before the producer's latency has elapsed
+//                     (the scoreboard will stall) — an independent
+//                     oracle for the scheduler's RAW/WAW claims
+//   multiop-waw       two operations of one MultiOp write one register
+//   branch-target     PBR targets land on existing MultiOp boundaries
+//   btr-discipline    branches only consume BTRs some PBR prepares
+//
+// Severity: violations the hardware cannot execute (or that change
+// results) are errors; "legal but must stall" findings (port-budget,
+// latency) are warnings, promoted by CheckOptions::werror.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/program.hpp"
+#include "mdes/mdes.hpp"
+
+namespace cepic::mcheck {
+
+enum class Rule : unsigned {
+  Structure = 0,
+  FieldWidth,
+  RegBounds,
+  FuMissing,
+  FuOversubscribed,
+  PortBudget,
+  Latency,
+  MultiOpWaw,
+  BranchTarget,
+  BtrDiscipline,
+  kCount
+};
+
+inline constexpr std::size_t kNumRules = static_cast<std::size_t>(Rule::kCount);
+
+/// Stable diagnostic identifier, e.g. "mcheck.port-budget".
+std::string_view rule_id(Rule rule);
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+std::string_view severity_name(Severity s);
+
+/// One finding, located at (bundle, slot). slot is -1 when the finding
+/// concerns the whole MultiOp or the program; bundle is 0 then too.
+struct Diagnostic {
+  Rule rule = Rule::Structure;
+  Severity severity = Severity::Error;
+  std::uint32_t bundle = 0;
+  int slot = -1;
+  /// Nearest preceding code label, empty if none (e.g. whole-program).
+  std::string label;
+  std::string message;
+
+  /// "error: bundle 12 (slot 2, in fn_main): ... [mcheck.reg-bounds]"
+  std::string to_string() const;
+};
+
+struct CheckOptions {
+  /// Treat warnings as errors in Report::error_count()/clean().
+  bool werror = false;
+  /// Bitmask of enabled rules (bit = static_cast<unsigned>(Rule)).
+  std::uint32_t enabled = ~0u;
+
+  bool rule_enabled(Rule r) const {
+    return (enabled >> static_cast<unsigned>(r)) & 1u;
+  }
+
+  /// Options with only the listed rules enabled.
+  static CheckOptions only(std::initializer_list<Rule> rules) {
+    CheckOptions o;
+    o.enabled = 0;
+    for (Rule r : rules) o.enabled |= 1u << static_cast<unsigned>(r);
+    return o;
+  }
+};
+
+struct Report {
+  std::vector<Diagnostic> diags;
+  bool werror = false;  ///< copied from CheckOptions
+
+  std::size_t count(Severity s) const;
+  std::size_t error_count() const {
+    return count(Severity::Error) + (werror ? count(Severity::Warning) : 0);
+  }
+  std::size_t warning_count() const {
+    return werror ? 0 : count(Severity::Warning);
+  }
+  bool clean() const { return error_count() == 0; }
+  bool has_rule(Rule rule) const;
+
+  /// Human-readable report, one diagnostic per line (empty if none).
+  std::string to_text() const;
+  /// Machine-readable report:
+  /// {"errors":N,"warnings":M,"diagnostics":[{...},...]}
+  std::string to_json() const;
+};
+
+/// Verify `program` against its embedded configuration. Builds the Mdes
+/// (with the configuration's custom ops bound) internally. An invalid
+/// ProcessorConfig is reported as a structure error, not thrown.
+Report check_program(const Program& program, const CheckOptions& options = {});
+
+/// Verify against an explicit machine description (must describe the
+/// same customisation as program.config; tests use this to check
+/// programs against deliberately mismatched machines).
+Report check_program(const Program& program, const Mdes& mdes,
+                     const CheckOptions& options = {});
+
+}  // namespace cepic::mcheck

@@ -27,6 +27,12 @@ struct OptOptions {
   int inline_max_insts = 200;
   int if_convert_max_ops = 10;
   int max_rounds = 4;
+  /// Debug: run ir::verify_module after every pass (not just once at
+  /// the end), naming the offending pass in the InternalError. Also
+  /// enabled by setting the CEPIC_VERIFY_IR environment variable.
+  /// Purely a check — never changes the emitted IR, so the pipeline
+  /// store deliberately leaves it out of its key material.
+  bool verify_each_pass = false;
 };
 
 /// Run the full pipeline to a fixed point (bounded by max_rounds).

@@ -1,31 +1,76 @@
+#include <cstdlib>
+
 #include "ir/verify.hpp"
 #include "opt/opt.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
 
 namespace cepic::opt {
 
+namespace {
+
+/// Re-verify the whole module after `pass` and pin the blame on it:
+/// a corrupt module at this point was legal before the pass ran.
+void verify_after(const ir::Module& module, const char* pass) {
+  try {
+    ir::verify_module(module);
+  } catch (const InternalError& e) {
+    throw InternalError(cat("after pass ", pass, ": ", e.what()));
+  }
+}
+
+}  // namespace
+
 void optimize(ir::Module& module, const OptOptions& options) {
+  // Environment hook so any flow (tools, tests, benches) can switch on
+  // per-pass verification without plumbing an option through.
+  const bool verify_each =
+      options.verify_each_pass || std::getenv("CEPIC_VERIFY_IR") != nullptr;
+  // Wrap each pass: run it, then (in verify mode) prove the module is
+  // still structurally legal before the next pass consumes it.
+  const auto fn_pass = [&](bool (*pass)(ir::Function&), const char* name,
+                           ir::Function& fn) {
+    const bool changed = pass(fn);
+    if (verify_each) verify_after(module, name);
+    return changed;
+  };
   for (int round = 0; round < options.max_rounds; ++round) {
     bool changed = false;
     if (options.inline_calls) {
       changed |= pass_inline(module, options.inline_max_insts);
+      if (verify_each) verify_after(module, "inline");
     }
     for (ir::Function& fn : module.functions) {
-      if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
-      if (options.fold) changed |= pass_constfold(fn);
-      if (options.copy_propagate) changed |= pass_copy_propagate(fn);
-      if (options.cse) changed |= pass_cse(fn);
-      if (options.licm) {
-        changed |= pass_licm(fn);
-        if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
-        if (options.copy_propagate) changed |= pass_copy_propagate(fn);
-        if (options.cse) changed |= pass_cse(fn);
+      if (options.simplify_cfg) {
+        changed |= fn_pass(pass_simplify_cfg, "simplify_cfg", fn);
       }
-      if (options.fold) changed |= pass_constfold(fn);
-      if (options.copy_propagate) changed |= pass_copy_propagate(fn);
-      if (options.dce) changed |= pass_dce(fn);
+      if (options.fold) changed |= fn_pass(pass_constfold, "constfold", fn);
+      if (options.copy_propagate) {
+        changed |= fn_pass(pass_copy_propagate, "copy_propagate", fn);
+      }
+      if (options.cse) changed |= fn_pass(pass_cse, "cse", fn);
+      if (options.licm) {
+        changed |= fn_pass(pass_licm, "licm", fn);
+        if (options.simplify_cfg) {
+          changed |= fn_pass(pass_simplify_cfg, "simplify_cfg", fn);
+        }
+        if (options.copy_propagate) {
+          changed |= fn_pass(pass_copy_propagate, "copy_propagate", fn);
+        }
+        if (options.cse) changed |= fn_pass(pass_cse, "cse", fn);
+      }
+      if (options.fold) changed |= fn_pass(pass_constfold, "constfold", fn);
+      if (options.copy_propagate) {
+        changed |= fn_pass(pass_copy_propagate, "copy_propagate", fn);
+      }
+      if (options.dce) changed |= fn_pass(pass_dce, "dce", fn);
       if (options.if_convert) {
-        changed |= pass_if_convert(fn, options.if_convert_max_ops);
-        if (options.simplify_cfg) changed |= pass_simplify_cfg(fn);
+        const bool ic = pass_if_convert(fn, options.if_convert_max_ops);
+        if (verify_each) verify_after(module, "if_convert");
+        changed |= ic;
+        if (options.simplify_cfg) {
+          changed |= fn_pass(pass_simplify_cfg, "simplify_cfg", fn);
+        }
       }
     }
     if (!changed) break;

@@ -8,9 +8,11 @@
 #include "asmtool/assembler.hpp"
 #include "core/custom.hpp"
 #include "frontend/irgen.hpp"
+#include "mcheck/mcheck.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "pipeline/version.hpp"
 #include "support/bits.hpp"
+#include "support/error.hpp"
 #include "support/text.hpp"
 
 namespace cepic::pipeline {
@@ -42,7 +44,9 @@ std::string opt_options_text(const opt::OptOptions& o, bool optimize) {
 /// separately because run paths derive it from sim.mem_size).
 std::string backend_options_text(const backend::BackendOptions& b,
                                  std::uint32_t stack_top) {
-  return cat("schedule=", b.schedule ? 1 : 0, ";stack_top=", stack_top);
+  return cat("schedule=", b.schedule ? 1 : 0,
+             ";port_override=", b.test_override_port_budget,
+             ";stack_top=", stack_top);
 }
 
 }  // namespace
@@ -150,6 +154,9 @@ Program Service::compile_program_at(std::string_view source,
   if (store_.get(Granularity::kProgram, key, blob)) {
     Program program = Program::deserialize(std::span<const std::uint8_t>(
         reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+    // Verify against the canonical slice-stamped program (mcheck never
+    // reads the simulation-only fields), then re-stamp.
+    if (options_.verify) verify_program(program, key);
     program.config = config;  // re-stamp simulation-only fields
     if (from_store) *from_store = true;
     return program;
@@ -166,8 +173,42 @@ Program Service::compile_program_at(std::string_view source,
   store_.put(Granularity::kProgram, key,
              std::string_view(reinterpret_cast<const char*>(bytes.data()),
                               bytes.size()));
+  if (options_.verify) verify_program(program, key);
   program.config = config;
   return program;
+}
+
+void Service::verify_program(const Program& program, std::uint64_t key) {
+  std::string blob;
+  if (!store_.get(Granularity::kLint, key, blob)) {
+    // Run with werror off so the cached report is werror-independent;
+    // Options::verify_werror is applied at the gate below.
+    const mcheck::Report report = mcheck::check_program(program);
+    const std::uint64_t errors =
+        report.count(mcheck::Severity::Error);
+    const std::uint64_t warnings =
+        report.count(mcheck::Severity::Warning);
+    blob = cat(errors, " ", warnings, "\n", report.to_text());
+    store_.put(Granularity::kLint, key, blob);
+    std::unique_lock<std::mutex> lock(mu_);
+    ++lint_runs_;
+  }
+  std::uint64_t errors = 0;
+  std::uint64_t warnings = 0;
+  std::string text;
+  {
+    std::istringstream in(blob);
+    in >> errors >> warnings;
+    std::string line;
+    std::getline(in, line);  // rest of the count line
+    std::ostringstream rest;
+    rest << in.rdbuf();
+    text = rest.str();
+  }
+  if (errors > 0 || (options_.verify_werror && warnings > 0)) {
+    throw Error(cat("mcheck: program fails machine-code verification for ",
+                    program.config.summary(), "\n", text));
+  }
 }
 
 std::string Service::compile_asm(std::string_view source,
@@ -239,7 +280,13 @@ std::vector<RunOutcome> Service::run_batch(
       cat("run|", store_version_tag(), "|", codegen_text_, "|",
           backend_options_text(options_.codegen.backend, stack_top),
           "|mem=", options_.sim.mem_size,
-          ";max_cycles=", options_.sim.max_cycles));
+          ";max_cycles=", options_.sim.max_cycles,
+          // Verification never changes a successful outcome's bytes,
+          // but a cached "ok" must mean "ok under these verify
+          // settings" — a non-verified result may answer for a program
+          // the verifier would reject.
+          ";verify=", options_.verify ? 1 : 0,
+          ";verify_werror=", options_.verify_werror ? 1 : 0));
 
   struct Item {
     std::size_t index;   ///< slot in `outcomes`
@@ -361,6 +408,7 @@ ServiceStats Service::stats() const {
   s.backend_runs = backend_runs_;
   s.assemble_runs = assemble_runs_;
   s.simulations = simulations_;
+  s.lint_runs = lint_runs_;
   s.result_hits = result_hits_;
   s.result_misses = result_misses_;
   return s;

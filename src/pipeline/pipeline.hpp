@@ -96,6 +96,16 @@ struct Options {
   /// => no result persistence. (Kept separate from the store because
   /// entries are keyed per *simulation*, not per artifact.)
   std::string result_cache_file;
+  /// Run the mcheck machine-code verifier over every compiled Program
+  /// and refuse (throw / fail the batch item) on rule errors. Reports
+  /// are cached in the store at Granularity::kLint under the program's
+  /// artifact key — sound because mcheck reads only the codegen slice
+  /// of the configuration. Never changes artifact bytes, so it is not
+  /// part of the store key material; it *is* folded into the
+  /// result-cache context (a "verified" result must mean verified).
+  bool verify = false;
+  /// Escalate mcheck warnings (port-budget, latency) to failures too.
+  bool verify_werror = false;
 };
 
 /// Everything compile() produces; the from-store flags say which
@@ -131,6 +141,7 @@ struct ServiceStats {
   std::uint64_t backend_runs = 0;    ///< IR -> assembly executions
   std::uint64_t assemble_runs = 0;   ///< assembly -> Program executions
   std::uint64_t simulations = 0;     ///< cycle-level simulations executed
+  std::uint64_t lint_runs = 0;       ///< mcheck verifications executed
   std::uint64_t result_hits = 0;     ///< batch items served from results
   std::uint64_t result_misses = 0;
 
@@ -209,6 +220,10 @@ private:
   Program compile_program_at(std::string_view source,
                              const ProcessorConfig& config,
                              std::uint32_t stack_top, bool* from_store);
+  /// The Options::verify gate: lint `program` (store-cached at kLint
+  /// under `key`, the program's artifact key) and throw Error with the
+  /// rendered report when it is not clean.
+  void verify_program(const Program& program, std::uint64_t key);
   std::string result_cache_path() const;
 
   Options options_;
@@ -222,6 +237,7 @@ private:
   std::uint64_t backend_runs_ = 0;
   std::uint64_t assemble_runs_ = 0;
   std::uint64_t simulations_ = 0;
+  std::uint64_t lint_runs_ = 0;
   std::uint64_t result_hits_ = 0;
   std::uint64_t result_misses_ = 0;
 };

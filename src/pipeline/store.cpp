@@ -19,6 +19,7 @@ GranularityStats& stats_for(StoreStats& s, Granularity g) {
   switch (g) {
     case Granularity::kIr: return s.ir;
     case Granularity::kAsm: return s.assembly;
+    case Granularity::kLint: return s.lint;
     default: return s.program;
   }
 }
@@ -29,6 +30,7 @@ const char* subdir(Granularity g) {
   switch (g) {
     case Granularity::kIr: return "ir";
     case Granularity::kAsm: return "asm";
+    case Granularity::kLint: return "lint";
     default: return "prog";
   }
 }
@@ -37,6 +39,7 @@ const char* extension(Granularity g) {
   switch (g) {
     case Granularity::kIr: return ".ir";
     case Granularity::kAsm: return ".s";
+    case Granularity::kLint: return ".lint";
     default: return ".cepx";
   }
 }

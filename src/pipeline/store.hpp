@@ -9,6 +9,10 @@
 //   kProgram  the assembled Program, CEPX-serialised (same key material
 //             as kAsm; stored with the codegen slice embedded so one
 //             blob serves every simulation-only variant of the config)
+//   kLint     the mcheck verification report for the Program with the
+//             same key (first line "<errors> <warnings>", then the
+//             rendered report) — sound because mcheck reads only the
+//             codegen slice of the configuration
 //
 // Keys are stable 64-bit content hashes computed by pipeline::Service
 // (see pipeline.cpp); the store itself only maps (granularity, key) to
@@ -29,7 +33,7 @@
 
 namespace cepic::pipeline {
 
-enum class Granularity { kIr = 0, kAsm = 1, kProgram = 2 };
+enum class Granularity { kIr = 0, kAsm = 1, kProgram = 2, kLint = 3 };
 
 /// Hit/miss/write counters for one granularity. A disk read that
 /// succeeds counts as a hit (the artifact was reused across processes).
@@ -43,6 +47,7 @@ struct StoreStats {
   GranularityStats ir;
   GranularityStats assembly;
   GranularityStats program;
+  GranularityStats lint;
 };
 
 class Store {
@@ -76,7 +81,7 @@ private:
 
   std::string dir_;  ///< <root>/<version_tag>, "" when memory-only
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::string> mem_[3];
+  std::unordered_map<std::uint64_t, std::string> mem_[4];
   StoreStats stats_;
 };
 

@@ -23,10 +23,13 @@ namespace cepic::pipeline {
 inline constexpr unsigned kPipelineSchema = 1;
 
 /// Human-readable toolchain identity folded into store paths and keys.
-inline constexpr std::string_view kToolVersion = "cepic-pr2";
+/// pr3: the scheduler emits explicit empty bundles for latency gaps
+/// (bundle index == issue cycle), so pr2 assembly/program blobs are
+/// stale for identical key material and must be unreachable.
+inline constexpr std::string_view kToolVersion = "cepic-pr3";
 
 /// Directory component under the store root that namespaces all
-/// artifacts of this build, e.g. "v1-cepic-pr2".
+/// artifacts of this build, e.g. "v1-cepic-pr3".
 inline std::string store_version_tag() {
   return "v" + std::to_string(kPipelineSchema) + "-" +
          std::string(kToolVersion);

@@ -109,6 +109,21 @@ TEST(Lowering, RejectsDivOnTrimmedAlu) {
   EXPECT_THROW(lower("int f(int a) { return a / 3; }", "f", cfg), Error);
 }
 
+TEST(Lowering, ErrorsNameTheFunctionAndBlock) {
+  // Diagnostics must locate the failure in the user's program, not just
+  // state the missing capability.
+  ProcessorConfig cfg;
+  cfg.alu.has_div = false;
+  try {
+    lower("int divider(int a) { return a / 3; }", "divider", cfg);
+    FAIL() << "expected a CompileError";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("@divider"), std::string::npos) << what;
+    EXPECT_NE(what.find("block"), std::string::npos) << what;
+  }
+}
+
 TEST(Lowering, GuardedStoreKeepsGuard) {
   ir::Module m = minic::compile_to_ir(
       "int g[1];\n"

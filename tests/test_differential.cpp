@@ -12,6 +12,7 @@
 #include "driver/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
+#include "mcheck/mcheck.hpp"
 #include "support/prng.hpp"
 #include "support/text.hpp"
 #include "workloads/workloads.hpp"
@@ -22,6 +23,17 @@ namespace {
 ir::InterpResult golden(const std::string& src) {
   ir::Module m = minic::compile_to_ir(src);
   return ir::Interpreter(m).run();
+}
+
+/// Every program this harness simulates must also prove statically
+/// clean (-Werror) under mcheck for the same configuration: the
+/// scheduler's architectural claims are checked by an independent
+/// oracle, not just by the simulator happening to agree.
+void expect_lint_clean(const std::string& src, const ProcessorConfig& cfg) {
+  const Program program = driver::compile_minic_to_epic(src, cfg).program;
+  const mcheck::Report rep =
+      mcheck::check_program(program, mcheck::CheckOptions{.werror = true});
+  EXPECT_TRUE(rep.clean()) << "on " << cfg.summary() << "\n" << rep.to_text();
 }
 
 /// Run `src` on the EPIC simulator for 1..4 ALUs and compare the OUT
@@ -37,6 +49,7 @@ void expect_all_alu_configs_match(const std::string& src,
     EpicSimulator sim = driver::run_minic_on_epic(src, cfg, {}, sim_options);
     EXPECT_EQ(sim.output(), gold.output);
     EXPECT_EQ(sim.gpr(3), gold.ret);
+    expect_lint_clean(src, cfg);
   }
 }
 
@@ -138,6 +151,7 @@ TEST(GeneratedDifferential, RandomProgramsAgreeAcrossIssueWidths) {
       EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
       EXPECT_EQ(sim.output(), gold.output);
       EXPECT_EQ(sim.gpr(3), gold.ret);
+      expect_lint_clean(src, cfg);
     }
   }
 }
@@ -159,6 +173,7 @@ TEST(GeneratedDifferential, RandomProgramsAgreeWithForwardingOff) {
       EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
       EXPECT_EQ(sim.output(), gold.output);
       EXPECT_EQ(sim.gpr(3), gold.ret);
+      expect_lint_clean(src, cfg);
     }
   }
 }

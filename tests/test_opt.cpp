@@ -4,6 +4,8 @@
 // MiniC programs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "opt/cfg.hpp"
@@ -371,6 +373,38 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<PassCombo>& info) {
       return info.param.name;
     });
+
+// -------------------------------------------- per-pass IR verification
+
+const char* kVerifySrc =
+    "int helper(int x) { return x * 3 + 1; }\n"
+    "int main() {\n"
+    "  int s = 0;\n"
+    "  for (int i = 0; i < 20; i++) {\n"
+    "    if (i % 2 == 0) s += helper(i); else s -= i;\n"
+    "  }\n"
+    "  out(s); return s & 0xFF;\n}\n";
+
+TEST(OptVerifyEachPass, AcceptsTheFullPipelineAndChangesNothing) {
+  ir::Module plain = compiled(kVerifySrc);
+  opt::optimize(plain);
+
+  ir::Module checked = compiled(kVerifySrc);
+  opt::OptOptions options;
+  options.verify_each_pass = true;
+  ASSERT_NO_THROW(opt::optimize(checked, options));
+  // A pure check: the optimised IR is byte-identical with it on or off.
+  EXPECT_EQ(ir::to_string(checked), ir::to_string(plain));
+}
+
+TEST(OptVerifyEachPass, EnvironmentVariableEnablesIt) {
+  // CEPIC_VERIFY_IR reaches optimize() without any options plumbing
+  // (the debug flow for tools and benches).
+  ir::Module m = compiled(kVerifySrc);
+  ASSERT_EQ(setenv("CEPIC_VERIFY_IR", "1", 1), 0);
+  ASSERT_NO_THROW(opt::optimize(m));
+  ASSERT_EQ(unsetenv("CEPIC_VERIFY_IR"), 0);
+}
 
 }  // namespace
 }  // namespace cepic

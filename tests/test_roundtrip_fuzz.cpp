@@ -10,6 +10,8 @@
 #include "core/encoding.hpp"
 #include "core/instruction.hpp"
 #include "core/program.hpp"
+#include "mcheck/mcheck.hpp"
+#include "sim/simulator.hpp"
 #include "support/bits.hpp"
 #include "support/prng.hpp"
 #include "support/text.hpp"
@@ -169,6 +171,71 @@ Program random_program(Prng& rng, const ProcessorConfig& cfg) {
   const Instruction halt = Instruction::halt();
   p.append_bundle({&halt, 1});
   return p;
+}
+
+/// The encoding-level subset of the mcheck rules: everything a program
+/// of independent random instructions must satisfy by construction.
+/// (The schedule-quality rules — latency, port budget, BTR discipline —
+/// are deliberately excluded: random instruction soup trips them
+/// legitimately, and MultiOps hold one op here anyway.)
+mcheck::CheckOptions encoding_rules() {
+  return mcheck::CheckOptions::only(
+      {mcheck::Rule::Structure, mcheck::Rule::FieldWidth,
+       mcheck::Rule::RegBounds, mcheck::Rule::FuMissing,
+       mcheck::Rule::FuOversubscribed, mcheck::Rule::BranchTarget});
+}
+
+TEST(McheckFuzz, ValidRandomProgramsAreLintClean) {
+  // The fuzzer's validity predicate (validate_instruction + clamped
+  // branch targets) and mcheck's encoding rules must agree: a program
+  // the fuzzer calls valid is lint-clean, for every customisation.
+  for (const NamedConfig& nc : fuzz_configs()) {
+    const std::uint64_t seed = 0x11DEA5ull ^ fnv1a64(nc.name);
+    SCOPED_TRACE(cat("config=", nc.name, " seed=0x", seed));
+    Prng rng(seed);
+    for (int i = 0; i < 25; ++i) {
+      const Program p = random_program(rng, nc.cfg);
+      const mcheck::Report rep = mcheck::check_program(p, encoding_rules());
+      ASSERT_TRUE(rep.clean()) << "iteration " << i << "\n"
+                               << asmtool::disassemble(p) << rep.to_text();
+    }
+  }
+}
+
+TEST(McheckFuzz, LintCleanProgramsAreNeverRejectedAtSimulationTime) {
+  // Soundness of the static verdict: a lint-clean program must never
+  // hit the simulator's *static* rejections ("not implemented on this
+  // customisation", "branch ... past end of program"). Dynamic stops —
+  // the cycle limit, or running off the end when a guarded HALT is
+  // nullified — depend on predicate values and stay out of scope.
+  for (const NamedConfig& nc : fuzz_configs()) {
+    const std::uint64_t seed = 0x51D0C4ull ^ fnv1a64(nc.name);
+    SCOPED_TRACE(cat("config=", nc.name, " seed=0x", seed));
+    Prng rng(seed);
+    for (int i = 0; i < 25; ++i) {
+      const Program p = random_program(rng, nc.cfg);
+      if (!mcheck::check_program(p, encoding_rules()).clean()) continue;
+      // Lint-clean implies encodable and serialisable...
+      ASSERT_NO_THROW((void)p.encode_code());
+      ASSERT_NO_THROW((void)p.serialize());
+      // ...and simulatable up to dynamic control-flow effects.
+      SimOptions sim_options;
+      sim_options.max_cycles = 10'000;
+      CustomOpTable custom = CustomOpTable::for_names(nc.cfg.custom_ops);
+      EpicSimulator sim(p, custom, sim_options);
+      try {
+        sim.run();
+      } catch (const SimError& e) {
+        const std::string what = e.what();
+        EXPECT_EQ(what.find("not implemented"), std::string::npos)
+            << "iteration " << i << ": " << what << "\n"
+            << asmtool::disassemble(p);
+        EXPECT_EQ(what.find("branch to bundle"), std::string::npos)
+            << "iteration " << i << ": " << what << "\n"
+            << asmtool::disassemble(p);
+      }
+    }
+  }
 }
 
 TEST(AssemblerRoundTripFuzz, AssembleDisassembleAssembleIsAFixedPoint) {

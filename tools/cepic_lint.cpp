@@ -1,0 +1,231 @@
+// cepic-lint — the config-aware machine-code verifier as a tool: prove
+// statically that scheduled EPIC programs respect the architectural
+// contract of a processor configuration (docs/LINT.md documents every
+// rule with its paper grounding).
+//
+//   cepic-lint [input ...] [options]
+//
+// Inputs are classified by extension:
+//   *.mc    MiniC source — compiled through the shared pipeline::Service
+//           (so `--cache DIR` reuses artifacts and lint reports across
+//           runs and tools), then checked for every configuration
+//   *.s     assembly text — assembled for every configuration, then
+//           checked (an assembly-time rejection is reported as a
+//           finding for that configuration)
+//   *.cepx  an assembled Program container — checked against the
+//           configuration embedded in it (--config/--grid do not apply:
+//           the bundles were laid out for exactly that configuration)
+//
+//   --workloads    also lint the four built-in paper workloads
+//                  (SHA-256, AES-128, DCT, Dijkstra)
+//   --config FILE  base processor configuration
+//   --grid SPEC    check across a configuration grid, e.g.
+//                  alus=1..4,forwarding=0,1 (cepic-explore grammar);
+//                  invalid points are skipped with a note
+//   --Werror       exit non-zero on warnings (port-budget, latency)
+//                  as well as errors
+//   --json         machine-readable report on stdout
+//   --cache DIR    persistent compile store shared with cepic-cc etc.
+//   --cache-stats  report store hits/misses to stderr
+//   --jobs N       worker threads for compilation
+//
+// Exit status: 0 every check clean, 1 any finding (or any input that
+// failed to compile/assemble/load), 2 usage error.
+#include "tool_common.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "asmtool/assembler.hpp"
+#include "core/program.hpp"
+#include "explore/sweep.hpp"
+#include "mcheck/mcheck.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+enum class InputKind { kMinic, kAsm, kProgram };
+
+struct Input {
+  std::string name;
+  InputKind kind;
+  std::string text;                 ///< MiniC or assembly text
+  std::vector<std::uint8_t> bytes;  ///< CEPX container
+};
+
+InputKind classify(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".s" || ext == ".asm") return InputKind::kAsm;
+  if (ext == ".cepx") return InputKind::kProgram;
+  return InputKind::kMinic;
+}
+
+/// One (input, configuration) check: either a report or a failure to
+/// produce a Program at all.
+struct CheckOutcome {
+  std::string input;
+  std::string config;
+  cepic::mcheck::Report report;
+  std::string error;  ///< non-empty: compile/assemble/load failed
+  bool failed() const {
+    return !error.empty() || report.error_count() != 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  return tools::tool_main("cepic-lint", [&]() -> int {
+    std::string config_path;
+    std::string grid;
+    bool use_workloads = false;
+    bool werror = false;
+    bool json = false;
+    bool cache_stats = false;
+    pipeline::Options popts;
+
+    tools::OptionTable table("cepic-lint [input ...] [options]");
+    tools::add_config_option(table, &config_path);
+    table.str("--grid", "SPEC",
+              "check across a config grid, e.g. alus=1..4", &grid);
+    table.flag("--workloads", "also lint the four built-in paper workloads",
+               &use_workloads);
+    table.flag("--Werror", "treat warnings as errors", &werror);
+    table.flag("--json", "machine-readable report on stdout", &json);
+    tools::add_jobs_option(table, &popts.jobs);
+    tools::add_cache_options(table, &popts.store_dir, &cache_stats);
+
+    std::vector<std::string> paths;
+    if (!table.parse(argc, argv, paths)) return 2;
+    if (paths.empty() && !use_workloads) return table.usage();
+
+    std::vector<Input> inputs;
+    for (const std::string& path : paths) {
+      Input in;
+      in.name = path;
+      in.kind = classify(path);
+      if (in.kind == InputKind::kProgram) {
+        in.bytes = tools::read_binary(path);
+      } else {
+        in.text = tools::read_file(path);
+      }
+      inputs.push_back(std::move(in));
+    }
+    if (use_workloads) {
+      for (const workloads::Workload& w : workloads::all_workloads(8, 2, 8, 6)) {
+        Input in;
+        in.name = cat("workload:", w.name);
+        in.kind = InputKind::kMinic;
+        in.text = w.minic_source;
+        inputs.push_back(std::move(in));
+      }
+    }
+
+    const ProcessorConfig base = tools::load_config(config_path);
+    std::vector<ProcessorConfig> configs;
+    if (grid.empty()) {
+      base.validate();
+      configs.push_back(base);
+    } else {
+      explore::SweepSpec spec = explore::SweepSpec::from_grid(grid, base);
+      const std::size_t dropped = spec.filter_invalid();
+      if (dropped != 0) {
+        std::cerr << "note: " << dropped
+                  << " grid point(s) invalid, skipped\n";
+      }
+      if (spec.empty()) {
+        std::cerr << "error: grid `" << grid << "` has no valid points\n";
+        return 1;
+      }
+      configs = std::move(spec.points);
+    }
+
+    pipeline::Service service(popts);
+    const mcheck::CheckOptions copts{werror};
+
+    std::vector<CheckOutcome> outcomes;
+    for (const Input& in : inputs) {
+      if (in.kind == InputKind::kProgram) {
+        CheckOutcome out;
+        out.input = in.name;
+        try {
+          const Program program = Program::deserialize(in.bytes);
+          out.config = program.config.summary();
+          out.report = mcheck::check_program(program, copts);
+        } catch (const Error& e) {
+          out.error = e.what();
+        }
+        outcomes.push_back(std::move(out));
+        continue;
+      }
+      for (const ProcessorConfig& config : configs) {
+        CheckOutcome out;
+        out.input = in.name;
+        out.config = config.summary();
+        try {
+          const Program program =
+              in.kind == InputKind::kMinic
+                  ? service.compile_program(in.text, config)
+                  : asmtool::assemble(in.text, config);
+          out.report = mcheck::check_program(program, copts);
+        } catch (const Error& e) {
+          out.error = e.what();
+        }
+        outcomes.push_back(std::move(out));
+      }
+    }
+
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t failed_inputs = 0;
+    for (const CheckOutcome& out : outcomes) {
+      if (!out.error.empty()) {
+        ++failed_inputs;
+        continue;
+      }
+      errors += out.report.error_count();
+      warnings += out.report.warning_count();
+    }
+
+    if (json) {
+      std::string text = "[";
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const CheckOutcome& out = outcomes[i];
+        if (i != 0) text += ",";
+        if (!out.error.empty()) {
+          text += cat("{\"input\":\"", out.input, "\",\"config\":\"",
+                      out.config, "\",\"error\":\"", out.error, "\"}");
+        } else {
+          text += cat("{\"input\":\"", out.input, "\",\"config\":\"",
+                      out.config, "\",\"report\":", out.report.to_json(),
+                      "}");
+        }
+      }
+      text += "]\n";
+      std::cout << text;
+    } else {
+      for (const CheckOutcome& out : outcomes) {
+        const std::string head = cat(out.input, " [", out.config, "]");
+        if (!out.error.empty()) {
+          std::cout << head << ": error: " << out.error << "\n";
+        } else if (out.report.diags.empty()) {
+          std::cout << head << ": clean\n";
+        } else {
+          std::cout << head << ":\n" << out.report.to_text();
+        }
+      }
+      std::cout << "cepic-lint: " << outcomes.size() << " check(s), "
+                << errors << " error(s), " << warnings << " warning(s)";
+      if (failed_inputs != 0) {
+        std::cout << ", " << failed_inputs << " input(s) failed to build";
+      }
+      std::cout << "\n";
+    }
+
+    if (cache_stats) tools::print_cache_stats("cepic-lint", service.stats());
+    return (errors != 0 || failed_inputs != 0) ? 1 : 0;
+  });
+}

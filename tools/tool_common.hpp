@@ -232,10 +232,12 @@ inline void print_cache_stats(const char* tool,
             << " assemble=" << stats.assemble_runs
             << " simulations=" << stats.simulations
             << " result-hits=" << stats.result_hits
-            << " result-misses=" << stats.result_misses << "\n";
+            << " result-misses=" << stats.result_misses
+            << " lint=" << stats.lint_runs << "\n";
   granularity("ir", stats.store.ir);
   granularity("asm", stats.store.assembly);
   granularity("program", stats.store.program);
+  granularity("lint", stats.store.lint);
 }
 
 }  // namespace cepic::tools
