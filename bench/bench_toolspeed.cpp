@@ -92,6 +92,26 @@ void BM_EpicSimulator(benchmark::State& state) {
 }
 BENCHMARK(BM_EpicSimulator);
 
+// The interpretive decode-every-cycle path (use_decode_cache=false):
+// keeps the fast path's speedup honest in the recorded history.
+void BM_EpicSimulatorLegacy(benchmark::State& state) {
+  const auto& w = dct_workload();
+  auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  SimOptions options;
+  options.use_decode_cache = false;
+  EpicSimulator sim(compiled.program, {}, options);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.reset();
+    sim.run();
+    cycles += sim.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EpicSimulatorLegacy);
+
 void BM_SarmSimulator(benchmark::State& state) {
   const auto& w = dct_workload();
   auto program = driver::compile_minic_to_sarm(w.minic_source);

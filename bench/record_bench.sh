@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Record the tool-speed benchmark trajectory.
+#
+# Runs bench_toolspeed with --benchmark_format=json and appends one
+# labelled run record to BENCH_toolspeed.json at the repo root, so the
+# committed file accumulates a perf history (baseline, after each
+# optimisation, ...) instead of overwriting it.
+#
+#   bench/record_bench.sh [label] [build_dir]
+#
+#   label      name for this run (default: the current short commit)
+#   build_dir  CMake build tree holding bench/bench_toolspeed
+#              (default: build)
+#
+# Environment:
+#   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+#   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 0.5)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
+build_dir="${2:-build}"
+bench_bin="$repo_root/$build_dir/bench/bench_toolspeed"
+out_file="$repo_root/BENCH_toolspeed.json"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "record_bench: $bench_bin not built (cmake --build $build_dir --target bench_toolspeed)" >&2
+  exit 1
+fi
+
+tmp_json="$(mktemp)"
+trap 'rm -f "$tmp_json"' EXIT
+
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.5}" \
+  ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
+  > "$tmp_json"
+
+label="$label" run_json="$tmp_json" out_file="$out_file" \
+  commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+python3 - <<'EOF'
+import json
+import os
+
+out_file = os.environ["out_file"]
+with open(os.environ["run_json"]) as f:
+    run = json.load(f)
+
+history = {"runs": []}
+if os.path.exists(out_file):
+    with open(out_file) as f:
+        history = json.load(f)
+
+history["runs"].append({
+    "label": os.environ["label"],
+    "commit": os.environ["commit"],
+    "date": run.get("context", {}).get("date", ""),
+    "context": {
+        k: run.get("context", {}).get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+    },
+    "benchmarks": run.get("benchmarks", []),
+})
+
+with open(out_file, "w") as f:
+    json.dump(history, f, indent=1)
+    f.write("\n")
+
+for b in run.get("benchmarks", []):
+    extras = [
+        f"{k}={v:.3g}" for k, v in b.items()
+        if k.endswith("/s") or k == "insts/s"
+    ]
+    print(f"  {b['name']}: {b['real_time']:.0f} {b['time_unit']}"
+          + (f"  ({', '.join(extras)})" if extras else ""))
+print(f"record_bench: appended run '{os.environ['label']}' to {out_file}")
+EOF

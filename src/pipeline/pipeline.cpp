@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
 #include <span>
@@ -65,6 +66,21 @@ ProcessorConfig Service::codegen_slice(const ProcessorConfig& config) {
   ProcessorConfig slice = config;
   slice.pipeline_stages = kDefaults.pipeline_stages;
   slice.unified_memory_contention = kDefaults.unified_memory_contention;
+  return slice;
+}
+
+ProcessorConfig Service::sim_slice(const ProcessorConfig& config) {
+  // The dual slice: fields the *simulator* never reads. num_alus only
+  // sizes Mdes::units(), which the simulator never queries (issue is
+  // bounded by issue_width); max_regs_per_instr only gates mcheck and
+  // the assembler's per-instruction validator. Everything else —
+  // register file sizes, issue width, datapath width, port budget,
+  // forwarding, latencies, feature trims, custom ops, pipeline_stages,
+  // unified_memory_contention — changes simulated behaviour and stays.
+  static const ProcessorConfig kDefaults;
+  ProcessorConfig slice = config;
+  slice.num_alus = kDefaults.num_alus;
+  slice.max_regs_per_instr = kDefaults.max_regs_per_instr;
   return slice;
 }
 
@@ -298,6 +314,24 @@ std::vector<RunOutcome> Service::run_batch(
   // key: one compile task per group feeds its simulate tasks.
   std::map<std::uint64_t, std::vector<Item>> groups;
 
+  // Simulation dedup across (and within) groups: keyed by the digest of
+  // the compiled program serialized under its sim_slice()-canonical
+  // config. The first task to claim a digest simulates; identical
+  // later items wait for it and share the outcome. A claim is only ever
+  // created by a running task, so waiters never block on unscheduled
+  // work (with a 1-thread pool the claimer always finishes first).
+  struct SimDedupEntry {
+    bool done = false;
+    bool ok = false;
+    std::string error;
+    CacheEntry result;
+  };
+  struct SimDedup {
+    std::mutex m;
+    std::condition_variable cv;
+    std::map<std::uint64_t, SimDedupEntry> map;
+  } dedup;
+
   for (std::size_t w = 0; w < sources.size(); ++w) {
     const std::uint64_t source_hash =
         fnv1a64(cat(hex64(fnv1a64(sources[w])), ":", hex64(context)));
@@ -335,7 +369,7 @@ std::vector<RunOutcome> Service::run_batch(
       (void)key;
       const std::vector<Item>* group = &items;
       pool.submit([this, group, &sources, &configs, &outcomes, &results,
-                   &pool, stack_top] {
+                   &pool, &dedup, stack_top] {
         const Item& first = group->front();
         std::shared_ptr<const Program> shared;
         try {
@@ -348,8 +382,47 @@ std::vector<RunOutcome> Service::run_batch(
         }
         for (const Item& item : *group) {
           const Item* it = &item;
-          pool.submit([this, shared, it, &configs, &outcomes, &results] {
+          pool.submit([this, shared, it, &configs, &outcomes, &results,
+                       &dedup] {
             RunOutcome& out = outcomes[it->index];
+            const auto deliver = [&](const SimDedupEntry& e) {
+              if (e.ok) {
+                results.insert(it->key, e.result);
+                out.ok = true;
+                out.cycles = e.result.cycles;
+                out.ops_committed = e.result.ops_committed;
+                out.output_words = e.result.output_words;
+                out.output_hash = e.result.output_hash;
+                out.ret = e.result.ret;
+              } else {
+                out.ok = false;
+                out.error = e.error;
+              }
+            };
+
+            std::uint64_t digest = 0;
+            {
+              Program canon = *shared;
+              canon.config = sim_slice(configs[it->config]);
+              const std::vector<std::uint8_t> bytes = canon.serialize();
+              digest = fnv1a64(std::string_view(
+                  reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+            }
+            std::map<std::uint64_t, SimDedupEntry>::iterator slot;
+            {
+              std::unique_lock<std::mutex> lk(dedup.m);
+              const auto claim = dedup.map.try_emplace(digest);
+              slot = claim.first;
+              if (!claim.second) {
+                dedup.cv.wait(lk, [&] { return slot->second.done; });
+                deliver(slot->second);
+                std::unique_lock<std::mutex> lock(mu_);
+                ++sim_dedup_hits_;
+                return;
+              }
+            }
+
+            SimDedupEntry entry;
             try {
               Program program = *shared;
               // Re-stamp the full config: the simulator reads the
@@ -360,25 +433,25 @@ std::vector<RunOutcome> Service::run_batch(
                   CustomOpTable::for_names(configs[it->config].custom_ops),
                   options_.sim);
               sim.run();
-              CacheEntry entry;
-              entry.cycles = sim.stats().cycles;
-              entry.ops_committed = sim.stats().ops_committed;
-              entry.output_words = sim.output().size();
-              entry.output_hash = fnv1a64_words(sim.output());
-              entry.ret = sim.gpr(3);
-              results.insert(it->key, entry);
-              out.ok = true;
-              out.cycles = entry.cycles;
-              out.ops_committed = entry.ops_committed;
-              out.output_words = entry.output_words;
-              out.output_hash = entry.output_hash;
-              out.ret = entry.ret;
+              entry.ok = true;
+              entry.result.cycles = sim.stats().cycles;
+              entry.result.ops_committed = sim.stats().ops_committed;
+              entry.result.output_words = sim.output().size();
+              entry.result.output_hash = fnv1a64_words(sim.output());
+              entry.result.ret = sim.gpr(3);
               std::unique_lock<std::mutex> lock(mu_);
               ++simulations_;
             } catch (const std::exception& e) {
-              out.ok = false;
-              out.error = e.what();
+              entry.ok = false;
+              entry.error = e.what();
             }
+            deliver(entry);
+            {
+              std::unique_lock<std::mutex> lk(dedup.m);
+              slot->second = entry;
+              slot->second.done = true;
+            }
+            dedup.cv.notify_all();
           });
         }
       });
@@ -411,6 +484,7 @@ ServiceStats Service::stats() const {
   s.lint_runs = lint_runs_;
   s.result_hits = result_hits_;
   s.result_misses = result_misses_;
+  s.sim_dedup_hits = sim_dedup_hits_;
   return s;
 }
 

@@ -43,6 +43,17 @@
 // the key material is a correctness bug: the store would serve stale
 // code. tests/test_pipeline.cpp pins the partition down.
 //
+// There is a second, dual slice: sim_slice() resets the fields the
+// *simulator* never reads (num_alus feeds only Mdes::units(), which the
+// simulator never calls; max_regs_per_instr feeds only mcheck and the
+// assembler's validator). run_batch() uses it to deduplicate
+// simulations: two batch items whose compiled Programs are
+// byte-identical once their configs are canonicalised to the sim slice
+// must produce identical outcomes, so only the first one runs and the
+// rest share its result (ServiceStats::sim_dedup_hits counts them).
+// This fires across compile groups — e.g. max_regs_per_instr 4 vs 3
+// compile separately but usually schedule to the same bundles.
+//
 // ## Determinism contract
 //
 // Batch outcomes are stored at their (source, config) slot and are pure
@@ -144,6 +155,9 @@ struct ServiceStats {
   std::uint64_t lint_runs = 0;       ///< mcheck verifications executed
   std::uint64_t result_hits = 0;     ///< batch items served from results
   std::uint64_t result_misses = 0;
+  /// Batch items answered by another item's in-flight simulation (same
+  /// program bytes under sim_slice()-canonical config).
+  std::uint64_t sim_dedup_hits = 0;
 
   /// Total compilation-stage executions (any stage, any granularity).
   std::uint64_t compiles() const {
@@ -162,6 +176,12 @@ public:
   /// with equal slices share all compiled artifacts. This is the
   /// normative definition of the options partition for ProcessorConfig.
   static ProcessorConfig codegen_slice(const ProcessorConfig& config);
+
+  /// The simulation-relevant slice of a configuration: `config` with
+  /// every field the simulator never reads reset to its default. Two
+  /// batch items whose Programs serialize identically under this slice
+  /// simulate identically; run_batch() dedupes on that digest.
+  static ProcessorConfig sim_slice(const ProcessorConfig& config);
 
   // --- single-shot API (replaces the driver:: entry points) ---
 
@@ -240,6 +260,7 @@ private:
   std::uint64_t lint_runs_ = 0;
   std::uint64_t result_hits_ = 0;
   std::uint64_t result_misses_ = 0;
+  std::uint64_t sim_dedup_hits_ = 0;
 };
 
 }  // namespace cepic::pipeline

@@ -1,0 +1,202 @@
+#include "sim/decode.hpp"
+
+#include <algorithm>
+
+#include "core/eval.hpp"
+#include "support/text.hpp"
+
+namespace cepic {
+
+namespace {
+
+RegFile file_of_src(SrcSpec spec) {
+  switch (spec) {
+    case SrcSpec::Gpr:
+    case SrcSpec::GprOrLit: return RegFile::Gpr;
+    case SrcSpec::Pred: return RegFile::Pred;
+    case SrcSpec::Btr: return RegFile::Btr;
+    case SrcSpec::None:
+    case SrcSpec::LitOnly: return RegFile::None;
+  }
+  return RegFile::None;
+}
+
+unsigned file_size(const ProcessorConfig& cfg, RegFile file) {
+  switch (file) {
+    case RegFile::Gpr: return cfg.num_gprs;
+    case RegFile::Pred: return cfg.num_preds;
+    case RegFile::Btr: return cfg.num_btrs;
+    case RegFile::None: break;
+  }
+  return 0;
+}
+
+ExecKind exec_kind(const OpInfo& info) {
+  switch (info.fu) {
+    case FuClass::Alu: return ExecKind::Alu;
+    case FuClass::Cmpu: return ExecKind::Cmpp;
+    case FuClass::Lsu:
+      switch (info.op) {
+        case Op::OUT: return ExecKind::Out;
+        case Op::LDW: return ExecKind::LdW;
+        case Op::LDWS: return ExecKind::LdWS;
+        case Op::LDB: return ExecKind::LdB;
+        case Op::LDBU: return ExecKind::LdBU;
+        case Op::STW: return ExecKind::StW;
+        case Op::STB: return ExecKind::StB;
+        default: return ExecKind::Unsupported;
+      }
+    case FuClass::Bru:
+      switch (info.op) {
+        case Op::PBR: return ExecKind::Pbr;
+        case Op::BRU: return ExecKind::Bru;
+        case Op::BRCT: return ExecKind::Brct;
+        case Op::BRCF: return ExecKind::Brcf;
+        case Op::BRL: return ExecKind::Brl;
+        case Op::BRR: return ExecKind::Brr;
+        case Op::HALT: return ExecKind::Halt;
+        default: return ExecKind::Unsupported;
+      }
+    case FuClass::None: break;
+  }
+  return ExecKind::Unsupported;
+}
+
+void push_unique(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+}
+
+/// Decode one source operand; returns false when a register index is
+/// out of range for its file (bundle falls back to the legacy path).
+bool decode_src(const Operand& o, SrcSpec spec, const ProcessorConfig& cfg,
+                DecodedSrc& out) {
+  if (o.is_lit()) {
+    out.kind = SrcKind::Lit;
+    out.value =
+        mask_to_width(static_cast<std::uint32_t>(o.lit), cfg.datapath_width);
+    return true;
+  }
+  if (!o.is_reg()) {
+    out.kind = SrcKind::Zero;
+    return true;
+  }
+  switch (file_of_src(spec)) {
+    case RegFile::Gpr: out.kind = SrcKind::Gpr; break;
+    case RegFile::Pred: out.kind = SrcKind::Pred; break;
+    case RegFile::Btr: out.kind = SrcKind::Btr; break;
+    case RegFile::None:
+      // A register operand in a literal/unused slot reads as zero on
+      // the interpretive path too.
+      out.kind = SrcKind::Zero;
+      return true;
+  }
+  out.reg = o.reg;
+  return o.reg < file_size(cfg, file_of_src(spec));
+}
+
+DecodedBundle decode_bundle(std::span<const Instruction> bundle,
+                            const Program& program, const Mdes& mdes) {
+  const ProcessorConfig& cfg = program.config;
+  DecodedBundle out;
+  bool in_range = true;
+  std::uint8_t pending_nops = 0;
+
+  for (const Instruction& inst : bundle) {
+    if (inst.is_nop()) {
+      ++pending_nops;
+      continue;
+    }
+    const OpInfo& info = inst.info();
+    DecodedOp op;
+    op.nops_before = pending_nops;
+    pending_nops = 0;
+    op.op = inst.op;
+    op.info = &info;
+    op.pred = inst.pred;
+    op.dest1 = inst.dest1;
+    op.dest2 = inst.dest2;
+    op.has_dest2 = info.dest2 != RegFile::None;
+    op.latency = mdes.latency(inst.op);
+    op.kind = mdes.op_supported(inst.op) ? exec_kind(info)
+                                         : ExecKind::Unsupported;
+
+    in_range &= inst.pred < cfg.num_preds;
+    in_range &= decode_src(inst.src1, info.src1, cfg, op.src1);
+    in_range &= decode_src(inst.src2, info.src2, cfg, op.src2);
+    // The interpretive path feeds PBR's raw (unmasked) literal to the
+    // BTR write; keep that exact value.
+    if (op.kind == ExecKind::Pbr) {
+      op.src1.value = static_cast<std::uint32_t>(inst.src1.lit);
+    }
+    if (info.dest1 != RegFile::None) {
+      in_range &= inst.dest1 < file_size(cfg, info.dest1);
+    }
+    if (info.dest2 != RegFile::None) {
+      in_range &= inst.dest2 < file_size(cfg, info.dest2);
+    }
+
+    // ---- Stage-1 static facts: scoreboard sources and §3.2 ports. ----
+    if (inst.pred != 0) push_unique(out.sb_pred, inst.pred);
+    const auto note_src = [&](const DecodedSrc& s) {
+      switch (s.kind) {
+        case SrcKind::Gpr:
+          if (s.reg != 0) {
+            push_unique(out.sb_gpr, s.reg);
+            out.port_reads.push_back(s.reg);
+          }
+          break;
+        case SrcKind::Pred:
+          if (s.reg != 0) push_unique(out.sb_pred, s.reg);
+          break;
+        case SrcKind::Btr:
+          push_unique(out.sb_btr, s.reg);
+          break;
+        case SrcKind::Zero:
+        case SrcKind::Lit:
+          break;
+      }
+    };
+    note_src(op.src1);
+    note_src(op.src2);
+    if (info.dest1_is_source && inst.dest1 != 0) {
+      push_unique(out.sb_gpr, inst.dest1);
+      out.port_reads.push_back(inst.dest1);
+    }
+    if (info.writes_dest1() && info.dest1 == RegFile::Gpr &&
+        inst.dest1 != 0) {
+      ++out.write_ports;
+    }
+
+    out.ops.push_back(op);
+  }
+  out.nops_trailing = pending_nops;
+  out.use_legacy = !in_range;
+  return out;
+}
+
+}  // namespace
+
+std::vector<DecodedBundle> decode_program(const Program& program,
+                                          const Mdes& mdes,
+                                          bool prerender_trace) {
+  std::vector<DecodedBundle> decoded;
+  const std::size_t bundles = program.bundle_count();
+  decoded.reserve(bundles);
+  for (std::uint32_t pc = 0; pc < bundles; ++pc) {
+    const std::span<const Instruction> bundle = program.bundle(pc);
+    DecodedBundle d = decode_bundle(bundle, program, mdes);
+    if (prerender_trace) {
+      std::string text;
+      for (const Instruction& inst : bundle) {
+        if (inst.is_nop()) continue;
+        if (!text.empty()) text += " || ";
+        text += to_string(inst);
+      }
+      d.trace_text = text.empty() ? "nop" : text;
+    }
+    decoded.push_back(std::move(d));
+  }
+  return decoded;
+}
+
+}  // namespace cepic

@@ -1,0 +1,107 @@
+// Pre-decoded program representation for the EPIC simulator's fast
+// path. The interpretive step() re-derived static facts — OpInfo
+// lookups, operand register-file classes, Mdes latencies and support
+// verdicts, §3.2 port read/write classification — on every simulated
+// cycle. decode_program() lowers each bundle once, at simulator
+// construction, into a DecodedBundle that bakes all of it in, so the
+// per-cycle loop touches only architectural state. Behaviour is
+// bit-identical to the interpretive path (tests/test_sim_fastpath.cpp
+// proves it differentially); bundles the decoder cannot prove safe
+// (out-of-range register indices in hand-built programs) are flagged
+// `use_legacy` and executed by the interpretive path instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/isa.hpp"
+#include "core/program.hpp"
+#include "mdes/mdes.hpp"
+
+namespace cepic {
+
+/// Flat dispatch kind: the FuClass x Op nesting of the interpretive
+/// execute stage collapsed into one switch.
+enum class ExecKind : std::uint8_t {
+  Alu,   ///< every ALU-class op, including MOV/ABS and custom slots
+  Cmpp,  ///< compare-to-predicate (dual destination) and PSET
+  Out,
+  LdW,
+  LdWS,
+  LdB,
+  LdBU,
+  StW,
+  StB,
+  Pbr,
+  Bru,
+  Brct,
+  Brcf,
+  Brl,
+  Brr,
+  Halt,
+  /// Op the Mdes rejects for this customisation: faults on first touch
+  /// with the interpretive path's exact error text.
+  Unsupported,
+};
+
+/// How a source operand is fetched at execute time. Literals are
+/// pre-masked to the datapath width at decode (except the PBR target,
+/// which the interpretive path uses raw).
+enum class SrcKind : std::uint8_t { Zero, Lit, Gpr, Pred, Btr };
+
+struct DecodedSrc {
+  SrcKind kind = SrcKind::Zero;
+  std::uint32_t reg = 0;    ///< register index when kind is a file
+  std::uint32_t value = 0;  ///< pre-extended literal when kind == Lit
+};
+
+struct DecodedOp {
+  ExecKind kind = ExecKind::Halt;
+  /// NOP slots between the previous decoded op and this one (stats
+  /// interleaving matches the interpretive path even on fault paths).
+  std::uint8_t nops_before = 0;
+  bool has_dest2 = false;
+  std::uint32_t pred = 0;
+  std::uint32_t dest1 = 0;
+  std::uint32_t dest2 = 0;
+  DecodedSrc src1;
+  DecodedSrc src2;
+  unsigned latency = 1;       ///< Mdes result latency, resolved at decode
+  Op op = Op::NOP;            ///< original opcode (ALU eval, errors)
+  const OpInfo* info = nullptr;
+};
+
+struct DecodedBundle {
+  /// Decoder could not prove every register access in range; the
+  /// simulator executes this bundle through the interpretive path so
+  /// fault behaviour is unchanged.
+  bool use_legacy = false;
+  std::uint8_t nops_trailing = 0;  ///< NOP slots after the last decoded op
+  /// Static GPR write-port demand of the bundle (§3.2).
+  unsigned write_ports = 0;
+  std::vector<DecodedOp> ops;  ///< non-NOP slots, in slot order
+
+  // Scoreboard source lists (deduplicated; index 0 entries dropped —
+  // they are always ready).
+  std::vector<std::uint32_t> sb_gpr;
+  std::vector<std::uint32_t> sb_pred;
+  std::vector<std::uint32_t> sb_btr;
+
+  /// GPR port-read candidates for the §3.2 budget fixed point:
+  /// register indices (duplicates preserved — each read costs a port)
+  /// that need a port unless forwarding satisfies them.
+  std::vector<std::uint32_t> port_reads;
+
+  /// Pre-rendered trace line (only when tracing was requested).
+  std::string trace_text;
+};
+
+/// Lower every bundle of `program` against `mdes`. `prerender_trace`
+/// additionally renders each bundle's trace text (skipped otherwise —
+/// it is the only decode product that costs real time).
+std::vector<DecodedBundle> decode_program(const Program& program,
+                                          const Mdes& mdes,
+                                          bool prerender_trace);
+
+}  // namespace cepic

@@ -33,6 +33,13 @@ EpicSimulator::EpicSimulator(Program program, CustomOpTable custom,
       if (op) custom_.install(slot, std::move(*op));
     }
   }
+  fwd_ = mdes_.forwarding();
+  port_budget_ = mdes_.reg_port_budget();
+  if (options_.use_decode_cache) {
+    decoded_ = decode_program(program_, mdes_, options_.collect_trace);
+    writes_scratch_.reserve(2 * program_.config.issue_width);
+    stores_scratch_.reserve(program_.config.issue_width);
+  }
   reset();
 }
 
@@ -137,12 +144,304 @@ std::uint32_t EpicSimulator::read_operand(const Operand& o, SrcSpec spec,
   return 0;
 }
 
+std::uint32_t EpicSimulator::fetch(const DecodedSrc& src) const {
+  switch (src.kind) {
+    case SrcKind::Zero: return 0;
+    case SrcKind::Lit: return src.value;
+    // gprs_[0] is pinned to 0 (reset + set_gpr never write it), so the
+    // r0 special case costs nothing here.
+    case SrcKind::Gpr: return gprs_[src.reg];
+    case SrcKind::Pred:
+      return (src.reg == 0 || preds_[src.reg] != 0) ? 1u : 0u;
+    case SrcKind::Btr: return btrs_[src.reg];
+  }
+  return 0;
+}
+
+void EpicSimulator::check_cycle_limit(std::uint64_t issue) const {
+  // Issuing at `issue` would advance the clock to issue + 1; refuse as
+  // soon as that provably crosses the budget, before stalls, bubbles or
+  // side effects are applied (the old end-of-step check let one step
+  // overshoot the limit arbitrarily far).
+  if (issue >= options_.max_cycles) {
+    throw SimError(cat("cycle limit exceeded (", options_.max_cycles,
+                       " cycles) at bundle ", pc_, " — runaway program?"));
+  }
+}
+
+void EpicSimulator::write_back(const std::vector<PendingStore>& stores,
+                               const std::vector<WriteBack>& writes) {
+  // Memory first (loads above read pre-store memory), then registers in
+  // op order (later writes win on WAW within a MultiOp).
+  for (const PendingStore& s : stores) {
+    if (s.byte) {
+      mem_.write_byte(s.addr, static_cast<std::uint8_t>(s.value));
+    } else {
+      mem_.write_word(s.addr, s.value);
+    }
+  }
+  for (const WriteBack& w : writes) {
+    switch (w.file) {
+      case RegFile::Gpr:
+        set_gpr(w.index, w.value);
+        break;
+      case RegFile::Pred:
+        set_pred(w.index, w.value != 0);
+        break;
+      case RegFile::Btr:
+        btrs_[w.index] = w.value;
+        break;
+      case RegFile::None:
+        break;
+    }
+    note_ready(w.file, w.index, w.ready);
+  }
+}
+
+bool EpicSimulator::finish_step(std::uint64_t issue, bool branch_taken,
+                                std::uint32_t branch_target, bool halt_now,
+                                bool any_mem, unsigned useful_ops,
+                                const std::string* trace_text) {
+  ++stats_.bundles_issued;
+  stats_.bundle_width_hist[std::min<std::size_t>(useful_ops, 8)]++;
+  cycle_ = issue + 1;
+
+  if (program_.config.unified_memory_contention && any_mem) {
+    ++cycle_;
+    ++stats_.stall_mem_contention;
+  }
+
+  if (options_.collect_trace && trace_.size() < options_.trace_limit) {
+    if (trace_text != nullptr) {
+      trace_.push_back({issue, pc_, *trace_text});
+    } else {
+      std::string text;
+      for (const Instruction& inst : program_.bundle(pc_)) {
+        if (inst.is_nop()) continue;
+        if (!text.empty()) text += " || ";
+        text += to_string(inst);
+      }
+      trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
+    }
+  }
+
+  if (halt_now) {
+    halted_ = true;
+    stats_.cycles = cycle_;
+    return false;
+  }
+
+  if (branch_taken) {
+    ++stats_.branches_taken;
+    // A taken branch flushes everything in front of execute: one bubble
+    // per pipeline stage before it (1 on the 2-stage prototype).
+    const unsigned bubbles = program_.config.pipeline_stages - 1;
+    stats_.branch_bubbles += bubbles;
+    cycle_ += bubbles;
+    if (branch_target >= program_.bundle_count()) {
+      throw SimError(cat("branch to bundle ", branch_target,
+                         " past end of program"));
+    }
+    pc_ = branch_target;
+  } else {
+    ++pc_;
+  }
+
+  stats_.cycles = cycle_;
+  return true;
+}
+
 bool EpicSimulator::step() {
   if (halted_) return false;
   if (pc_ >= program_.bundle_count()) {
     throw SimError(cat("pc 0x", std::hex, pc_, " past end of program"));
   }
+  if (options_.use_decode_cache) {
+    const DecodedBundle& bundle = decoded_[pc_];
+    if (!bundle.use_legacy) return step_decoded(bundle);
+  }
+  return step_interpretive();
+}
 
+bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
+  // ---- Stage 1: issue cycle from the pre-computed source lists. ----
+  std::uint64_t issue = cycle_;
+  for (const std::uint32_t r : bundle.sb_gpr) {
+    issue = std::max(issue, gpr_ready_[r]);
+  }
+  for (const std::uint32_t r : bundle.sb_pred) {
+    issue = std::max(issue, pred_ready_[r]);
+  }
+  for (const std::uint32_t r : bundle.sb_btr) {
+    issue = std::max(issue, btr_ready_[r]);
+  }
+  stats_.stall_scoreboard += issue - cycle_;
+
+  // §3.2 register-port budget fixed point over the static read/write
+  // lists. Without forwarding the demand is constant, so one division
+  // suffices; with forwarding, delaying issue can turn a forwarded read
+  // into a port read — iterate exactly like the interpretive path.
+  std::uint64_t port_stall = 0;
+  if (!fwd_) {
+    const unsigned ports =
+        bundle.write_ports + static_cast<unsigned>(bundle.port_reads.size());
+    if (ports != 0) port_stall = (ports + port_budget_ - 1) / port_budget_ - 1;
+  } else if (bundle.write_ports != 0 || !bundle.port_reads.empty()) {
+    for (int iter = 0; iter < 4; ++iter) {
+      const std::uint64_t at = issue + port_stall;
+      unsigned ports = bundle.write_ports;
+      for (const std::uint32_t r : bundle.port_reads) {
+        if (gpr_ready_[r] != at) ++ports;
+      }
+      const std::uint64_t needed =
+          ports == 0 ? 0 : (ports + port_budget_ - 1) / port_budget_ - 1;
+      if (needed == port_stall) break;
+      port_stall = needed;
+    }
+  }
+  stats_.stall_reg_ports += port_stall;
+  issue += port_stall;
+  check_cycle_limit(issue);
+
+  // ---- Stage 2: execute + writeback (all reads before any write). ----
+  writes_scratch_.clear();
+  stores_scratch_.clear();
+  bool branch_taken = false;
+  std::uint32_t branch_target = 0;
+  bool halt_now = false;
+  bool any_mem = false;
+  unsigned useful_ops = 0;
+
+  for (const DecodedOp& op : bundle.ops) {
+    stats_.nops += op.nops_before;
+    ++useful_ops;
+    ++stats_.ops_executed;
+    if (op.kind == ExecKind::Unsupported) {
+      throw SimError(cat("operation `", std::string(op.info->name),
+                         "` not implemented on this customisation"));
+    }
+    const bool guard = op.pred == 0 || preds_[op.pred] != 0;
+    if (!guard) {
+      ++stats_.ops_nullified;
+      continue;
+    }
+    ++stats_.ops_committed;
+
+    const std::uint32_t a = fetch(op.src1);
+    const std::uint32_t b = fetch(op.src2);
+    const std::uint64_t ready = issue + op.latency;
+
+    switch (op.kind) {
+      case ExecKind::Alu: {
+        const std::uint32_t r = eval_alu(op.op, a, b, width_, &custom_);
+        writes_scratch_.push_back({RegFile::Gpr, op.dest1, r, ready});
+        break;
+      }
+      case ExecKind::Cmpp: {
+        const bool c = eval_cmpp(op.op, a, b, width_);
+        writes_scratch_.push_back(
+            {RegFile::Pred, op.dest1, c ? 1u : 0u, ready});
+        if (op.has_dest2) {
+          writes_scratch_.push_back(
+              {RegFile::Pred, op.dest2, c ? 0u : 1u, ready});
+        }
+        break;
+      }
+      case ExecKind::Out:
+        output_.push_back(a);
+        break;
+      case ExecKind::LdW:
+        any_mem = true;
+        writes_scratch_.push_back(
+            {RegFile::Gpr, op.dest1,
+             mask_to_width(mem_.read_word(a + b), width_), ready});
+        ++stats_.mem_reads;
+        break;
+      case ExecKind::LdWS:
+        any_mem = true;
+        writes_scratch_.push_back(
+            {RegFile::Gpr, op.dest1,
+             mask_to_width(mem_.read_word_speculative(a + b), width_), ready});
+        ++stats_.mem_reads;
+        break;
+      case ExecKind::LdB: {
+        any_mem = true;
+        const std::uint8_t byte = mem_.read_byte(a + b);
+        writes_scratch_.push_back(
+            {RegFile::Gpr, op.dest1,
+             mask_to_width(
+                 static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                     static_cast<std::int8_t>(byte))),
+                 width_),
+             ready});
+        ++stats_.mem_reads;
+        break;
+      }
+      case ExecKind::LdBU:
+        any_mem = true;
+        writes_scratch_.push_back(
+            {RegFile::Gpr, op.dest1,
+             static_cast<std::uint32_t>(mem_.read_byte(a + b)), ready});
+        ++stats_.mem_reads;
+        break;
+      case ExecKind::StW:
+        any_mem = true;
+        stores_scratch_.push_back({false, a + b, gprs_[op.dest1]});
+        ++stats_.mem_writes;
+        break;
+      case ExecKind::StB:
+        any_mem = true;
+        stores_scratch_.push_back({true, a + b, gprs_[op.dest1]});
+        ++stats_.mem_writes;
+        break;
+      case ExecKind::Pbr:
+        writes_scratch_.push_back(
+            {RegFile::Btr, op.dest1, op.src1.value, ready});
+        break;
+      case ExecKind::Bru:
+      case ExecKind::Brr:
+        if (!branch_taken) {
+          branch_taken = true;
+          branch_target = a;
+        }
+        break;
+      case ExecKind::Brct:
+      case ExecKind::Brcf: {
+        const bool cond = b != 0;
+        const bool take = op.kind == ExecKind::Brct ? cond : !cond;
+        if (take) {
+          if (!branch_taken) {
+            branch_taken = true;
+            branch_target = a;
+          }
+        } else {
+          ++stats_.branches_not_taken;
+        }
+        break;
+      }
+      case ExecKind::Brl:
+        writes_scratch_.push_back({RegFile::Gpr, op.dest1, pc_ + 1, ready});
+        if (!branch_taken) {
+          branch_taken = true;
+          branch_target = a;
+        }
+        break;
+      case ExecKind::Halt:
+        halt_now = true;
+        break;
+      case ExecKind::Unsupported:
+        break;  // unreachable: thrown above
+    }
+  }
+  stats_.nops += bundle.nops_trailing;
+
+  write_back(stores_scratch_, writes_scratch_);
+  return finish_step(issue, branch_taken, branch_target, halt_now, any_mem,
+                     useful_ops,
+                     options_.collect_trace ? &bundle.trace_text : nullptr);
+}
+
+bool EpicSimulator::step_interpretive() {
   const std::span<const Instruction> bundle = program_.bundle(pc_);
 
   // ---- Stage 1: fetch/decode/issue. Determine the issue cycle. ----
@@ -201,14 +500,10 @@ bool EpicSimulator::step() {
   }
   stats_.stall_reg_ports += port_stall;
   issue += port_stall;
+  check_cycle_limit(issue);
 
   // ---- Stage 2: execute + writeback (MultiOp semantics: all reads
   // happen before any write of the same MultiOp). ----
-  struct PendingStore {
-    bool byte = false;
-    std::uint32_t addr = 0;
-    std::uint32_t value = 0;
-  };
   std::vector<WriteBack> writes;
   std::vector<PendingStore> stores;
   bool branch_taken = false;
@@ -361,80 +656,9 @@ bool EpicSimulator::step() {
     }
   }
 
-  // Writeback: memory first (loads above read pre-store memory), then
-  // registers in op order (later writes win on WAW within a MultiOp).
-  for (const PendingStore& s : stores) {
-    if (s.byte) {
-      mem_.write_byte(s.addr, static_cast<std::uint8_t>(s.value));
-    } else {
-      mem_.write_word(s.addr, s.value);
-    }
-  }
-  for (const WriteBack& w : writes) {
-    switch (w.file) {
-      case RegFile::Gpr:
-        set_gpr(w.index, w.value);
-        break;
-      case RegFile::Pred:
-        set_pred(w.index, w.value != 0);
-        break;
-      case RegFile::Btr:
-        btrs_[w.index] = w.value;
-        break;
-      case RegFile::None:
-        break;
-    }
-    note_ready(w.file, w.index, w.ready);
-  }
-
-  // ---- Advance time and control flow. ----
-  ++stats_.bundles_issued;
-  stats_.bundle_width_hist[std::min<std::size_t>(useful_ops, 8)]++;
-  cycle_ = issue + 1;
-
-  if (program_.config.unified_memory_contention && any_mem) {
-    ++cycle_;
-    ++stats_.stall_mem_contention;
-  }
-
-  if (options_.collect_trace && trace_.size() < options_.trace_limit) {
-    std::string text;
-    for (const Instruction& inst : bundle) {
-      if (inst.is_nop()) continue;
-      if (!text.empty()) text += " || ";
-      text += to_string(inst);
-    }
-    trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
-  }
-
-  if (halt_now) {
-    halted_ = true;
-    stats_.cycles = cycle_;
-    return false;
-  }
-
-  if (branch_taken) {
-    ++stats_.branches_taken;
-    // A taken branch flushes everything in front of execute: one bubble
-    // per pipeline stage before it (1 on the 2-stage prototype).
-    const unsigned bubbles = program_.config.pipeline_stages - 1;
-    stats_.branch_bubbles += bubbles;
-    cycle_ += bubbles;
-    if (branch_target >= program_.bundle_count()) {
-      throw SimError(cat("branch to bundle ", branch_target,
-                         " past end of program"));
-    }
-    pc_ = branch_target;
-  } else {
-    ++pc_;
-  }
-
-  stats_.cycles = cycle_;
-  if (cycle_ > options_.max_cycles) {
-    throw SimError(cat("cycle limit exceeded (", options_.max_cycles,
-                       " cycles) — runaway program?"));
-  }
-  return true;
+  write_back(stores, writes);
+  return finish_step(issue, branch_taken, branch_target, halt_now, any_mem,
+                     useful_ops, nullptr);
 }
 
 const SimStats& EpicSimulator::run() {

@@ -25,6 +25,7 @@
 #include "core/program.hpp"
 #include "mdes/mdes.hpp"
 #include "core/memory.hpp"
+#include "sim/decode.hpp"
 #include "sim/stats.hpp"
 
 namespace cepic {
@@ -34,6 +35,12 @@ struct SimOptions {
   std::size_t mem_size = std::size_t{1} << 22;  // 4 MiB
   bool collect_trace = false;
   std::size_t trace_limit = 4096;
+  /// Pre-decode every bundle at construction and execute through the
+  /// fast path (sim/decode.hpp). Off = the interpretive
+  /// decode-every-cycle path, kept for differential validation
+  /// (tests/test_sim_fastpath.cpp); both produce bit-identical stats,
+  /// output and architectural state.
+  bool use_decode_cache = true;
 };
 
 struct TraceEntry {
@@ -83,16 +90,48 @@ private:
     std::uint32_t value = 0;
     std::uint64_t ready = 0;
   };
+  struct PendingStore {
+    bool byte = false;
+    std::uint32_t addr = 0;
+    std::uint32_t value = 0;
+  };
 
   std::uint32_t read_operand(const Operand& o, SrcSpec spec, bool zext) const;
   std::uint64_t ready_cycle(RegFile file, std::uint32_t index) const;
   void note_ready(RegFile file, std::uint32_t index, std::uint64_t cycle);
+
+  /// One step through the pre-decoded fast path (never called for
+  /// bundles flagged use_legacy).
+  bool step_decoded(const DecodedBundle& bundle);
+  /// One step through the interpretive decode-every-cycle path.
+  bool step_interpretive();
+  /// Fetch a pre-decoded source operand's value.
+  std::uint32_t fetch(const DecodedSrc& src) const;
+  /// Shared cycle-limit clamp: fires as soon as the issue computation
+  /// proves the limit will be crossed, before any state changes.
+  void check_cycle_limit(std::uint64_t issue) const;
+  /// Shared writeback + advance/control-flow tail of both step paths.
+  void write_back(const std::vector<PendingStore>& stores,
+                  const std::vector<WriteBack>& writes);
+  bool finish_step(std::uint64_t issue, bool branch_taken,
+                   std::uint32_t branch_target, bool halt_now, bool any_mem,
+                   unsigned useful_ops, const std::string* trace_text);
 
   Program program_;
   CustomOpTable custom_;
   SimOptions options_;
   Mdes mdes_;
   unsigned width_;
+  bool fwd_ = true;           ///< mdes_.forwarding(), hoisted
+  unsigned port_budget_ = 8;  ///< mdes_.reg_port_budget(), hoisted
+
+  /// Pre-decoded bundles (empty when use_decode_cache is off); built
+  /// once at construction, reused across reset().
+  std::vector<DecodedBundle> decoded_;
+  /// Reused per-step scratch (capacity fixed by issue_width): the
+  /// interpretive path's per-cycle heap allocations removed.
+  std::vector<WriteBack> writes_scratch_;
+  std::vector<PendingStore> stores_scratch_;
 
   std::vector<std::uint32_t> gprs_;
   std::vector<std::uint8_t> preds_;

@@ -39,6 +39,9 @@ struct SimStats {
 
   /// Multi-line human-readable report.
   std::string report() const;
+
+  /// Field-wise equality (differential fast-vs-interpretive tests).
+  bool operator==(const SimStats&) const = default;
 };
 
 }  // namespace cepic

@@ -310,6 +310,95 @@ TEST(Service, BatchIndexingIsSourceMajorAndFailuresAreContained) {
   EXPECT_NE(outcomes[0].output_hash, outcomes[2].output_hash);
 }
 
+// ----------------------------------------------------- simulation dedup
+
+TEST(SimSlice, ResetsExactlyTheSimulatorInvisibleFields) {
+  ProcessorConfig cfg;
+  cfg.num_alus = 3;
+  cfg.max_regs_per_instr = 3;
+  cfg.reg_port_budget = 6;
+  cfg.forwarding = false;
+  cfg.load_latency = 2;
+  cfg.pipeline_stages = 4;
+  cfg.unified_memory_contention = true;
+
+  const ProcessorConfig slice = Service::sim_slice(cfg);
+  const ProcessorConfig defaults;
+  // The simulator-invisible fields are reset...
+  EXPECT_EQ(slice.num_alus, defaults.num_alus);
+  EXPECT_EQ(slice.max_regs_per_instr, defaults.max_regs_per_instr);
+  // ...and everything the simulator reads is preserved.
+  EXPECT_EQ(slice.reg_port_budget, 6u);
+  EXPECT_FALSE(slice.forwarding);
+  EXPECT_EQ(slice.load_latency, 2u);
+  EXPECT_EQ(slice.pipeline_stages, 4u);
+  EXPECT_TRUE(slice.unified_memory_contention);
+}
+
+TEST(Service, DuplicateBatchItemsSimulateOnce) {
+  ProcessorConfig cfg;
+  Service service;
+  const auto outcomes = service.run_batch({kProg}, {cfg, cfg});
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.simulations, 1u);
+  EXPECT_EQ(stats.sim_dedup_hits, 1u);
+  EXPECT_EQ(outcomes[0].cycles, outcomes[1].cycles);
+  EXPECT_EQ(outcomes[0].output_hash, outcomes[1].output_hash);
+}
+
+TEST(Service, IdenticalProgramsAcrossCompileGroupsSimulateOnce) {
+  // num_alus above the issue width cannot change the schedule (packing
+  // is bounded by issue_width), so 4 and 8 ALUs compile separately —
+  // distinct codegen slices — yet yield byte-identical programs. The
+  // dedup digest canonicalises num_alus away (sim_slice) and collapses
+  // the two simulations.
+  ProcessorConfig a;  // 4 ALUs
+  ProcessorConfig b;
+  b.num_alus = 8;
+  {
+    Service probe;
+    Program pa = probe.compile_program(kProg, a);
+    Program pb = probe.compile_program(kProg, b);
+    pa.config = Service::sim_slice(pa.config);
+    pb.config = Service::sim_slice(pb.config);
+    ASSERT_EQ(pa.serialize(), pb.serialize())
+        << "precondition: these configs no longer produce identical "
+           "programs; pick another simulator-invisible codegen knob";
+  }
+
+  Service service;
+  const auto outcomes = service.run_batch({kProg}, {a, b});
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.backend_runs, 2u);  // separate compile groups...
+  EXPECT_EQ(stats.simulations, 1u);   // ...one simulation
+  EXPECT_EQ(stats.sim_dedup_hits, 1u);
+  EXPECT_EQ(outcomes[0].cycles, outcomes[1].cycles);
+  EXPECT_EQ(outcomes[0].output_hash, outcomes[1].output_hash);
+  EXPECT_EQ(outcomes[0].ret, outcomes[1].ret);
+}
+
+TEST(Service, SimVisibleVariantsAreNeverDeduped) {
+  ProcessorConfig a;
+  ProcessorConfig b;
+  b.pipeline_stages = 3;
+
+  Service service;
+  const auto outcomes = service.run_batch({kProg}, {a, b});
+  ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.backend_runs, 1u);  // shared compile...
+  EXPECT_EQ(stats.simulations, 2u);   // ...but both points simulate
+  EXPECT_EQ(stats.sim_dedup_hits, 0u);
+  EXPECT_NE(outcomes[0].cycles, outcomes[1].cycles);
+}
+
 TEST(Explore, SweepBatchSharesCompilesAcrossSourcesAndMatchesRunSweep) {
   explore::SweepSpec spec;
   for (unsigned stages = 2; stages <= 4; ++stages) {

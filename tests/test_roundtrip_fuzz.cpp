@@ -15,121 +15,18 @@
 #include "support/bits.hpp"
 #include "support/prng.hpp"
 #include "support/text.hpp"
+#include "test_util.hpp"
 
 namespace cepic {
 namespace {
 
-unsigned file_count(const ProcessorConfig& cfg, RegFile f) {
-  switch (f) {
-    case RegFile::Gpr: return cfg.num_gprs;
-    case RegFile::Pred: return cfg.num_preds;
-    case RegFile::Btr: return cfg.num_btrs;
-    default: return 1;
-  }
-}
-
-RegFile src_file(SrcSpec spec) {
-  switch (spec) {
-    case SrcSpec::Gpr: return RegFile::Gpr;
-    case SrcSpec::Pred: return RegFile::Pred;
-    case SrcSpec::Btr: return RegFile::Btr;
-    default: return RegFile::None;
-  }
-}
-
-Operand random_src(Prng& rng, const ProcessorConfig& cfg,
-                   const InstructionFormat& fmt, SrcSpec spec, bool zext) {
-  const auto random_lit = [&]() -> Operand {
-    if (zext) {
-      return Operand::imm(static_cast<std::int32_t>(
-          rng.next_below(static_cast<std::uint32_t>(1u << fmt.src_bits))));
-    }
-    const std::int32_t hi = (std::int32_t{1} << (fmt.src_bits - 1)) - 1;
-    return Operand::imm(rng.next_in(-hi - 1, hi));
-  };
-  switch (spec) {
-    case SrcSpec::None:
-      return Operand::none();
-    case SrcSpec::Gpr:
-    case SrcSpec::Pred:
-    case SrcSpec::Btr:
-      return Operand::r(rng.next_below(file_count(cfg, src_file(spec))));
-    case SrcSpec::LitOnly:
-      return random_lit();
-    case SrcSpec::GprOrLit:
-      if (rng.next_below(2) == 0) {
-        return Operand::r(rng.next_below(cfg.num_gprs));
-      }
-      return random_lit();
-  }
-  return Operand::none();
-}
-
-/// A uniformly random instruction that passes validate_instruction for
-/// `cfg` (rejection-sampled; ops the configuration disables — trimmed
-/// ALU features, unbound custom slots — simply never survive).
-Instruction random_instruction(Prng& rng, const ProcessorConfig& cfg) {
-  const InstructionFormat fmt = cfg.format();
-  for (int attempt = 0; attempt < 1000; ++attempt) {
-    const Op op =
-        static_cast<Op>(rng.next_below(static_cast<std::uint32_t>(kNumOps)));
-    const OpInfo& info = op_info(op);
-    Instruction inst;
-    inst.op = op;
-    if (info.dest1 != RegFile::None) {
-      inst.dest1 = rng.next_below(file_count(cfg, info.dest1));
-    }
-    if (info.dest2 != RegFile::None) {
-      inst.dest2 = rng.next_below(file_count(cfg, info.dest2));
-    }
-    inst.src1 = random_src(rng, cfg, fmt, info.src1, info.literal_zero_extends);
-    inst.src2 = random_src(rng, cfg, fmt, info.src2, info.literal_zero_extends);
-    inst.pred = rng.next_below(cfg.num_preds);
-    if (validate_instruction(inst, cfg).empty()) return inst;
-  }
-  ADD_FAILURE() << "could not sample a valid instruction in 1000 attempts";
-  return Instruction::halt();
-}
-
-struct NamedConfig {
-  const char* name;
-  ProcessorConfig cfg;
-};
-
-std::vector<NamedConfig> fuzz_configs() {
-  std::vector<NamedConfig> cfgs;
-  cfgs.push_back({"defaults", ProcessorConfig{}});
-  {
-    ProcessorConfig c;
-    c.num_gprs = 16;
-    c.num_preds = 4;
-    c.num_btrs = 2;
-    c.issue_width = 2;
-    cfgs.push_back({"small_files", c});
-  }
-  {
-    // The defaults already fill the 64-bit container exactly, so
-    // "wider" here means more predicate/branch resources within it.
-    ProcessorConfig c;
-    c.num_gprs = 32;
-    c.num_btrs = 64;  // index_bits(64) == 6, still inside the container
-    c.issue_width = 1;
-    cfgs.push_back({"btr_heavy", c});
-  }
-  {
-    ProcessorConfig c;
-    c.alu.has_div = false;
-    c.alu.has_minmax = false;
-    cfgs.push_back({"trimmed_alu", c});
-  }
-  {
-    ProcessorConfig c;
-    c.custom_ops = {"rotr"};
-    cfgs.push_back({"custom_op", c});
-  }
-  for (const NamedConfig& nc : cfgs) nc.cfg.validate();
-  return cfgs;
-}
+// The generators and the config grid live in test_util.hpp so the
+// fast-vs-interpretive simulator differential suite fuzzes the same
+// program distribution with the same seeds.
+using testutil::NamedConfig;
+using testutil::fuzz_configs;
+using testutil::random_instruction;
+using testutil::random_program;
 
 TEST(EncodeDecodeFuzz, EncodeThenDecodeIsAFixedPoint) {
   for (const NamedConfig& nc : fuzz_configs()) {
@@ -147,30 +44,6 @@ TEST(EncodeDecodeFuzz, EncodeThenDecodeIsAFixedPoint) {
           << "iteration " << i << ": " << to_string(inst);
     }
   }
-}
-
-/// Random program for the assembler round trip: one random instruction
-/// per bundle (so no bundle-level functional-unit conflicts arise by
-/// construction), HALT-terminated. Branch-target literals are clamped
-/// to real bundle addresses.
-Program random_program(Prng& rng, const ProcessorConfig& cfg) {
-  Program p;
-  p.config = cfg;
-  const int bundles = rng.next_in(4, 12);
-  for (int b = 0; b < bundles; ++b) {
-    Instruction inst = random_instruction(rng, cfg);
-    if (inst.op == Op::PBR) {
-      inst.src1 = Operand::imm(
-          static_cast<std::int32_t>(rng.next_below(bundles + 1)));
-    }
-    // A guarded NOP is semantically a NOP; the disassembler prints NOP
-    // slots in canonical (unguarded) form, so generate them that way.
-    if (inst.is_nop()) inst = Instruction::nop();
-    p.append_bundle({&inst, 1});
-  }
-  const Instruction halt = Instruction::halt();
-  p.append_bundle({&halt, 1});
-  return p;
 }
 
 /// The encoding-level subset of the mcheck rules: everything a program

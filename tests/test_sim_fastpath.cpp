@@ -1,0 +1,273 @@
+// Differential validation of the pre-decoded simulator fast path
+// (sim/decode.hpp) against the interpretive decode-every-cycle path:
+// for the same program and SimOptions the two must produce bit-identical
+// SimStats (cycles and every stall counter, the bundle-width histogram),
+// the same OUT stream, the same final architectural state (registers,
+// pc, memory image) and the same fault messages — across compiled
+// workloads on a codegen x simulation-only configuration grid, across
+// the fuzz corpus of random programs, and across the error paths.
+#include <gtest/gtest.h>
+
+#include "driver/driver.hpp"
+#include "sim/simulator.hpp"
+#include "support/bits.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "test_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+/// Everything observable about one simulation, for exact comparison.
+struct Observed {
+  std::string error;  ///< SimError text; empty when the run halted
+  bool halted = false;
+  SimStats stats;
+  std::vector<std::uint32_t> output;
+  std::uint32_t pc = 0;
+  std::vector<std::uint32_t> gprs;
+  std::vector<std::uint32_t> preds;
+  std::vector<std::uint32_t> btrs;
+  std::vector<std::uint8_t> memory;
+  std::vector<std::string> trace;
+};
+
+Observed observe(const Program& program, const CustomOpTable& custom,
+                 SimOptions options, bool decode_cache) {
+  options.use_decode_cache = decode_cache;
+  EpicSimulator sim(program, custom, options);
+  Observed o;
+  try {
+    sim.run();
+    // The decode cache must survive reset(): run the program again and
+    // keep the second run's results (they must equal the first's — the
+    // interpretive side establishes that independently).
+    sim.reset();
+    sim.run();
+  } catch (const SimError& e) {
+    o.error = e.what();
+  }
+  o.halted = sim.halted();
+  o.stats = sim.stats();
+  o.output = sim.output();
+  o.pc = sim.pc();
+  const ProcessorConfig& cfg = sim.program().config;
+  for (unsigned i = 0; i < cfg.num_gprs; ++i) o.gprs.push_back(sim.gpr(i));
+  for (unsigned i = 0; i < cfg.num_preds; ++i) {
+    o.preds.push_back(sim.pred(i) ? 1 : 0);
+  }
+  for (unsigned i = 0; i < cfg.num_btrs; ++i) o.btrs.push_back(sim.btr(i));
+  const auto raw = sim.memory().raw();
+  o.memory.assign(raw.begin(), raw.end());
+  for (const TraceEntry& t : sim.trace()) {
+    o.trace.push_back(cat(t.cycle, "@", t.bundle, ": ", t.text));
+  }
+  return o;
+}
+
+void expect_identical(const Program& program, const CustomOpTable& custom,
+                      const SimOptions& options) {
+  const Observed fast = observe(program, custom, options, true);
+  const Observed slow = observe(program, custom, options, false);
+  EXPECT_EQ(fast.error, slow.error);
+  EXPECT_EQ(fast.halted, slow.halted);
+  EXPECT_EQ(fast.stats, slow.stats)
+      << "cycles " << fast.stats.cycles << " vs " << slow.stats.cycles
+      << ", scoreboard " << fast.stats.stall_scoreboard << " vs "
+      << slow.stats.stall_scoreboard << ", ports "
+      << fast.stats.stall_reg_ports << " vs " << slow.stats.stall_reg_ports;
+  EXPECT_EQ(fast.output, slow.output);
+  EXPECT_EQ(fast.pc, slow.pc);
+  EXPECT_EQ(fast.gprs, slow.gprs);
+  EXPECT_EQ(fast.preds, slow.preds);
+  EXPECT_EQ(fast.btrs, slow.btrs);
+  EXPECT_EQ(fast.memory == slow.memory, true) << "final memory images differ";
+  EXPECT_EQ(fast.trace, slow.trace);
+}
+
+// ---- compiled workloads across the configuration grid ----------------
+
+TEST(SimFastPath, WorkloadAcrossCodegenAndSimGrid) {
+  // Codegen-relevant axes (each compiles separately) crossed with
+  // simulation-only axes (re-stamped onto the same Program, exactly as
+  // pipeline::run_batch does).
+  const workloads::Workload w = workloads::make_dct(8);
+  for (const unsigned alus : {1u, 4u}) {
+    for (const bool forwarding : {false, true}) {
+      for (const unsigned ports : {4u, 8u}) {
+        ProcessorConfig cfg;
+        cfg.num_alus = alus;
+        cfg.forwarding = forwarding;
+        cfg.reg_port_budget = ports;
+        const auto compiled = driver::compile_minic_to_epic(w.minic_source, cfg);
+        for (const unsigned stages : {2u, 4u}) {
+          for (const bool contention : {false, true}) {
+            SCOPED_TRACE(cat("alus=", alus, " fwd=", forwarding,
+                             " ports=", ports, " stages=", stages,
+                             " contention=", contention));
+            Program program = compiled.program;
+            program.config.pipeline_stages = stages;
+            program.config.unified_memory_contention = contention;
+            expect_identical(program, {}, SimOptions{});
+            // And the fast path still computes the right answer.
+            EpicSimulator sim(program);
+            sim.run();
+            EXPECT_EQ(sim.output(), w.expected_output);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimFastPath, MoreWorkloadsOnTightAndDefaultConfigs) {
+  const std::vector<workloads::Workload> ws = {workloads::make_sha(8),
+                                               workloads::make_dijkstra(8)};
+  std::vector<ProcessorConfig> cfgs(2);
+  cfgs[1].num_alus = 1;
+  cfgs[1].forwarding = false;
+  cfgs[1].reg_port_budget = 4;
+  cfgs[1].unified_memory_contention = true;
+  for (const auto& w : ws) {
+    for (const ProcessorConfig& cfg : cfgs) {
+      SCOPED_TRACE(cat(w.name, " on ", cfg.summary()));
+      const auto compiled = driver::compile_minic_to_epic(w.minic_source, cfg);
+      expect_identical(compiled.program, {}, SimOptions{});
+    }
+  }
+}
+
+TEST(SimFastPath, TraceOutputIsIdentical) {
+  const workloads::Workload w = workloads::make_dct(8);
+  const auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  SimOptions options;
+  options.collect_trace = true;
+  options.trace_limit = 512;
+  expect_identical(compiled.program, {}, options);
+}
+
+// ---- the fuzz corpus -------------------------------------------------
+
+TEST(SimFastPath, FuzzProgramsMatchAcrossTheConfigGrid) {
+  // Same generators and config grid as the round-trip fuzz suite; these
+  // programs exercise every op class, predication, raw custom ops and
+  // the fault paths (cycle limit, off-the-end pc after a nullified
+  // guarded HALT).
+  for (const NamedConfig& nc : fuzz_configs()) {
+    const std::uint64_t seed = 0xFA57ull ^ fnv1a64(nc.name);
+    SCOPED_TRACE(cat("config=", nc.name, " seed=0x", seed));
+    Prng rng(seed);
+    for (int i = 0; i < 40; ++i) {
+      const Program p = random_program(rng, nc.cfg);
+      SCOPED_TRACE(cat("iteration ", i));
+      SimOptions options;
+      options.max_cycles = 5'000;
+      expect_identical(p, CustomOpTable::for_names(nc.cfg.custom_ops),
+                       options);
+    }
+  }
+}
+
+// ---- fault-path equivalence ------------------------------------------
+
+TEST(SimFastPath, UnsupportedOpFaultsIdenticallyOnFirstTouch) {
+  // Build a DIV under a config that has it, then trim the feature
+  // post-build (the assembler would reject it otherwise). Both paths
+  // must fault with the same message — and only when the op is reached,
+  // not at construction.
+  ProcessorConfig cfg;
+  Program p = make_program(
+      cfg, {{mov(1, I(6))},
+            {op3(Op::DIV, 2, R(1), I(2))},
+            {halt()}});
+  p.config.alu.has_div = false;
+  expect_identical(p, {}, SimOptions{});
+  const Observed fast = observe(p, {}, SimOptions{}, true);
+  EXPECT_NE(fast.error.find("`div` not implemented on this customisation"),
+            std::string::npos)
+      << fast.error;
+
+  // A never-executed unsupported op must not fault at all.
+  Program skip = make_program(
+      cfg, {{pbr(1, 3)},
+            {bru(1)},
+            {op3(Op::DIV, 2, R(1), I(2))},  // jumped over
+            {halt()}});
+  skip.config.alu.has_div = false;
+  expect_identical(skip, {}, SimOptions{});
+  EXPECT_TRUE(observe(skip, {}, SimOptions{}, true).error.empty());
+}
+
+TEST(SimFastPath, CycleLimitFaultsIdenticallyAndNamesTheBundle) {
+  SimOptions options;
+  options.max_cycles = 100;
+  const Program loop = make_program(ProcessorConfig{},
+                                    {{pbr(1, 0)}, {bru(1)}, {halt()}});
+  expect_identical(loop, {}, options);
+  const Observed fast = observe(loop, {}, options, true);
+  EXPECT_NE(fast.error.find("cycle limit exceeded (100 cycles)"),
+            std::string::npos)
+      << fast.error;
+  EXPECT_NE(fast.error.find("at bundle"), std::string::npos) << fast.error;
+}
+
+TEST(SimFastPath, BranchPastEndFaultsIdentically) {
+  const Program p = make_program(ProcessorConfig{},
+                                 {{pbr(1, 9)}, {bru(1)}, {halt()}});
+  expect_identical(p, {}, SimOptions{});
+  const Observed fast = observe(p, {}, SimOptions{}, true);
+  EXPECT_NE(fast.error.find("branch to bundle 9 past end of program"),
+            std::string::npos)
+      << fast.error;
+}
+
+TEST(SimFastPath, PcPastEndFaultsIdentically) {
+  // No HALT: execution runs off the end of the program.
+  const Program p = make_program(ProcessorConfig{}, {{mov(1, I(1))}});
+  expect_identical(p, {}, SimOptions{});
+  const Observed fast = observe(p, {}, SimOptions{}, true);
+  EXPECT_NE(fast.error.find("past end of program"), std::string::npos)
+      << fast.error;
+}
+
+TEST(SimFastPath, OutOfRangeRegisterFallsBackToInterpretivePath) {
+  // make_program does not validate register indices; the interpretive
+  // path faults on the CEPIC_CHECK at execute time. The decoder flags
+  // such bundles use_legacy, so both settings run the same code and the
+  // fault behaviour (a thrown Error, not silence) is preserved.
+  ProcessorConfig cfg;
+  cfg.num_gprs = 16;
+  const Program p = make_program(cfg, {{mov(40, I(1))}, {halt()}});
+  EXPECT_THROW(
+      {
+        EpicSimulator sim(p);
+        sim.run();
+      },
+      std::exception);
+  SimOptions interp;
+  interp.use_decode_cache = false;
+  EXPECT_THROW(
+      {
+        EpicSimulator sim(p, {}, interp);
+        sim.run();
+      },
+      std::exception);
+}
+
+TEST(SimFastPath, StatsEqualityOperatorSeesEveryCounter) {
+  SimStats a;
+  SimStats b;
+  EXPECT_TRUE(a == b);
+  b.stall_reg_ports = 1;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.bundle_width_hist[3] = 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace cepic

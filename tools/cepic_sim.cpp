@@ -16,10 +16,15 @@ int main(int argc, char** argv) {
                &options.collect_trace);
     table.uint64_positive("--max-cycles", "N", "simulation cycle budget",
                           &options.max_cycles);
+    bool no_decode_cache = false;
+    table.flag("--no-decode-cache",
+               "use the interpretive decode-every-cycle simulator path",
+               &no_decode_cache);
 
     std::vector<std::string> positionals;
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.size() != 1) return table.usage();
+    options.use_decode_cache = !no_decode_cache;
 
     EpicSimulator sim(
         Program::deserialize(tools::read_binary(positionals.front())), {},

@@ -233,6 +233,7 @@ inline void print_cache_stats(const char* tool,
             << " simulations=" << stats.simulations
             << " result-hits=" << stats.result_hits
             << " result-misses=" << stats.result_misses
+            << " sim-dedup=" << stats.sim_dedup_hits
             << " lint=" << stats.lint_runs << "\n";
   granularity("ir", stats.store.ir);
   granularity("asm", stats.store.assembly);
