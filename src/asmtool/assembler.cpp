@@ -6,6 +6,7 @@
 
 #include "core/encoding.hpp"
 #include "mdes/mdes.hpp"
+#include "obs/obs.hpp"
 #include "support/bits.hpp"
 #include "support/text.hpp"
 
@@ -432,6 +433,8 @@ private:
 }  // namespace
 
 Program assemble(std::string_view source, const ProcessorConfig& config) {
+  obs::Span span("assemble", "asm");
+  span.arg("source_bytes", static_cast<std::uint64_t>(source.size()));
   return Assembler(source, config).run();
 }
 

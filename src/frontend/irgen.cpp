@@ -3,8 +3,9 @@
 #include <unordered_map>
 
 #include "core/eval.hpp"
-#include "support/bits.hpp"
 #include "ir/verify.hpp"
+#include "obs/obs.hpp"
+#include "support/bits.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -823,10 +824,27 @@ private:
 ir::Module generate_ir(const Unit& unit) { return IrGen(unit).run(); }
 
 ir::Module compile_to_ir(std::string_view source) {
-  const std::vector<Token> tokens = lex(source);
-  const Unit unit = parse(tokens);
-  ir::Module module = generate_ir(unit);
-  ir::verify_module(module);
+  obs::Span span("compile_to_ir", "frontend");
+  span.arg("source_bytes", static_cast<std::uint64_t>(source.size()));
+  std::vector<Token> tokens;
+  {
+    obs::Span s("lex", "frontend");
+    tokens = lex(source);
+  }
+  Unit unit;
+  {
+    obs::Span s("parse", "frontend");
+    unit = parse(tokens);
+  }
+  ir::Module module;
+  {
+    obs::Span s("irgen", "frontend");
+    module = generate_ir(unit);
+  }
+  {
+    obs::Span s("verify_ir", "frontend");
+    ir::verify_module(module);
+  }
   return module;
 }
 

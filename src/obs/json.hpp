@@ -1,0 +1,49 @@
+// Minimal dependency-free JSON parser for the observability toolchain:
+// cepic-prof reads Chrome trace / metrics files back, and the schema
+// validator (obs/schema.hpp) checks exported files against the
+// checked-in schemas without requiring python3-jsonschema in CI.
+//
+// Supports the full JSON grammar the exporters emit (objects, arrays,
+// strings with escapes, numbers, booleans, null). Parsing failures
+// throw cepic::Error with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cepic::obs::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered; duplicate keys keep the last occurrence visible
+  /// through find().
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// The JSON type name ("object", "array", ...) for diagnostics.
+  const char* type_name() const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed; any
+/// other trailing content is an error). Throws cepic::Error.
+Value parse(std::string_view text);
+
+}  // namespace cepic::obs::json

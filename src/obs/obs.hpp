@@ -1,0 +1,188 @@
+// cepic::obs — the unified tracing & metrics layer of the toolchain.
+//
+// One dependency-free library with three pieces:
+//
+//  * **Scoped spans** (`Span`): RAII timing regions with nesting, named
+//    string/integer arguments and monotonic-clock timestamps. Spans are
+//    recorded into the global Registry only while tracing is enabled
+//    (`set_enabled(true)`); when disabled a Span constructor is a single
+//    relaxed atomic load and the object performs no allocation at all —
+//    cheap enough to leave instrumentation in release hot paths
+//    (tests/test_obs.cpp pins the no-allocation property down).
+//
+//  * **Typed counters and gauges** in the same global Registry.
+//    Counters are monotonic uint64 atomics, safe to increment from any
+//    thread and independent of the tracing switch (they back
+//    `--metrics-json` and the unified `--cache-stats` report even when
+//    no trace is being collected). Gauges are doubles set by the last
+//    writer.
+//
+//  * **Exporters**: Chrome trace-event JSON (loads directly in Perfetto
+//    or chrome://tracing) and a flat metrics report as JSON or CSV.
+//    The trace export embeds the counter snapshot under `otherData` so
+//    one file is enough for cepic-prof to reconstruct both timing and
+//    cache-efficiency summaries.
+//
+// The simulator's per-cycle timeline (sim/timeline.hpp) reuses the
+// TraceEvent model and writer from here but keeps its own event list:
+// a timeline is per-run artefact data, not process-wide telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cepic::obs {
+
+// --- global switch ----------------------------------------------------
+
+/// True while span recording is on. Counters/gauges ignore this.
+bool enabled();
+
+/// Flip span recording. Turning it on (re)anchors the trace epoch so
+/// exported timestamps start near zero.
+void set_enabled(bool on);
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).
+std::uint64_t now_ns();
+
+// --- events -----------------------------------------------------------
+
+/// One named argument of a span / trace event. `numeric` renders the
+/// value bare in JSON instead of quoted.
+struct EventArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// One Chrome trace-event. `ts`/`dur` are in the writer's time unit
+/// (microseconds for wall-clock spans; simulated cycles for the
+/// simulator timeline, which Perfetto simply renders as "us").
+struct TraceEvent {
+  char ph = 'X';  ///< 'X' complete, 'I' instant, 'M' metadata, 'C' counter
+  std::string name;
+  std::string cat;
+  double ts = 0;
+  double dur = 0;
+  int pid = 1;
+  int tid = 1;
+  std::vector<EventArg> args;
+};
+
+/// Render `events` as a complete Chrome trace JSON document.
+/// `other_data` entries land under "otherData" (counter snapshots,
+/// run descriptions); pass {} for none.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::vector<EventArg>& other_data);
+
+// --- the registry -----------------------------------------------------
+
+/// A completed span as stored by the registry.
+struct SpanRecord {
+  std::string name;
+  std::string cat;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  int tid = 0;  ///< small dense id assigned per recording thread
+  std::vector<EventArg> args;
+};
+
+/// Process-global store of spans, counters and gauges. All methods are
+/// thread-safe. Tests may reset() it; tools normally never do.
+class Registry {
+public:
+  static Registry& instance();
+
+  /// Monotonic counter cell. The returned reference stays valid for the
+  /// life of the process; hot paths should cache it.
+  std::atomic<std::uint64_t>& counter(std::string_view name);
+
+  /// Set a counter to an absolute value (used when folding externally
+  /// accumulated statistics, e.g. pipeline::ServiceStats, into the
+  /// registry).
+  void set_counter(std::string_view name, std::uint64_t value);
+
+  void set_gauge(std::string_view name, double value);
+
+  void record(SpanRecord&& span);
+
+  /// Dense id for the calling thread (assigned on first use).
+  int thread_id();
+
+  // --- snapshots (name-sorted, for deterministic exports) ---
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<SpanRecord> spans() const;
+
+  /// Nanosecond timestamp all exported span times are relative to.
+  std::uint64_t epoch_ns() const;
+  void set_epoch_ns(std::uint64_t ns);
+
+  /// Drop all spans, counters, gauges and thread ids (tests only).
+  void reset();
+
+private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// --- spans ------------------------------------------------------------
+
+/// RAII scoped span. Construction snapshots the monotonic clock and the
+/// thread id; destruction records the completed span into the Registry.
+/// When tracing is disabled the whole object is inert: no clock read,
+/// no allocation, no recording.
+class Span {
+public:
+  explicit Span(std::string_view name, std::string_view cat = "");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is live and will be recorded.
+  bool active() const { return active_; }
+
+  /// Attach arguments (no-ops when inactive).
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::uint64_t value);
+
+private:
+  bool active_ = false;
+  std::uint64_t start_ns_ = 0;
+  SpanRecord rec_;
+};
+
+/// Increment a registry counter (always live; independent of tracing).
+inline void add(std::string_view name, std::uint64_t delta = 1) {
+  Registry::instance().counter(name).fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
+// --- registry exporters -----------------------------------------------
+
+/// All recorded spans as a Chrome trace JSON document (ts/dur in
+/// microseconds relative to the trace epoch), with the counter snapshot
+/// embedded under otherData.
+std::string trace_json();
+
+/// Flat metrics report: {"counters":{...},"gauges":{...}}, name-sorted.
+std::string metrics_json();
+
+/// Flat metrics report as CSV: kind,name,value — name-sorted.
+std::string metrics_csv();
+
+/// Write helpers (throw cepic::Error on I/O failure).
+void write_trace_json(const std::string& path);
+void write_metrics_json(const std::string& path);
+void write_metrics_csv(const std::string& path);
+
+/// JSON string escaping shared by every exporter in this library.
+std::string json_escape(std::string_view s);
+
+}  // namespace cepic::obs

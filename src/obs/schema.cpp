@@ -1,0 +1,218 @@
+#include "obs/schema.hpp"
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::obs::schema {
+
+namespace {
+
+using json::Value;
+
+bool type_matches(const std::string& type, const Value& v) {
+  if (type == "object") return v.is_object();
+  if (type == "array") return v.is_array();
+  if (type == "string") return v.is_string();
+  if (type == "boolean") return v.is_bool();
+  if (type == "null") return v.is_null();
+  if (type == "number") return v.is_number();
+  if (type == "integer") {
+    return v.is_number() &&
+           v.number == static_cast<double>(static_cast<long long>(v.number));
+  }
+  throw Error(cat("schema: unknown type '", type, "'"));
+}
+
+bool values_equal(const Value& a, const Value& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Value::Kind::Null: return true;
+    case Value::Kind::Bool: return a.boolean == b.boolean;
+    case Value::Kind::Number: return a.number == b.number;
+    case Value::Kind::String: return a.string == b.string;
+    case Value::Kind::Array:
+      if (a.array.size() != b.array.size()) return false;
+      for (std::size_t i = 0; i < a.array.size(); ++i) {
+        if (!values_equal(a.array[i], b.array[i])) return false;
+      }
+      return true;
+    case Value::Kind::Object:
+      if (a.object.size() != b.object.size()) return false;
+      for (std::size_t i = 0; i < a.object.size(); ++i) {
+        if (a.object[i].first != b.object[i].first ||
+            !values_equal(a.object[i].second, b.object[i].second)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string render(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::Null: return "null";
+    case Value::Kind::Bool: return v.boolean ? "true" : "false";
+    case Value::Kind::Number: return cat(v.number);
+    case Value::Kind::String: return cat("\"", v.string, "\"");
+    case Value::Kind::Array: return cat("array[", v.array.size(), "]");
+    case Value::Kind::Object: return cat("object{", v.object.size(), "}");
+  }
+  return "?";
+}
+
+/// "^prefix" / "suffix$" pattern match (the only forms the checked-in
+/// schemas use for patternProperties).
+bool pattern_matches(const std::string& pattern, const std::string& key) {
+  std::string p = pattern;
+  bool anchored_start = false;
+  bool anchored_end = false;
+  if (!p.empty() && p.front() == '^') {
+    anchored_start = true;
+    p.erase(p.begin());
+  }
+  if (!p.empty() && p.back() == '$') {
+    anchored_end = true;
+    p.pop_back();
+  }
+  if (anchored_start && anchored_end) return key == p;
+  if (anchored_start) return key.rfind(p, 0) == 0;
+  if (anchored_end) {
+    return key.size() >= p.size() &&
+           key.compare(key.size() - p.size(), p.size(), p) == 0;
+  }
+  return key.find(p) != std::string::npos;
+}
+
+void check(const Value& schema, const Value& value, const std::string& path,
+           std::vector<std::string>& errors) {
+  if (!schema.is_object()) {
+    throw Error("schema: every schema node must be an object");
+  }
+
+  if (const Value* type = schema.find("type")) {
+    bool ok = false;
+    if (type->is_string()) {
+      ok = type_matches(type->string, value);
+    } else if (type->is_array()) {
+      for (const Value& t : type->array) {
+        if (t.is_string() && type_matches(t.string, value)) {
+          ok = true;
+          break;
+        }
+      }
+    } else {
+      throw Error("schema: 'type' must be a string or array of strings");
+    }
+    if (!ok) {
+      errors.push_back(cat(path, ": expected type ",
+                           type->is_string() ? type->string : "(one of list)",
+                           ", got ", value.type_name()));
+      return;  // further keyword checks would only cascade
+    }
+  }
+
+  if (const Value* cv = schema.find("const")) {
+    if (!values_equal(*cv, value)) {
+      errors.push_back(cat(path, ": expected const ", render(*cv), ", got ",
+                           render(value)));
+    }
+  }
+
+  if (const Value* en = schema.find("enum")) {
+    bool ok = false;
+    for (const Value& option : en->array) {
+      if (values_equal(option, value)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      errors.push_back(cat(path, ": value ", render(value),
+                           " not in enum"));
+    }
+  }
+
+  if (value.is_number()) {
+    if (const Value* lo = schema.find("minimum")) {
+      if (value.number < lo->number) {
+        errors.push_back(cat(path, ": ", value.number, " below minimum ",
+                             lo->number));
+      }
+    }
+    if (const Value* hi = schema.find("maximum")) {
+      if (value.number > hi->number) {
+        errors.push_back(cat(path, ": ", value.number, " above maximum ",
+                             hi->number));
+      }
+    }
+  }
+
+  if (value.is_object()) {
+    if (const Value* req = schema.find("required")) {
+      for (const Value& name : req->array) {
+        if (value.find(name.string) == nullptr) {
+          errors.push_back(
+              cat(path, ": missing required property '", name.string, "'"));
+        }
+      }
+    }
+    const Value* props = schema.find("properties");
+    const Value* patterns = schema.find("patternProperties");
+    const Value* additional = schema.find("additionalProperties");
+    for (const auto& [key, member] : value.object) {
+      const std::string member_path = cat(path, ".", key);
+      bool matched = false;
+      if (props != nullptr) {
+        if (const Value* sub = props->find(key)) {
+          matched = true;
+          check(*sub, member, member_path, errors);
+        }
+      }
+      if (patterns != nullptr) {
+        for (const auto& [pattern, sub] : patterns->object) {
+          if (pattern_matches(pattern, key)) {
+            matched = true;
+            check(sub, member, member_path, errors);
+          }
+        }
+      }
+      if (!matched && additional != nullptr) {
+        if (additional->is_bool()) {
+          if (!additional->boolean) {
+            errors.push_back(
+                cat(path, ": unexpected property '", key, "'"));
+          }
+        } else {
+          check(*additional, member, member_path, errors);
+        }
+      }
+    }
+  }
+
+  if (value.is_array()) {
+    if (const Value* min_items = schema.find("minItems")) {
+      if (static_cast<double>(value.array.size()) < min_items->number) {
+        errors.push_back(cat(path, ": array has ", value.array.size(),
+                             " item(s), fewer than minItems ",
+                             min_items->number));
+      }
+    }
+    if (const Value* items = schema.find("items")) {
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        check(*items, value.array[i], cat(path, "[", i, "]"), errors);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const json::Value& schema,
+                                  const json::Value& value) {
+  std::vector<std::string> errors;
+  check(schema, value, "$", errors);
+  return errors;
+}
+
+}  // namespace cepic::obs::schema

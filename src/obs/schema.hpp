@@ -1,0 +1,27 @@
+// Tiny JSON-Schema validator covering the subset the checked-in
+// observability schemas (schemas/*.schema.json) use, so CI can validate
+// exported trace/metrics files with a CEPIC binary instead of requiring
+// python3-jsonschema.
+//
+// Supported keywords: "type" (string or array of strings), "enum",
+// "const", "required", "properties", "additionalProperties" (boolean or
+// schema), "patternProperties" (prefix "^..." and suffix "...$" only —
+// no general regex), "items" (single schema), "minItems", "minimum",
+// "maximum". Unknown keywords are ignored, exactly like a conformant
+// validator ignores unknown annotations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cepic::obs::schema {
+
+/// Validate `value` against `schema`. Returns every violation found as
+/// "<json-path>: <message>"; an empty vector means the document is
+/// valid. Throws cepic::Error only if the schema itself is malformed.
+std::vector<std::string> validate(const json::Value& schema,
+                                  const json::Value& value);
+
+}  // namespace cepic::obs::schema

@@ -1,6 +1,7 @@
 #include <cstdlib>
 
 #include "ir/verify.hpp"
+#include "obs/obs.hpp"
 #include "opt/opt.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -22,6 +23,7 @@ void verify_after(const ir::Module& module, const char* pass) {
 }  // namespace
 
 void optimize(ir::Module& module, const OptOptions& options) {
+  obs::Span opt_span("optimize", "opt");
   // Environment hook so any flow (tools, tests, benches) can switch on
   // per-pass verification without plumbing an option through.
   const bool verify_each =
@@ -30,13 +32,18 @@ void optimize(ir::Module& module, const OptOptions& options) {
   // still structurally legal before the next pass consumes it.
   const auto fn_pass = [&](bool (*pass)(ir::Function&), const char* name,
                            ir::Function& fn) {
+    obs::Span span(name, "opt");
+    span.arg("fn", fn.name);
     const bool changed = pass(fn);
     if (verify_each) verify_after(module, name);
     return changed;
   };
+  int rounds_run = 0;
   for (int round = 0; round < options.max_rounds; ++round) {
+    ++rounds_run;
     bool changed = false;
     if (options.inline_calls) {
+      obs::Span span("inline", "opt");
       changed |= pass_inline(module, options.inline_max_insts);
       if (verify_each) verify_after(module, "inline");
     }
@@ -65,7 +72,12 @@ void optimize(ir::Module& module, const OptOptions& options) {
       }
       if (options.dce) changed |= fn_pass(pass_dce, "dce", fn);
       if (options.if_convert) {
-        const bool ic = pass_if_convert(fn, options.if_convert_max_ops);
+        bool ic = false;
+        {
+          obs::Span span("if_convert", "opt");
+          span.arg("fn", fn.name);
+          ic = pass_if_convert(fn, options.if_convert_max_ops);
+        }
         if (verify_each) verify_after(module, "if_convert");
         changed |= ic;
         if (options.simplify_cfg) {
@@ -75,6 +87,7 @@ void optimize(ir::Module& module, const OptOptions& options) {
     }
     if (!changed) break;
   }
+  opt_span.arg("rounds", static_cast<std::uint64_t>(rounds_run));
   ir::verify_module(module);
 }
 

@@ -10,6 +10,7 @@
 #include "core/custom.hpp"
 #include "frontend/irgen.hpp"
 #include "mcheck/mcheck.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "pipeline/version.hpp"
 #include "support/bits.hpp"
@@ -101,11 +102,15 @@ std::uint64_t Service::artifact_key(std::string_view tag,
 }
 
 ir::Module Service::compile_module(std::string_view source) {
+  obs::Span span("compile_module", "pipeline");
   const std::uint64_t key = ir_key(source);
   {
     std::unique_lock<std::mutex> lock(mu_);
     const auto it = modules_.find(key);
-    if (it != modules_.end()) return it->second;
+    if (it != modules_.end()) {
+      span.arg("cached", "memo");
+      return it->second;
+    }
   }
   // One builder at a time: concurrent compile tasks for the same source
   // (different configs) must not duplicate the frontend+optimiser work.
@@ -113,8 +118,12 @@ ir::Module Service::compile_module(std::string_view source) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     const auto it = modules_.find(key);
-    if (it != modules_.end()) return it->second;
+    if (it != modules_.end()) {
+      span.arg("cached", "memo");
+      return it->second;
+    }
   }
+  span.arg("cached", "miss");
   ir::Module module = minic::compile_to_ir(source);
   if (options_.codegen.optimize) opt::optimize(module, options_.codegen.opt);
   store_.put(Granularity::kIr, key, ir::to_string(module));
@@ -136,14 +145,17 @@ std::string Service::compile_asm_at(std::string_view source,
                                     const ProcessorConfig& config,
                                     std::uint32_t stack_top,
                                     bool* from_store) {
+  obs::Span span("compile_asm", "pipeline");
   const ProcessorConfig slice = codegen_slice(config);
   const std::uint64_t key = artifact_key("asm", source, slice, stack_top);
   std::string blob;
   if (store_.get(Granularity::kAsm, key, blob)) {
     if (from_store) *from_store = true;
+    span.arg("cached", "store");
     return blob;
   }
   if (from_store) *from_store = false;
+  span.arg("cached", "miss");
   const ir::Module module = compile_module(source);
   backend::BackendOptions backend_options = options_.codegen.backend;
   backend_options.stack_top = stack_top;
@@ -164,10 +176,12 @@ Program Service::compile_program_at(std::string_view source,
                                     const ProcessorConfig& config,
                                     std::uint32_t stack_top,
                                     bool* from_store) {
+  obs::Span span("compile_program", "pipeline");
   const ProcessorConfig slice = codegen_slice(config);
   const std::uint64_t key = artifact_key("prog", source, slice, stack_top);
   std::string blob;
   if (store_.get(Granularity::kProgram, key, blob)) {
+    span.arg("cached", "store");
     Program program = Program::deserialize(std::span<const std::uint8_t>(
         reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
     // Verify against the canonical slice-stamped program (mcheck never
@@ -178,6 +192,7 @@ Program Service::compile_program_at(std::string_view source,
     return program;
   }
   if (from_store) *from_store = false;
+  span.arg("cached", "miss");
   const std::string asm_text =
       compile_asm_at(source, config, stack_top, nullptr);
   Program program = asmtool::assemble(asm_text, slice);
@@ -195,8 +210,10 @@ Program Service::compile_program_at(std::string_view source,
 }
 
 void Service::verify_program(const Program& program, std::uint64_t key) {
+  obs::Span span("verify", "pipeline");
   std::string blob;
   if (!store_.get(Granularity::kLint, key, blob)) {
+    span.arg("cached", "miss");
     // Run with werror off so the cached report is werror-independent;
     // Options::verify_werror is applied at the gate below.
     const mcheck::Report report = mcheck::check_program(program);
@@ -260,7 +277,11 @@ EpicSimulator Service::run(std::string_view source,
   EpicSimulator sim(std::move(program),
                     CustomOpTable::for_names(config.custom_ops),
                     options_.sim);
-  sim.run();
+  {
+    obs::Span span("simulate", "pipeline");
+    sim.run();
+    span.arg("cycles", sim.stats().cycles);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++simulations_;
@@ -368,8 +389,12 @@ std::vector<RunOutcome> Service::run_batch(
     for (auto& [key, items] : groups) {
       (void)key;
       const std::vector<Item>* group = &items;
+      const std::uint64_t submit_ns = obs::now_ns();
       pool.submit([this, group, &sources, &configs, &outcomes, &results,
-                   &pool, &dedup, stack_top] {
+                   &pool, &dedup, stack_top, submit_ns] {
+        obs::Span task_span("batch.compile", "pipeline");
+        task_span.arg("queue_wait_ns", obs::now_ns() - submit_ns);
+        task_span.arg("group_items", static_cast<std::uint64_t>(group->size()));
         const Item& first = group->front();
         std::shared_ptr<const Program> shared;
         try {
@@ -382,8 +407,11 @@ std::vector<RunOutcome> Service::run_batch(
         }
         for (const Item& item : *group) {
           const Item* it = &item;
+          const std::uint64_t sim_submit_ns = obs::now_ns();
           pool.submit([this, shared, it, &configs, &outcomes, &results,
-                       &dedup] {
+                       &dedup, sim_submit_ns] {
+            obs::Span task_span("batch.simulate", "pipeline");
+            task_span.arg("queue_wait_ns", obs::now_ns() - sim_submit_ns);
             RunOutcome& out = outcomes[it->index];
             const auto deliver = [&](const SimDedupEntry& e) {
               if (e.ok) {
@@ -416,6 +444,7 @@ std::vector<RunOutcome> Service::run_batch(
               if (!claim.second) {
                 dedup.cv.wait(lk, [&] { return slot->second.done; });
                 deliver(slot->second);
+                task_span.arg("dedup", "hit");
                 std::unique_lock<std::mutex> lock(mu_);
                 ++sim_dedup_hits_;
                 return;
@@ -472,6 +501,30 @@ std::vector<RunOutcome> Service::run_batch(
   }
   return outcomes;
 }
+
+void publish_stats(const ServiceStats& s) {
+  obs::Registry& r = obs::Registry::instance();
+  r.set_counter("pipeline.frontend_runs", s.frontend_runs);
+  r.set_counter("pipeline.backend_runs", s.backend_runs);
+  r.set_counter("pipeline.assemble_runs", s.assemble_runs);
+  r.set_counter("pipeline.simulations", s.simulations);
+  r.set_counter("pipeline.lint_runs", s.lint_runs);
+  r.set_counter("pipeline.result_hits", s.result_hits);
+  r.set_counter("pipeline.result_misses", s.result_misses);
+  r.set_counter("pipeline.sim_dedup_hits", s.sim_dedup_hits);
+  r.set_counter("pipeline.compiles", s.compiles());
+  const auto fold = [&r](const char* name, const GranularityStats& g) {
+    r.set_counter(cat("store.", name, ".hits"), g.hits);
+    r.set_counter(cat("store.", name, ".misses"), g.misses);
+    r.set_counter(cat("store.", name, ".puts"), g.puts);
+  };
+  fold("ir", s.store.ir);
+  fold("asm", s.store.assembly);
+  fold("program", s.store.program);
+  fold("lint", s.store.lint);
+}
+
+void Service::publish_stats() const { pipeline::publish_stats(stats()); }
 
 ServiceStats Service::stats() const {
   ServiceStats s;

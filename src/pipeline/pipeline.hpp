@@ -165,6 +165,11 @@ struct ServiceStats {
   }
 };
 
+/// Fold a ServiceStats snapshot into the global obs::Registry as
+/// absolute `pipeline.*` / `store.*` counters, so `--metrics-json` and
+/// the unified `--cache-stats` report render from one source of truth.
+void publish_stats(const ServiceStats& stats);
+
 class Service {
 public:
   explicit Service(Options options = {});
@@ -228,6 +233,11 @@ public:
 
   /// Snapshot of all counters since construction.
   ServiceStats stats() const;
+
+  /// Fold the current ServiceStats snapshot into the global
+  /// obs::Registry as absolute `pipeline.*` / `store.*` counters, so
+  /// `--metrics-json` and the unified `--cache-stats` report see them.
+  void publish_stats() const;
 
 private:
   std::uint64_t ir_key(std::string_view source) const;

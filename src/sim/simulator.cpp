@@ -25,6 +25,12 @@ EpicSimulator::EpicSimulator(Program program, CustomOpTable custom,
   program_.config.validate();
   CEPIC_CHECK(program_.code.size() % program_.config.issue_width == 0,
               "program code is not a whole number of bundles");
+  // The per-bundle width histogram is statically sized; a customisation
+  // with wider issue must fail here, not overflow the histogram index.
+  CEPIC_CHECK(program_.config.issue_width <= SimStats::kMaxBundleWidth,
+              cat("issue_width ", program_.config.issue_width,
+                  " exceeds the bundle-width histogram range 0..",
+                  SimStats::kMaxBundleWidth));
   // Install semantics for any config-enabled custom op the caller did
   // not supply explicitly.
   for (unsigned slot = 0; slot < program_.config.custom_ops.size(); ++slot) {
@@ -202,40 +208,52 @@ bool EpicSimulator::finish_step(std::uint64_t issue, bool branch_taken,
                                 std::uint32_t branch_target, bool halt_now,
                                 bool any_mem, unsigned useful_ops,
                                 const std::string* trace_text) {
+  const std::uint32_t issued_pc = pc_;
   ++stats_.bundles_issued;
-  stats_.bundle_width_hist[std::min<std::size_t>(useful_ops, 8)]++;
+  stats_.bundle_width_hist[std::min<std::size_t>(
+      useful_ops, SimStats::kMaxBundleWidth)]++;
   cycle_ = issue + 1;
 
-  if (program_.config.unified_memory_contention && any_mem) {
+  const bool contention =
+      program_.config.unified_memory_contention && any_mem;
+  if (contention) {
     ++cycle_;
     ++stats_.stall_mem_contention;
   }
 
-  if (options_.collect_trace && trace_.size() < options_.trace_limit) {
-    if (trace_text != nullptr) {
-      trace_.push_back({issue, pc_, *trace_text});
-    } else {
-      std::string text;
-      for (const Instruction& inst : program_.bundle(pc_)) {
-        if (inst.is_nop()) continue;
-        if (!text.empty()) text += " || ";
-        text += to_string(inst);
+  if (options_.collect_trace) {
+    if (trace_.size() < options_.trace_limit) {
+      if (trace_text != nullptr) {
+        trace_.push_back({issue, pc_, *trace_text});
+      } else {
+        std::string text;
+        for (const Instruction& inst : program_.bundle(pc_)) {
+          if (inst.is_nop()) continue;
+          if (!text.empty()) text += " || ";
+          text += to_string(inst);
+        }
+        trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
       }
-      trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
+    } else if (!stats_.trace_truncated) {
+      // The limit was hit: leave an explicit marker instead of silently
+      // dropping the tail, and flag it on the statistics.
+      stats_.trace_truncated = true;
+      trace_.push_back({issue, pc_,
+                        cat("[trace truncated at ", options_.trace_limit,
+                            " entries]")});
     }
   }
 
+  unsigned bubbles = 0;
+  bool keep_running = true;
   if (halt_now) {
     halted_ = true;
-    stats_.cycles = cycle_;
-    return false;
-  }
-
-  if (branch_taken) {
+    keep_running = false;
+  } else if (branch_taken) {
     ++stats_.branches_taken;
     // A taken branch flushes everything in front of execute: one bubble
     // per pipeline stage before it (1 on the 2-stage prototype).
-    const unsigned bubbles = program_.config.pipeline_stages - 1;
+    bubbles = program_.config.pipeline_stages - 1;
     stats_.branch_bubbles += bubbles;
     cycle_ += bubbles;
     if (branch_target >= program_.bundle_count()) {
@@ -248,7 +266,22 @@ bool EpicSimulator::finish_step(std::uint64_t issue, bool branch_taken,
   }
 
   stats_.cycles = cycle_;
-  return true;
+
+  if (timeline_ != nullptr) {
+    SimTimeline::BundleEvent bundle;
+    bundle.fetch = tl_fetch_;
+    bundle.issue = issue;
+    bundle.sb_stall = tl_sb_stall_;
+    bundle.port_stall = tl_port_stall_;
+    bundle.pc = issued_pc;
+    bundle.useful_ops = useful_ops;
+    bundle.mem_contention = contention;
+    bundle.branch_bubbles = bubbles;
+    bundle.halt = halt_now;
+    bundle.end_cycle = cycle_;
+    timeline_->record(bundle, tl_ops_);
+  }
+  return keep_running;
 }
 
 bool EpicSimulator::step() {
@@ -264,6 +297,12 @@ bool EpicSimulator::step() {
 }
 
 bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
+  return timeline_ != nullptr ? step_decoded_impl<true>(bundle)
+                              : step_decoded_impl<false>(bundle);
+}
+
+template <bool kTimeline>
+bool EpicSimulator::step_decoded_impl(const DecodedBundle& bundle) {
   // ---- Stage 1: issue cycle from the pre-computed source lists. ----
   std::uint64_t issue = cycle_;
   for (const std::uint32_t r : bundle.sb_gpr) {
@@ -274,6 +313,10 @@ bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
   }
   for (const std::uint32_t r : bundle.sb_btr) {
     issue = std::max(issue, btr_ready_[r]);
+  }
+  if constexpr (kTimeline) {
+    tl_fetch_ = cycle_;
+    tl_sb_stall_ = issue - cycle_;
   }
   stats_.stall_scoreboard += issue - cycle_;
 
@@ -299,6 +342,7 @@ bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
       port_stall = needed;
     }
   }
+  if constexpr (kTimeline) tl_port_stall_ = port_stall;
   stats_.stall_reg_ports += port_stall;
   issue += port_stall;
   check_cycle_limit(issue);
@@ -306,6 +350,7 @@ bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
   // ---- Stage 2: execute + writeback (all reads before any write). ----
   writes_scratch_.clear();
   stores_scratch_.clear();
+  if constexpr (kTimeline) tl_ops_.clear();
   bool branch_taken = false;
   std::uint32_t branch_target = 0;
   bool halt_now = false;
@@ -323,9 +368,15 @@ bool EpicSimulator::step_decoded(const DecodedBundle& bundle) {
     const bool guard = op.pred == 0 || preds_[op.pred] != 0;
     if (!guard) {
       ++stats_.ops_nullified;
+      if constexpr (kTimeline) {
+        tl_ops_.push_back({op.info->fu, op.info->name, 1, true});
+      }
       continue;
     }
     ++stats_.ops_committed;
+    if constexpr (kTimeline) {
+      tl_ops_.push_back({op.info->fu, op.info->name, op.latency, false});
+    }
 
     const std::uint32_t a = fetch(op.src1);
     const std::uint32_t b = fetch(op.src2);
@@ -461,6 +512,8 @@ bool EpicSimulator::step_interpretive() {
       issue = std::max(issue, ready_cycle(RegFile::Gpr, inst.dest1));
     }
   }
+  tl_fetch_ = cycle_;
+  tl_sb_stall_ = issue - cycle_;
   stats_.stall_scoreboard += issue - cycle_;
 
   // (b) Register-file-controller port budget (paper §3.2): GPR reads not
@@ -498,12 +551,14 @@ bool EpicSimulator::step_interpretive() {
     if (needed == port_stall) break;
     port_stall = needed;
   }
+  tl_port_stall_ = port_stall;
   stats_.stall_reg_ports += port_stall;
   issue += port_stall;
   check_cycle_limit(issue);
 
   // ---- Stage 2: execute + writeback (MultiOp semantics: all reads
   // happen before any write of the same MultiOp). ----
+  if (timeline_ != nullptr) tl_ops_.clear();
   std::vector<WriteBack> writes;
   std::vector<PendingStore> stores;
   bool branch_taken = false;
@@ -527,9 +582,15 @@ bool EpicSimulator::step_interpretive() {
     const bool guard = pred(inst.pred);
     if (!guard) {
       ++stats_.ops_nullified;
+      if (timeline_ != nullptr) {
+        tl_ops_.push_back({info.fu, info.name, 1, true});
+      }
       continue;
     }
     ++stats_.ops_committed;
+    if (timeline_ != nullptr) {
+      tl_ops_.push_back({info.fu, info.name, mdes_.latency(inst.op), false});
+    }
 
     const std::uint32_t a =
         read_operand(inst.src1, info.src1, info.literal_zero_extends);

@@ -27,6 +27,7 @@
 #include "core/memory.hpp"
 #include "sim/decode.hpp"
 #include "sim/stats.hpp"
+#include "sim/timeline.hpp"
 
 namespace cepic {
 
@@ -83,6 +84,12 @@ public:
   const std::vector<TraceEntry>& trace() const { return trace_; }
   const Program& program() const { return program_; }
 
+  /// Attach an opt-in per-cycle event timeline (sim/timeline.hpp);
+  /// nullptr detaches. The caller owns the timeline and keeps it alive
+  /// across run(). With no timeline attached the step loop is
+  /// unchanged except for three dead integer stores.
+  void set_timeline(SimTimeline* timeline) { timeline_ = timeline; }
+
 private:
   struct WriteBack {
     RegFile file = RegFile::None;
@@ -101,8 +108,11 @@ private:
   void note_ready(RegFile file, std::uint32_t index, std::uint64_t cycle);
 
   /// One step through the pre-decoded fast path (never called for
-  /// bundles flagged use_legacy).
+  /// bundles flagged use_legacy). Dispatches to the template below so
+  /// the no-timeline instantiation carries zero timeline bookkeeping.
   bool step_decoded(const DecodedBundle& bundle);
+  template <bool kTimeline>
+  bool step_decoded_impl(const DecodedBundle& bundle);
   /// One step through the interpretive decode-every-cycle path.
   bool step_interpretive();
   /// Fetch a pre-decoded source operand's value.
@@ -132,6 +142,17 @@ private:
   /// interpretive path's per-cycle heap allocations removed.
   std::vector<WriteBack> writes_scratch_;
   std::vector<PendingStore> stores_scratch_;
+
+  /// Opt-in per-cycle timeline (not owned; see set_timeline).
+  SimTimeline* timeline_ = nullptr;
+  /// Per-step stall attribution handed to the timeline by finish_step
+  /// (filled unconditionally — cheaper than a branch in the step loop).
+  std::uint64_t tl_fetch_ = 0;
+  std::uint64_t tl_sb_stall_ = 0;
+  std::uint64_t tl_port_stall_ = 0;
+  /// Per-step op events, reused; only populated while a timeline is
+  /// attached.
+  std::vector<SimTimeline::OpEvent> tl_ops_;
 
   std::vector<std::uint32_t> gprs_;
   std::vector<std::uint8_t> preds_;

@@ -27,6 +27,9 @@ std::string SimStats::report() const {
     }
   }
   s += "\n";
+  if (trace_truncated) {
+    s += "trace truncated:    yes\n";
+  }
   return s;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -27,8 +28,20 @@ struct SimStats {
   std::uint64_t branches_taken = 0;
   std::uint64_t branches_not_taken = 0;
 
-  /// Histogram of useful (non-NOP) ops per issued bundle, index 0..8.
-  std::array<std::uint64_t, 9> bundle_width_hist{};
+  /// The execution trace hit SimOptions::trace_limit and later entries
+  /// were dropped (an explicit truncation marker entry is appended to
+  /// the trace itself as well — never a silent cut).
+  bool trace_truncated = false;
+
+  /// Widest issue the histogram below can record. The simulator asserts
+  /// config.issue_width fits at construction, so a customisation with
+  /// wider issue fails loudly instead of silently folding into the top
+  /// bucket.
+  static constexpr std::size_t kMaxBundleWidth = 8;
+
+  /// Histogram of useful (non-NOP) ops per issued bundle,
+  /// index 0..kMaxBundleWidth.
+  std::array<std::uint64_t, kMaxBundleWidth + 1> bundle_width_hist{};
 
   /// Achieved instruction-level parallelism: committed ops per cycle.
   double ilp() const {

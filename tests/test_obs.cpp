@@ -1,0 +1,570 @@
+// The observability layer (src/obs) and its integrations: span
+// recording across the pipeline thread pool, concurrent counters,
+// exporter goldens, the JSON parser + schema validator pair, the
+// simulator's per-cycle timeline reconciling with SimStats on both
+// execution paths, the explicit trace-truncation marker, and the
+// no-allocation guarantee of disabled-mode tracing on the simulator
+// hot loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/schema.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
+#include "support/error.hpp"
+
+// --- allocation counting (no-allocation tests) ------------------------
+// Counting is off except inside the windows the tests open, so the
+// overridden operators stay invisible to the rest of the binary.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+// The overridden operator new above allocates with malloc, so free() is
+// the matching deallocator; GCC cannot see the pairing and warns.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CEPIC_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CEPIC_TEST_ASAN 1
+#endif
+#endif
+
+namespace cepic {
+namespace {
+
+/// Reset the global registry and force a known tracing state; restores
+/// disabled-mode on scope exit so tests cannot leak state.
+struct ObsFixture {
+  explicit ObsFixture(bool enable) {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+    obs::set_enabled(enable);
+  }
+  ~ObsFixture() {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset();
+  }
+};
+
+const char* kStallProg =
+    "int main() {"
+    "  int s = 3;"
+    "  for (int i = 1; i < 40; i++) { s = s * s % 9973 + i; }"
+    "  out(s); return s & 0xFF; }";
+
+const char* kQuietProg =
+    "int main() {"
+    "  int s = 0;"
+    "  for (int i = 0; i < 64; i++) s += i * 5 - (i >> 1);"
+    "  return s & 0xFF; }";
+
+Program compile(const char* source, const ProcessorConfig& config) {
+  pipeline::Service service;
+  return service.compile_program(source, config);
+}
+
+// ------------------------------------------------------------- spans
+
+TEST(Span, RecordsNestingOnOneThread) {
+  ObsFixture fx(true);
+  {
+    obs::Span outer("outer", "test");
+    obs::Span inner("inner", "test");
+    inner.arg("k", std::uint64_t{7});
+  }
+  const std::vector<obs::SpanRecord> spans = obs::Registry::instance().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order records inner first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].start_ns + spans[0].dur_ns,
+            spans[1].start_ns + spans[1].dur_ns);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].key, "k");
+  EXPECT_EQ(spans[0].args[0].value, "7");
+  EXPECT_TRUE(spans[0].args[0].numeric);
+}
+
+TEST(Span, InertWhenDisabled) {
+  ObsFixture fx(false);
+  obs::Span span("never", "test");
+  span.arg("k", "v");
+  EXPECT_FALSE(span.active());
+  EXPECT_TRUE(obs::Registry::instance().spans().empty());
+}
+
+TEST(Span, DistinctThreadIdsAcrossThreadPool) {
+  ObsFixture fx(true);
+  pipeline::ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([] { obs::Span span("task", "test"); });
+  }
+  pool.wait();
+  const std::vector<obs::SpanRecord> spans = obs::Registry::instance().spans();
+  ASSERT_EQ(spans.size(), 32u);
+  std::set<int> tids;
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_EQ(s.name, "task");
+    tids.insert(s.tid);
+  }
+  // Dense ids, one per worker that ran at least one task.
+  EXPECT_GE(tids.size(), 1u);
+  EXPECT_LE(tids.size(), 4u);
+  EXPECT_GE(*tids.begin(), 1);
+}
+
+TEST(Counters, ExactUnderConcurrentIncrements) {
+  ObsFixture fx(false);  // counters are independent of the span switch
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) obs::add("test.concurrent");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto counters = obs::Registry::instance().counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "test.concurrent");
+  EXPECT_EQ(counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------- export goldens
+
+TEST(ChromeTraceJson, GoldenDocument) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent meta;
+  meta.ph = 'M';
+  meta.name = "thread_name";
+  meta.tid = 2;
+  meta.args.push_back({"name", "ALU0", false});
+  events.push_back(meta);
+  obs::TraceEvent span;
+  span.ph = 'X';
+  span.name = "fold \"x\"";
+  span.cat = "opt";
+  span.ts = 1.5;
+  span.dur = 2;
+  span.tid = 3;
+  span.args.push_back({"n", "7", true});
+  events.push_back(span);
+  const std::string json = obs::chrome_trace_json(
+      events, {{"time_unit", "cycles", false}, {"cycles", "42", true}});
+  EXPECT_EQ(json,
+            "{\"traceEvents\":[\n"
+            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":2,"
+            "\"ts\":0,\"args\":{\"name\":\"ALU0\"}},\n"
+            "{\"ph\":\"X\",\"name\":\"fold \\\"x\\\"\",\"pid\":1,\"tid\":3,"
+            "\"cat\":\"opt\",\"ts\":1.5,\"dur\":2,\"args\":{\"n\":7}}\n"
+            "],\"displayTimeUnit\":\"ms\","
+            "\"otherData\":{\"time_unit\":\"cycles\",\"cycles\":42}}\n");
+}
+
+TEST(MetricsExport, GoldenJsonAndCsv) {
+  ObsFixture fx(false);
+  obs::add("b.counter", 2);
+  obs::add("a.counter");
+  obs::Registry::instance().set_gauge("g.ratio", 1.25);
+  EXPECT_EQ(obs::metrics_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a.counter\": 1,\n"
+            "    \"b.counter\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"g.ratio\": 1.25\n"
+            "  }\n"
+            "}\n");
+  EXPECT_EQ(obs::metrics_csv(),
+            "kind,name,value\n"
+            "counter,a.counter,1\n"
+            "counter,b.counter,2\n"
+            "gauge,g.ratio,1.25\n");
+}
+
+TEST(TraceJson, EmbedsCountersAndParsesBack) {
+  ObsFixture fx(true);
+  { obs::Span span("alpha", "stage"); }
+  obs::add("hits", 3);
+  const obs::json::Value doc = obs::json::parse(obs::trace_json());
+  const obs::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].find("name")->string, "alpha");
+  EXPECT_EQ(events->array[0].find("cat")->string, "stage");
+  const obs::json::Value* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("counter.hits"), nullptr);
+  EXPECT_EQ(other->find("counter.hits")->number, 3.0);
+}
+
+// ------------------------------------------------- json parser + schema
+
+TEST(Json, ParsesEscapesAndNumbers) {
+  const obs::json::Value v = obs::json::parse(
+      "{\"s\":\"a\\n\\\"b\\\"\\u0041\",\"n\":-12.5e1,\"t\":true,"
+      "\"nil\":null,\"arr\":[1,2]}");
+  EXPECT_EQ(v.find("s")->string, "a\n\"b\"A");
+  EXPECT_EQ(v.find("n")->number, -125.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_TRUE(v.find("nil")->is_null());
+  ASSERT_EQ(v.find("arr")->array.size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(obs::json::parse("{"), Error);
+  EXPECT_THROW(obs::json::parse("[1,]"), Error);
+  EXPECT_THROW(obs::json::parse("{\"a\":1} x"), Error);
+  EXPECT_THROW(obs::json::parse("\"unterminated"), Error);
+}
+
+TEST(Schema, AcceptsValidAndReportsViolations) {
+  const obs::json::Value schema = obs::json::parse(
+      "{\"type\":\"object\",\"required\":[\"ph\"],"
+      "\"additionalProperties\":false,"
+      "\"properties\":{\"ph\":{\"enum\":[\"X\",\"I\"]},"
+      "\"ts\":{\"type\":\"number\",\"minimum\":0}}}");
+  EXPECT_TRUE(
+      obs::schema::validate(schema, obs::json::parse("{\"ph\":\"X\",\"ts\":1}"))
+          .empty());
+  // Missing required, bad enum value, negative minimum, unknown member.
+  EXPECT_EQ(obs::schema::validate(schema, obs::json::parse("{}")).size(), 1u);
+  EXPECT_FALSE(obs::schema::validate(
+                   schema, obs::json::parse("{\"ph\":\"Z\"}"))
+                   .empty());
+  EXPECT_FALSE(obs::schema::validate(
+                   schema, obs::json::parse("{\"ph\":\"X\",\"ts\":-1}"))
+                   .empty());
+  EXPECT_FALSE(obs::schema::validate(
+                   schema, obs::json::parse("{\"ph\":\"X\",\"zz\":1}"))
+                   .empty());
+}
+
+// ---------------------------------------------------- simulator timeline
+
+struct TimelineSums {
+  std::uint64_t issue_slices = 0;
+  std::uint64_t scoreboard = 0;
+  std::uint64_t reg_port = 0;
+  std::uint64_t mem_contention = 0;
+  std::uint64_t branch_bubbles = 0;
+  std::uint64_t fu_slices = 0;
+  std::uint64_t nullified_slices = 0;
+};
+
+/// Re-derive the per-track cycle sums from an exported timeline JSON —
+/// the acceptance property: tracks must account for exactly the cycles
+/// SimStats reports.
+TimelineSums sum_timeline(const std::string& json_text) {
+  TimelineSums sums;
+  const obs::json::Value doc = obs::json::parse(json_text);
+  const obs::json::Value* events = doc.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  for (const obs::json::Value& e : events->array) {
+    if (e.find("ph") == nullptr || e.find("ph")->string != "X") continue;
+    const std::string cat = e.find("cat") ? e.find("cat")->string : "";
+    const std::uint64_t dur = e.find("dur")
+                                  ? static_cast<std::uint64_t>(
+                                        e.find("dur")->number)
+                                  : 0;
+    if (cat == "issue") {
+      ++sums.issue_slices;
+    } else if (cat == "fu") {
+      ++sums.fu_slices;
+    } else if (cat == "nullified") {
+      ++sums.nullified_slices;
+    } else if (cat == "stall") {
+      const std::string name = e.find("name")->string;
+      if (name == "scoreboard") sums.scoreboard += dur;
+      if (name == "reg-port") sums.reg_port += dur;
+      if (name == "mem-contention") sums.mem_contention += dur;
+      if (name == "branch-bubble") sums.branch_bubbles += dur;
+    }
+  }
+  return sums;
+}
+
+void check_timeline_matches_stats(const ProcessorConfig& config,
+                                  bool use_decode_cache) {
+  Program program = compile(kStallProg, config);
+  SimOptions options;
+  options.use_decode_cache = use_decode_cache;
+  EpicSimulator sim(std::move(program), {}, options);
+  SimTimeline timeline(config);
+  sim.set_timeline(&timeline);
+  const SimStats& stats = sim.run();
+
+  ASSERT_GT(stats.bundles_issued, 0u);
+  // Totals accumulated while recording match SimStats field-for-field.
+  const SimTimeline::Totals& t = timeline.totals();
+  EXPECT_EQ(t.cycles, stats.cycles);
+  EXPECT_EQ(t.bundles_issued, stats.bundles_issued);
+  EXPECT_EQ(t.stall_scoreboard, stats.stall_scoreboard);
+  EXPECT_EQ(t.stall_reg_ports, stats.stall_reg_ports);
+  EXPECT_EQ(t.stall_mem_contention, stats.stall_mem_contention);
+  EXPECT_EQ(t.branch_bubbles, stats.branch_bubbles);
+  EXPECT_EQ(t.ops_executed, stats.ops_executed);
+  EXPECT_EQ(t.ops_committed, stats.ops_committed);
+  EXPECT_EQ(t.ops_nullified, stats.ops_nullified);
+
+  // And the exported JSON's per-track sums re-derive the same numbers.
+  const TimelineSums sums = sum_timeline(timeline.to_chrome_json());
+  EXPECT_EQ(sums.issue_slices, stats.bundles_issued);
+  EXPECT_EQ(sums.scoreboard, stats.stall_scoreboard);
+  EXPECT_EQ(sums.reg_port, stats.stall_reg_ports);
+  EXPECT_EQ(sums.mem_contention, stats.stall_mem_contention);
+  EXPECT_EQ(sums.branch_bubbles, stats.branch_bubbles);
+  EXPECT_EQ(sums.fu_slices + sums.nullified_slices, stats.ops_executed);
+  EXPECT_EQ(sums.nullified_slices, stats.ops_nullified);
+}
+
+TEST(SimTimeline, ReconcilesWithSimStatsFastPath) {
+  check_timeline_matches_stats(ProcessorConfig{}, /*use_decode_cache=*/true);
+}
+
+TEST(SimTimeline, ReconcilesWithSimStatsInterpretivePath) {
+  check_timeline_matches_stats(ProcessorConfig{}, /*use_decode_cache=*/false);
+}
+
+TEST(SimTimeline, ReconcilesUnderContentionAndTightPorts) {
+  ProcessorConfig config;
+  config.unified_memory_contention = true;
+  config.reg_port_budget = 4;
+  config.forwarding = false;
+  check_timeline_matches_stats(config, /*use_decode_cache=*/true);
+  check_timeline_matches_stats(config, /*use_decode_cache=*/false);
+}
+
+TEST(SimTimeline, PathsExportIdenticalTimelines) {
+  const ProcessorConfig config;
+  Program program = compile(kStallProg, config);
+  std::string exported[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    SimOptions options;
+    options.use_decode_cache = pass == 0;
+    EpicSimulator sim(program, {}, options);
+    SimTimeline timeline(config);
+    sim.set_timeline(&timeline);
+    sim.run();
+    exported[pass] = timeline.to_chrome_json();
+  }
+  EXPECT_EQ(exported[0], exported[1]);
+}
+
+TEST(SimTimeline, TruncatesWithMarkerAndKeepsTotals) {
+  const ProcessorConfig config;
+  Program program = compile(kStallProg, config);
+  EpicSimulator sim(std::move(program), {}, {});
+  SimTimeline timeline(config, /*max_bundles=*/5);
+  sim.set_timeline(&timeline);
+  const SimStats& stats = sim.run();
+  EXPECT_TRUE(timeline.truncated());
+  // Totals keep accumulating past the cap.
+  EXPECT_EQ(timeline.totals().bundles_issued, stats.bundles_issued);
+  EXPECT_EQ(timeline.totals().cycles, stats.cycles);
+  const std::string json_text = timeline.to_chrome_json();
+  EXPECT_NE(json_text.find("timeline truncated at 5 bundles"),
+            std::string::npos);
+  const obs::json::Value doc = obs::json::parse(json_text);
+  EXPECT_EQ(doc.find("otherData")->find("truncated")->boolean, true);
+  // Only the capped bundles contributed slices.
+  EXPECT_EQ(sum_timeline(json_text).issue_slices, 5u);
+}
+
+TEST(SimTimeline, ValidatesAgainstCheckedInSchema) {
+  const ProcessorConfig config;
+  Program program = compile(kStallProg, config);
+  EpicSimulator sim(std::move(program), {}, {});
+  SimTimeline timeline(config);
+  sim.set_timeline(&timeline);
+  sim.run();
+  // Locate the schema relative to the source tree layout used by ctest
+  // (tests run from build/tests; the repo root holds schemas/).
+  const char* candidates[] = {"../../schemas/chrome-trace.schema.json",
+                              "../schemas/chrome-trace.schema.json",
+                              "schemas/chrome-trace.schema.json"};
+  std::string schema_text;
+  for (const char* path : candidates) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      schema_text = ss.str();
+      break;
+    }
+  }
+  if (schema_text.empty()) GTEST_SKIP() << "schema file not found from cwd";
+  const std::vector<std::string> violations = obs::schema::validate(
+      obs::json::parse(schema_text), obs::json::parse(timeline.to_chrome_json()));
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+// ------------------------------------------------ trace truncation marker
+
+TEST(SimTrace, TruncationAppendsExplicitMarker) {
+  const ProcessorConfig config;
+  Program program = compile(kStallProg, config);
+  for (const bool decoded : {true, false}) {
+    SimOptions options;
+    options.collect_trace = true;
+    options.trace_limit = 10;
+    options.use_decode_cache = decoded;
+    EpicSimulator sim(program, {}, options);
+    const SimStats& stats = sim.run();
+    EXPECT_TRUE(stats.trace_truncated);
+    ASSERT_EQ(sim.trace().size(), 11u);  // limit entries + the marker
+    EXPECT_NE(sim.trace().back().text.find("[trace truncated at 10 entries]"),
+              std::string::npos);
+    EXPECT_NE(stats.report().find("trace truncated:    yes"),
+              std::string::npos);
+  }
+}
+
+TEST(SimTrace, NoMarkerBelowLimit) {
+  const ProcessorConfig config;
+  Program program = compile(kQuietProg, config);
+  SimOptions options;
+  options.collect_trace = true;
+  options.trace_limit = 1u << 20;
+  EpicSimulator sim(std::move(program), {}, options);
+  const SimStats& stats = sim.run();
+  EXPECT_FALSE(stats.trace_truncated);
+  EXPECT_EQ(sim.trace().size(), stats.bundles_issued);
+  EXPECT_EQ(stats.report().find("trace truncated"), std::string::npos);
+}
+
+// ------------------------------------------- bundle-width histogram range
+
+TEST(SimStatsHist, SizedForTheConfiguredIssueWidthRange) {
+  // The histogram covers 0..kMaxBundleWidth and the simulator asserts
+  // the configured width fits; the paper prototype's 4-wide issue is
+  // well inside.
+  static_assert(SimStats::kMaxBundleWidth >= 4);
+  SimStats stats;
+  EXPECT_EQ(stats.bundle_width_hist.size(), SimStats::kMaxBundleWidth + 1);
+  Program program = compile(kQuietProg, ProcessorConfig{});
+  program.config.issue_width =
+      static_cast<unsigned>(SimStats::kMaxBundleWidth) + 1;
+  EXPECT_THROW(EpicSimulator(std::move(program), {}, {}), Error);
+}
+
+// --------------------------------------------- pipeline + registry glue
+
+TEST(PublishStats, FoldsServiceCountersIntoRegistry) {
+  ObsFixture fx(false);
+  pipeline::Service service;
+  (void)service.compile_program(kQuietProg, ProcessorConfig{});
+  service.publish_stats();
+  const auto counters = obs::Registry::instance().counters();
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(get("pipeline.frontend_runs"), 1u);
+  EXPECT_EQ(get("pipeline.backend_runs"), 1u);
+  EXPECT_EQ(get("pipeline.assemble_runs"), 1u);
+  EXPECT_EQ(get("pipeline.compiles"), 3u);
+  EXPECT_EQ(get("store.program.puts"), 1u);
+}
+
+TEST(BatchSpans, QueueWaitRecordedAcrossThreadPool) {
+  ObsFixture fx(true);
+  pipeline::Options options;
+  options.jobs = 2;
+  pipeline::Service service(options);
+  // The two configs differ only in a simulation-only field, so they
+  // share one codegen slice and therefore one compile task.
+  std::vector<ProcessorConfig> configs(2);
+  configs[1].pipeline_stages = 3;
+  const std::vector<pipeline::RunOutcome> outcomes =
+      service.run_batch({kStallProg}, configs);
+  for (const pipeline::RunOutcome& out : outcomes) EXPECT_TRUE(out.ok);
+  std::size_t compile_tasks = 0;
+  std::size_t sim_tasks = 0;
+  for (const obs::SpanRecord& s : obs::Registry::instance().spans()) {
+    if (s.name != "batch.compile" && s.name != "batch.simulate") continue;
+    bool has_wait = false;
+    for (const obs::EventArg& a : s.args) {
+      has_wait = has_wait || a.key == "queue_wait_ns";
+    }
+    EXPECT_TRUE(has_wait) << s.name << " span lacks queue_wait_ns";
+    (s.name == "batch.compile" ? compile_tasks : sim_tasks) += 1;
+  }
+  // Both configs share one codegen slice -> one compile task; every
+  // batch item gets its own simulate task.
+  EXPECT_EQ(compile_tasks, 1u);
+  EXPECT_EQ(sim_tasks, 2u);
+}
+
+// ---------------------------------------------- disabled-mode allocation
+
+TEST(DisabledMode, SimulatorHotLoopDoesNotAllocate) {
+#if defined(CEPIC_TEST_ASAN)
+  GTEST_SKIP() << "allocation counting is unreliable under ASan";
+#else
+  ObsFixture fx(false);
+  Program program = compile(kQuietProg, ProcessorConfig{});
+  EpicSimulator sim(std::move(program), {}, {});
+  sim.run();  // warm every lazily grown buffer
+  sim.reset();
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  sim.run();
+  {
+    obs::Span span("disabled", "test");
+    span.arg("k", std::uint64_t{1});
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "tracing-disabled simulation must not allocate";
+#endif
+}
+
+}  // namespace
+}  // namespace cepic

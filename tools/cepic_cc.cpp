@@ -43,10 +43,13 @@ int main(int argc, char** argv) {
                &candidates);
     tools::add_cache_options(table, &options.store_dir, &cache_stats);
     tools::add_jobs_option(table, &options.jobs);
+    tools::ObsOptions obs_opts;
+    tools::add_obs_options(table, &obs_opts);
 
     std::vector<std::string> positionals;
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.size() != 1) return table.usage();
+    tools::obs_begin(obs_opts);
 
     options.codegen.optimize = !no_opt;
     options.codegen.backend.schedule = !no_schedule;
@@ -69,7 +72,9 @@ int main(int argc, char** argv) {
       tools::write_binary(out_path.empty() ? "out.cepx" : out_path,
                           service.compile_program(source, config).serialize());
     }
+    service.publish_stats();
     if (cache_stats) tools::print_cache_stats("cepic-cc", service.stats());
+    tools::obs_finish(obs_opts);
     return 0;
   });
 }

@@ -77,10 +77,13 @@ int main(int argc, char** argv) {
     table.str("--json", "FILE",
               "write the result table as JSON (\"-\" = stdout)", &json_path);
     table.flag("--pareto", "print only Pareto-optimal points", &pareto_only);
+    tools::ObsOptions obs_opts;
+    tools::add_obs_options(table, &obs_opts);
 
     std::vector<std::string> paths;
     if (!table.parse(argc, argv, paths)) return 2;
     if (paths.empty()) return table.usage();
+    tools::obs_begin(obs_opts);
 
     std::vector<std::string> sources;
     sources.reserve(paths.size());
@@ -157,11 +160,13 @@ int main(int argc, char** argv) {
                std::any_of(result.points.begin(), result.points.end(),
                            [](const auto& p) { return p.ok; });
     }
-    if (cache_hits != 0) {
-      std::cerr << "cache: " << cache_hits << "/" << total_points
-                << " points served from the result cache\n";
-    }
+    pipeline::publish_stats(batch.stats);
+    obs::Registry::instance().set_counter("explore.points_total",
+                                          total_points);
+    obs::Registry::instance().set_counter("explore.points_from_result_cache",
+                                          cache_hits);
     if (cache_stats) tools::print_cache_stats("cepic-explore", batch.stats);
+    tools::obs_finish(obs_opts);
     return any_ok ? 0 : 1;
   });
 }

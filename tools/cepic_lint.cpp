@@ -97,10 +97,13 @@ int main(int argc, char** argv) {
     table.flag("--json", "machine-readable report on stdout", &json);
     tools::add_jobs_option(table, &popts.jobs);
     tools::add_cache_options(table, &popts.store_dir, &cache_stats);
+    tools::ObsOptions obs_opts;
+    tools::add_obs_options(table, &obs_opts);
 
     std::vector<std::string> paths;
     if (!table.parse(argc, argv, paths)) return 2;
     if (paths.empty() && !use_workloads) return table.usage();
+    tools::obs_begin(obs_opts);
 
     std::vector<Input> inputs;
     for (const std::string& path : paths) {
@@ -225,7 +228,9 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
 
+    service.publish_stats();
     if (cache_stats) tools::print_cache_stats("cepic-lint", service.stats());
+    tools::obs_finish(obs_opts);
     return (errors != 0 || failed_inputs != 0) ? 1 : 0;
   });
 }

@@ -1,0 +1,268 @@
+// cepic-prof — offline reporter over the artifacts the observability
+// layer writes (docs/OBSERVABILITY.md): Chrome trace JSON from
+// `--trace-out` / `--timeline-out` and flat metrics JSON from
+// `--metrics-json`.
+//
+//   cepic-prof trace.json               # top spans + per-stage totals
+//   cepic-prof trace.json --top 20
+//   cepic-prof metrics.json             # counter/gauge listing
+//   cepic-prof --validate schemas/chrome-trace.schema.json trace.json
+//
+// Subreports on a trace file:
+//   * top spans by self time (duration minus same-thread children),
+//   * per-stage totals (spans aggregated by their category:
+//     frontend / opt / backend / asm / pipeline / sim),
+//   * cache efficiency, reconstructed from the counter snapshot the
+//     exporter embeds under otherData.
+//
+// `--validate SCHEMA` checks any JSON file against a JSON-Schema subset
+// (src/obs/schema.hpp) and exits 1 on the first batch of violations —
+// CI uses it to keep every exported artifact loadable by Perfetto.
+#include "tool_common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/schema.hpp"
+
+namespace json = cepic::obs::json;
+namespace schema = cepic::obs::schema;
+
+namespace {
+
+using cepic::cat;
+using cepic::Error;
+using cepic::fixed;
+using cepic::pad_left;
+using cepic::pad_right;
+
+struct SpanRow {
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  double ts = 0;
+  double dur = 0;
+  double self = 0;  ///< dur minus same-thread child time
+};
+
+double number_or(const json::Value& obj, const char* key,
+                 double fallback) {
+  const json::Value* v = obj.find(key);
+  return (v != nullptr && v->kind == json::Value::Kind::Number) ? v->number
+                                                                : fallback;
+}
+
+std::string string_or(const json::Value& obj, const char* key,
+                      std::string fallback) {
+  const json::Value* v = obj.find(key);
+  return (v != nullptr && v->kind == json::Value::Kind::String) ? v->string
+                                                                : fallback;
+}
+
+/// Extract the 'X' (complete) events and compute per-span self time:
+/// a span's children are the spans on the same thread fully nested
+/// inside it; their durations are subtracted from the parent.
+std::vector<SpanRow> extract_spans(const json::Value& events) {
+  std::vector<SpanRow> rows;
+  for (const json::Value& e : events.array) {
+    if (e.kind != json::Value::Kind::Object) continue;
+    if (string_or(e, "ph", "") != "X") continue;
+    SpanRow row;
+    row.name = string_or(e, "name", "?");
+    row.cat = string_or(e, "cat", "");
+    row.tid = static_cast<int>(number_or(e, "tid", 0));
+    row.ts = number_or(e, "ts", 0);
+    row.dur = number_or(e, "dur", 0);
+    row.self = row.dur;
+    rows.push_back(std::move(row));
+  }
+  // Nesting pass per thread: sort by (tid, ts, -dur) so a parent comes
+  // before its children, then walk with an enclosing-span stack.
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows[a].tid != rows[b].tid) return rows[a].tid < rows[b].tid;
+    if (rows[a].ts != rows[b].ts) return rows[a].ts < rows[b].ts;
+    return rows[a].dur > rows[b].dur;
+  });
+  std::vector<std::size_t> stack;
+  int tid = 0;
+  for (const std::size_t i : order) {
+    SpanRow& row = rows[i];
+    if (stack.empty() || rows[stack.front()].tid != row.tid) {
+      stack.clear();
+      tid = row.tid;
+    }
+    (void)tid;
+    while (!stack.empty() &&
+           rows[stack.back()].ts + rows[stack.back()].dur <= row.ts) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) rows[stack.back()].self -= row.dur;
+    stack.push_back(i);
+  }
+  return rows;
+}
+
+void report_trace(const json::Value& doc, unsigned top) {
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || events->kind != json::Value::Kind::Array) {
+    throw Error("no traceEvents array in input");
+  }
+  const std::vector<SpanRow> rows = extract_spans(*events);
+
+  struct Agg {
+    double self = 0;
+    double total = 0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::map<std::string, Agg> by_cat;
+  for (const SpanRow& row : rows) {
+    Agg& n = by_name[row.cat.empty() ? row.name
+                                     : cat(row.cat, ".", row.name)];
+    n.self += row.self;
+    n.total += row.dur;
+    ++n.count;
+    Agg& c = by_cat[row.cat.empty() ? "(none)" : row.cat];
+    c.self += row.self;
+    c.total += row.dur;
+    ++c.count;
+  }
+
+  std::vector<std::pair<std::string, Agg>> ranked(by_name.begin(),
+                                                  by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.self > b.second.self;
+  });
+
+  std::cout << "top spans by self time (" << rows.size() << " spans)\n";
+  std::cout << pad_right("  span", 34) << pad_left("count", 7)
+            << pad_left("self(us)", 12) << pad_left("total(us)", 12) << "\n";
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const auto& [name, agg] = ranked[i];
+    std::cout << pad_right(cat("  ", name), 34) << pad_left(cat(agg.count), 7)
+              << pad_left(fixed(agg.self, 1), 12)
+              << pad_left(fixed(agg.total, 1), 12) << "\n";
+  }
+
+  std::cout << "\nper-stage totals\n";
+  for (const auto& [name, agg] : by_cat) {
+    std::cout << pad_right(cat("  ", name), 34) << pad_left(cat(agg.count), 7)
+              << pad_left(fixed(agg.self, 1), 12)
+              << pad_left(fixed(agg.total, 1), 12) << "\n";
+  }
+
+  // Cache efficiency from the embedded counter snapshot.
+  const json::Value* other = doc.find("otherData");
+  if (other == nullptr || other->kind != json::Value::Kind::Object) return;
+  const auto counter = [&](const std::string& name) {
+    return number_or(*other, cat("counter.", name).c_str(), 0);
+  };
+  const double compiles = counter("pipeline.compiles");
+  const double simulations = counter("pipeline.simulations");
+  if (compiles == 0 && simulations == 0) return;
+  std::cout << "\ncache efficiency\n";
+  const auto ratio_line = [&](const char* label, double hits, double misses) {
+    const double total = hits + misses;
+    std::cout << pad_right(cat("  ", label), 26) << pad_left(cat(hits), 9)
+              << " / " << pad_left(cat(total), 9);
+    if (total > 0) {
+      std::cout << "  (" << fixed(100.0 * hits / total, 1) << "% hit)";
+    }
+    std::cout << "\n";
+  };
+  for (const char* g : {"ir", "asm", "program", "lint"}) {
+    ratio_line(cat("store.", g).c_str(), counter(cat("store.", g, ".hits")),
+               counter(cat("store.", g, ".misses")));
+  }
+  ratio_line("results", counter("pipeline.result_hits"),
+             counter("pipeline.result_misses"));
+  std::cout << pad_right("  compiles", 26)
+            << pad_left(cat(compiles), 9) << "\n";
+  std::cout << pad_right("  simulations", 26)
+            << pad_left(cat(simulations), 9) << "\n";
+  std::cout << pad_right("  sim-dedup hits", 26)
+            << pad_left(cat(counter("pipeline.sim_dedup_hits")), 9) << "\n";
+}
+
+void report_metrics(const json::Value& doc) {
+  for (const char* section : {"counters", "gauges"}) {
+    const json::Value* v = doc.find(section);
+    if (v == nullptr || v->kind != json::Value::Kind::Object) continue;
+    std::cout << section << "\n";
+    for (const auto& [name, value] : v->object) {
+      std::cout << pad_right(cat("  ", name), 40);
+      if (value.kind == json::Value::Kind::Number) {
+        std::cout << pad_left(
+            value.number == static_cast<std::uint64_t>(value.number)
+                ? cat(static_cast<std::uint64_t>(value.number))
+                : fixed(value.number, 3),
+            14);
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cepic;
+  return tools::tool_main("cepic-prof", [&]() -> int {
+    unsigned top = 10;
+    std::string schema_path;
+
+    tools::OptionTable table(
+        "cepic-prof <trace.json|metrics.json>... [options]");
+    table.uint("--top", "N", "spans to list in the self-time ranking", &top);
+    table.str("--validate", "SCHEMA",
+              "validate the inputs against a JSON-Schema file and stop",
+              &schema_path);
+
+    std::vector<std::string> positionals;
+    if (!table.parse(argc, argv, positionals)) return 2;
+    if (positionals.empty()) return table.usage();
+
+    if (!schema_path.empty()) {
+      const json::Value schema = json::parse(tools::read_file(schema_path));
+      int failures = 0;
+      for (const std::string& path : positionals) {
+        const json::Value doc = json::parse(tools::read_file(path));
+        const std::vector<std::string> violations =
+            schema::validate(schema, doc);
+        for (const std::string& v : violations) {
+          std::cerr << path << ": " << v << "\n";
+        }
+        if (!violations.empty()) {
+          std::cerr << path << ": " << violations.size()
+                    << " schema violation(s) against " << schema_path << "\n";
+          ++failures;
+        } else {
+          std::cout << path << ": valid against " << schema_path << "\n";
+        }
+      }
+      return failures == 0 ? 0 : 1;
+    }
+
+    bool first = true;
+    for (const std::string& path : positionals) {
+      if (!first) std::cout << "\n";
+      first = false;
+      if (positionals.size() > 1) std::cout << "== " << path << " ==\n";
+      const json::Value doc = json::parse(tools::read_file(path));
+      if (doc.find("traceEvents") != nullptr) {
+        report_trace(doc, top == 0 ? 10 : top);
+      } else if (doc.find("counters") != nullptr ||
+                 doc.find("gauges") != nullptr) {
+        report_metrics(doc);
+      } else {
+        throw Error(cat(path,
+                        ": neither a trace (traceEvents) nor a metrics "
+                        "(counters/gauges) document"));
+      }
+    }
+    return 0;
+  });
+}

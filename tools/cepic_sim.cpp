@@ -2,9 +2,11 @@
 // ReaCT-ILP role); prints the output stream and the cycle statistics.
 //
 //   cepic-sim prog.cepx [--trace] [--max-cycles N]
+//   cepic-sim prog.cepx --timeline-out t.json   # per-cycle Perfetto view
 #include "tool_common.hpp"
 
 #include "sim/simulator.hpp"
+#include "sim/timeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace cepic;
@@ -20,16 +22,36 @@ int main(int argc, char** argv) {
     table.flag("--no-decode-cache",
                "use the interpretive decode-every-cycle simulator path",
                &no_decode_cache);
+    std::string timeline_out;
+    std::uint64_t timeline_limit = 1'000'000;
+    table.str("--timeline-out", "FILE",
+              "write a per-cycle event timeline as Chrome trace JSON",
+              &timeline_out);
+    table.uint64_positive("--timeline-limit", "N",
+                          "timeline bundle cap (truncates with a marker)",
+                          &timeline_limit);
+    tools::ObsOptions obs_opts;
+    tools::add_obs_options(table, &obs_opts);
 
     std::vector<std::string> positionals;
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.size() != 1) return table.usage();
     options.use_decode_cache = !no_decode_cache;
+    tools::obs_begin(obs_opts);
 
     EpicSimulator sim(
         Program::deserialize(tools::read_binary(positionals.front())), {},
         options);
-    sim.run();
+    SimTimeline timeline(sim.program().config, timeline_limit);
+    if (!timeline_out.empty()) sim.set_timeline(&timeline);
+    {
+      obs::Span span("simulate", "sim");
+      sim.run();
+      span.arg("cycles", sim.stats().cycles);
+    }
+    if (!timeline_out.empty()) {
+      tools::write_file(timeline_out, timeline.to_chrome_json());
+    }
 
     if (options.collect_trace) {
       for (const TraceEntry& t : sim.trace()) {
@@ -41,6 +63,10 @@ int main(int argc, char** argv) {
     for (std::uint32_t v : sim.output()) std::cout << " " << v;
     std::cout << "\nreturn value (r3): " << sim.gpr(3) << "\n\n"
               << sim.stats().report();
+    obs::Registry::instance().set_counter("sim.cycles", sim.stats().cycles);
+    obs::Registry::instance().set_counter("sim.ops_committed",
+                                          sim.stats().ops_committed);
+    tools::obs_finish(obs_opts);
     return 0;
   });
 }

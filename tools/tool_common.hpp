@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -217,28 +218,73 @@ inline void add_jobs_option(OptionTable& table, unsigned* jobs) {
              jobs);
 }
 
+// --- observability ----------------------------------------------------
+
+/// Shared observability surface: the two flags every tool spells the
+/// same way (docs/OBSERVABILITY.md).
+struct ObsOptions {
+  std::string trace_out;     ///< Chrome trace JSON of toolchain spans
+  std::string metrics_json;  ///< flat counters/gauges report
+};
+
+/// `--trace-out FILE` + `--metrics-json FILE`.
+inline void add_obs_options(OptionTable& table, ObsOptions* obs) {
+  table.str("--trace-out", "FILE",
+            "write toolchain spans as Chrome trace JSON (Perfetto)",
+            &obs->trace_out);
+  table.str("--metrics-json", "FILE", "write counters/gauges as JSON",
+            &obs->metrics_json);
+}
+
+/// Call right after parse(): switches span recording on when a trace
+/// was requested, so the whole tool run is covered.
+inline void obs_begin(const ObsOptions& obs) {
+  if (!obs.trace_out.empty()) cepic::obs::set_enabled(true);
+}
+
+/// Call once the tool's work (and any Service::publish_stats()) is
+/// done: writes the requested artifacts.
+inline void obs_finish(const ObsOptions& obs) {
+  if (!obs.trace_out.empty()) cepic::obs::write_trace_json(obs.trace_out);
+  if (!obs.metrics_json.empty()) {
+    cepic::obs::write_metrics_json(obs.metrics_json);
+  }
+}
+
 /// The `--cache-stats` report: one grep-able summary line (a fully warm
-/// run shows `compiles=0`) plus one line per store granularity.
+/// run shows `compiles=0`) plus one line per store granularity. Folds
+/// the Service's counters into the obs registry first and renders from
+/// that snapshot, so `--metrics-json` and this report can never
+/// disagree.
 inline void print_cache_stats(const char* tool,
                               const pipeline::ServiceStats& stats) {
-  const auto granularity = [&](const char* name,
-                               const pipeline::GranularityStats& g) {
-    std::cerr << tool << ": cache-stats " << name << " hits=" << g.hits
-              << " misses=" << g.misses << " puts=" << g.puts << "\n";
+  pipeline::publish_stats(stats);
+  const auto counters = obs::Registry::instance().counters();
+  const auto get = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return v;
+    }
+    return 0;
   };
-  std::cerr << tool << ": cache-stats compiles=" << stats.compiles()
-            << " frontend=" << stats.frontend_runs
-            << " backend=" << stats.backend_runs
-            << " assemble=" << stats.assemble_runs
-            << " simulations=" << stats.simulations
-            << " result-hits=" << stats.result_hits
-            << " result-misses=" << stats.result_misses
-            << " sim-dedup=" << stats.sim_dedup_hits
-            << " lint=" << stats.lint_runs << "\n";
-  granularity("ir", stats.store.ir);
-  granularity("asm", stats.store.assembly);
-  granularity("program", stats.store.program);
-  granularity("lint", stats.store.lint);
+  const auto granularity = [&](const char* name) {
+    std::cerr << tool << ": cache-stats " << name
+              << " hits=" << get(cat("store.", name, ".hits"))
+              << " misses=" << get(cat("store.", name, ".misses"))
+              << " puts=" << get(cat("store.", name, ".puts")) << "\n";
+  };
+  std::cerr << tool << ": cache-stats compiles=" << get("pipeline.compiles")
+            << " frontend=" << get("pipeline.frontend_runs")
+            << " backend=" << get("pipeline.backend_runs")
+            << " assemble=" << get("pipeline.assemble_runs")
+            << " simulations=" << get("pipeline.simulations")
+            << " result-hits=" << get("pipeline.result_hits")
+            << " result-misses=" << get("pipeline.result_misses")
+            << " sim-dedup=" << get("pipeline.sim_dedup_hits")
+            << " lint=" << get("pipeline.lint_runs") << "\n";
+  granularity("ir");
+  granularity("asm");
+  granularity("program");
+  granularity("lint");
 }
 
 }  // namespace cepic::tools
