@@ -76,6 +76,8 @@ void BM_BinaryRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_BinaryRoundtrip);
 
+// Default options: the threaded-code tier (blocks compile during the
+// first iterations and are reused by every later run).
 void BM_EpicSimulator(benchmark::State& state) {
   const auto& w = dct_workload();
   auto compiled =
@@ -92,14 +94,34 @@ void BM_EpicSimulator(benchmark::State& state) {
 }
 BENCHMARK(BM_EpicSimulator);
 
-// The interpretive decode-every-cycle path (use_decode_cache=false):
-// keeps the fast path's speedup honest in the recorded history.
+// The pre-decoded fast path on its own: the baseline the threaded
+// tier's speedup is measured against (CI perf-smoke guards the ratio).
+void BM_EpicSimulatorDecode(benchmark::State& state) {
+  const auto& w = dct_workload();
+  auto compiled =
+      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+  SimOptions options;
+  options.exec_tier = ExecTier::Decode;
+  EpicSimulator sim(compiled.program, {}, options);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.reset();
+    sim.run();
+    cycles += sim.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EpicSimulatorDecode);
+
+// The interpretive decode-every-cycle path: keeps the faster tiers'
+// speedup honest in the recorded history.
 void BM_EpicSimulatorLegacy(benchmark::State& state) {
   const auto& w = dct_workload();
   auto compiled =
       driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
   SimOptions options;
-  options.use_decode_cache = false;
+  options.exec_tier = ExecTier::Interp;
   EpicSimulator sim(compiled.program, {}, options);
   std::uint64_t cycles = 0;
   for (auto _ : state) {

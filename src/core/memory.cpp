@@ -1,11 +1,16 @@
 #include "core/memory.hpp"
 
+#include <bit>
+
 #include "core/program.hpp"
 #include "support/text.hpp"
 
 namespace cepic {
 
-DataMemory::DataMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {
+DataMemory::DataMemory(std::size_t size_bytes)
+    : bytes_(size_bytes, 0),
+      dirty_((((size_bytes + (1u << kPageBits) - 1) >> kPageBits) >> 6) + 1,
+             0) {
   CEPIC_CHECK(size_bytes >= kDataBase, "data memory smaller than data base");
 }
 
@@ -14,6 +19,28 @@ void DataMemory::load_image(std::uint32_t base,
   CEPIC_CHECK(base + image.size() <= bytes_.size(),
               "data image does not fit in memory");
   std::copy(image.begin(), image.end(), bytes_.begin() + base);
+  mark_written(base, static_cast<unsigned>(image.size()));
+}
+
+void DataMemory::reset() {
+  const std::size_t pages = (bytes_.size() + (1u << kPageBits) - 1) >> kPageBits;
+  for (std::size_t w = 0; w < dirty_.size(); ++w) {
+    std::uint64_t bits = dirty_[w];
+    if (bits == 0) continue;
+    dirty_[w] = 0;
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::size_t page = w * 64 + b;
+      if (page >= pages) break;  // raw() sets stray bits past the end
+      const std::size_t lo = page << kPageBits;
+      const std::size_t hi = std::min(lo + (std::size_t{1} << kPageBits),
+                                      bytes_.size());
+      std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(lo),
+                bytes_.begin() + static_cast<std::ptrdiff_t>(hi),
+                std::uint8_t{0});
+    }
+  }
 }
 
 void DataMemory::check(std::uint32_t addr, unsigned n, bool write) const {
@@ -42,6 +69,7 @@ std::uint32_t DataMemory::read_word(std::uint32_t addr) const {
 
 void DataMemory::write_word(std::uint32_t addr, std::uint32_t value) {
   check(addr, 4, true);
+  mark_written(addr, 4);
   bytes_[addr] = static_cast<std::uint8_t>(value >> 24);
   bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 16);
   bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 8);
@@ -55,6 +83,7 @@ std::uint8_t DataMemory::read_byte(std::uint32_t addr) const {
 
 void DataMemory::write_byte(std::uint32_t addr, std::uint8_t value) {
   check(addr, 1, true);
+  mark_written(addr, 1);
   bytes_[addr] = value;
 }
 

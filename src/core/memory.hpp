@@ -31,14 +31,45 @@ public:
   /// addresses yield 0.
   std::uint32_t read_word_speculative(std::uint32_t addr) const;
 
-  /// Direct image access for loaders and tests.
-  std::span<std::uint8_t> raw() { return bytes_; }
+  /// Zero the memory again, at a cost proportional to the pages
+  /// actually written since construction / the last reset (a 4 KiB
+  /// dirty bitmap maintained by the write accessors) instead of the
+  /// full size. Simulator reset() is per-run overhead: re-zeroing
+  /// megabytes of untouched image would dominate short simulations.
+  void reset();
+
+  /// Mark pages written. Every store that bypasses the checked
+  /// accessors (the threaded tier writes through exec_data() after
+  /// probing) must pair with this, or reset() misses it.
+  void mark_written(std::uint32_t addr, unsigned n) {
+    const std::size_t first = addr >> kPageBits;
+    const std::size_t last =
+        (static_cast<std::size_t>(addr) + n - 1) >> kPageBits;
+    for (std::size_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    }
+  }
+
+  /// Unmanaged image pointer for the threaded tier's probed direct
+  /// accesses; see mark_written().
+  std::uint8_t* exec_data() { return bytes_.data(); }
+
+  /// Direct image access for loaders and tests. The mutable overload
+  /// conservatively marks the whole memory written, because writes
+  /// through the span are invisible to the dirty bitmap.
+  std::span<std::uint8_t> raw() {
+    for (std::uint64_t& w : dirty_) w = ~std::uint64_t{0};
+    return bytes_;
+  }
   std::span<const std::uint8_t> raw() const { return bytes_; }
 
 private:
+  static constexpr unsigned kPageBits = 12;  ///< 4 KiB dirty pages
+
   void check(std::uint32_t addr, unsigned bytes, bool write) const;
 
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint64_t> dirty_;  ///< one bit per page, see reset()
 };
 
 }  // namespace cepic

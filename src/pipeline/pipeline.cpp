@@ -323,7 +323,11 @@ std::vector<RunOutcome> Service::run_batch(
           // settings" — a non-verified result may answer for a program
           // the verifier would reject.
           ";verify=", options_.verify ? 1 : 0,
-          ";verify_werror=", options_.verify_werror ? 1 : 0));
+          ";verify_werror=", options_.verify_werror ? 1 : 0,
+          // Execution tiers are differentially proven bit-identical,
+          // but a cached result must never mask a tier divergence: a
+          // hit may only answer for the tier that produced it.
+          ";tier=", to_string(options_.sim.exec_tier)));
 
   struct Item {
     std::size_t index;   ///< slot in `outcomes`
@@ -433,8 +437,14 @@ std::vector<RunOutcome> Service::run_batch(
               Program canon = *shared;
               canon.config = sim_slice(configs[it->config]);
               const std::vector<std::uint8_t> bytes = canon.serialize();
-              digest = fnv1a64(std::string_view(
-                  reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+              // Seed with the execution tier: dedup shares outcomes
+              // within one run_batch call, and those must come from
+              // the tier the caller asked for, not whichever identical
+              // program claimed the digest first under another tier.
+              digest = fnv1a64(
+                  std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                   bytes.size()),
+                  fnv1a64(to_string(options_.sim.exec_tier)));
             }
             std::map<std::uint64_t, SimDedupEntry>::iterator slot;
             {

@@ -19,7 +19,7 @@ SarmSimulator::SarmSimulator(SProgram program, SarmOptionsSim options)
 void SarmSimulator::reset() {
   std::fill(regs_.begin(), regs_.end(), 0);
   flags_ = Flags{};
-  mem_ = DataMemory(options_.mem_size);
+  mem_.reset();  // cost: the pages actually written, not the full size
   mem_.load_image(kDataBase, program_.data);
   pc_ = program_.entry;
   halted_ = false;

@@ -15,11 +15,13 @@ EpicSimulator::EpicSimulator(Program program, CustomOpTable custom,
       options_(options),
       mdes_(program_.config, &custom_),
       width_(program_.config.datapath_width),
-      gprs_(program_.config.num_gprs, 0),
-      preds_(program_.config.num_preds, 0),
+      // +1: write-sink slot for the threaded tier (see the gprs_ layout
+      // comment in simulator.hpp); pool constants append beyond it.
+      gprs_(program_.config.num_gprs + 1, 0),
+      preds_(program_.config.num_preds + 1, 0),
       btrs_(program_.config.num_btrs, 0),
-      gpr_ready_(program_.config.num_gprs, 0),
-      pred_ready_(program_.config.num_preds, 0),
+      gpr_ready_(program_.config.num_gprs + 1, 0),
+      pred_ready_(program_.config.num_preds + 1, 0),
       btr_ready_(program_.config.num_btrs, 0),
       mem_(options.mem_size) {
   program_.config.validate();
@@ -41,23 +43,49 @@ EpicSimulator::EpicSimulator(Program program, CustomOpTable custom,
   }
   fwd_ = mdes_.forwarding();
   port_budget_ = mdes_.reg_port_budget();
-  if (options_.use_decode_cache) {
+  bundle_count_ = static_cast<std::uint32_t>(program_.bundle_count());
+  gpr_mask_ = width_ >= 32 ? 0xFFFFFFFFu
+                           : ((std::uint32_t{1} << width_) - 1);
+  if (options_.exec_tier != ExecTier::Interp) {
     decoded_ = decode_program(program_, mdes_, options_.collect_trace);
     writes_scratch_.reserve(2 * program_.config.issue_width);
     stores_scratch_.reserve(program_.config.issue_width);
+  }
+  if (options_.exec_tier == ExecTier::Threaded) {
+    threaded_.block_at.assign(bundle_count_, ThreadedCache::kCold);
+    threaded_.hot.assign(bundle_count_, 0);
+    // Worst-case clock advance of any single bundle: scoreboard stall
+    // (bounded by the largest in-flight latency), port stall (bounded
+    // by the largest static port demand), bubbles and contention.
+    std::uint64_t max_lat = 1;
+    std::uint64_t max_ports = 0;
+    for (const DecodedBundle& b : decoded_) {
+      for (const DecodedOp& op : b.ops) {
+        max_lat = std::max<std::uint64_t>(max_lat, op.latency);
+      }
+      max_ports = std::max<std::uint64_t>(
+          max_ports, b.write_ports + b.port_reads.size());
+    }
+    const std::uint64_t port_bound =
+        max_ports == 0 ? 0 : (max_ports + port_budget_ - 1) / port_budget_;
+    threaded_.advance_bound =
+        max_lat + port_bound + program_.config.pipeline_stages + 2;
   }
   reset();
 }
 
 void EpicSimulator::reset() {
-  std::fill(gprs_.begin(), gprs_.end(), 0);
+  // Architectural registers + the sink only: the constant-pool tail of
+  // gprs_ holds compiled-block literals, which survive reset exactly
+  // like the blocks that reference them.
+  std::fill_n(gprs_.begin(), program_.config.num_gprs + 1, 0);
   std::fill(preds_.begin(), preds_.end(), 0);
   std::fill(btrs_.begin(), btrs_.end(), 0);
   std::fill(gpr_ready_.begin(), gpr_ready_.end(), 0);
   std::fill(pred_ready_.begin(), pred_ready_.end(), 0);
   std::fill(btr_ready_.begin(), btr_ready_.end(), 0);
   preds_[0] = 1;  // p0 hardwired true
-  mem_ = DataMemory(options_.mem_size);
+  mem_.reset();  // cost: the pages actually written, not the full size
   mem_.load_image(kDataBase, program_.data);
   pc_ = program_.entry_bundle;
   cycle_ = 0;
@@ -68,22 +96,22 @@ void EpicSimulator::reset() {
 }
 
 std::uint32_t EpicSimulator::gpr(unsigned i) const {
-  CEPIC_CHECK(i < gprs_.size(), "gpr index");
+  CEPIC_CHECK(i < program_.config.num_gprs, "gpr index");
   return i == 0 ? 0 : gprs_[i];
 }
 
 void EpicSimulator::set_gpr(unsigned i, std::uint32_t v) {
-  CEPIC_CHECK(i < gprs_.size(), "gpr index");
+  CEPIC_CHECK(i < program_.config.num_gprs, "gpr index");
   if (i != 0) gprs_[i] = mask_to_width(v, width_);
 }
 
 bool EpicSimulator::pred(unsigned i) const {
-  CEPIC_CHECK(i < preds_.size(), "pred index");
+  CEPIC_CHECK(i < program_.config.num_preds, "pred index");
   return i == 0 ? true : preds_[i] != 0;
 }
 
 void EpicSimulator::set_pred(unsigned i, bool v) {
-  CEPIC_CHECK(i < preds_.size(), "pred index");
+  CEPIC_CHECK(i < program_.config.num_preds, "pred index");
   if (i != 0) preds_[i] = v ? 1 : 0;
 }
 
@@ -221,28 +249,7 @@ bool EpicSimulator::finish_step(std::uint64_t issue, bool branch_taken,
     ++stats_.stall_mem_contention;
   }
 
-  if (options_.collect_trace) {
-    if (trace_.size() < options_.trace_limit) {
-      if (trace_text != nullptr) {
-        trace_.push_back({issue, pc_, *trace_text});
-      } else {
-        std::string text;
-        for (const Instruction& inst : program_.bundle(pc_)) {
-          if (inst.is_nop()) continue;
-          if (!text.empty()) text += " || ";
-          text += to_string(inst);
-        }
-        trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
-      }
-    } else if (!stats_.trace_truncated) {
-      // The limit was hit: leave an explicit marker instead of silently
-      // dropping the tail, and flag it on the statistics.
-      stats_.trace_truncated = true;
-      trace_.push_back({issue, pc_,
-                        cat("[trace truncated at ", options_.trace_limit,
-                            " entries]")});
-    }
-  }
+  if (options_.collect_trace) trace_record(issue, trace_text);
 
   unsigned bubbles = 0;
   bool keep_running = true;
@@ -284,15 +291,45 @@ bool EpicSimulator::finish_step(std::uint64_t issue, bool branch_taken,
   return keep_running;
 }
 
+void EpicSimulator::trace_record(std::uint64_t issue,
+                                 const std::string* trace_text) {
+  if (trace_.size() < options_.trace_limit) {
+    if (trace_text != nullptr) {
+      trace_.push_back({issue, pc_, *trace_text});
+    } else {
+      std::string text;
+      for (const Instruction& inst : program_.bundle(pc_)) {
+        if (inst.is_nop()) continue;
+        if (!text.empty()) text += " || ";
+        text += to_string(inst);
+      }
+      trace_.push_back({issue, pc_, text.empty() ? "nop" : text});
+    }
+  } else if (!stats_.trace_truncated) {
+    // The limit was hit: leave an explicit marker instead of silently
+    // dropping the tail, and flag it on the statistics.
+    stats_.trace_truncated = true;
+    trace_.push_back({issue, pc_,
+                      cat("[trace truncated at ", options_.trace_limit,
+                          " entries]")});
+  }
+}
+
 bool EpicSimulator::step() {
   if (halted_) return false;
   if (pc_ >= program_.bundle_count()) {
     throw SimError(cat("pc 0x", std::hex, pc_, " past end of program"));
   }
-  if (options_.use_decode_cache) {
+  // Single-stepping a threaded-tier simulator executes the decode tier:
+  // bit-identical by contract, and per-bundle stepping has no block to
+  // amortise over anyway. run() is where blocks pay off.
+  if (options_.exec_tier != ExecTier::Interp) {
+    stats_.exec_tier = ExecTier::Decode;
     const DecodedBundle& bundle = decoded_[pc_];
     if (!bundle.use_legacy) return step_decoded(bundle);
+    return step_interpretive();
   }
+  stats_.exec_tier = ExecTier::Interp;
   return step_interpretive();
 }
 
@@ -723,8 +760,19 @@ bool EpicSimulator::step_interpretive() {
 }
 
 const SimStats& EpicSimulator::run() {
+  const ExecTier tier = active_tier();
+  stats_.exec_tier = tier;
+  stats_.timeline_pinned =
+      options_.exec_tier == ExecTier::Threaded && tier == ExecTier::Decode;
+  if (tier == ExecTier::Threaded) {
+    run_threaded();
+    return stats_;
+  }
   while (step()) {
   }
+  // step() re-stamps the marker each bundle; restore the run-level
+  // verdict (identical unless the tier was pinned).
+  stats_.exec_tier = tier;
   return stats_;
 }
 

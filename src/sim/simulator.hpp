@@ -27,6 +27,7 @@
 #include "core/memory.hpp"
 #include "sim/decode.hpp"
 #include "sim/stats.hpp"
+#include "sim/threaded.hpp"
 #include "sim/timeline.hpp"
 
 namespace cepic {
@@ -36,12 +37,22 @@ struct SimOptions {
   std::size_t mem_size = std::size_t{1} << 22;  // 4 MiB
   bool collect_trace = false;
   std::size_t trace_limit = 4096;
-  /// Pre-decode every bundle at construction and execute through the
-  /// fast path (sim/decode.hpp). Off = the interpretive
-  /// decode-every-cycle path, kept for differential validation
-  /// (tests/test_sim_fastpath.cpp); both produce bit-identical stats,
-  /// output and architectural state.
-  bool use_decode_cache = true;
+  /// Execution tier (docs/SIM.md "Execution tiers"). Threaded promotes
+  /// hot bundle runs to pre-compiled micro-op blocks (sim/threaded.hpp)
+  /// and executes cold/irregular code on the decode tier; Decode is the
+  /// pre-decoded fast path (sim/decode.hpp); Interp is the
+  /// decode-every-cycle reference. All three are bit-identical in
+  /// stats, output, traces, faults and architectural state
+  /// (tests/test_sim_fastpath.cpp proves it differentially). run() with
+  /// a timeline attached pins Threaded to Decode and flags it in
+  /// SimStats::timeline_pinned.
+  ExecTier exec_tier = ExecTier::Threaded;
+  /// An entry pc's Nth dispatch (N = this) compiles and runs its
+  /// threaded block; the first N-1 run on the decode tier. 1 compiles
+  /// eagerly on first touch. Only read when exec_tier == Threaded.
+  unsigned threaded_hot_threshold = 8;
+  /// Maximum bundles lowered into one threaded block.
+  unsigned threaded_max_block = 64;
 };
 
 struct TraceEntry {
@@ -83,6 +94,21 @@ public:
   const SimStats& stats() const { return stats_; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
   const Program& program() const { return program_; }
+
+  /// Threaded-tier promotion counters, compiled blocks and telemetry
+  /// (read-only; empty unless exec_tier == Threaded). Blocks are pure
+  /// functions of the program and survive reset().
+  const ThreadedCache& threaded_cache() const { return threaded_; }
+
+  /// The tier run() would execute on right now: the configured tier,
+  /// except that an attached timeline pins Threaded to Decode.
+  ExecTier active_tier() const {
+    if (options_.exec_tier == ExecTier::Threaded && timeline_ == nullptr) {
+      return ExecTier::Threaded;
+    }
+    return options_.exec_tier == ExecTier::Interp ? ExecTier::Interp
+                                                  : ExecTier::Decode;
+  }
 
   /// Attach an opt-in per-cycle event timeline (sim/timeline.hpp);
   /// nullptr detaches. The caller owns the timeline and keeps it alive
@@ -126,6 +152,20 @@ private:
   bool finish_step(std::uint64_t issue, bool branch_taken,
                    std::uint32_t branch_target, bool halt_now, bool any_mem,
                    unsigned useful_ops, const std::string* trace_text);
+  /// Shared trace append (limit + truncation marker); pc_ must still be
+  /// the issued bundle's pc. Used by finish_step and the threaded tier.
+  void trace_record(std::uint64_t issue, const std::string* trace_text);
+
+  // --- threaded tier (sim/threaded.cpp) ---
+  /// run() body for ExecTier::Threaded: dispatch compiled blocks,
+  /// promote hot entry pcs, execute cold/legacy bundles on the decode/
+  /// interpretive paths.
+  void run_threaded();
+  /// Execute one compiled block starting at pc_ == block.entry_pc.
+  void exec_block(const ThreadedBlock& block);
+  /// Lower the maximal straight-line bundle run starting at entry_pc
+  /// (non-const: interns literal operands in threaded_.pool).
+  ThreadedBlock compile_block(std::uint32_t entry_pc);
 
   Program program_;
   CustomOpTable custom_;
@@ -135,9 +175,15 @@ private:
   bool fwd_ = true;           ///< mdes_.forwarding(), hoisted
   unsigned port_budget_ = 8;  ///< mdes_.reg_port_budget(), hoisted
 
-  /// Pre-decoded bundles (empty when use_decode_cache is off); built
-  /// once at construction, reused across reset().
+  /// Pre-decoded bundles (empty on the interpretive tier); built once
+  /// at construction, reused across reset().
   std::vector<DecodedBundle> decoded_;
+  /// Threaded-tier promotion counters and compiled micro-op blocks
+  /// (empty unless exec_tier == Threaded); blocks compile lazily at
+  /// promotion and, like decoded_, survive reset().
+  ThreadedCache threaded_;
+  std::uint32_t bundle_count_ = 0;  ///< program_.bundle_count(), hoisted
+  std::uint32_t gpr_mask_ = 0;      ///< datapath-width value mask, hoisted
   /// Reused per-step scratch (capacity fixed by issue_width): the
   /// interpretive path's per-cycle heap allocations removed.
   std::vector<WriteBack> writes_scratch_;
@@ -154,6 +200,16 @@ private:
   /// attached.
   std::vector<SimTimeline::OpEvent> tl_ops_;
 
+  /// Extended register files. Layout of gprs_:
+  ///   [0, num_gprs)          architectural registers (r0 pinned to 0)
+  ///   [num_gprs]             write sink for the threaded tier (absent
+  ///                          destinations redirect here, so write-back
+  ///                          is branchless)
+  ///   [num_gprs + 1, ...)    ThreadedCache::pool literal constants,
+  ///                          appended as blocks are compiled and left
+  ///                          intact by reset()
+  /// preds_ likewise carries one sink slot at num_preds. The public
+  /// accessors bound-check against the architectural counts only.
   std::vector<std::uint32_t> gprs_;
   std::vector<std::uint8_t> preds_;
   std::vector<std::uint32_t> btrs_;

@@ -4,8 +4,21 @@
 
 namespace cepic {
 
+const char* to_string(ExecTier tier) {
+  switch (tier) {
+    case ExecTier::Interp: return "interp";
+    case ExecTier::Decode: return "decode";
+    case ExecTier::Threaded: return "threaded";
+  }
+  return "?";
+}
+
 std::string SimStats::report() const {
   std::string s;
+  s += cat("exec tier:          ", to_string(exec_tier),
+           timeline_pinned ? " (pinned from threaded: timeline attached)"
+                           : "",
+           "\n");
   s += cat("cycles:             ", cycles, "\n");
   s += cat("bundles issued:     ", bundles_issued, "\n");
   s += cat("ops executed:       ", ops_executed, "\n");

@@ -10,6 +10,19 @@
 
 namespace cepic {
 
+/// Simulator execution tier (docs/SIM.md "Execution tiers"). All three
+/// produce bit-identical statistics, output, traces and faults; they
+/// differ only in speed (tests/test_sim_fastpath.cpp proves it
+/// differentially).
+enum class ExecTier : std::uint8_t {
+  Interp,    ///< decode-every-cycle reference path
+  Decode,    ///< pre-decoded DecodedBundle fast path (PR 4)
+  Threaded,  ///< block-level threaded-code tier (sim/threaded.hpp)
+};
+
+/// Short lowercase name (matches the --exec-tier CLI spelling).
+const char* to_string(ExecTier tier);
+
 struct SimStats {
   std::uint64_t cycles = 0;          ///< total processor cycles
   std::uint64_t bundles_issued = 0;  ///< MultiOps issued
@@ -43,6 +56,16 @@ struct SimStats {
   /// index 0..kMaxBundleWidth.
   std::array<std::uint64_t, kMaxBundleWidth + 1> bundle_width_hist{};
 
+  // --- execution metadata (not architecture-visible counters) ---------
+
+  /// Tier that executed the most recent run()/step(). When a timeline
+  /// is attached to a threaded-tier simulator the run pins to the
+  /// decode tier and says so here (timeline_pinned below).
+  ExecTier exec_tier = ExecTier::Interp;
+  /// exec_tier was requested Threaded but the run executed on the
+  /// decode tier because a SimTimeline was attached.
+  bool timeline_pinned = false;
+
   /// Achieved instruction-level parallelism: committed ops per cycle.
   double ilp() const {
     return cycles == 0 ? 0.0
@@ -53,8 +76,25 @@ struct SimStats {
   /// Multi-line human-readable report.
   std::string report() const;
 
-  /// Field-wise equality (differential fast-vs-interpretive tests).
-  bool operator==(const SimStats&) const = default;
+  /// Field-wise equality over the semantic counters (differential
+  /// cross-tier tests). The exec_tier/timeline_pinned markers record
+  /// which tier ran — the one thing the tiers legitimately disagree on
+  /// — so they are deliberately excluded.
+  bool operator==(const SimStats& o) const {
+    return cycles == o.cycles && bundles_issued == o.bundles_issued &&
+           ops_executed == o.ops_executed &&
+           ops_committed == o.ops_committed &&
+           ops_nullified == o.ops_nullified && nops == o.nops &&
+           stall_scoreboard == o.stall_scoreboard &&
+           stall_reg_ports == o.stall_reg_ports &&
+           stall_mem_contention == o.stall_mem_contention &&
+           branch_bubbles == o.branch_bubbles && mem_reads == o.mem_reads &&
+           mem_writes == o.mem_writes &&
+           branches_taken == o.branches_taken &&
+           branches_not_taken == o.branches_not_taken &&
+           trace_truncated == o.trace_truncated &&
+           bundle_width_hist == o.bundle_width_hist;
+  }
 };
 
 }  // namespace cepic

@@ -327,14 +327,22 @@ TimelineSums sum_timeline(const std::string& json_text) {
 }
 
 void check_timeline_matches_stats(const ProcessorConfig& config,
-                                  bool use_decode_cache) {
+                                  ExecTier tier) {
   Program program = compile(kStallProg, config);
   SimOptions options;
-  options.use_decode_cache = use_decode_cache;
+  options.exec_tier = tier;
   EpicSimulator sim(std::move(program), {}, options);
   SimTimeline timeline(config);
   sim.set_timeline(&timeline);
+  // With a timeline attached the threaded tier pins to the decode tier
+  // (per-bundle timeline events are the decode tier's contract) and the
+  // stats say so explicitly.
+  EXPECT_EQ(sim.active_tier(),
+            tier == ExecTier::Threaded ? ExecTier::Decode : tier);
   const SimStats& stats = sim.run();
+  EXPECT_EQ(stats.exec_tier,
+            tier == ExecTier::Threaded ? ExecTier::Decode : tier);
+  EXPECT_EQ(stats.timeline_pinned, tier == ExecTier::Threaded);
 
   ASSERT_GT(stats.bundles_issued, 0u);
   // Totals accumulated while recording match SimStats field-for-field.
@@ -361,11 +369,18 @@ void check_timeline_matches_stats(const ProcessorConfig& config,
 }
 
 TEST(SimTimeline, ReconcilesWithSimStatsFastPath) {
-  check_timeline_matches_stats(ProcessorConfig{}, /*use_decode_cache=*/true);
+  check_timeline_matches_stats(ProcessorConfig{}, ExecTier::Decode);
 }
 
 TEST(SimTimeline, ReconcilesWithSimStatsInterpretivePath) {
-  check_timeline_matches_stats(ProcessorConfig{}, /*use_decode_cache=*/false);
+  check_timeline_matches_stats(ProcessorConfig{}, ExecTier::Interp);
+}
+
+TEST(SimTimeline, ReconcilesWithSimStatsThreadedTierPinned) {
+  // A threaded-tier simulator with a timeline attached runs pinned to
+  // the decode tier; the reconciliation (and the explicit marker) is
+  // checked inside the helper.
+  check_timeline_matches_stats(ProcessorConfig{}, ExecTier::Threaded);
 }
 
 TEST(SimTimeline, ReconcilesUnderContentionAndTightPorts) {
@@ -373,17 +388,20 @@ TEST(SimTimeline, ReconcilesUnderContentionAndTightPorts) {
   config.unified_memory_contention = true;
   config.reg_port_budget = 4;
   config.forwarding = false;
-  check_timeline_matches_stats(config, /*use_decode_cache=*/true);
-  check_timeline_matches_stats(config, /*use_decode_cache=*/false);
+  check_timeline_matches_stats(config, ExecTier::Decode);
+  check_timeline_matches_stats(config, ExecTier::Interp);
+  check_timeline_matches_stats(config, ExecTier::Threaded);
 }
 
 TEST(SimTimeline, PathsExportIdenticalTimelines) {
   const ProcessorConfig config;
   Program program = compile(kStallProg, config);
-  std::string exported[2];
-  for (int pass = 0; pass < 2; ++pass) {
+  const ExecTier tiers[] = {ExecTier::Decode, ExecTier::Interp,
+                            ExecTier::Threaded};
+  std::string exported[3];
+  for (int pass = 0; pass < 3; ++pass) {
     SimOptions options;
-    options.use_decode_cache = pass == 0;
+    options.exec_tier = tiers[pass];
     EpicSimulator sim(program, {}, options);
     SimTimeline timeline(config);
     sim.set_timeline(&timeline);
@@ -391,6 +409,7 @@ TEST(SimTimeline, PathsExportIdenticalTimelines) {
     exported[pass] = timeline.to_chrome_json();
   }
   EXPECT_EQ(exported[0], exported[1]);
+  EXPECT_EQ(exported[0], exported[2]);
 }
 
 TEST(SimTimeline, TruncatesWithMarkerAndKeepsTotals) {
@@ -447,11 +466,13 @@ TEST(SimTimeline, ValidatesAgainstCheckedInSchema) {
 TEST(SimTrace, TruncationAppendsExplicitMarker) {
   const ProcessorConfig config;
   Program program = compile(kStallProg, config);
-  for (const bool decoded : {true, false}) {
+  for (const ExecTier tier :
+       {ExecTier::Threaded, ExecTier::Decode, ExecTier::Interp}) {
     SimOptions options;
     options.collect_trace = true;
     options.trace_limit = 10;
-    options.use_decode_cache = decoded;
+    options.exec_tier = tier;
+    options.threaded_hot_threshold = 1;
     EpicSimulator sim(program, {}, options);
     const SimStats& stats = sim.run();
     EXPECT_TRUE(stats.trace_truncated);
@@ -550,19 +571,29 @@ TEST(DisabledMode, SimulatorHotLoopDoesNotAllocate) {
 #else
   ObsFixture fx(false);
   Program program = compile(kQuietProg, ProcessorConfig{});
-  EpicSimulator sim(std::move(program), {}, {});
-  sim.run();  // warm every lazily grown buffer
-  sim.reset();
-  g_allocs.store(0, std::memory_order_relaxed);
-  g_count_allocs.store(true, std::memory_order_relaxed);
-  sim.run();
-  {
-    obs::Span span("disabled", "test");
-    span.arg("k", std::uint64_t{1});
+  // The interpretive reference path allocates per step by design; the
+  // two fast tiers must not.
+  for (const ExecTier tier : {ExecTier::Threaded, ExecTier::Decode}) {
+    SCOPED_TRACE(to_string(tier));
+    SimOptions options;
+    options.exec_tier = tier;
+    // Compile every threaded block during the warm-up run, so the
+    // counted run is the steady state.
+    options.threaded_hot_threshold = 1;
+    EpicSimulator sim(program, {}, options);
+    sim.run();  // warm every lazily grown buffer
+    sim.reset();
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    sim.run();
+    {
+      obs::Span span("disabled", "test");
+      span.arg("k", std::uint64_t{1});
+    }
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+        << "tracing-disabled simulation must not allocate";
   }
-  g_count_allocs.store(false, std::memory_order_relaxed);
-  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
-      << "tracing-disabled simulation must not allocate";
 #endif
 }
 

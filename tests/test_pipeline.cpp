@@ -399,6 +399,49 @@ TEST(Service, SimVisibleVariantsAreNeverDeduped) {
   EXPECT_NE(outcomes[0].cycles, outcomes[1].cycles);
 }
 
+TEST(Service, ResultCacheNeverAnswersAcrossExecutionTiers) {
+  // Tiers are differentially proven bit-identical, but the cache must
+  // not rely on that: a cached outcome may only answer for the tier
+  // that produced it, so a tier divergence can never hide behind a
+  // result-cache hit. Both the persisted-result context and the
+  // in-batch sim-dedup digest fold the tier.
+  const std::string dir = scratch_dir("tier_keying");
+  ProcessorConfig cfg;
+
+  Options threaded;
+  threaded.store_dir = dir;
+  threaded.sim.exec_tier = ExecTier::Threaded;
+  std::vector<RunOutcome> first;
+  {
+    Service service(threaded);
+    first = service.run_batch({kProg}, {cfg});
+    ASSERT_TRUE(first[0].ok) << first[0].error;
+    EXPECT_EQ(service.stats().simulations, 1u);
+  }
+
+  Options decode = threaded;
+  decode.sim.exec_tier = ExecTier::Decode;
+  {
+    Service service(decode);
+    const auto outcomes = service.run_batch({kProg}, {cfg});
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[0].from_result_cache);
+    EXPECT_EQ(service.stats().simulations, 1u);
+    // The oracle contract still holds: identical observable outcome.
+    EXPECT_EQ(outcomes[0].cycles, first[0].cycles);
+    EXPECT_EQ(outcomes[0].output_hash, first[0].output_hash);
+    EXPECT_EQ(outcomes[0].ret, first[0].ret);
+  }
+
+  // Same tier again: now the persisted result answers.
+  Service warm(threaded);
+  const auto warm_outcomes = warm.run_batch({kProg}, {cfg});
+  ASSERT_TRUE(warm_outcomes[0].ok) << warm_outcomes[0].error;
+  EXPECT_TRUE(warm_outcomes[0].from_result_cache);
+  EXPECT_EQ(warm.stats().simulations, 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Explore, SweepBatchSharesCompilesAcrossSourcesAndMatchesRunSweep) {
   explore::SweepSpec spec;
   for (unsigned stages = 2; stages <= 4; ++stages) {

@@ -1,11 +1,17 @@
-// Differential validation of the pre-decoded simulator fast path
-// (sim/decode.hpp) against the interpretive decode-every-cycle path:
-// for the same program and SimOptions the two must produce bit-identical
-// SimStats (cycles and every stall counter, the bundle-width histogram),
-// the same OUT stream, the same final architectural state (registers,
-// pc, memory image) and the same fault messages — across compiled
+// Three-way differential validation of the simulator's execution tiers
+// (docs/SIM.md "Execution tiers"): the interpretive decode-every-cycle
+// reference, the pre-decoded fast path (sim/decode.hpp) and the
+// block-level threaded-code tier (sim/threaded.hpp). For the same
+// program and SimOptions all tiers must produce bit-identical SimStats
+// (cycles and every stall counter, the bundle-width histogram), the
+// same OUT stream, the same final architectural state (registers, pc,
+// memory image) and the same fault messages — across compiled
 // workloads on a codegen x simulation-only configuration grid, across
-// the fuzz corpus of random programs, and across the error paths.
+// the fuzz corpus of random programs, and across the error paths. The
+// threaded tier runs twice: with the default promotion threshold
+// (blocks compile mid-run) and with threshold 1 (everything compiles
+// on first touch), so both the cold decode-tier path and the compiled
+// blocks are exercised on every comparison.
 #include <gtest/gtest.h>
 
 #include "driver/driver.hpp"
@@ -36,20 +42,27 @@ struct Observed {
 };
 
 Observed observe(const Program& program, const CustomOpTable& custom,
-                 SimOptions options, bool decode_cache) {
-  options.use_decode_cache = decode_cache;
+                 SimOptions options, ExecTier tier,
+                 unsigned hot_threshold = 8) {
+  options.exec_tier = tier;
+  options.threaded_hot_threshold = hot_threshold;
   EpicSimulator sim(program, custom, options);
   Observed o;
   try {
     sim.run();
-    // The decode cache must survive reset(): run the program again and
-    // keep the second run's results (they must equal the first's — the
-    // interpretive side establishes that independently).
+    // Decode cache and threaded blocks must survive reset(): run the
+    // program again and keep the second run's results (they must equal
+    // the first's — the interpretive side establishes that
+    // independently).
     sim.reset();
     sim.run();
   } catch (const SimError& e) {
     o.error = e.what();
   }
+  // The run-level marker reports the tier that executed (no timeline is
+  // attached here, so Threaded is never pinned).
+  EXPECT_EQ(sim.stats().exec_tier, tier);
+  EXPECT_FALSE(sim.stats().timeline_pinned);
   o.halted = sim.halted();
   o.stats = sim.stats();
   o.output = sim.output();
@@ -68,24 +81,36 @@ Observed observe(const Program& program, const CustomOpTable& custom,
   return o;
 }
 
+void expect_matches(const Observed& got, const Observed& want,
+                    const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(got.error, want.error);
+  EXPECT_EQ(got.halted, want.halted);
+  EXPECT_EQ(got.stats, want.stats)
+      << "cycles " << got.stats.cycles << " vs " << want.stats.cycles
+      << ", scoreboard " << got.stats.stall_scoreboard << " vs "
+      << want.stats.stall_scoreboard << ", ports "
+      << got.stats.stall_reg_ports << " vs " << want.stats.stall_reg_ports;
+  EXPECT_EQ(got.output, want.output);
+  EXPECT_EQ(got.pc, want.pc);
+  EXPECT_EQ(got.gprs, want.gprs);
+  EXPECT_EQ(got.preds, want.preds);
+  EXPECT_EQ(got.btrs, want.btrs);
+  EXPECT_EQ(got.memory == want.memory, true) << "final memory images differ";
+  EXPECT_EQ(got.trace, want.trace);
+}
+
 void expect_identical(const Program& program, const CustomOpTable& custom,
                       const SimOptions& options) {
-  const Observed fast = observe(program, custom, options, true);
-  const Observed slow = observe(program, custom, options, false);
-  EXPECT_EQ(fast.error, slow.error);
-  EXPECT_EQ(fast.halted, slow.halted);
-  EXPECT_EQ(fast.stats, slow.stats)
-      << "cycles " << fast.stats.cycles << " vs " << slow.stats.cycles
-      << ", scoreboard " << fast.stats.stall_scoreboard << " vs "
-      << slow.stats.stall_scoreboard << ", ports "
-      << fast.stats.stall_reg_ports << " vs " << slow.stats.stall_reg_ports;
-  EXPECT_EQ(fast.output, slow.output);
-  EXPECT_EQ(fast.pc, slow.pc);
-  EXPECT_EQ(fast.gprs, slow.gprs);
-  EXPECT_EQ(fast.preds, slow.preds);
-  EXPECT_EQ(fast.btrs, slow.btrs);
-  EXPECT_EQ(fast.memory == slow.memory, true) << "final memory images differ";
-  EXPECT_EQ(fast.trace, slow.trace);
+  const Observed interp = observe(program, custom, options, ExecTier::Interp);
+  expect_matches(observe(program, custom, options, ExecTier::Decode), interp,
+                 "decode vs interp");
+  expect_matches(observe(program, custom, options, ExecTier::Threaded),
+                 interp, "threaded(hot=8) vs interp");
+  expect_matches(
+      observe(program, custom, options, ExecTier::Threaded,
+              /*hot_threshold=*/1),
+      interp, "threaded(hot=1, all blocks compiled) vs interp");
 }
 
 // ---- compiled workloads across the configuration grid ----------------
@@ -112,7 +137,8 @@ TEST(SimFastPath, WorkloadAcrossCodegenAndSimGrid) {
             program.config.pipeline_stages = stages;
             program.config.unified_memory_contention = contention;
             expect_identical(program, {}, SimOptions{});
-            // And the fast path still computes the right answer.
+            // And the default (threaded) tier still computes the right
+            // answer.
             EpicSimulator sim(program);
             sim.run();
             EXPECT_EQ(sim.output(), w.expected_output);
@@ -176,9 +202,10 @@ TEST(SimFastPath, FuzzProgramsMatchAcrossTheConfigGrid) {
 
 TEST(SimFastPath, UnsupportedOpFaultsIdenticallyOnFirstTouch) {
   // Build a DIV under a config that has it, then trim the feature
-  // post-build (the assembler would reject it otherwise). Both paths
+  // post-build (the assembler would reject it otherwise). All tiers
   // must fault with the same message — and only when the op is reached,
-  // not at construction.
+  // not at construction (the threaded tier routes such bundles to its
+  // per-bundle fallback).
   ProcessorConfig cfg;
   Program p = make_program(
       cfg, {{mov(1, I(6))},
@@ -186,10 +213,12 @@ TEST(SimFastPath, UnsupportedOpFaultsIdenticallyOnFirstTouch) {
             {halt()}});
   p.config.alu.has_div = false;
   expect_identical(p, {}, SimOptions{});
-  const Observed fast = observe(p, {}, SimOptions{}, true);
-  EXPECT_NE(fast.error.find("`div` not implemented on this customisation"),
-            std::string::npos)
-      << fast.error;
+  const Observed threaded =
+      observe(p, {}, SimOptions{}, ExecTier::Threaded, /*hot_threshold=*/1);
+  EXPECT_NE(
+      threaded.error.find("`div` not implemented on this customisation"),
+      std::string::npos)
+      << threaded.error;
 
   // A never-executed unsupported op must not fault at all.
   Program skip = make_program(
@@ -199,7 +228,9 @@ TEST(SimFastPath, UnsupportedOpFaultsIdenticallyOnFirstTouch) {
             {halt()}});
   skip.config.alu.has_div = false;
   expect_identical(skip, {}, SimOptions{});
-  EXPECT_TRUE(observe(skip, {}, SimOptions{}, true).error.empty());
+  EXPECT_TRUE(observe(skip, {}, SimOptions{}, ExecTier::Threaded,
+                      /*hot_threshold=*/1)
+                  .error.empty());
 }
 
 TEST(SimFastPath, CycleLimitFaultsIdenticallyAndNamesTheBundle) {
@@ -208,54 +239,58 @@ TEST(SimFastPath, CycleLimitFaultsIdenticallyAndNamesTheBundle) {
   const Program loop = make_program(ProcessorConfig{},
                                     {{pbr(1, 0)}, {bru(1)}, {halt()}});
   expect_identical(loop, {}, options);
-  const Observed fast = observe(loop, {}, options, true);
-  EXPECT_NE(fast.error.find("cycle limit exceeded (100 cycles)"),
+  const Observed threaded =
+      observe(loop, {}, options, ExecTier::Threaded, /*hot_threshold=*/1);
+  EXPECT_NE(threaded.error.find("cycle limit exceeded (100 cycles)"),
             std::string::npos)
-      << fast.error;
-  EXPECT_NE(fast.error.find("at bundle"), std::string::npos) << fast.error;
+      << threaded.error;
+  EXPECT_NE(threaded.error.find("at bundle"), std::string::npos)
+      << threaded.error;
 }
 
 TEST(SimFastPath, BranchPastEndFaultsIdentically) {
   const Program p = make_program(ProcessorConfig{},
                                  {{pbr(1, 9)}, {bru(1)}, {halt()}});
   expect_identical(p, {}, SimOptions{});
-  const Observed fast = observe(p, {}, SimOptions{}, true);
-  EXPECT_NE(fast.error.find("branch to bundle 9 past end of program"),
+  const Observed threaded =
+      observe(p, {}, SimOptions{}, ExecTier::Threaded, /*hot_threshold=*/1);
+  EXPECT_NE(threaded.error.find("branch to bundle 9 past end of program"),
             std::string::npos)
-      << fast.error;
+      << threaded.error;
 }
 
 TEST(SimFastPath, PcPastEndFaultsIdentically) {
   // No HALT: execution runs off the end of the program.
   const Program p = make_program(ProcessorConfig{}, {{mov(1, I(1))}});
   expect_identical(p, {}, SimOptions{});
-  const Observed fast = observe(p, {}, SimOptions{}, true);
-  EXPECT_NE(fast.error.find("past end of program"), std::string::npos)
-      << fast.error;
+  const Observed threaded =
+      observe(p, {}, SimOptions{}, ExecTier::Threaded, /*hot_threshold=*/1);
+  EXPECT_NE(threaded.error.find("past end of program"), std::string::npos)
+      << threaded.error;
 }
 
 TEST(SimFastPath, OutOfRangeRegisterFallsBackToInterpretivePath) {
   // make_program does not validate register indices; the interpretive
   // path faults on the CEPIC_CHECK at execute time. The decoder flags
-  // such bundles use_legacy, so both settings run the same code and the
-  // fault behaviour (a thrown Error, not silence) is preserved.
+  // such bundles use_legacy, every tier runs them through the
+  // interpretive path, and the fault behaviour (a thrown Error, not
+  // silence) is preserved.
   ProcessorConfig cfg;
   cfg.num_gprs = 16;
   const Program p = make_program(cfg, {{mov(40, I(1))}, {halt()}});
-  EXPECT_THROW(
-      {
-        EpicSimulator sim(p);
-        sim.run();
-      },
-      std::exception);
-  SimOptions interp;
-  interp.use_decode_cache = false;
-  EXPECT_THROW(
-      {
-        EpicSimulator sim(p, {}, interp);
-        sim.run();
-      },
-      std::exception);
+  for (const ExecTier tier :
+       {ExecTier::Interp, ExecTier::Decode, ExecTier::Threaded}) {
+    SCOPED_TRACE(to_string(tier));
+    SimOptions options;
+    options.exec_tier = tier;
+    options.threaded_hot_threshold = 1;
+    EXPECT_THROW(
+        {
+          EpicSimulator sim(p, {}, options);
+          sim.run();
+        },
+        std::exception);
+  }
 }
 
 TEST(SimFastPath, StatsEqualityOperatorSeesEveryCounter) {
@@ -267,6 +302,12 @@ TEST(SimFastPath, StatsEqualityOperatorSeesEveryCounter) {
   b = a;
   b.bundle_width_hist[3] = 1;
   EXPECT_FALSE(a == b);
+  // The tier markers record which tier ran — the one thing the tiers
+  // legitimately disagree on — so equality must ignore them.
+  b = a;
+  b.exec_tier = ExecTier::Threaded;
+  b.timeline_pinned = true;
+  EXPECT_TRUE(a == b);
 }
 
 }  // namespace

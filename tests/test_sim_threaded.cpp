@@ -1,0 +1,204 @@
+// Unit tests for the threaded-code execution tier's machinery itself —
+// promotion thresholds, per-bundle fallback, block reuse across
+// reset(), fault text, determinism — complementing the three-way
+// differential suite (tests/test_sim_fastpath.cpp), which proves the
+// tier's *results* bit-identical to the other tiers. Telemetry
+// counters (ThreadedCache::block_entries / fallback_bundles /
+// cold_steps) are observability-only: nothing here asserts an exact
+// instruction-path count that an optimisation would legitimately
+// change, only the structural facts the tier's contract promises.
+#include <gtest/gtest.h>
+
+#include "core/memory.hpp"
+#include "core/program.hpp"
+#include "sim/simulator.hpp"
+#include "support/text.hpp"
+#include "test_util.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+/// A counted loop; bundle 1 heads the hot region, so it is the
+/// promotion candidate. The cmpp reads the pre-increment r1 (MultiOp
+/// reads happen before writes), so the body executes iters + 1 times:
+/// one OUT per pass, final r1 == iters + 1.
+Program counted_loop(unsigned iters) {
+  return make_program(
+      ProcessorConfig{},
+      {{mov(1, I(0)), mov(2, I(static_cast<std::int32_t>(iters))), pbr(1, 1)},
+       {add(1, R(1), I(1)), cmpp(Op::CMPP_LT, 1, 2, R(1), R(2))},
+       {brct(1, 1), out(R(1))},
+       {halt()}});
+}
+
+SimOptions threaded_options(unsigned hot_threshold) {
+  SimOptions options;
+  options.exec_tier = ExecTier::Threaded;
+  options.threaded_hot_threshold = hot_threshold;
+  return options;
+}
+
+TEST(SimThreaded, PromotionWaitsForTheHotThreshold) {
+  const Program p = counted_loop(20);
+  EpicSimulator sim(p, {}, threaded_options(8));
+  sim.run();
+  ASSERT_TRUE(sim.halted());
+  const ThreadedCache& tc = sim.threaded_cache();
+  ASSERT_TRUE(tc.enabled());
+  // The loop head reached the threshold and compiled exactly one block;
+  // the straight-line prologue (one arrival per run) never did.
+  ASSERT_EQ(tc.blocks.size(), 1u);
+  EXPECT_EQ(tc.blocks[0].entry_pc, 1u);
+  EXPECT_EQ(tc.hot[1], 8u);  // stops counting once the block exists
+  EXPECT_LT(tc.hot[0], 8u);
+  EXPECT_GT(tc.cold_steps, 0u);   // pre-promotion decode-tier steps
+  EXPECT_GT(tc.block_entries, 0u);
+  // 21 passes of OUT either way (see counted_loop).
+  EXPECT_EQ(sim.output().size(), 21u);
+}
+
+TEST(SimThreaded, ThresholdOneCompilesOnFirstTouch) {
+  const Program p = counted_loop(20);
+  EpicSimulator sim(p, {}, threaded_options(1));
+  sim.run();
+  ASSERT_TRUE(sim.halted());
+  const ThreadedCache& tc = sim.threaded_cache();
+  EXPECT_EQ(tc.cold_steps, 0u);
+  EXPECT_GE(tc.blocks.size(), 1u);
+  EXPECT_GT(tc.block_entries, 0u);
+}
+
+TEST(SimThreaded, ThresholdAboveArrivalCountNeverPromotes) {
+  const Program p = counted_loop(20);
+  EpicSimulator sim(p, {}, threaded_options(1000));
+  sim.run();
+  ASSERT_TRUE(sim.halted());
+  const ThreadedCache& tc = sim.threaded_cache();
+  EXPECT_TRUE(tc.blocks.empty());
+  EXPECT_EQ(tc.block_entries, 0u);
+  EXPECT_GT(tc.cold_steps, 0u);
+  // The tier still computes the right answer on the decode path.
+  EXPECT_EQ(sim.output().size(), 21u);
+  EXPECT_EQ(sim.gpr(1), 21u);
+}
+
+TEST(SimThreaded, CustomOpBundlesFallBackPerBundleWithIdenticalResults) {
+  // Custom-op semantics are user callbacks (they may throw), so the
+  // lowering routes such bundles to the per-bundle fallback; the rest
+  // of the loop still runs as compiled micro-ops.
+  ProcessorConfig cfg;
+  cfg.custom_ops = {"popc"};
+  const Program p = make_program(
+      cfg,
+      {{mov(1, I(0)), mov(2, I(16)), mov(3, I(0)), pbr(1, 1)},
+       {add(1, R(1), I(1)), op3(Op::CUSTOM0, 3, R(1), R(3))},
+       {cmpp(Op::CMPP_LT, 1, 2, R(1), R(2))},
+       {brct(1, 1)},
+       {halt()}});
+  const CustomOpTable custom = CustomOpTable::for_names(cfg.custom_ops);
+
+  EpicSimulator threaded(p, custom, threaded_options(1));
+  threaded.run();
+  ASSERT_TRUE(threaded.halted());
+  EXPECT_GT(threaded.threaded_cache().fallback_bundles, 0u);
+  EXPECT_GT(threaded.threaded_cache().block_entries, 0u);
+
+  SimOptions decode_options;
+  decode_options.exec_tier = ExecTier::Decode;
+  EpicSimulator decode(p, custom, decode_options);
+  decode.run();
+  EXPECT_EQ(threaded.stats(), decode.stats());
+  EXPECT_EQ(threaded.output(), decode.output());
+  for (unsigned i = 0; i < p.config.num_gprs; ++i) {
+    EXPECT_EQ(threaded.gpr(i), decode.gpr(i)) << "gpr " << i;
+  }
+}
+
+TEST(SimThreaded, BlocksSurviveResetAndAreReusedDeterministically) {
+  // Blocks are pure functions of the (immutable) program + options,
+  // exactly like the decode cache: reset() must not drop them, repeat
+  // runs must reuse (not recompile) them, and the results must be
+  // bit-identical run over run.
+  const Program p = counted_loop(50);
+  EpicSimulator sim(p, {}, threaded_options(4));
+  sim.run();
+  const SimStats first = sim.stats();
+  const auto first_output = sim.output();
+  const std::size_t compiled = sim.threaded_cache().blocks.size();
+  const std::uint64_t entries = sim.threaded_cache().block_entries;
+  const std::int32_t head_block = sim.threaded_cache().block_at[1];
+  ASSERT_GT(compiled, 0u);
+  ASSERT_GE(head_block, 0);
+
+  for (int run = 0; run < 3; ++run) {
+    sim.reset();
+    sim.run();
+    EXPECT_EQ(sim.stats(), first) << "run " << run;
+    EXPECT_EQ(sim.output(), first_output) << "run " << run;
+    // The loop-head block is reused, never dropped or recompiled. (The
+    // promotion profile also survives, so later runs may promote
+    // *additional* entry pcs — the count can grow, never shrink.)
+    EXPECT_EQ(sim.threaded_cache().block_at[1], head_block)
+        << "run " << run;
+    EXPECT_GE(sim.threaded_cache().blocks.size(), compiled)
+        << "run " << run;
+  }
+  // ...and the later runs entered the already-compiled blocks.
+  EXPECT_GT(sim.threaded_cache().block_entries, entries);
+}
+
+TEST(SimThreaded, CycleLimitFaultNamesTheBundle) {
+  // Blocks elide the per-bundle cycle-limit check; near the limit
+  // execution must single-step the decode tier so the fault text (with
+  // the faulting bundle pc) is exact.
+  SimOptions options = threaded_options(1);
+  options.max_cycles = 100;
+  const Program loop =
+      make_program(ProcessorConfig{}, {{pbr(1, 1)}, {bru(1)}, {halt()}});
+  EpicSimulator sim(loop, {}, options);
+  try {
+    sim.run();
+    FAIL() << "expected the cycle-limit fault";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle limit exceeded (100 cycles)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("at bundle 1"), std::string::npos) << what;
+  }
+  // Statistics at the fault match the decode tier's exactly (the last
+  // successful bundle's branch bubbles may legally sit past the limit;
+  // what matters is that both tiers stop at the same point).
+  SimOptions decode_options = options;
+  decode_options.exec_tier = ExecTier::Decode;
+  EpicSimulator decode(loop, {}, decode_options);
+  EXPECT_THROW(decode.run(), SimError);
+  EXPECT_EQ(sim.stats(), decode.stats());
+}
+
+TEST(SimThreaded, DirtyPageResetZeroesExactlyWhatWasWritten) {
+  // The threaded tier's probed direct stores (and everything else)
+  // must leave DataMemory::reset() with a complete dirty map: memory
+  // written through any accessor — checked stores, image loads, the
+  // raw() escape hatch — reads back zero after reset().
+  DataMemory mem(1u << 20);
+  mem.write_word(kDataBase, 0xdeadbeefu);
+  mem.write_byte(kDataBase + 4097, 0x5a);     // second page
+  mem.raw()[(1u << 20) - 1] = 0x77;           // raw() poke, last page
+  const std::vector<std::uint8_t> image{1, 2, 3, 4};
+  mem.load_image(kDataBase + 64, image);
+  mem.reset();
+  for (std::size_t a = 0; a < mem.size(); ++a) {
+    ASSERT_EQ(mem.raw()[a], 0u) << "address " << a;
+  }
+  // And reset() is repeatable: a fresh write after reset is tracked.
+  mem.write_word(kDataBase + 8192, 42);
+  EXPECT_EQ(mem.read_word(kDataBase + 8192), 42u);
+  mem.reset();
+  EXPECT_EQ(mem.read_word(kDataBase + 8192), 0u);
+}
+
+}  // namespace
+}  // namespace cepic

@@ -227,14 +227,14 @@ TEST(SimTiming, ScoreboardCoversBtrs) {
 }
 
 // ---- §3.2 port-budget fixed-point corners. Each case also runs the
-// interpretive path (use_decode_cache=false) and pins the two stats
-// reports equal, so the corner is exercised on both implementations. --
+// interpretive path (ExecTier::Interp) and pins the two stats reports
+// equal, so the corner is exercised on both implementations. --
 
 SimStats interpretive_stats(
     std::initializer_list<std::vector<Instruction>> bundles,
     const ProcessorConfig& cfg) {
   SimOptions options;
-  options.use_decode_cache = false;
+  options.exec_tier = ExecTier::Interp;
   EpicSimulator sim(make_program(cfg, bundles), {}, options);
   sim.run();
   return sim.stats();

@@ -18,10 +18,7 @@ int main(int argc, char** argv) {
                &options.collect_trace);
     table.uint64_positive("--max-cycles", "N", "simulation cycle budget",
                           &options.max_cycles);
-    bool no_decode_cache = false;
-    table.flag("--no-decode-cache",
-               "use the interpretive decode-every-cycle simulator path",
-               &no_decode_cache);
+    tools::add_exec_tier_option(table, &options.exec_tier);
     std::string timeline_out;
     std::uint64_t timeline_limit = 1'000'000;
     table.str("--timeline-out", "FILE",
@@ -36,7 +33,6 @@ int main(int argc, char** argv) {
     std::vector<std::string> positionals;
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.size() != 1) return table.usage();
-    options.use_decode_cache = !no_decode_cache;
     tools::obs_begin(obs_opts);
 
     EpicSimulator sim(

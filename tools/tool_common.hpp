@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
+#include "sim/stats.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -216,6 +217,24 @@ inline void add_cache_options(OptionTable& table, std::string* store_dir,
 inline void add_jobs_option(OptionTable& table, unsigned* jobs) {
   table.uint("--jobs", "N", "worker threads; 0 = all hardware threads",
              jobs);
+}
+
+/// `--exec-tier TIER` — simulator execution tier (docs/SIM.md
+/// "Execution tiers"). Spellings match to_string(ExecTier).
+inline void add_exec_tier_option(OptionTable& table, ExecTier* tier) {
+  table.value("--exec-tier", "TIER",
+              "simulator tier: threaded (default), decode or interp",
+              [tier](const std::string& v) {
+                if (v == "interp") {
+                  *tier = ExecTier::Interp;
+                } else if (v == "decode") {
+                  *tier = ExecTier::Decode;
+                } else if (v == "threaded") {
+                  *tier = ExecTier::Threaded;
+                } else {
+                  throw Error("--exec-tier needs interp, decode or threaded");
+                }
+              });
 }
 
 // --- observability ----------------------------------------------------
