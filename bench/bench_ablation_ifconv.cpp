@@ -17,15 +17,15 @@ int main(int argc, char** argv) {
             {"cycles (on)", "cycles (off)", "speedup", "branches on/off"});
 
   for (const auto& w : workloads) {
-    driver::EpicCompileOptions on;
-    driver::EpicCompileOptions off;
+    pipeline::CodegenOptions on;
+    pipeline::CodegenOptions off;
     off.opt.if_convert = false;
 
     EpicSimulator sim_on =
-        driver::run_minic_on_epic(w.minic_source, ProcessorConfig{}, on,
+        pipeline::run_once(w.minic_source, ProcessorConfig{}, on,
                                   big_sim());
     EpicSimulator sim_off =
-        driver::run_minic_on_epic(w.minic_source, ProcessorConfig{}, off,
+        pipeline::run_once(w.minic_source, ProcessorConfig{}, off,
                                   big_sim());
     const auto br = [](const EpicSimulator& s) {
       return s.stats().branches_taken + s.stats().branches_not_taken;

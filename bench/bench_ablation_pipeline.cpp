@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       cfg.pipeline_stages = stages;
       const auto area = fpga::estimate(cfg);
       EpicSimulator sim =
-          driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+          pipeline::run_once(w.minic_source, cfg, {}, big_sim());
       if (sim.output() != w.expected_output) {
         std::cout << "!! output mismatch\n";
         continue;

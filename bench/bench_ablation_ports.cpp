@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
     cfg.reg_port_budget = budget;
     cfg.forwarding = fwd;
     EpicSimulator a =
-        driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+        pipeline::run_once(w.minic_source, cfg, {}, big_sim());
     EpicSimulator b =
-        driver::run_minic_on_epic(w2.minic_source, cfg, {}, big_sim());
+        pipeline::run_once(w2.minic_source, cfg, {}, big_sim());
     print_row(name,
               {cat(a.stats().cycles), cat(a.stats().stall_reg_ports),
                cat(b.stats().cycles), cat(b.stats().stall_reg_ports)},
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     ProcessorConfig cfg;
     cfg.unified_memory_contention = contention;
     EpicSimulator a =
-        driver::run_minic_on_epic(w.minic_source, cfg, {}, big_sim());
+        pipeline::run_once(w.minic_source, cfg, {}, big_sim());
     std::cout << pad_right(contention ? "shared banks" : "separate data port",
                            26)
               << pad_left(cat(a.stats().cycles), 12) << "  (mem stalls "

@@ -4,8 +4,10 @@
 // simulators.
 #include <benchmark/benchmark.h>
 
+#include "serial/serial.hpp"
 #include "asmtool/assembler.hpp"
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "opt/opt.hpp"
@@ -53,7 +55,7 @@ BENCHMARK(BM_EpicBackend);
 void BM_Assembler(benchmark::State& state) {
   const auto& w = dct_workload();
   const auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   std::uint64_t ops = 0;
   for (auto _ : state) {
     const Program p = asmtool::assemble(compiled.asm_text, ProcessorConfig{});
@@ -68,10 +70,10 @@ BENCHMARK(BM_Assembler);
 void BM_BinaryRoundtrip(benchmark::State& state) {
   const auto& w = dct_workload();
   const auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        Program::deserialize(compiled.program.serialize()));
+        serial::decode_program(serial::encode_program(compiled.program)));
   }
 }
 BENCHMARK(BM_BinaryRoundtrip);
@@ -81,7 +83,7 @@ BENCHMARK(BM_BinaryRoundtrip);
 void BM_EpicSimulator(benchmark::State& state) {
   const auto& w = dct_workload();
   auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   EpicSimulator sim(compiled.program);
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -99,7 +101,7 @@ BENCHMARK(BM_EpicSimulator);
 void BM_EpicSimulatorDecode(benchmark::State& state) {
   const auto& w = dct_workload();
   auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   SimOptions options;
   options.exec_tier = ExecTier::Decode;
   EpicSimulator sim(compiled.program, {}, options);
@@ -119,7 +121,7 @@ BENCHMARK(BM_EpicSimulatorDecode);
 void BM_EpicSimulatorLegacy(benchmark::State& state) {
   const auto& w = dct_workload();
   auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   SimOptions options;
   options.exec_tier = ExecTier::Interp;
   EpicSimulator sim(compiled.program, {}, options);
@@ -136,7 +138,7 @@ BENCHMARK(BM_EpicSimulatorLegacy);
 
 void BM_SarmSimulator(benchmark::State& state) {
   const auto& w = dct_workload();
-  auto program = driver::compile_minic_to_sarm(w.minic_source);
+  auto program = sarm::compile_minic_to_sarm(w.minic_source);
   sarm::SarmSimulator sim(program);
   std::uint64_t cycles = 0;
   for (auto _ : state) {

@@ -10,7 +10,8 @@
 #include <string>
 #include <vector>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 #include "workloads/workloads.hpp"
@@ -72,9 +73,9 @@ inline SimOptions big_sim() {
 
 inline RunResult run_epic(const workloads::Workload& w,
                           const ProcessorConfig& cfg,
-                          const driver::EpicCompileOptions& options = {}) {
+                          const pipeline::CodegenOptions& options = {}) {
   EpicSimulator sim =
-      driver::run_minic_on_epic(w.minic_source, cfg, options, big_sim());
+      pipeline::run_once(w.minic_source, cfg, options, big_sim());
   RunResult r;
   r.cycles = sim.stats().cycles;
   r.output_ok = sim.output() == w.expected_output;
@@ -83,11 +84,11 @@ inline RunResult run_epic(const workloads::Workload& w,
 }
 
 inline RunResult run_sarm(const workloads::Workload& w,
-                          const driver::SarmCompileOptions& options = {}) {
+                          const sarm::SarmCompileOptions& options = {}) {
   sarm::SarmOptionsSim so;
   so.max_cycles = 8'000'000'000ull;
   sarm::SarmSimulator sim =
-      driver::run_minic_on_sarm(w.minic_source, options, so);
+      sarm::run_minic_on_sarm(w.minic_source, options, so);
   RunResult r;
   r.cycles = sim.stats().cycles;
   r.output_ok = sim.output() == w.expected_output;

@@ -7,6 +7,7 @@
 //   $ ./build/examples/asm_tour
 #include <iostream>
 
+#include "serial/serial.hpp"
 #include "asmtool/assembler.hpp"
 #include "sim/simulator.hpp"
 #include "support/text.hpp"
@@ -78,8 +79,8 @@ int main() {
             << "\n";
 
   std::cout << "\n--- CEPX binary container ---\n";
-  const std::vector<std::uint8_t> bytes = wide.serialize();
-  const Program loaded = Program::deserialize(bytes);
+  const std::vector<std::uint8_t> bytes = serial::encode_program(wide);
+  const Program loaded = serial::decode_program(bytes);
   std::cout << "serialised " << bytes.size() << " bytes; reload matches: "
             << (loaded.encode_code() == wide.encode_code() ? "yes" : "NO")
             << "\n";

@@ -10,7 +10,7 @@
 //   $ ./build/examples/design_space
 #include <iostream>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "fpga/model.hpp"
 #include "support/text.hpp"
 #include "workloads/workloads.hpp"
@@ -48,7 +48,7 @@ int main() {
 
   for (const Point& p : points) {
     const ProcessorConfig& cfg = p.config;
-    EpicSimulator sim = driver::run_minic_on_epic(w.minic_source, cfg);
+    EpicSimulator sim = pipeline::run_once(w.minic_source, cfg);
     if (sim.output() != w.expected_output) {
       std::cout << "!! output mismatch\n";
       continue;

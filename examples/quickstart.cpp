@@ -5,7 +5,7 @@
 //   $ ./build/examples/quickstart
 #include <iostream>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "support/text.hpp"
 
 int main() {
@@ -37,8 +37,8 @@ int main() {
   config.issue_width = 2;
 
   // Compile: MiniC -> IR -> optimiser -> EPIC backend -> assembler.
-  const driver::EpicCompileResult compiled =
-      driver::compile_minic_to_epic(source, config);
+  const pipeline::CompileArtifacts compiled =
+      pipeline::compile_once(source, config);
 
   std::cout << "--- generated assembly (first 24 lines) ---\n";
   int shown = 0;

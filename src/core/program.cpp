@@ -1,9 +1,7 @@
 #include "core/program.hpp"
 
 #include "core/encoding.hpp"
-#include "support/bits.hpp"
 #include "support/error.hpp"
-#include "support/text.hpp"
 
 namespace cepic {
 
@@ -29,141 +27,6 @@ std::vector<std::uint64_t> Program::encode_code() const {
     words.push_back(encode_instruction(inst, config));
   }
   return words;
-}
-
-namespace {
-
-// Minimal big-endian byte writer/reader for the CEPX container.
-class Writer {
-public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int shift = 24; shift >= 0; shift -= 8) {
-      bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
-    }
-  }
-  void u64(std::uint64_t v) {
-    for (int shift = 56; shift >= 0; shift -= 8) {
-      bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
-    }
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
-  }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
-private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-class Reader {
-public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return bytes_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v = (v << 8) | bytes_[pos_++];
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes_[pos_++];
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-  bool done() const { return pos_ == bytes_.size(); }
-
-private:
-  void need(std::size_t n) {
-    if (pos_ + n > bytes_.size()) {
-      throw Error("CEPX container truncated");
-    }
-  }
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-};
-
-constexpr std::uint32_t kMagic = 0x43455058;  // "CEPX"
-constexpr std::uint32_t kVersion = 1;
-
-}  // namespace
-
-std::vector<std::uint8_t> Program::serialize() const {
-  Writer w;
-  w.u32(kMagic);
-  w.u32(kVersion);
-  w.str(config.to_text());
-  w.u32(entry_bundle);
-
-  const std::vector<std::uint64_t> words = encode_code();
-  w.u32(static_cast<std::uint32_t>(words.size()));
-  for (std::uint64_t word : words) w.u64(word);
-
-  w.u32(static_cast<std::uint32_t>(data.size()));
-  for (std::uint8_t b : data) w.u8(b);
-
-  w.u32(static_cast<std::uint32_t>(code_symbols.size()));
-  for (const auto& [name, addr] : code_symbols) {
-    w.str(name);
-    w.u32(addr);
-  }
-  w.u32(static_cast<std::uint32_t>(data_symbols.size()));
-  for (const auto& [name, addr] : data_symbols) {
-    w.str(name);
-    w.u32(addr);
-  }
-  return w.take();
-}
-
-Program Program::deserialize(std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
-  if (r.u32() != kMagic) throw Error("not a CEPX binary (bad magic)");
-  if (const std::uint32_t v = r.u32(); v != kVersion) {
-    throw Error(cat("unsupported CEPX version ", v));
-  }
-
-  Program p;
-  p.config = ProcessorConfig::from_text(r.str());
-  p.entry_bundle = r.u32();
-
-  const std::uint32_t n_code = r.u32();
-  p.code.reserve(n_code);
-  for (std::uint32_t i = 0; i < n_code; ++i) {
-    p.code.push_back(decode_instruction(r.u64(), p.config));
-  }
-  if (p.code.size() % p.config.issue_width != 0) {
-    throw Error("CEPX code is not a whole number of bundles");
-  }
-
-  const std::uint32_t n_data = r.u32();
-  p.data.reserve(n_data);
-  for (std::uint32_t i = 0; i < n_data; ++i) p.data.push_back(r.u8());
-
-  const std::uint32_t n_csym = r.u32();
-  for (std::uint32_t i = 0; i < n_csym; ++i) {
-    const std::string name = r.str();
-    p.code_symbols[name] = r.u32();
-  }
-  const std::uint32_t n_dsym = r.u32();
-  for (std::uint32_t i = 0; i < n_dsym; ++i) {
-    const std::string name = r.str();
-    p.data_symbols[name] = r.u32();
-  }
-  if (!r.done()) throw Error("trailing bytes after CEPX container");
-  return p;
 }
 
 }  // namespace cepic

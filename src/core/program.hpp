@@ -47,13 +47,11 @@ struct Program {
   std::uint32_t append_bundle(std::span<const Instruction> ops);
 
   /// Encode all instructions to raw 64-bit words (validates each).
+  /// Binary persistence lives in serial/serial.hpp
+  /// (serial::encode_program / decode_program — the CEPX container).
   std::vector<std::uint64_t> encode_code() const;
 
-  /// Serialise to the CEPX binary container (big-endian, matching the
-  /// paper's big-endian architecture) and back. Symbols, data image and
-  /// the configuration text are all preserved.
-  std::vector<std::uint8_t> serialize() const;
-  static Program deserialize(std::span<const std::uint8_t> bytes);
+  bool operator==(const Program&) const = default;
 };
 
 }  // namespace cepic

@@ -121,6 +121,8 @@ struct BasicBlock {
                 "block has no terminator");
     return insts.back();
   }
+
+  bool operator==(const BasicBlock&) const = default;
 };
 
 /// A word-array global with optional initialiser (zero-filled tail).
@@ -128,6 +130,8 @@ struct Global {
   std::string name;
   std::uint32_t size_words = 1;
   std::vector<std::uint32_t> init_words;
+
+  bool operator==(const Global&) const = default;
 };
 
 struct Function {
@@ -143,6 +147,8 @@ struct Function {
     blocks.push_back(BasicBlock{std::move(label), {}});
     return static_cast<int>(blocks.size()) - 1;
   }
+
+  bool operator==(const Function&) const = default;
 };
 
 struct Module {
@@ -152,6 +158,8 @@ struct Module {
   Function* find_function(std::string_view name);
   const Function* find_function(std::string_view name) const;
   int global_index(std::string_view name) const;  ///< -1 if absent
+
+  bool operator==(const Module&) const = default;
 };
 
 /// Placement of globals in data memory (shared between the interpreter

@@ -1,0 +1,462 @@
+#include "ir/parse.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::ir {
+
+namespace {
+
+// Line-oriented recursive-descent parser over the printed form. Inside a
+// line, a Cursor consumes the exact tokens the printer emits; it is
+// whitespace-tolerant between tokens so hand-edited IR also parses, but
+// printer output is consumed verbatim.
+class Cursor {
+public:
+  Cursor(std::string_view s, int line) : s_(s), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool try_eat(std::string_view token) {
+    skip_ws();
+    if (s_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void eat(std::string_view token) {
+    if (!try_eat(token)) {
+      fail(cat("expected '", token, "'"));
+    }
+  }
+
+  /// An identifier: [A-Za-z_][A-Za-z0-9_]*.
+  std::string ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected an identifier");
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  /// Everything up to (not including) the next `stop`, verbatim — used
+  /// for block labels, which the frontend mints with dots in them
+  /// ("for.cond") and the printer emits unquoted.
+  std::string until(char stop) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != stop) ++pos_;
+    if (pos_ == s_.size()) fail(cat("expected '", stop, "'"));
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+    std::int64_t v = 0;
+    if (pos_ == start || !parse_int(s_.substr(start, pos_ - start), v)) {
+      fail("expected an integer");
+    }
+    return v;
+  }
+
+  VReg vreg() {
+    eat("%");
+    const std::int64_t v = integer();
+    if (v <= 0 || v > 0xffffffffll) fail(cat("bad vreg %", v));
+    return static_cast<VReg>(v);
+  }
+
+  /// A printed operand: %N, an integer literal, or _ (none).
+  Value value() {
+    skip_ws();
+    if (peek() == '%') return Value::r(vreg());
+    if (try_eat("_")) return Value::none();
+    const std::int64_t v = integer();
+    if (v < std::numeric_limits<std::int32_t>::min() ||
+        v > std::numeric_limits<std::int32_t>::max()) {
+      fail(cat("immediate ", v, " does not fit in 32 bits"));
+    }
+    return Value::i(static_cast<std::int32_t>(v));
+  }
+
+  /// A block reference: .bN.
+  int block_ref() {
+    eat(".b");
+    const std::int64_t v = integer();
+    if (v < 0 || v > 0x7fffffffll) fail(cat("bad block reference .b", v));
+    return static_cast<int>(v);
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw CompileError(cat("IR: ", what), line_,
+                       static_cast<int>(pos_) + 1);
+  }
+
+  std::string_view rest() {
+    skip_ws();
+    return s_.substr(pos_);
+  }
+
+private:
+  std::string_view s_;
+  int line_;
+  std::size_t pos_ = 0;
+};
+
+/// ir_op_name() inverted for the ops printed by name in the generic
+/// `%d = <op> a, b` form (binary ALU and comparisons).
+const std::map<std::string, IrOp, std::less<>>& binary_ops() {
+  static const std::map<std::string, IrOp, std::less<>> ops = [] {
+    std::map<std::string, IrOp, std::less<>> m;
+    for (int i = static_cast<int>(IrOp::Add);
+         i <= static_cast<int>(IrOp::CmpGeU); ++i) {
+      const auto op = static_cast<IrOp>(i);
+      if (op == IrOp::Mov) continue;  // printed as a bare value
+      m.emplace(ir_op_name(op), op);
+    }
+    return m;
+  }();
+  return ops;
+}
+
+class ModuleParser {
+public:
+  explicit ModuleParser(std::string_view text) {
+    std::size_t pos = 0;
+    int line_no = 0;
+    while (pos <= text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::string_view line =
+          text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                         : eol - pos);
+      ++line_no;
+      if (!trim(line).empty()) lines_.emplace_back(line, line_no);
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+  }
+
+  Module run() {
+    while (index_ < lines_.size()) {
+      Cursor c = cursor();
+      if (c.try_eat("global")) {
+        parse_global(c);
+      } else {
+        parse_function(c);
+      }
+    }
+    return std::move(module_);
+  }
+
+private:
+  Cursor cursor() const {
+    const auto& [text, line_no] = lines_[index_];
+    return Cursor(text, line_no);
+  }
+
+  void advance() { ++index_; }
+
+  [[noreturn]] void fail_eof(const std::string& what) const {
+    const int line = lines_.empty() ? 1 : lines_.back().second;
+    throw CompileError(cat("IR: unexpected end of input: ", what), line, 1);
+  }
+
+  void parse_global(Cursor& c) {
+    Global g;
+    c.eat("@");
+    g.name = c.ident();
+    c.eat("[");
+    const std::int64_t size = c.integer();
+    if (size <= 0 || size > 0xffffffffll) {
+      c.fail(cat("bad global size ", size));
+    }
+    g.size_words = static_cast<std::uint32_t>(size);
+    c.eat("]");
+    if (c.try_eat("=")) {
+      c.eat("{");
+      if (!c.try_eat("}")) {
+        do {
+          const std::int64_t v = c.integer();
+          if (v < std::numeric_limits<std::int32_t>::min() ||
+              v > std::numeric_limits<std::int32_t>::max()) {
+            c.fail(cat("initialiser ", v, " does not fit in 32 bits"));
+          }
+          g.init_words.push_back(
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(v)));
+        } while (c.try_eat(","));
+        c.eat("}");
+      }
+    }
+    if (!c.at_end()) c.fail("trailing characters after global");
+    module_.globals.push_back(std::move(g));
+    advance();
+  }
+
+  void parse_function(Cursor& c) {
+    Function fn;
+    if (c.try_eat("int")) {
+      fn.returns_value = true;
+    } else {
+      c.eat("void");
+    }
+    fn.name = c.ident();
+    c.eat("(");
+    if (!c.try_eat(")")) {
+      do {
+        fn.params.push_back(c.vreg());
+      } while (c.try_eat(","));
+      c.eat(")");
+    }
+    c.eat("frame=");
+    const std::int64_t frame = c.integer();
+    if (frame < 0 || frame > 0xffffffffll) {
+      c.fail(cat("bad frame size ", frame));
+    }
+    fn.frame_bytes = static_cast<std::uint32_t>(frame);
+    c.eat("{");
+    if (!c.at_end()) c.fail("trailing characters after function header");
+    advance();
+
+    while (true) {
+      if (index_ >= lines_.size()) fail_eof("function body not closed");
+      Cursor body = cursor();
+      if (body.try_eat("}")) {
+        if (!body.at_end()) body.fail("trailing characters after '}'");
+        advance();
+        break;
+      }
+      if (body.peek() == '.') {
+        parse_block_header(body, fn);
+        continue;
+      }
+      if (fn.blocks.empty()) {
+        body.fail("instruction before the first block header");
+      }
+      fn.blocks.back().insts.push_back(parse_inst(body));
+      if (!body.at_end()) body.fail("trailing characters after instruction");
+      advance();
+    }
+
+    fn.next_vreg = max_vreg_of(fn) + 1;
+    module_.functions.push_back(std::move(fn));
+  }
+
+  void parse_block_header(Cursor& c, Function& fn) {
+    const int index = c.block_ref();
+    if (index != static_cast<int>(fn.blocks.size())) {
+      c.fail(cat("block header .b", index, " out of order (expected .b",
+                 fn.blocks.size(), ")"));
+    }
+    BasicBlock block;
+    if (c.try_eat("(")) {
+      block.label = c.until(')');
+      c.eat(")");
+    }
+    c.eat(":");
+    if (!c.at_end()) c.fail("trailing characters after block header");
+    fn.blocks.push_back(std::move(block));
+    advance();
+  }
+
+  IrInst parse_inst(Cursor& c) {
+    IrInst inst;
+    if (c.try_eat("[")) {
+      inst.guard_negate = c.try_eat("!");
+      inst.guard = c.vreg();
+      c.eat("]");
+    }
+
+    const std::string_view rest = c.rest();
+    if (rest.starts_with("store.")) {
+      inst.op = c.try_eat("store.w") ? IrOp::StoreW
+                                     : (c.eat("store.b"), IrOp::StoreB);
+      c.eat("[");
+      inst.a = c.value();
+      c.eat("+");
+      inst.b = c.value();
+      c.eat("]");
+      c.eat("<-");
+      inst.c = c.value();
+      return inst;
+    }
+    if (rest.starts_with("out")) {
+      c.eat("out");
+      inst.op = IrOp::Out;
+      inst.a = c.value();
+      return inst;
+    }
+    if (rest.starts_with("br")) {
+      c.eat("br");
+      inst.op = IrOp::Br;
+      inst.block_then = c.block_ref();
+      return inst;
+    }
+    if (rest.starts_with("condbr")) {
+      c.eat("condbr");
+      inst.op = IrOp::CondBr;
+      inst.a = c.value();
+      c.eat("?");
+      inst.block_then = c.block_ref();
+      c.eat(":");
+      inst.block_else = c.block_ref();
+      return inst;
+    }
+    if (rest.starts_with("ret")) {
+      c.eat("ret");
+      inst.op = IrOp::Ret;
+      if (!c.at_end()) inst.a = c.value();
+      return inst;
+    }
+    if (rest.starts_with("call")) {
+      parse_call(c, inst);
+      return inst;
+    }
+
+    // Everything else is of the form `%dst = ...`.
+    inst.dst = c.vreg();
+    c.eat("=");
+    const std::string_view rhs = c.rest();
+    if (rhs.starts_with("load.")) {
+      if (c.try_eat("load.w")) {
+        inst.op = IrOp::LoadW;
+      } else if (c.try_eat("load.bu")) {
+        inst.op = IrOp::LoadBU;
+      } else {
+        c.eat("load.b");
+        inst.op = IrOp::LoadB;
+      }
+      c.eat("[");
+      inst.a = c.value();
+      c.eat("+");
+      inst.b = c.value();
+      c.eat("]");
+      return inst;
+    }
+    if (rhs.starts_with("gaddr")) {
+      c.eat("gaddr");
+      c.eat("@");
+      inst.op = IrOp::GlobalAddr;
+      inst.global_index = resolve_global(c, c.ident());
+      return inst;
+    }
+    if (rhs.starts_with("faddr")) {
+      c.eat("faddr");
+      c.eat("+");
+      inst.op = IrOp::FrameAddr;
+      inst.a = c.value();
+      return inst;
+    }
+    if (rhs.starts_with("call")) {
+      parse_call(c, inst);
+      return inst;
+    }
+    // Either `<op> a, b` (binary/compare) or a bare value (Mov).
+    if (std::isalpha(static_cast<unsigned char>(rhs.empty() ? '\0'
+                                                            : rhs[0])) != 0) {
+      std::string name = c.ident();
+      if (c.try_eat(".")) {
+        name += '.';
+        name += c.ident();
+      }
+      const auto it = binary_ops().find(name);
+      if (it == binary_ops().end()) c.fail(cat("unknown IR op '", name, "'"));
+      inst.op = it->second;
+      inst.a = c.value();
+      c.eat(",");
+      inst.b = c.value();
+      return inst;
+    }
+    inst.op = IrOp::Mov;
+    inst.a = c.value();
+    return inst;
+  }
+
+  void parse_call(Cursor& c, IrInst& inst) {
+    c.eat("call");
+    c.eat("@");
+    inst.op = IrOp::Call;
+    inst.callee = c.ident();
+    c.eat("(");
+    if (!c.try_eat(")")) {
+      do {
+        inst.args.push_back(c.value());
+      } while (c.try_eat(","));
+      c.eat(")");
+    }
+  }
+
+  int resolve_global(Cursor& c, const std::string& name) {
+    const int idx = module_.global_index(name);
+    if (idx >= 0) return idx;
+    // The standalone-instruction printer falls back to `g<N>` when no
+    // module is at hand; accept that spelling too.
+    std::int64_t n = 0;
+    if (name.size() > 1 && name[0] == 'g' &&
+        parse_int(std::string_view(name).substr(1), n) && n >= 0) {
+      return static_cast<int>(n);
+    }
+    c.fail(cat("unknown global '@", name, "'"));
+  }
+
+  static VReg max_vreg_of(const Function& fn) {
+    VReg m = 0;
+    const auto see = [&m](VReg v) { m = std::max(m, v); };
+    const auto see_value = [&see](const Value& v) {
+      if (v.is_reg()) see(v.reg);
+    };
+    for (VReg p : fn.params) see(p);
+    for (const BasicBlock& block : fn.blocks) {
+      for (const IrInst& inst : block.insts) {
+        see(inst.dst);
+        see(inst.guard);
+        see_value(inst.a);
+        see_value(inst.b);
+        see_value(inst.c);
+        for (const Value& arg : inst.args) see_value(arg);
+      }
+    }
+    return m;
+  }
+
+  std::vector<std::pair<std::string_view, int>> lines_;
+  std::size_t index_ = 0;
+  Module module_;
+};
+
+}  // namespace
+
+Module parse_module(std::string_view text) {
+  return ModuleParser(text).run();
+}
+
+}  // namespace cepic::ir

@@ -13,6 +13,7 @@
 #include "obs/obs.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "pipeline/version.hpp"
+#include "serial/serial.hpp"
 #include "support/bits.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -85,28 +86,32 @@ ProcessorConfig Service::sim_slice(const ProcessorConfig& config) {
   return slice;
 }
 
-std::uint64_t Service::ir_key(std::string_view source) const {
-  return fnv1a64(source, fnv1a64(cat("ir|", store_version_tag(), "|",
-                                     codegen_text_, "|")));
+ArtifactId Service::ir_artifact(std::string_view source) const {
+  return ArtifactId{
+      Granularity::kIr,
+      fnv1a64(source, fnv1a64(cat("ir|", store_version_tag(), "|",
+                                  codegen_text_, "|")))};
 }
 
-std::uint64_t Service::artifact_key(std::string_view tag,
-                                    std::string_view source,
-                                    const ProcessorConfig& slice,
-                                    std::uint32_t stack_top) const {
+ArtifactId Service::artifact(Granularity g, std::string_view source,
+                             const ProcessorConfig& slice,
+                             std::uint32_t stack_top) const {
+  // kLint shares the program's digest: one verification report per
+  // Program artifact.
+  const std::string_view tag = g == Granularity::kAsm ? "asm" : "prog";
   const std::string material =
       cat(tag, "|", store_version_tag(), "|", codegen_text_, "|",
           backend_options_text(options_.codegen.backend, stack_top), "|",
           slice.to_text(), "|");
-  return fnv1a64(source, fnv1a64(material));
+  return ArtifactId{g, fnv1a64(source, fnv1a64(material))};
 }
 
 ir::Module Service::compile_module(std::string_view source) {
   obs::Span span("compile_module", "pipeline");
-  const std::uint64_t key = ir_key(source);
+  const ArtifactId id = ir_artifact(source);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    const auto it = modules_.find(key);
+    const auto it = modules_.find(id.digest);
     if (it != modules_.end()) {
       span.arg("cached", "memo");
       return it->second;
@@ -117,27 +122,43 @@ ir::Module Service::compile_module(std::string_view source) {
   std::unique_lock<std::mutex> build(build_mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    const auto it = modules_.find(key);
+    const auto it = modules_.find(id.digest);
     if (it != modules_.end()) {
       span.arg("cached", "memo");
       return it->second;
     }
   }
+  {
+    // Warm store: the Module comes back as a packed CEPX binary — a
+    // decode, not a reparse (no frontend span appears in the trace).
+    ir::Module module;
+    bool hit = false;
+    {
+      obs::Span decode_span("module_decode", "pipeline");
+      hit = store_.get(id, module);
+      if (!hit) decode_span.arg("cached", "miss");
+    }
+    if (hit) {
+      span.arg("cached", "store");
+      std::unique_lock<std::mutex> lock(mu_);
+      ++module_decodes_;
+      modules_[id.digest] = module;
+      return module;
+    }
+  }
   span.arg("cached", "miss");
   ir::Module module = minic::compile_to_ir(source);
   if (options_.codegen.optimize) opt::optimize(module, options_.codegen.opt);
-  store_.put(Granularity::kIr, key, ir::to_string(module));
+  store_.put(id, module);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++frontend_runs_;
-    modules_[key] = module;
+    modules_[id.digest] = module;
   }
   return module;
 }
 
 std::string Service::compile_ir_text(std::string_view source) {
-  std::string blob;
-  if (store_.get(Granularity::kIr, ir_key(source), blob)) return blob;
   return ir::to_string(compile_module(source));
 }
 
@@ -147,9 +168,9 @@ std::string Service::compile_asm_at(std::string_view source,
                                     bool* from_store) {
   obs::Span span("compile_asm", "pipeline");
   const ProcessorConfig slice = codegen_slice(config);
-  const std::uint64_t key = artifact_key("asm", source, slice, stack_top);
+  const ArtifactId id = artifact(Granularity::kAsm, source, slice, stack_top);
   std::string blob;
-  if (store_.get(Granularity::kAsm, key, blob)) {
+  if (store_.get(id, blob)) {
     if (from_store) *from_store = true;
     span.arg("cached", "store");
     return blob;
@@ -168,7 +189,7 @@ std::string Service::compile_asm_at(std::string_view source,
     std::unique_lock<std::mutex> lock(mu_);
     ++backend_runs_;
   }
-  store_.put(Granularity::kAsm, key, asm_text);
+  store_.put(id, asm_text);
   return asm_text;
 }
 
@@ -178,15 +199,15 @@ Program Service::compile_program_at(std::string_view source,
                                     bool* from_store) {
   obs::Span span("compile_program", "pipeline");
   const ProcessorConfig slice = codegen_slice(config);
-  const std::uint64_t key = artifact_key("prog", source, slice, stack_top);
-  std::string blob;
-  if (store_.get(Granularity::kProgram, key, blob)) {
+  const ArtifactId id =
+      artifact(Granularity::kProgram, source, slice, stack_top);
+  const ArtifactId lint_id{Granularity::kLint, id.digest};
+  Program program;
+  if (store_.get(id, program)) {
     span.arg("cached", "store");
-    Program program = Program::deserialize(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
     // Verify against the canonical slice-stamped program (mcheck never
     // reads the simulation-only fields), then re-stamp.
-    if (options_.verify) verify_program(program, key);
+    if (options_.verify) verify_program(program, lint_id);
     program.config = config;  // re-stamp simulation-only fields
     if (from_store) *from_store = true;
     return program;
@@ -195,24 +216,22 @@ Program Service::compile_program_at(std::string_view source,
   span.arg("cached", "miss");
   const std::string asm_text =
       compile_asm_at(source, config, stack_top, nullptr);
-  Program program = asmtool::assemble(asm_text, slice);
+  program = asmtool::assemble(asm_text, slice);
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++assemble_runs_;
   }
-  const std::vector<std::uint8_t> bytes = program.serialize();
-  store_.put(Granularity::kProgram, key,
-             std::string_view(reinterpret_cast<const char*>(bytes.data()),
-                              bytes.size()));
-  if (options_.verify) verify_program(program, key);
+  store_.put(id, program);
+  if (options_.verify) verify_program(program, lint_id);
   program.config = config;
   return program;
 }
 
-void Service::verify_program(const Program& program, std::uint64_t key) {
+void Service::verify_program(const Program& program,
+                             const ArtifactId& lint_id) {
   obs::Span span("verify", "pipeline");
   std::string blob;
-  if (!store_.get(Granularity::kLint, key, blob)) {
+  if (!store_.get(lint_id, blob)) {
     span.arg("cached", "miss");
     // Run with werror off so the cached report is werror-independent;
     // Options::verify_werror is applied at the gate below.
@@ -222,7 +241,7 @@ void Service::verify_program(const Program& program, std::uint64_t key) {
     const std::uint64_t warnings =
         report.count(mcheck::Severity::Warning);
     blob = cat(errors, " ", warnings, "\n", report.to_text());
-    store_.put(Granularity::kLint, key, blob);
+    store_.put(lint_id, blob);
     std::unique_lock<std::mutex> lock(mu_);
     ++lint_runs_;
   }
@@ -381,8 +400,9 @@ std::vector<RunOutcome> Service::run_batch(
         out.ret = entry.ret;
         continue;
       }
-      groups[artifact_key("prog", sources[w], codegen_slice(configs[p]),
-                          stack_top)]
+      groups[artifact(Granularity::kProgram, sources[w],
+                      codegen_slice(configs[p]), stack_top)
+                 .digest]
           .push_back(Item{index, w, p, key});
     }
   }
@@ -436,7 +456,8 @@ std::vector<RunOutcome> Service::run_batch(
             {
               Program canon = *shared;
               canon.config = sim_slice(configs[it->config]);
-              const std::vector<std::uint8_t> bytes = canon.serialize();
+              const std::vector<std::uint8_t> bytes =
+                  serial::encode_program(canon);
               // Seed with the execution tier: dedup shares outcomes
               // within one run_batch call, and those must come from
               // the tier the caller asked for, not whichever identical
@@ -517,6 +538,7 @@ void publish_stats(const ServiceStats& s) {
   r.set_counter("pipeline.frontend_runs", s.frontend_runs);
   r.set_counter("pipeline.backend_runs", s.backend_runs);
   r.set_counter("pipeline.assemble_runs", s.assemble_runs);
+  r.set_counter("pipeline.module_decodes", s.module_decodes);
   r.set_counter("pipeline.simulations", s.simulations);
   r.set_counter("pipeline.lint_runs", s.lint_runs);
   r.set_counter("pipeline.result_hits", s.result_hits);
@@ -536,6 +558,24 @@ void publish_stats(const ServiceStats& s) {
 
 void Service::publish_stats() const { pipeline::publish_stats(stats()); }
 
+CompileArtifacts compile_once(std::string_view source,
+                              const ProcessorConfig& config,
+                              const CodegenOptions& codegen) {
+  Options options;
+  options.codegen = codegen;
+  Service service(std::move(options));
+  return service.compile(source, config);
+}
+
+EpicSimulator run_once(std::string_view source, const ProcessorConfig& config,
+                       const CodegenOptions& codegen, const SimOptions& sim) {
+  Options options;
+  options.codegen = codegen;
+  options.sim = sim;
+  Service service(std::move(options));
+  return service.run(source, config);
+}
+
 ServiceStats Service::stats() const {
   ServiceStats s;
   s.store = store_.stats();
@@ -543,6 +583,7 @@ ServiceStats Service::stats() const {
   s.frontend_runs = frontend_runs_;
   s.backend_runs = backend_runs_;
   s.assemble_runs = assemble_runs_;
+  s.module_decodes = module_decodes_;
   s.simulations = simulations_;
   s.lint_runs = lint_runs_;
   s.result_hits = result_hits_;

@@ -4,11 +4,11 @@
 // artifacts at three granularities (optimised IR, assembly text,
 // assembled Program) and (b) a shared thread-pool scheduler that runs
 // compile and simulate steps of a batch as separate dependency-ordered
-// tasks. Everything that used to go through the ad-hoc drivers —
-// driver::compile_minic_to_epic / run_minic_on_epic, explore::run_sweep,
-// the cepic-cc / cepic-sim / cepic-explore tools and the benches — is a
-// client of this API; the old driver entry points remain as thin
-// deprecated shims for one release.
+// tasks. Everything — explore::run_sweep, the cepic-cc / cepic-sim /
+// cepic-explore tools, the benches, the tests — is a client of this
+// API; the historical driver:: shim layer is gone (docs/PIPELINE.md
+// records the migration), with compile_once()/run_once() below as the
+// one-shot spellings.
 //
 // ## The options partition (what makes artifact sharing sound)
 //
@@ -151,6 +151,8 @@ struct ServiceStats {
   std::uint64_t frontend_runs = 0;   ///< MiniC -> optimised IR executions
   std::uint64_t backend_runs = 0;    ///< IR -> assembly executions
   std::uint64_t assemble_runs = 0;   ///< assembly -> Program executions
+  std::uint64_t module_decodes = 0;  ///< Modules loaded from the binary
+                                     ///< store (no reparse, no frontend)
   std::uint64_t simulations = 0;     ///< cycle-level simulations executed
   std::uint64_t lint_runs = 0;       ///< mcheck verifications executed
   std::uint64_t result_hits = 0;     ///< batch items served from results
@@ -191,7 +193,9 @@ public:
   // --- single-shot API (replaces the driver:: entry points) ---
 
   /// MiniC -> optimised IR. Shared across every config; repeated calls
-  /// with the same source build the IR once per Service.
+  /// with the same source build the IR once per Service, and a warm
+  /// persistent store serves the Module as a packed CEPX binary —
+  /// decoded, never reparsed (ServiceStats::module_decodes counts it).
   ir::Module compile_module(std::string_view source);
 
   /// Printed optimised IR, served from the store when possible (the
@@ -240,20 +244,23 @@ public:
   void publish_stats() const;
 
 private:
-  std::uint64_t ir_key(std::string_view source) const;
-  std::uint64_t artifact_key(std::string_view tag, std::string_view source,
-                             const ProcessorConfig& slice,
-                             std::uint32_t stack_top) const;
+  /// Handle of the shared optimised-IR artifact for `source`.
+  ArtifactId ir_artifact(std::string_view source) const;
+  /// Handle of a per-config artifact: `g` is kAsm, kProgram or kLint
+  /// (kLint shares the program's digest — one report per Program).
+  ArtifactId artifact(Granularity g, std::string_view source,
+                      const ProcessorConfig& slice,
+                      std::uint32_t stack_top) const;
   std::string compile_asm_at(std::string_view source,
                              const ProcessorConfig& config,
                              std::uint32_t stack_top, bool* from_store);
   Program compile_program_at(std::string_view source,
                              const ProcessorConfig& config,
                              std::uint32_t stack_top, bool* from_store);
-  /// The Options::verify gate: lint `program` (store-cached at kLint
-  /// under `key`, the program's artifact key) and throw Error with the
-  /// rendered report when it is not clean.
-  void verify_program(const Program& program, std::uint64_t key);
+  /// The Options::verify gate: lint `program` (store-cached at
+  /// `lint_id`, sharing the program artifact's digest) and throw Error
+  /// with the rendered report when it is not clean.
+  void verify_program(const Program& program, const ArtifactId& lint_id);
   std::string result_cache_path() const;
 
   Options options_;
@@ -262,15 +269,30 @@ private:
 
   mutable std::mutex mu_;
   std::mutex build_mu_;  ///< serialises IR builds so each runs once
-  std::map<std::uint64_t, ir::Module> modules_;  ///< ir_key -> optimised IR
+  std::map<std::uint64_t, ir::Module> modules_;  ///< ir digest -> IR
   std::uint64_t frontend_runs_ = 0;
   std::uint64_t backend_runs_ = 0;
   std::uint64_t assemble_runs_ = 0;
+  std::uint64_t module_decodes_ = 0;
   std::uint64_t simulations_ = 0;
   std::uint64_t lint_runs_ = 0;
   std::uint64_t result_hits_ = 0;
   std::uint64_t result_misses_ = 0;
   std::uint64_t sim_dedup_hits_ = 0;
 };
+
+/// One-shot convenience: compile `source` for `config` with a fresh,
+/// memory-only Service. For anything that compiles more than once,
+/// wants the persistent store, or runs batches, hold a Service instead.
+CompileArtifacts compile_once(std::string_view source,
+                              const ProcessorConfig& config,
+                              const CodegenOptions& codegen = {});
+
+/// One-shot convenience: compile and simulate with a fresh, memory-only
+/// Service; returns the simulator so callers can inspect stats, outputs
+/// and state. `main`'s return value is left in r3.
+EpicSimulator run_once(std::string_view source, const ProcessorConfig& config,
+                       const CodegenOptions& codegen = {},
+                       const SimOptions& sim = {});
 
 }  // namespace cepic::pipeline

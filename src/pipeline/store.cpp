@@ -2,10 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <thread>
 
 #include "pipeline/version.hpp"
+#include "serial/serial.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
@@ -24,8 +26,7 @@ GranularityStats& stats_for(StoreStats& s, Granularity g) {
   }
 }
 
-/// Directory + file-extension naming per granularity. The extension is
-/// purely for humans poking at the store.
+/// Directory naming per granularity.
 const char* subdir(Granularity g) {
   switch (g) {
     case Granularity::kIr: return "ir";
@@ -35,9 +36,11 @@ const char* subdir(Granularity g) {
   }
 }
 
+/// File extension, purely for humans poking at the store. IR and
+/// Programs persist as CEPX containers.
 const char* extension(Granularity g) {
   switch (g) {
-    case Granularity::kIr: return ".ir";
+    case Granularity::kIr: return ".cepx";
     case Granularity::kAsm: return ".s";
     case Granularity::kLint: return ".lint";
     default: return ".cepx";
@@ -54,54 +57,121 @@ std::string hex16(std::uint64_t v) {
   return s;
 }
 
+/// Contents of the `format` marker each versioned directory carries.
+/// Bump together with the store layout (not the artifact schema — that
+/// is what the version tag is for).
+constexpr std::string_view kFormatMarker = "cepx-store 2\n";
+
+std::span<const std::uint8_t> as_bytes(std::string_view blob) {
+  return {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()};
+}
+
+std::string_view as_view(const std::vector<std::uint8_t>& bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
 }  // namespace
+
+const char* to_string(Granularity g) {
+  switch (g) {
+    case Granularity::kIr: return "ir";
+    case Granularity::kAsm: return "asm";
+    case Granularity::kLint: return "lint";
+    default: return "program";
+  }
+}
+
+std::string to_string(const ArtifactId& id) {
+  return cat(to_string(id.granularity), ":", hex16(id.digest));
+}
 
 Store::Store(std::string root, std::string version_tag) {
   if (root.empty()) return;  // degenerate: behave as memory-only
   if (version_tag.empty()) version_tag = store_version_tag();
-  dir_ = (fs::path(root) / version_tag).string();
+
+  // A store *root* contains version-tag directories; a *versioned*
+  // directory contains the per-granularity subtrees. Someone pointing
+  // the root at a versioned directory (old layout, or a copy-paste of
+  // an inner path) would silently shadow every artifact, so reject it.
+  const fs::path root_path(root);
+  for (const char* g : {"ir", "asm", "prog", "lint"}) {
+    std::error_code ec;
+    if (fs::is_directory(root_path / g, ec)) {
+      throw Error(cat(
+          "store root ", root, " looks like a versioned artifact directory "
+          "(contains '", g, "/'); pass the store root, not a version "
+          "subdirectory — old-layout stores must be re-produced"));
+    }
+  }
+
+  dir_ = (root_path / version_tag).string();
+  const fs::path marker = fs::path(dir_) / "format";
+  std::error_code ec;
+  if (fs::exists(fs::path(dir_), ec)) {
+    std::ifstream in(marker, std::ios::binary);
+    std::ostringstream ss;
+    if (in) ss << in.rdbuf();
+    if (!in || ss.str() != kFormatMarker) {
+      throw Error(cat(
+          "store directory ", dir_, " was not written by this toolchain "
+          "(missing or mismatched format marker); delete it or point the "
+          "store elsewhere — old-layout stores must be re-produced"));
+    }
+    return;
+  }
+  fs::create_directories(fs::path(dir_), ec);
+  if (ec) throw Error(cat("cannot create store directory ", dir_));
+  std::ofstream out(marker, std::ios::binary | std::ios::trunc);
+  if (!out ||
+      !out.write(kFormatMarker.data(),
+                 static_cast<std::streamsize>(kFormatMarker.size()))
+           .flush()) {
+    throw Error(cat("cannot write store format marker in ", dir_));
+  }
 }
 
-std::string Store::object_path(Granularity g, std::uint64_t key) const {
-  return (fs::path(dir_) / subdir(g) / (hex16(key) + extension(g))).string();
+std::string Store::object_path(const ArtifactId& id) const {
+  return (fs::path(dir_) / subdir(id.granularity) /
+          (hex16(id.digest) + extension(id.granularity)))
+      .string();
 }
 
-bool Store::get(Granularity g, std::uint64_t key, std::string& blob) {
+bool Store::get(const ArtifactId& id, std::string& blob) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    const auto& map = mem_[static_cast<int>(g)];
-    const auto it = map.find(key);
+    const auto& map = mem_[static_cast<int>(id.granularity)];
+    const auto it = map.find(id.digest);
     if (it != map.end()) {
       blob = it->second;
-      ++stats_for(stats_, g).hits;
+      ++stats_for(stats_, id.granularity).hits;
       return true;
     }
   }
   if (!dir_.empty()) {
-    std::ifstream in(object_path(g, key), std::ios::binary);
+    std::ifstream in(object_path(id), std::ios::binary);
     if (in) {
       std::ostringstream ss;
       ss << in.rdbuf();
       blob = ss.str();
       std::unique_lock<std::mutex> lock(mu_);
-      mem_[static_cast<int>(g)][key] = blob;
-      ++stats_for(stats_, g).hits;
+      mem_[static_cast<int>(id.granularity)][id.digest] = blob;
+      ++stats_for(stats_, id.granularity).hits;
       return true;
     }
   }
   std::unique_lock<std::mutex> lock(mu_);
-  ++stats_for(stats_, g).misses;
+  ++stats_for(stats_, id.granularity).misses;
   return false;
 }
 
-void Store::put(Granularity g, std::uint64_t key, std::string_view blob) {
+void Store::put(const ArtifactId& id, std::string_view blob) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    mem_[static_cast<int>(g)][key] = std::string(blob);
-    ++stats_for(stats_, g).puts;
+    mem_[static_cast<int>(id.granularity)][id.digest] = std::string(blob);
+    ++stats_for(stats_, id.granularity).puts;
   }
   if (dir_.empty()) return;
-  const std::string path = object_path(g, key);
+  const std::string path = object_path(id);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
   if (ec) throw Error(cat("cannot create store directory for ", path));
@@ -122,6 +192,46 @@ void Store::put(Granularity g, std::uint64_t key, std::string_view blob) {
     fs::remove(tmp, ec);
     throw Error(cat("cannot publish store object ", path));
   }
+}
+
+bool Store::get(const ArtifactId& id, ir::Module& out) {
+  CEPIC_CHECK(id.granularity == Granularity::kIr,
+              "Module artifacts live at Granularity::kIr");
+  std::string blob;
+  if (!get(id, blob)) return false;
+  try {
+    out = serial::decode_module(as_bytes(blob));
+  } catch (const Error& e) {
+    throw Error(cat("store artifact ", to_string(id), ": ", e.what()));
+  }
+  return true;
+}
+
+void Store::put(const ArtifactId& id, const ir::Module& module) {
+  CEPIC_CHECK(id.granularity == Granularity::kIr,
+              "Module artifacts live at Granularity::kIr");
+  const std::vector<std::uint8_t> bytes = serial::encode_module(module);
+  put(id, as_view(bytes));
+}
+
+bool Store::get(const ArtifactId& id, Program& out) {
+  CEPIC_CHECK(id.granularity == Granularity::kProgram,
+              "Program artifacts live at Granularity::kProgram");
+  std::string blob;
+  if (!get(id, blob)) return false;
+  try {
+    out = serial::decode_program(as_bytes(blob));
+  } catch (const Error& e) {
+    throw Error(cat("store artifact ", to_string(id), ": ", e.what()));
+  }
+  return true;
+}
+
+void Store::put(const ArtifactId& id, const Program& program) {
+  CEPIC_CHECK(id.granularity == Granularity::kProgram,
+              "Program artifacts live at Granularity::kProgram");
+  const std::vector<std::uint8_t> bytes = serial::encode_program(program);
+  put(id, as_view(bytes));
 }
 
 StoreStats Store::stats() const {

@@ -1,12 +1,13 @@
-// Content-addressed store of compilation artifacts at three
+// Content-addressed store of compilation artifacts at four
 // granularities:
 //
-//   kIr       the optimised IR, printed (keyed by source + optimiser
-//             options only — shared by *every* processor configuration)
+//   kIr       the optimised IR Module, CEPX-encoded (keyed by source +
+//             optimiser options only — shared by *every* processor
+//             configuration, and loaded back without reparsing)
 //   kAsm      the backend's assembly text (keyed additionally by the
 //             codegen-relevant slice of the ProcessorConfig and the
 //             backend options)
-//   kProgram  the assembled Program, CEPX-serialised (same key material
+//   kProgram  the assembled Program, CEPX-encoded (same key material
 //             as kAsm; stored with the codegen slice embedded so one
 //             blob serves every simulation-only variant of the config)
 //   kLint     the mcheck verification report for the Program with the
@@ -14,15 +15,20 @@
 //             rendered report) — sound because mcheck reads only the
 //             codegen slice of the configuration
 //
-// Keys are stable 64-bit content hashes computed by pipeline::Service
-// (see pipeline.cpp); the store itself only maps (granularity, key) to
-// an opaque blob. Blobs live in an in-memory map and, when a root
-// directory is given, under `<root>/<store_version_tag()>/<gran>/` —
-// one file per artifact, written via a temp file + rename so readers
-// never observe a torn write. Because the version tag names the
-// directory, artifacts written by an older toolchain (different
-// encoding, scheduler, container format...) are simply invisible to a
-// newer build and can never be replayed.
+// Artifacts are addressed by ArtifactId{granularity, digest} handles —
+// stable 64-bit content hashes computed by pipeline::Service (see
+// pipeline.cpp); callers never touch on-disk paths or raw key strings.
+// The typed get/put overloads go through the serial:: CEPX codecs, so
+// Modules and Programs enter and leave the store as validated binary
+// containers. Blobs live in an in-memory map and, when a root directory
+// is given, under `<root>/<store_version_tag()>/<gran>/` — one file per
+// artifact, written via a temp file + rename so readers never observe a
+// torn write. Because the version tag names the directory, artifacts
+// written by an older toolchain (different encoding, scheduler,
+// container format...) are simply invisible to a newer build and can
+// never be replayed; a `format` marker inside each versioned directory
+// additionally rejects directories laid out by other means with a clear
+// error instead of silently misreading them.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +37,27 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/program.hpp"
+#include "ir/ir.hpp"
+
 namespace cepic::pipeline {
 
 enum class Granularity { kIr = 0, kAsm = 1, kProgram = 2, kLint = 3 };
+
+const char* to_string(Granularity g);
+
+/// Typed handle to one stored artifact: which granularity it lives at
+/// and the 64-bit content digest that addresses it. The Service derives
+/// digests; everything else just passes handles around.
+struct ArtifactId {
+  Granularity granularity = Granularity::kIr;
+  std::uint64_t digest = 0;
+
+  bool operator==(const ArtifactId&) const = default;
+};
+
+/// Render e.g. "ir:1f2e3d4c5b6a7988" for diagnostics and logs.
+std::string to_string(const ArtifactId& id);
 
 /// Hit/miss/write counters for one granularity. A disk read that
 /// succeeds counts as a hit (the artifact was reused across processes).
@@ -55,20 +79,35 @@ public:
   /// Memory-only store (artifacts shared within one Service lifetime).
   Store() = default;
 
-  /// Persistent store rooted at `root` (created on demand). Artifacts
-  /// live under `<root>/<version_tag>/`; `version_tag` defaults to
-  /// store_version_tag() and is parameterised only so tests can prove
-  /// the version isolation property.
+  /// Persistent store rooted at `root` (created eagerly, together with
+  /// its format marker). Artifacts live under `<root>/<version_tag>/`;
+  /// `version_tag` defaults to store_version_tag() and is parameterised
+  /// only so tests can prove the version isolation property. Throws
+  /// Error if `root` holds an old-layout or foreign store.
   explicit Store(std::string root, std::string version_tag = {});
+
+  // --- raw blob interface (kAsm / kLint text artifacts) ---
 
   /// Look up a blob. Memory first, then disk (a disk hit is promoted
   /// into memory). Returns false on a miss.
-  bool get(Granularity g, std::uint64_t key, std::string& blob);
+  bool get(const ArtifactId& id, std::string& blob);
 
   /// Record a blob in memory and, if persistent, on disk. Throws Error
   /// if the disk write fails (a half-working store would silently lose
   /// the cross-process reuse the caller asked for).
-  void put(Granularity g, std::uint64_t key, std::string_view blob);
+  void put(const ArtifactId& id, std::string_view blob);
+
+  // --- typed interface (CEPX-encoded binary artifacts) ---
+
+  /// Load a Module (id.granularity must be kIr). Decode errors — a
+  /// corrupt or stale container — propagate as Error with the CEPX
+  /// diagnostic; a clean miss returns false.
+  bool get(const ArtifactId& id, ir::Module& out);
+  void put(const ArtifactId& id, const ir::Module& module);
+
+  /// Load a Program (id.granularity must be kProgram).
+  bool get(const ArtifactId& id, Program& out);
+  void put(const ArtifactId& id, const Program& program);
 
   StoreStats stats() const;
 
@@ -77,7 +116,7 @@ public:
   bool persistent() const { return !dir_.empty(); }
 
 private:
-  std::string object_path(Granularity g, std::uint64_t key) const;
+  std::string object_path(const ArtifactId& id) const;
 
   std::string dir_;  ///< <root>/<version_tag>, "" when memory-only
   mutable std::mutex mu_;

@@ -20,13 +20,15 @@
 namespace cepic::pipeline {
 
 /// Monotonically increasing artifact-schema generation.
-inline constexpr unsigned kPipelineSchema = 1;
+/// 2: artifacts are CEPX v2 sectioned containers (IR Modules persist as
+/// packed binaries, not text) and versioned directories carry a
+/// `format` marker — v1 streamed blobs must be unreachable.
+inline constexpr unsigned kPipelineSchema = 2;
 
 /// Human-readable toolchain identity folded into store paths and keys.
-/// pr3: the scheduler emits explicit empty bundles for latency gaps
-/// (bundle index == issue cycle), so pr2 assembly/program blobs are
-/// stale for identical key material and must be unreachable.
-inline constexpr std::string_view kToolVersion = "cepic-pr3";
+/// pr7: binary IR/Program/config artifacts in the CEPX v2 container,
+/// store addressed by ArtifactId handles.
+inline constexpr std::string_view kToolVersion = "cepic-pr7";
 
 /// Directory component under the store root that namespaces all
 /// artifacts of this build, e.g. "v1-cepic-pr3".

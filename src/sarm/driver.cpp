@@ -1,0 +1,24 @@
+#include "sarm/driver.hpp"
+
+#include "frontend/irgen.hpp"
+
+namespace cepic::sarm {
+
+SProgram compile_minic_to_sarm(std::string_view source,
+                               const SarmCompileOptions& options) {
+  ir::Module module = minic::compile_to_ir(source);
+  if (options.optimize) opt::optimize(module, options.opt);
+  return compile_ir_to_sarm(module, options.backend);
+}
+
+SarmSimulator run_minic_on_sarm(std::string_view source,
+                                const SarmCompileOptions& options,
+                                const SarmOptionsSim& sim_options) {
+  SarmCompileOptions opts = options;
+  opts.backend.stack_top = static_cast<std::uint32_t>(sim_options.mem_size);
+  SarmSimulator sim(compile_minic_to_sarm(source, opts), sim_options);
+  sim.run();
+  return sim;
+}
+
+}  // namespace cepic::sarm

@@ -1,0 +1,39 @@
+// One-call compilation pipelines for the SA-110-like scalar baseline.
+// The SARM flow is not part of the EPIC pipeline::Service (it has no
+// store, no batches, no configuration space to sweep), so its drivers
+// live natively here; they were moved from the retired driver:: shim
+// layer unchanged.
+#pragma once
+
+#include <string_view>
+
+#include "opt/opt.hpp"
+#include "sarm/codegen.hpp"
+#include "sarm/sim.hpp"
+
+namespace cepic::sarm {
+
+struct SarmCompileOptions {
+  opt::OptOptions opt;
+  SarmOptions backend;
+  bool optimize = true;
+
+  SarmCompileOptions() {
+    // The scalar baseline is compiled conventionally: EPIC-style
+    // if-conversion off (its light ARM counterpart, conditional
+    // execution, is applied by the SARM code generator itself).
+    opt.if_convert = false;
+  }
+};
+
+/// Compile MiniC for the SA-110-like scalar baseline.
+SProgram compile_minic_to_sarm(std::string_view source,
+                               const SarmCompileOptions& options = {});
+
+/// Compile and run on the SA-110 cycle-model simulator; `main`'s return
+/// value is left in r0.
+SarmSimulator run_minic_on_sarm(std::string_view source,
+                                const SarmCompileOptions& options = {},
+                                const SarmOptionsSim& sim_options = {});
+
+}  // namespace cepic::sarm

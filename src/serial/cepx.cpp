@@ -1,0 +1,287 @@
+#include "serial/cepx.hpp"
+
+#include "support/bits.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::serial {
+
+namespace {
+
+std::uint16_t read_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | b[at + i];
+  return v;
+}
+
+std::uint64_t read_u64(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[at + i];
+  return v;
+}
+
+std::uint64_t digest_of(std::span<const std::uint8_t> payload) {
+  std::uint64_t h = kFnvOffset64;
+  for (std::uint8_t b : payload) h = fnv1a64_byte(h, b);
+  return h;
+}
+
+std::string id_name(std::uint32_t id) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>(id >> (24 - 8 * i));
+    s[static_cast<std::size_t>(i)] = (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kModule: return "IR module";
+    case PayloadKind::kProgram: return "program";
+    case PayloadKind::kConfig: return "processor configuration";
+  }
+  return "unknown";
+}
+
+// --- ByteReader -------------------------------------------------------
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw Error(cat("corrupt CEPX container: ", where_,
+                    " section ends mid-record (wanted ", n, " byte(s) at ",
+                    pos_, " of ", bytes_.size(), ")"));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = read_u16(bytes_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  const std::uint32_t v = read_u32(bytes_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  const std::uint64_t v = read_u64(bytes_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  const auto s = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::expect_done() const {
+  if (pos_ != bytes_.size()) {
+    throw Error(cat("corrupt CEPX container: ", where_, " section has ",
+                    bytes_.size() - pos_, " unconsumed byte(s)"));
+  }
+}
+
+// --- ContainerWriter --------------------------------------------------
+
+void ContainerWriter::add_section(std::uint32_t id,
+                                  std::vector<std::uint8_t> bytes) {
+  sections_.push_back(Section{id, std::move(bytes)});
+}
+
+std::vector<std::uint8_t> ContainerWriter::finish(PayloadKind kind) {
+  const std::size_t table_bytes = sections_.size() * kSectionDescBytes;
+  // kHeaderBytes and kSectionDescBytes are both multiples of the
+  // alignment, so the first section lands aligned automatically.
+  static_assert(kHeaderBytes % kSectionAlign == 0);
+  static_assert(kSectionDescBytes % kSectionAlign == 0);
+  const std::size_t payload_start = kHeaderBytes + table_bytes;
+
+  ByteWriter payload;
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(sections_.size());
+  for (const Section& s : sections_) {
+    offsets.push_back(static_cast<std::uint32_t>(payload_start +
+                                                 payload.size()));
+    payload.raw(std::span<const std::uint8_t>(s.bytes));
+    while ((payload_start + payload.size()) % kSectionAlign != 0) {
+      payload.u8(0);
+    }
+  }
+  const std::vector<std::uint8_t> payload_bytes = payload.take();
+
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u16(kContainerVersion);
+  out.u16(static_cast<std::uint16_t>(kind));
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  out.u32(0);  // reserved
+  out.u64(digest_of(payload_bytes));
+  out.u64(payload_start + payload_bytes.size());
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    out.u32(sections_[i].id);
+    out.u32(0);  // reserved
+    out.u32(offsets[i]);
+    out.u32(static_cast<std::uint32_t>(sections_[i].bytes.size()));
+  }
+  out.raw(std::span<const std::uint8_t>(payload_bytes));
+  return out.take();
+}
+
+// --- ContainerReader --------------------------------------------------
+
+ContainerReader::ContainerReader(std::span<const std::uint8_t> bytes)
+    : bytes_(bytes) {
+  // Magic and version first, so the diagnostics distinguish "not ours"
+  // from "ours but damaged".
+  if (bytes.size() < 8) {
+    throw Error(cat("not a CEPX container: only ", bytes.size(),
+                    " byte(s), too small for a header"));
+  }
+  if (read_u32(bytes, 0) != kMagic) {
+    throw Error("not a CEPX container (bad magic)");
+  }
+  const std::uint16_t version = read_u16(bytes, 4);
+  if (version == 0) {
+    // The pre-PR7 streamed format stored a u32 version of 1 here, which
+    // reads as u16 0 at this offset. Name it rather than guessing.
+    throw Error(
+        "unsupported CEPX container: written by a pre-PR7 toolchain "
+        "(v1 streamed format); re-produce the artifact with this build");
+  }
+  if (version != kContainerVersion) {
+    throw Error(cat("unsupported CEPX container version ", version,
+                    " (this toolchain reads version ", kContainerVersion,
+                    ")"));
+  }
+  if (bytes.size() < kHeaderBytes) {
+    throw Error(cat("CEPX container truncated: ", bytes.size(),
+                    " byte(s) is smaller than the ", kHeaderBytes,
+                    "-byte header"));
+  }
+  const std::uint16_t kind = read_u16(bytes, 6);
+  if (kind < 1 || kind > 3) {
+    throw Error(cat("corrupt CEPX container: unknown payload kind ", kind));
+  }
+  kind_ = static_cast<PayloadKind>(kind);
+
+  const std::uint64_t declared = read_u64(bytes, 24);
+  if (bytes.size() < declared) {
+    throw Error(cat("CEPX container truncated: header declares ", declared,
+                    " bytes, got ", bytes.size()));
+  }
+  if (bytes.size() > declared) {
+    throw Error(cat("trailing bytes after CEPX container (declares ",
+                    declared, " bytes, got ", bytes.size(), ")"));
+  }
+
+  const std::uint32_t count = read_u32(bytes, 8);
+  const std::size_t payload_start =
+      kHeaderBytes + std::size_t{count} * kSectionDescBytes;
+  if (payload_start > bytes.size()) {
+    throw Error(cat("corrupt CEPX container: section table (", count,
+                    " entries) exceeds the container"));
+  }
+  entries_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = kHeaderBytes + i * kSectionDescBytes;
+    Entry e;
+    e.id = read_u32(bytes_, at);
+    e.offset = read_u32(bytes_, at + 8);
+    e.size = read_u32(bytes_, at + 12);
+    if (e.offset % kSectionAlign != 0) {
+      throw Error(cat("corrupt CEPX container: section ", id_name(e.id),
+                      " is misaligned (offset ", e.offset, ")"));
+    }
+    if (e.offset < payload_start ||
+        std::uint64_t{e.offset} + e.size > bytes.size()) {
+      throw Error(cat("corrupt CEPX container: section ", id_name(e.id),
+                      " [", e.offset, ", +", e.size,
+                      ") lies outside the payload"));
+    }
+    entries_.push_back(e);
+  }
+
+  if (digest_of(bytes.subspan(payload_start)) != read_u64(bytes, 16)) {
+    throw Error("corrupt CEPX container (payload digest mismatch)");
+  }
+}
+
+bool ContainerReader::has_section(std::uint32_t id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
+ByteReader ContainerReader::section(std::uint32_t id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) {
+      return ByteReader(bytes_.subspan(e.offset, e.size), id_name(id));
+    }
+  }
+  throw Error(cat("corrupt CEPX container: missing section ", id_name(id)));
+}
+
+bool looks_like_cepx(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= 4 && read_u32(bytes, 0) == kMagic;
+}
+
+PayloadKind detect_kind(std::span<const std::uint8_t> bytes) {
+  // Runs the same header checks as ContainerReader (construction also
+  // checks the digest; detection deliberately stops at the header so
+  // tools can classify inputs cheaply and still report truncation).
+  if (bytes.size() < 8) {
+    throw Error(cat("not a CEPX container: only ", bytes.size(),
+                    " byte(s), too small for a header"));
+  }
+  if (read_u32(bytes, 0) != kMagic) {
+    throw Error("not a CEPX container (bad magic)");
+  }
+  const std::uint16_t version = read_u16(bytes, 4);
+  if (version == 0) {
+    throw Error(
+        "unsupported CEPX container: written by a pre-PR7 toolchain "
+        "(v1 streamed format); re-produce the artifact with this build");
+  }
+  if (version != kContainerVersion) {
+    throw Error(cat("unsupported CEPX container version ", version,
+                    " (this toolchain reads version ", kContainerVersion,
+                    ")"));
+  }
+  if (bytes.size() < kHeaderBytes) {
+    throw Error(cat("CEPX container truncated: ", bytes.size(),
+                    " byte(s) is smaller than the ", kHeaderBytes,
+                    "-byte header"));
+  }
+  const std::uint64_t declared = read_u64(bytes, 24);
+  if (bytes.size() < declared) {
+    throw Error(cat("CEPX container truncated: header declares ", declared,
+                    " bytes, got ", bytes.size()));
+  }
+  const std::uint16_t kind = read_u16(bytes, 6);
+  if (kind < 1 || kind > 3) {
+    throw Error(cat("corrupt CEPX container: unknown payload kind ", kind));
+  }
+  return static_cast<PayloadKind>(kind);
+}
+
+}  // namespace cepic::serial

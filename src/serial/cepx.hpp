@@ -1,0 +1,194 @@
+// The CEPX binary container (docs/FORMAT.md): the on-disk/in-store
+// envelope every binary toolchain artifact travels in — packed IR
+// Modules, assembled Programs, and processor configurations.
+//
+// Layout (all fixed-width fields big-endian, matching the paper's
+// big-endian architecture):
+//
+//   header  (32 bytes)
+//     u32  magic          "CEPX"
+//     u16  container version (kContainerVersion)
+//     u16  payload kind   (PayloadKind)
+//     u32  section count
+//     u32  reserved       (0)
+//     u64  payload digest (FNV-1a over everything after the table)
+//     u64  total container size in bytes
+//   section table (16 bytes per section, immediately after the header)
+//     u32  section id     (four ASCII characters, e.g. "CODE")
+//     u32  reserved       (0)
+//     u32  byte offset from container start (8-aligned)
+//     u32  byte size      (unpadded)
+//   payload sections, each zero-padded to 8-byte alignment
+//
+// The layout is deliberately mmap-friendly: the table stores offsets —
+// never pointers — every section starts 8-aligned, and a reader can
+// address any section from the table without touching the others.
+// Integrity is layered so diagnostics stay precise: magic, then
+// container version, then the declared total size (truncation), then
+// table/section bounds, then the payload digest (corruption).
+//
+// Containers written by the pre-PR7 toolchain ("CEPX v1", a bare
+// streamed Program with no section table) are detected and rejected
+// with an explicit re-produce-the-artifact message rather than a
+// generic parse failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cepic::serial {
+
+inline constexpr std::uint32_t kMagic = 0x43455058;  // "CEPX"
+inline constexpr std::uint16_t kContainerVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kSectionDescBytes = 16;
+inline constexpr std::size_t kSectionAlign = 8;
+
+/// What a container carries. The numeric values are the on-disk
+/// encoding and must never be reused.
+enum class PayloadKind : std::uint16_t {
+  kModule = 1,   ///< packed ir::Module
+  kProgram = 2,  ///< assembled Program
+  kConfig = 3,   ///< ProcessorConfig (the Mdes source of truth)
+};
+
+const char* to_string(PayloadKind kind);
+
+/// Four-ASCII-character section id, e.g. section_id("CODE").
+constexpr std::uint32_t section_id(const char (&name)[5]) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(name[0]))
+          << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(name[1]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(name[2]))
+          << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[3]));
+}
+
+// Section ids shared by the payload codecs (serial.hpp).
+inline constexpr std::uint32_t kSecStrings = section_id("STRT");
+inline constexpr std::uint32_t kSecConstPool = section_id("CPOL");
+inline constexpr std::uint32_t kSecGlobals = section_id("GLOB");
+inline constexpr std::uint32_t kSecFunctions = section_id("FUNC");
+inline constexpr std::uint32_t kSecConfig = section_id("CONF");
+inline constexpr std::uint32_t kSecCode = section_id("CODE");
+inline constexpr std::uint32_t kSecData = section_id("DATA");
+inline constexpr std::uint32_t kSecSymbols = section_id("SYMS");
+inline constexpr std::uint32_t kSecMeta = section_id("META");
+
+/// Big-endian byte writer for section payloads.
+class ByteWriter {
+public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void raw(std::span<const std::uint8_t> bytes) {
+    bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  }
+  void raw(std::string_view bytes) {
+    bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  }
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked big-endian reader over one section's bytes. Every
+/// overrun throws Error naming the section, so a corrupt container can
+/// never read out of bounds (the fuzz-decode suites rely on this).
+class ByteReader {
+public:
+  ByteReader(std::span<const std::uint8_t> bytes, std::string where)
+      : bytes_(bytes), where_(std::move(where)) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::span<const std::uint8_t> raw(std::size_t n);
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+  /// Throw unless the section was consumed exactly.
+  void expect_done() const;
+
+private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::string where_;
+  std::size_t pos_ = 0;
+};
+
+/// Assembles a container: append sections in payload order, then
+/// finish() lays out the table, pads every section to 8 bytes and
+/// computes the payload digest. Section order is part of the canonical
+/// encoding — identical inputs always produce identical bytes.
+class ContainerWriter {
+public:
+  void add_section(std::uint32_t id, std::vector<std::uint8_t> bytes);
+  void add_section(std::uint32_t id, ByteWriter&& w) {
+    add_section(id, w.take());
+  }
+  std::vector<std::uint8_t> finish(PayloadKind kind);
+
+private:
+  struct Section {
+    std::uint32_t id;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Validates and indexes a container. Construction performs the full
+/// integrity check (magic, version, size, table bounds, alignment,
+/// digest); section() hands out payload spans.
+class ContainerReader {
+public:
+  explicit ContainerReader(std::span<const std::uint8_t> bytes);
+
+  PayloadKind kind() const { return kind_; }
+
+  /// The payload of section `id`; throws Error if absent.
+  ByteReader section(std::uint32_t id) const;
+  bool has_section(std::uint32_t id) const;
+
+private:
+  struct Entry {
+    std::uint32_t id;
+    std::uint32_t offset;
+    std::uint32_t size;
+  };
+  std::span<const std::uint8_t> bytes_;
+  std::vector<Entry> entries_;
+  PayloadKind kind_;
+};
+
+/// Cheap sniff: does this look like a CEPX container at all (magic
+/// present)? Never throws; used by the tools to classify inputs.
+bool looks_like_cepx(std::span<const std::uint8_t> bytes);
+
+/// Header-level detection of what a container carries. Validates
+/// magic, container version and the declared size, so truncated or
+/// foreign files fail here with a precise diagnostic; full payload
+/// validation (digest, sections) happens at decode.
+PayloadKind detect_kind(std::span<const std::uint8_t> bytes);
+
+}  // namespace cepic::serial

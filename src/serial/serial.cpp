@@ -1,0 +1,502 @@
+#include "serial/serial.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/encoding.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::serial {
+
+namespace {
+
+// Interns strings in first-use order; index 0 is always "". Because the
+// encoders walk their structures in a fixed order, the resulting table —
+// and with it the whole container — is canonical.
+class StringInterner {
+public:
+  StringInterner() { list_.emplace_back(); }
+
+  std::uint32_t intern(const std::string& s) {
+    const auto [it, inserted] =
+        index_.try_emplace(s, static_cast<std::uint32_t>(list_.size()));
+    if (inserted) list_.push_back(s);
+    return it->second;
+  }
+
+  std::vector<std::uint8_t> section() const {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(list_.size()));
+    for (const std::string& s : list_) {
+      w.u32(static_cast<std::uint32_t>(s.size()));
+      w.raw(std::string_view(s));
+    }
+    return w.take();
+  }
+
+private:
+  std::vector<std::string> list_;
+  std::map<std::string, std::uint32_t> index_;
+};
+
+// The decoded string table, with bounds-checked lookup.
+class StringTable {
+public:
+  explicit StringTable(ByteReader r) {
+    const std::uint32_t n = r.u32();
+    list_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t len = r.u32();
+      const auto bytes = r.raw(len);
+      list_.emplace_back(reinterpret_cast<const char*>(bytes.data()),
+                         bytes.size());
+    }
+    r.expect_done();
+    if (list_.empty() || !list_[0].empty()) {
+      throw Error("corrupt CEPX container: string table lacks the empty "
+                  "string at index 0");
+    }
+  }
+
+  const std::string& at(std::uint32_t idx) const {
+    if (idx >= list_.size()) {
+      throw Error(cat("corrupt CEPX container: string index ", idx,
+                      " out of range (table has ", list_.size(),
+                      " entries)"));
+    }
+    return list_[idx];
+  }
+
+private:
+  std::vector<std::string> list_;
+};
+
+// Interned operand constants (the Module codec's CPOL section).
+class ConstInterner {
+public:
+  std::uint32_t intern(std::int32_t v) {
+    const auto [it, inserted] =
+        index_.try_emplace(v, static_cast<std::uint32_t>(list_.size()));
+    if (inserted) list_.push_back(v);
+    return it->second;
+  }
+
+  std::vector<std::uint8_t> section() const {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(list_.size()));
+    for (std::int32_t v : list_) w.i32(v);
+    return w.take();
+  }
+
+private:
+  std::vector<std::int32_t> list_;
+  std::map<std::int32_t, std::uint32_t> index_;
+};
+
+class ConstPool {
+public:
+  explicit ConstPool(ByteReader r) {
+    const std::uint32_t n = r.u32();
+    list_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) list_.push_back(r.i32());
+    r.expect_done();
+  }
+
+  std::int32_t at(std::uint32_t idx) const {
+    if (idx >= list_.size()) {
+      throw Error(cat("corrupt CEPX container: constant-pool index ", idx,
+                      " out of range (pool has ", list_.size(),
+                      " entries)"));
+    }
+    return list_[idx];
+  }
+
+private:
+  std::vector<std::int32_t> list_;
+};
+
+// --- Module codec -----------------------------------------------------
+//
+// Each instruction is a fixed 40-byte record followed by argc variable
+// call-argument pairs:
+//   u8  op
+//   u8  flags: bit 0 guard_negate, bits 2-3/4-5/6-7 kinds of a/b/c
+//   u16 argc
+//   u32 dst, u32 guard
+//   u32 payload(a), payload(b), payload(c)   (reg | const-pool index | 0)
+//   i32 global_index
+//   u32 callee string index
+//   i32 block_then, i32 block_else
+//   argc x { u32 kind, u32 payload }
+
+std::uint32_t value_payload(const ir::Value& v, ConstInterner& consts) {
+  switch (v.kind) {
+    case ir::Value::Kind::None: return 0;
+    case ir::Value::Kind::Reg: return v.reg;
+    case ir::Value::Kind::Imm: return consts.intern(v.imm);
+  }
+  return 0;
+}
+
+ir::Value make_value(std::uint32_t kind, std::uint32_t payload,
+                     const ConstPool& consts) {
+  switch (kind) {
+    case 0:
+      if (payload != 0) {
+        throw Error("corrupt CEPX container: none-operand with a payload");
+      }
+      return ir::Value::none();
+    case 1: return ir::Value::r(payload);
+    case 2: return ir::Value::i(consts.at(payload));
+    default:
+      throw Error(cat("corrupt CEPX container: unknown operand kind ",
+                      kind));
+  }
+}
+
+void encode_inst(ByteWriter& w, const ir::IrInst& inst,
+                 StringInterner& strings, ConstInterner& consts) {
+  const auto kind2 = [](const ir::Value& v) {
+    return static_cast<std::uint8_t>(v.kind);
+  };
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (inst.guard_negate ? 1u : 0u) | (kind2(inst.a) << 2) |
+      (kind2(inst.b) << 4) | (kind2(inst.c) << 6));
+  w.u8(static_cast<std::uint8_t>(inst.op));
+  w.u8(flags);
+  w.u16(static_cast<std::uint16_t>(inst.args.size()));
+  w.u32(inst.dst);
+  w.u32(inst.guard);
+  w.u32(value_payload(inst.a, consts));
+  w.u32(value_payload(inst.b, consts));
+  w.u32(value_payload(inst.c, consts));
+  w.i32(inst.global_index);
+  w.u32(strings.intern(inst.callee));
+  w.i32(inst.block_then);
+  w.i32(inst.block_else);
+  for (const ir::Value& arg : inst.args) {
+    w.u32(kind2(arg));
+    w.u32(value_payload(arg, consts));
+  }
+}
+
+ir::IrInst decode_inst(ByteReader& r, const StringTable& strings,
+                       const ConstPool& consts, int num_globals,
+                       int num_blocks) {
+  ir::IrInst inst;
+  const std::uint8_t op = r.u8();
+  if (op > static_cast<std::uint8_t>(ir::IrOp::Ret)) {
+    throw Error(cat("corrupt CEPX container: unknown IR opcode ", int{op}));
+  }
+  inst.op = static_cast<ir::IrOp>(op);
+  const std::uint8_t flags = r.u8();
+  inst.guard_negate = (flags & 1) != 0;
+  const std::uint16_t argc = r.u16();
+  inst.dst = r.u32();
+  inst.guard = r.u32();
+  const std::uint32_t pa = r.u32();
+  const std::uint32_t pb = r.u32();
+  const std::uint32_t pc = r.u32();
+  inst.a = make_value((flags >> 2) & 3, pa, consts);
+  inst.b = make_value((flags >> 4) & 3, pb, consts);
+  inst.c = make_value((flags >> 6) & 3, pc, consts);
+  inst.global_index = r.i32();
+  inst.callee = strings.at(r.u32());
+  inst.block_then = r.i32();
+  inst.block_else = r.i32();
+  if (inst.global_index < -1 || inst.global_index >= num_globals) {
+    throw Error(cat("corrupt CEPX container: global index ",
+                    inst.global_index, " out of range"));
+  }
+  const auto check_block = [&](int b) {
+    if (b < -1 || b >= num_blocks) {
+      throw Error(cat("corrupt CEPX container: block index ", b,
+                      " out of range (function has ", num_blocks,
+                      " blocks)"));
+    }
+  };
+  check_block(inst.block_then);
+  check_block(inst.block_else);
+  inst.args.reserve(argc);
+  for (std::uint16_t i = 0; i < argc; ++i) {
+    const std::uint32_t kind = r.u32();
+    const std::uint32_t payload = r.u32();
+    inst.args.push_back(make_value(kind, payload, consts));
+  }
+  return inst;
+}
+
+std::vector<std::uint8_t> encode_conf(const ProcessorConfig& c,
+                                      StringInterner& strings) {
+  ByteWriter w;
+  w.u32(c.num_alus);
+  w.u32(c.num_gprs);
+  w.u32(c.num_preds);
+  w.u32(c.num_btrs);
+  w.u32(c.issue_width);
+  w.u32(c.datapath_width);
+  w.u32(c.max_regs_per_instr);
+  w.u32(c.reg_port_budget);
+  w.u32(c.load_latency);
+  w.u32(c.pipeline_stages);
+  w.u8(c.forwarding ? 1 : 0);
+  w.u8(c.unified_memory_contention ? 1 : 0);
+  w.u8(c.alu.has_mul ? 1 : 0);
+  w.u8(c.alu.has_div ? 1 : 0);
+  w.u8(c.alu.has_shift ? 1 : 0);
+  w.u8(c.alu.has_minmax ? 1 : 0);
+  w.u16(0);  // pad to 4-byte multiple
+  w.u32(static_cast<std::uint32_t>(c.custom_ops.size()));
+  for (const std::string& op : c.custom_ops) w.u32(strings.intern(op));
+  return w.take();
+}
+
+ProcessorConfig decode_conf(ByteReader r, const StringTable& strings) {
+  const auto flag = [](std::uint8_t v) {
+    if (v > 1) {
+      throw Error(cat("corrupt CEPX container: boolean field holds ",
+                      int{v}));
+    }
+    return v != 0;
+  };
+  ProcessorConfig c;
+  c.num_alus = r.u32();
+  c.num_gprs = r.u32();
+  c.num_preds = r.u32();
+  c.num_btrs = r.u32();
+  c.issue_width = r.u32();
+  c.datapath_width = r.u32();
+  c.max_regs_per_instr = r.u32();
+  c.reg_port_budget = r.u32();
+  c.load_latency = r.u32();
+  c.pipeline_stages = r.u32();
+  c.forwarding = flag(r.u8());
+  c.unified_memory_contention = flag(r.u8());
+  c.alu.has_mul = flag(r.u8());
+  c.alu.has_div = flag(r.u8());
+  c.alu.has_shift = flag(r.u8());
+  c.alu.has_minmax = flag(r.u8());
+  if (r.u16() != 0) {
+    throw Error("corrupt CEPX container: CONF padding is non-zero");
+  }
+  const std::uint32_t n_custom = r.u32();
+  c.custom_ops.clear();
+  c.custom_ops.reserve(n_custom);
+  for (std::uint32_t i = 0; i < n_custom; ++i) {
+    c.custom_ops.push_back(strings.at(r.u32()));
+  }
+  r.expect_done();
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_module(const ir::Module& module) {
+  StringInterner strings;
+  ConstInterner consts;
+
+  ByteWriter glob;
+  glob.u32(static_cast<std::uint32_t>(module.globals.size()));
+  for (const ir::Global& g : module.globals) {
+    glob.u32(strings.intern(g.name));
+    glob.u32(g.size_words);
+    glob.u32(static_cast<std::uint32_t>(g.init_words.size()));
+    for (std::uint32_t word : g.init_words) glob.u32(word);
+  }
+
+  ByteWriter func;
+  func.u32(static_cast<std::uint32_t>(module.functions.size()));
+  for (const ir::Function& fn : module.functions) {
+    func.u32(strings.intern(fn.name));
+    func.u8(fn.returns_value ? 1 : 0);
+    func.u32(fn.frame_bytes);
+    func.u32(fn.next_vreg);
+    func.u32(static_cast<std::uint32_t>(fn.params.size()));
+    for (ir::VReg p : fn.params) func.u32(p);
+    func.u32(static_cast<std::uint32_t>(fn.blocks.size()));
+    for (const ir::BasicBlock& block : fn.blocks) {
+      func.u32(strings.intern(block.label));
+      func.u32(static_cast<std::uint32_t>(block.insts.size()));
+      for (const ir::IrInst& inst : block.insts) {
+        encode_inst(func, inst, strings, consts);
+      }
+    }
+  }
+
+  ContainerWriter out;
+  out.add_section(kSecStrings, strings.section());
+  out.add_section(kSecConstPool, consts.section());
+  out.add_section(kSecGlobals, std::move(glob));
+  out.add_section(kSecFunctions, std::move(func));
+  return out.finish(PayloadKind::kModule);
+}
+
+ir::Module decode_module(std::span<const std::uint8_t> bytes) {
+  const ContainerReader container(bytes);
+  if (container.kind() != PayloadKind::kModule) {
+    throw Error(cat("CEPX container carries a ",
+                    to_string(container.kind()),
+                    ", expected an IR module"));
+  }
+  const StringTable strings(container.section(kSecStrings));
+  const ConstPool consts(container.section(kSecConstPool));
+
+  ir::Module module;
+
+  ByteReader glob = container.section(kSecGlobals);
+  const std::uint32_t n_globals = glob.u32();
+  module.globals.reserve(n_globals);
+  for (std::uint32_t i = 0; i < n_globals; ++i) {
+    ir::Global g;
+    g.name = strings.at(glob.u32());
+    g.size_words = glob.u32();
+    const std::uint32_t n_init = glob.u32();
+    g.init_words.reserve(n_init);
+    for (std::uint32_t j = 0; j < n_init; ++j) g.init_words.push_back(glob.u32());
+    module.globals.push_back(std::move(g));
+  }
+  glob.expect_done();
+
+  ByteReader func = container.section(kSecFunctions);
+  const std::uint32_t n_functions = func.u32();
+  module.functions.reserve(n_functions);
+  for (std::uint32_t i = 0; i < n_functions; ++i) {
+    ir::Function fn;
+    fn.name = strings.at(func.u32());
+    fn.returns_value = func.u8() != 0;
+    fn.frame_bytes = func.u32();
+    fn.next_vreg = func.u32();
+    const std::uint32_t n_params = func.u32();
+    fn.params.reserve(n_params);
+    for (std::uint32_t j = 0; j < n_params; ++j) fn.params.push_back(func.u32());
+    const std::uint32_t n_blocks = func.u32();
+    fn.blocks.reserve(n_blocks);
+    for (std::uint32_t j = 0; j < n_blocks; ++j) {
+      ir::BasicBlock block;
+      block.label = strings.at(func.u32());
+      const std::uint32_t n_insts = func.u32();
+      block.insts.reserve(n_insts);
+      for (std::uint32_t k = 0; k < n_insts; ++k) {
+        block.insts.push_back(decode_inst(func, strings, consts,
+                                          static_cast<int>(n_globals),
+                                          static_cast<int>(n_blocks)));
+      }
+      fn.blocks.push_back(std::move(block));
+    }
+    module.functions.push_back(std::move(fn));
+  }
+  func.expect_done();
+  return module;
+}
+
+std::vector<std::uint8_t> encode_program(const Program& program) {
+  StringInterner strings;
+
+  const std::vector<std::uint8_t> conf = encode_conf(program.config, strings);
+
+  ByteWriter code;
+  const std::vector<std::uint64_t> words = program.encode_code();
+  code.u32(static_cast<std::uint32_t>(words.size()));
+  for (std::uint64_t word : words) code.u64(word);
+
+  ByteWriter data;
+  data.raw(std::span<const std::uint8_t>(program.data));
+
+  ByteWriter syms;
+  syms.u32(static_cast<std::uint32_t>(program.code_symbols.size()));
+  for (const auto& [name, addr] : program.code_symbols) {
+    syms.u32(strings.intern(name));
+    syms.u32(addr);
+  }
+  syms.u32(static_cast<std::uint32_t>(program.data_symbols.size()));
+  for (const auto& [name, addr] : program.data_symbols) {
+    syms.u32(strings.intern(name));
+    syms.u32(addr);
+  }
+
+  ByteWriter meta;
+  meta.u32(program.entry_bundle);
+
+  ContainerWriter out;
+  out.add_section(kSecStrings, strings.section());
+  out.add_section(kSecConfig, conf);
+  out.add_section(kSecCode, std::move(code));
+  out.add_section(kSecData, std::move(data));
+  out.add_section(kSecSymbols, std::move(syms));
+  out.add_section(kSecMeta, std::move(meta));
+  return out.finish(PayloadKind::kProgram);
+}
+
+Program decode_program(std::span<const std::uint8_t> bytes) {
+  const ContainerReader container(bytes);
+  if (container.kind() != PayloadKind::kProgram) {
+    throw Error(cat("CEPX container carries a ",
+                    to_string(container.kind()), ", expected a program"));
+  }
+  const StringTable strings(container.section(kSecStrings));
+
+  Program p;
+  p.config = decode_conf(container.section(kSecConfig), strings);
+  p.config.validate();
+
+  ByteReader code = container.section(kSecCode);
+  const std::uint32_t n_code = code.u32();
+  p.code.reserve(n_code);
+  for (std::uint32_t i = 0; i < n_code; ++i) {
+    p.code.push_back(decode_instruction(code.u64(), p.config));
+  }
+  code.expect_done();
+  if (p.config.issue_width == 0 ||
+      p.code.size() % p.config.issue_width != 0) {
+    throw Error("corrupt CEPX container: code is not a whole number of "
+                "bundles");
+  }
+
+  ByteReader data = container.section(kSecData);
+  const auto raw = data.raw(data.remaining());
+  p.data.assign(raw.begin(), raw.end());
+
+  ByteReader syms = container.section(kSecSymbols);
+  const std::uint32_t n_csym = syms.u32();
+  for (std::uint32_t i = 0; i < n_csym; ++i) {
+    const std::string& name = strings.at(syms.u32());
+    p.code_symbols[name] = syms.u32();
+  }
+  const std::uint32_t n_dsym = syms.u32();
+  for (std::uint32_t i = 0; i < n_dsym; ++i) {
+    const std::string& name = strings.at(syms.u32());
+    p.data_symbols[name] = syms.u32();
+  }
+  syms.expect_done();
+
+  ByteReader meta = container.section(kSecMeta);
+  p.entry_bundle = meta.u32();
+  meta.expect_done();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_config(const ProcessorConfig& config) {
+  StringInterner strings;
+  const std::vector<std::uint8_t> conf = encode_conf(config, strings);
+  ContainerWriter out;
+  out.add_section(kSecStrings, strings.section());
+  out.add_section(kSecConfig, conf);
+  return out.finish(PayloadKind::kConfig);
+}
+
+ProcessorConfig decode_config(std::span<const std::uint8_t> bytes) {
+  const ContainerReader container(bytes);
+  if (container.kind() != PayloadKind::kConfig) {
+    throw Error(cat("CEPX container carries a ",
+                    to_string(container.kind()),
+                    ", expected a processor configuration"));
+  }
+  const StringTable strings(container.section(kSecStrings));
+  ProcessorConfig c = decode_conf(container.section(kSecConfig), strings);
+  c.validate();
+  return c;
+}
+
+}  // namespace cepic::serial

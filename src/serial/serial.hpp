@@ -1,0 +1,35 @@
+// Payload codecs for the three CEPX store granularities (docs/FORMAT.md):
+// packed ir::Module, assembled Program, and ProcessorConfig. Each codec
+// produces a canonical encoding — encoding the decoded value again yields
+// bit-identical bytes — which is what lets the pipeline store compare and
+// dedup artifacts by digest alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/program.hpp"
+#include "ir/ir.hpp"
+#include "serial/cepx.hpp"
+
+namespace cepic::serial {
+
+/// Packed Module: STRT (interned strings) + CPOL (interned operand
+/// constants) + GLOB + FUNC (fixed 40-byte instruction records,
+/// firesnes-style). Round-trips exactly: decode(encode(m)) == m.
+std::vector<std::uint8_t> encode_module(const ir::Module& module);
+ir::Module decode_module(std::span<const std::uint8_t> bytes);
+
+/// Assembled Program: STRT + CONF (packed config) + CODE (encoded
+/// instruction words) + DATA + SYMS + META.
+std::vector<std::uint8_t> encode_program(const Program& program);
+Program decode_program(std::span<const std::uint8_t> bytes);
+
+/// Standalone processor configuration (the Mdes source of truth):
+/// STRT + CONF.
+std::vector<std::uint8_t> encode_config(const ProcessorConfig& config);
+ProcessorConfig decode_config(std::span<const std::uint8_t> bytes);
+
+}  // namespace cepic::serial

@@ -9,7 +9,7 @@
 
 #include <sstream>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "mcheck/mcheck.hpp"
@@ -30,7 +30,7 @@ ir::InterpResult golden(const std::string& src) {
 /// scheduler's architectural claims are checked by an independent
 /// oracle, not just by the simulator happening to agree.
 void expect_lint_clean(const std::string& src, const ProcessorConfig& cfg) {
-  const Program program = driver::compile_minic_to_epic(src, cfg).program;
+  const Program program = pipeline::compile_once(src, cfg).program;
   const mcheck::Report rep =
       mcheck::check_program(program, mcheck::CheckOptions{.werror = true});
   EXPECT_TRUE(rep.clean()) << "on " << cfg.summary() << "\n" << rep.to_text();
@@ -46,7 +46,7 @@ void expect_all_alu_configs_match(const std::string& src,
     cfg.num_alus = alus;
     SimOptions sim_options;
     sim_options.max_cycles = 8'000'000'000ull;
-    EpicSimulator sim = driver::run_minic_on_epic(src, cfg, {}, sim_options);
+    EpicSimulator sim = pipeline::run_once(src, cfg, {}, sim_options);
     EXPECT_EQ(sim.output(), gold.output);
     EXPECT_EQ(sim.gpr(3), gold.ret);
     expect_lint_clean(src, cfg);
@@ -148,7 +148,7 @@ TEST(GeneratedDifferential, RandomProgramsAgreeAcrossIssueWidths) {
       SCOPED_TRACE(cat("issue_width=", issue));
       ProcessorConfig cfg;
       cfg.issue_width = issue;
-      EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+      EpicSimulator sim = pipeline::run_once(src, cfg);
       EXPECT_EQ(sim.output(), gold.output);
       EXPECT_EQ(sim.gpr(3), gold.ret);
       expect_lint_clean(src, cfg);
@@ -170,7 +170,7 @@ TEST(GeneratedDifferential, RandomProgramsAgreeWithForwardingOff) {
       ProcessorConfig cfg;
       cfg.num_alus = alus;
       cfg.forwarding = false;
-      EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+      EpicSimulator sim = pipeline::run_once(src, cfg);
       EXPECT_EQ(sim.output(), gold.output);
       EXPECT_EQ(sim.gpr(3), gold.ret);
       expect_lint_clean(src, cfg);
@@ -193,7 +193,7 @@ TEST(GeneratedDifferential, RandomProgramsAgreeUnderMemoryContention) {
       cfg.num_alus = 2;
       cfg.pipeline_stages = stages;
       cfg.unified_memory_contention = true;
-      EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+      EpicSimulator sim = pipeline::run_once(src, cfg);
       EXPECT_EQ(sim.output(), gold.output);
       EXPECT_EQ(sim.gpr(3), gold.ret);
     }

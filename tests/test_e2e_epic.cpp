@@ -6,7 +6,7 @@
 // This is the strongest compiler-correctness property in the suite.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 
@@ -80,9 +80,9 @@ ir::InterpResult golden(const char* src) {
 }
 
 void expect_match(const char* src, const ProcessorConfig& cfg,
-                  const driver::EpicCompileOptions& options) {
+                  const pipeline::CodegenOptions& options) {
   const ir::InterpResult gold = golden(src);
-  EpicSimulator sim = driver::run_minic_on_epic(src, cfg, options);
+  EpicSimulator sim = pipeline::run_once(src, cfg, options);
   EXPECT_EQ(sim.output(), gold.output) << src;
   EXPECT_EQ(sim.gpr(3), gold.ret) << src;
 }
@@ -103,7 +103,7 @@ TEST_P(E2eEpic, MatchesInterpreterOnCorpus) {
   ProcessorConfig cfg;
   cfg.num_alus = pc.alus;
   cfg.issue_width = pc.issue;
-  driver::EpicCompileOptions options;
+  pipeline::CodegenOptions options;
   options.optimize = pc.optimize;
   options.backend.schedule = pc.schedule;
   options.opt.if_convert = pc.if_convert;
@@ -156,7 +156,7 @@ TEST(E2eEpic, MoreAlusNeverSlower) {
   for (unsigned alus : {1u, 2u, 4u}) {
     ProcessorConfig cfg;
     cfg.num_alus = alus;
-    EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+    EpicSimulator sim = pipeline::run_once(src, cfg);
     EXPECT_LE(sim.stats().cycles, prev) << alus << " ALUs";
     prev = sim.stats().cycles;
   }
@@ -164,21 +164,21 @@ TEST(E2eEpic, MoreAlusNeverSlower) {
 
 TEST(E2eEpic, SchedulingReducesCycles) {
   const char* src = kPrograms[6];
-  driver::EpicCompileOptions sched;
-  driver::EpicCompileOptions unsched;
+  pipeline::CodegenOptions sched;
+  pipeline::CodegenOptions unsched;
   unsched.backend.schedule = false;
-  const auto fast = driver::run_minic_on_epic(src, ProcessorConfig{}, sched);
-  const auto slow = driver::run_minic_on_epic(src, ProcessorConfig{}, unsched);
+  const auto fast = pipeline::run_once(src, ProcessorConfig{}, sched);
+  const auto slow = pipeline::run_once(src, ProcessorConfig{}, unsched);
   EXPECT_LT(fast.stats().cycles, slow.stats().cycles);
 }
 
 TEST(E2eEpic, IfConversionReducesBranches) {
   const char* src = kPrograms[5];  // Dijkstra-like
-  driver::EpicCompileOptions with_ic;
-  driver::EpicCompileOptions without_ic;
+  pipeline::CodegenOptions with_ic;
+  pipeline::CodegenOptions without_ic;
   without_ic.opt.if_convert = false;
-  const auto a = driver::run_minic_on_epic(src, ProcessorConfig{}, with_ic);
-  const auto b = driver::run_minic_on_epic(src, ProcessorConfig{}, without_ic);
+  const auto a = pipeline::run_once(src, ProcessorConfig{}, with_ic);
+  const auto b = pipeline::run_once(src, ProcessorConfig{}, without_ic);
   EXPECT_LT(a.stats().branches_taken + a.stats().branches_not_taken,
             b.stats().branches_taken + b.stats().branches_not_taken);
 }

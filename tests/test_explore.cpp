@@ -9,7 +9,7 @@
 #include <fstream>
 #include <thread>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "explore/cache.hpp"
 #include "explore/explore.hpp"
 #include "explore/sweep.hpp"
@@ -154,7 +154,7 @@ TEST(Explore, ResultsMatchADirectDriverRun) {
   ASSERT_EQ(r.points.size(), 1u);
   ASSERT_TRUE(r.points[0].ok);
 
-  EpicSimulator sim = driver::run_minic_on_epic(kProg, cfg);
+  EpicSimulator sim = pipeline::run_once(kProg, cfg);
   EXPECT_EQ(r.points[0].cycles, sim.stats().cycles);
   EXPECT_EQ(r.points[0].output_words, sim.output().size());
   EXPECT_EQ(r.points[0].output_hash, hash_output(sim.output()));

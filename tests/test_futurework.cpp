@@ -3,7 +3,7 @@
 // generation, and the power model.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "fpga/model.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
@@ -77,9 +77,9 @@ TEST(PipelineDepth, EndToEndStillCorrectAndBranchCodeSlower) {
   for (unsigned stages : {2u, 3u, 4u}) {
     ProcessorConfig cfg;
     cfg.pipeline_stages = stages;
-    driver::EpicCompileOptions options;
+    pipeline::CodegenOptions options;
     options.opt.if_convert = false;  // keep the branches for the test
-    EpicSimulator sim = driver::run_minic_on_epic(src, cfg, options);
+    EpicSimulator sim = pipeline::run_once(src, cfg, options);
     EXPECT_EQ(sim.output(), gold.output) << stages;
     if (prev != 0) {
       EXPECT_GT(sim.stats().cycles, prev) << stages;

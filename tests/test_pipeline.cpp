@@ -11,12 +11,12 @@
 #include <vector>
 
 #include "backend/backend.hpp"
-#include "driver/driver.hpp"
 #include "explore/explore.hpp"
 #include "frontend/irgen.hpp"
 #include "opt/opt.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/store.hpp"
+#include "serial/serial.hpp"
 #include "support/bits.hpp"
 
 namespace cepic::pipeline {
@@ -127,7 +127,7 @@ TEST(Service, SimOnlyVariantsCompileOnceAndMatchTheDeprecatedDriver) {
 
   for (std::size_t i = 0; i < configs.size(); ++i) {
     ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
-    EpicSimulator sim = driver::run_minic_on_epic(kProg, configs[i]);
+    EpicSimulator sim = pipeline::run_once(kProg, configs[i]);
     EXPECT_EQ(outcomes[i].cycles, sim.stats().cycles) << i;
     EXPECT_EQ(outcomes[i].output_hash, fnv1a64_words(sim.output())) << i;
     EXPECT_EQ(outcomes[i].ret, sim.gpr(3)) << i;
@@ -162,7 +162,7 @@ TEST(Service, CompiledProgramCarriesTheFullRequestedConfig) {
   // Second request is served from the in-memory store; still re-stamped.
   const Program warm = service.compile_program(kProg, cfg);
   EXPECT_EQ(warm.config.pipeline_stages, 4u);
-  EXPECT_EQ(cold.serialize(), warm.serialize());
+  EXPECT_EQ(serial::encode_program(cold), serial::encode_program(warm));
 }
 
 // ------------------------------------------------------ persistent store
@@ -179,7 +179,7 @@ TEST(Service, StoreHitsAcrossProcessesAreByteIdenticalToColdCompiles) {
   std::string cold_asm;
   {
     Service cold(options);
-    cold_bytes = cold.compile_program(kProg, cfg).serialize();
+    cold_bytes = serial::encode_program(cold.compile_program(kProg, cfg));
     cold_asm = cold.compile_asm(kProg, cfg);
     EXPECT_GE(cold.stats().compiles(), 1u);
   }
@@ -196,7 +196,7 @@ TEST(Service, StoreHitsAcrossProcessesAreByteIdenticalToColdCompiles) {
   // config must reproduce the cold bytes exactly.
   Program restamped = served.program;
   restamped.config = cfg;
-  EXPECT_EQ(restamped.serialize(), cold_bytes);
+  EXPECT_EQ(serial::encode_program(restamped), cold_bytes);
 
   const ServiceStats stats = warm.stats();
   EXPECT_EQ(stats.backend_runs, 0u);
@@ -207,17 +207,43 @@ TEST(Service, StoreHitsAcrossProcessesAreByteIdenticalToColdCompiles) {
 
 TEST(Store, VersionTagIsolatesIncompatibleToolchains) {
   const std::string dir = scratch_dir("store_version");
+  const ArtifactId id{Granularity::kAsm, 42};
   {
     Store a(dir, "vA");
-    a.put(Granularity::kAsm, 42, "blob-from-vA");
+    a.put(id, "blob-from-vA");
   }
   Store b(dir, "vB");
   std::string blob;
-  EXPECT_FALSE(b.get(Granularity::kAsm, 42, blob));  // invisible across tags
+  EXPECT_FALSE(b.get(id, blob));  // invisible across tags
   Store a2(dir, "vA");
-  ASSERT_TRUE(a2.get(Granularity::kAsm, 42, blob));  // durable within a tag
+  ASSERT_TRUE(a2.get(id, blob));  // durable within a tag
   EXPECT_EQ(blob, "blob-from-vA");
   std::filesystem::remove_all(dir);
+}
+
+TEST(Store, RejectsOldLayoutAndForeignDirectories) {
+  // A pre-PR7 store put granularity directories directly under the
+  // version directory the caller pointed at; passing such a directory
+  // as the root now fails fast instead of silently nesting a new store.
+  const std::string old_layout = scratch_dir("store_old_layout");
+  std::filesystem::create_directories(old_layout + "/asm");
+  EXPECT_THROW(Store(old_layout, "vA"), Error);
+
+  // A versioned directory that exists but carries no format marker was
+  // not written by this toolchain — refuse to adopt it.
+  const std::string foreign = scratch_dir("store_foreign");
+  std::filesystem::create_directories(foreign + "/vA");
+  EXPECT_THROW(Store(foreign, "vA"), Error);
+
+  std::filesystem::remove_all(old_layout);
+  std::filesystem::remove_all(foreign);
+}
+
+TEST(Store, ArtifactIdFormatting) {
+  const ArtifactId id{Granularity::kProgram, 0xdeadbeefu};
+  EXPECT_EQ(to_string(id), "program:00000000deadbeef");
+  EXPECT_EQ(to_string(Granularity::kIr), std::string("ir"));
+  EXPECT_EQ(ArtifactId{}, (ArtifactId{Granularity::kIr, 0}));
 }
 
 // ------------------------------------------------------ batch scheduler
@@ -364,7 +390,7 @@ TEST(Service, IdenticalProgramsAcrossCompileGroupsSimulateOnce) {
     Program pb = probe.compile_program(kProg, b);
     pa.config = Service::sim_slice(pa.config);
     pb.config = Service::sim_slice(pb.config);
-    ASSERT_EQ(pa.serialize(), pb.serialize())
+    ASSERT_EQ(serial::encode_program(pa), serial::encode_program(pb))
         << "precondition: these configs no longer produce identical "
            "programs; pick another simulator-invisible codegen knob";
   }

@@ -2,7 +2,8 @@
 // report — the human-facing surfaces tools and debugging rely on.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "sarm/isa.hpp"
 #include "sim/simulator.hpp"
@@ -65,7 +66,7 @@ TEST(SarmPrinter, RendersInstructionsAndListing) {
   ldr.op2 = sarm::Operand2::immediate(8);
   EXPECT_EQ(sarm::to_string(ldr), "ldr r6, [r13, #8]");
 
-  const sarm::SProgram p = driver::compile_minic_to_sarm(
+  const sarm::SProgram p = sarm::compile_minic_to_sarm(
       "int main() { return 1; }");
   const std::string listing = sarm::to_string(p);
   EXPECT_NE(listing.find("__start:"), std::string::npos);
@@ -74,7 +75,7 @@ TEST(SarmPrinter, RendersInstructionsAndListing) {
 }
 
 TEST(StatsReport, MentionsEveryStallBucket) {
-  auto sim = driver::run_minic_on_epic(
+  auto sim = pipeline::run_once(
       "int main() { int s = 0;"
       " for (int i = 0; i < 5; i++) s += i; out(s); return s; }",
       ProcessorConfig{});

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "serial/serial.hpp"
 #include "core/program.hpp"
 #include "test_util.hpp"
 
@@ -59,8 +60,8 @@ TEST(Program, SerializeRoundtrip) {
   p.code_symbols["main"] = 1;
   p.data_symbols["table"] = kDataBase;
 
-  const std::vector<std::uint8_t> bytes = p.serialize();
-  const Program q = Program::deserialize(bytes);
+  const std::vector<std::uint8_t> bytes = serial::encode_program(p);
+  const Program q = serial::decode_program(bytes);
 
   EXPECT_EQ(q.config, p.config);
   EXPECT_EQ(q.code, p.code);
@@ -72,21 +73,21 @@ TEST(Program, SerializeRoundtrip) {
 
 TEST(Program, DeserializeRejectsBadMagic) {
   std::vector<std::uint8_t> bytes = {0, 1, 2, 3, 4, 5, 6, 7};
-  EXPECT_THROW(Program::deserialize(bytes), Error);
+  EXPECT_THROW(serial::decode_program(bytes), Error);
 }
 
 TEST(Program, DeserializeRejectsTruncation) {
   const Program p = make_program(ProcessorConfig{}, {{halt()}});
-  std::vector<std::uint8_t> bytes = p.serialize();
+  std::vector<std::uint8_t> bytes = serial::encode_program(p);
   bytes.resize(bytes.size() - 3);
-  EXPECT_THROW(Program::deserialize(bytes), Error);
+  EXPECT_THROW(serial::decode_program(bytes), Error);
 }
 
 TEST(Program, DeserializeRejectsTrailingBytes) {
   const Program p = make_program(ProcessorConfig{}, {{halt()}});
-  std::vector<std::uint8_t> bytes = p.serialize();
+  std::vector<std::uint8_t> bytes = serial::encode_program(p);
   bytes.push_back(0);
-  EXPECT_THROW(Program::deserialize(bytes), Error);
+  EXPECT_THROW(serial::decode_program(bytes), Error);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // and the offending instruction/program so a run is reproducible.
 #include <gtest/gtest.h>
 
+#include "serial/serial.hpp"
 #include "asmtool/assembler.hpp"
 #include "core/encoding.hpp"
 #include "core/instruction.hpp"
@@ -90,7 +91,7 @@ TEST(McheckFuzz, LintCleanProgramsAreNeverRejectedAtSimulationTime) {
       if (!mcheck::check_program(p, encoding_rules()).clean()) continue;
       // Lint-clean implies encodable and serialisable...
       ASSERT_NO_THROW((void)p.encode_code());
-      ASSERT_NO_THROW((void)p.serialize());
+      ASSERT_NO_THROW((void)serial::encode_program(p));
       // ...and simulatable up to dynamic control-flow effects.
       SimOptions sim_options;
       sim_options.max_cycles = 10'000;

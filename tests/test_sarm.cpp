@@ -2,7 +2,8 @@
 // code-generation checks, and e2e equivalence against the interpreter.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "sarm/codegen.hpp"
@@ -190,7 +191,7 @@ TEST(SarmSim, RunawayGuard) {
 // ---- code generation ----
 
 TEST(SarmCodegen, CompilesAndRuns) {
-  auto sim = driver::run_minic_on_sarm(
+  auto sim = sarm::run_minic_on_sarm(
       "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i;"
       " out(s); return s; }");
   ASSERT_EQ(sim.output().size(), 1u);
@@ -200,7 +201,7 @@ TEST(SarmCodegen, CompilesAndRuns) {
 
 TEST(SarmCodegen, FoldsShiftsIntoAddressing) {
   // Array indexing should use the barrel shifter, not separate LSLs.
-  const SProgram p = driver::compile_minic_to_sarm(
+  const SProgram p = sarm::compile_minic_to_sarm(
       "int t[8];\n"
       "int main() { int s = 0;"
       " for (int i = 0; i < 8; i++) s += t[i]; return s; }");
@@ -216,7 +217,7 @@ TEST(SarmCodegen, FoldsShiftsIntoAddressing) {
 }
 
 TEST(SarmCodegen, UsesConditionalMovesForCmpValues) {
-  const SProgram p = driver::compile_minic_to_sarm(
+  const SProgram p = sarm::compile_minic_to_sarm(
       "int g[1] = {4};\n"
       "int main(){ int c = g[0] < 5; return c; }");
   bool cond_mov = false;
@@ -227,7 +228,7 @@ TEST(SarmCodegen, UsesConditionalMovesForCmpValues) {
 }
 
 TEST(SarmCodegen, RejectsTooManyArgs) {
-  EXPECT_THROW(driver::compile_minic_to_sarm(
+  EXPECT_THROW(sarm::compile_minic_to_sarm(
                    "int g(int a,int b,int c,int d,int e) { return a; }\n"
                    "int main() { return g(1,2,3,4,5); }"),
                Error);
@@ -261,27 +262,27 @@ TEST(SarmE2e, MatchesInterpreterOnCorpus) {
   for (const char* src : kCorpus) {
     ir::Module m = minic::compile_to_ir(src);
     const ir::InterpResult gold = ir::Interpreter(m).run();
-    auto sim = driver::run_minic_on_sarm(src);
+    auto sim = sarm::run_minic_on_sarm(src);
     EXPECT_EQ(sim.output(), gold.output) << src;
     EXPECT_EQ(sim.reg(0), gold.ret) << src;
   }
 }
 
 TEST(SarmE2e, UnoptimisedAlsoMatches) {
-  driver::SarmCompileOptions options;
+  sarm::SarmCompileOptions options;
   options.optimize = false;
   for (const char* src : kCorpus) {
     ir::Module m = minic::compile_to_ir(src);
     const ir::InterpResult gold = ir::Interpreter(m).run();
-    auto sim = driver::run_minic_on_sarm(src, options);
+    auto sim = sarm::run_minic_on_sarm(src, options);
     EXPECT_EQ(sim.output(), gold.output) << src;
   }
 }
 
 TEST(SarmE2e, EpicAndSarmAgreeBitForBit) {
   for (const char* src : kCorpus) {
-    auto epic = driver::run_minic_on_epic(src, ProcessorConfig{});
-    auto sarm_sim = driver::run_minic_on_sarm(src);
+    auto epic = pipeline::run_once(src, ProcessorConfig{});
+    auto sarm_sim = sarm::run_minic_on_sarm(src);
     EXPECT_EQ(epic.output(), sarm_sim.output()) << src;
   }
 }

@@ -14,7 +14,7 @@
 // blocks are exercised on every comparison.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sim/simulator.hpp"
 #include "support/bits.hpp"
 #include "support/prng.hpp"
@@ -127,7 +127,7 @@ TEST(SimFastPath, WorkloadAcrossCodegenAndSimGrid) {
         cfg.num_alus = alus;
         cfg.forwarding = forwarding;
         cfg.reg_port_budget = ports;
-        const auto compiled = driver::compile_minic_to_epic(w.minic_source, cfg);
+        const auto compiled = pipeline::compile_once(w.minic_source, cfg);
         for (const unsigned stages : {2u, 4u}) {
           for (const bool contention : {false, true}) {
             SCOPED_TRACE(cat("alus=", alus, " fwd=", forwarding,
@@ -160,7 +160,7 @@ TEST(SimFastPath, MoreWorkloadsOnTightAndDefaultConfigs) {
   for (const auto& w : ws) {
     for (const ProcessorConfig& cfg : cfgs) {
       SCOPED_TRACE(cat(w.name, " on ", cfg.summary()));
-      const auto compiled = driver::compile_minic_to_epic(w.minic_source, cfg);
+      const auto compiled = pipeline::compile_once(w.minic_source, cfg);
       expect_identical(compiled.program, {}, SimOptions{});
     }
   }
@@ -169,7 +169,7 @@ TEST(SimFastPath, MoreWorkloadsOnTightAndDefaultConfigs) {
 TEST(SimFastPath, TraceOutputIsIdentical) {
   const workloads::Workload w = workloads::make_dct(8);
   const auto compiled =
-      driver::compile_minic_to_epic(w.minic_source, ProcessorConfig{});
+      pipeline::compile_once(w.minic_source, ProcessorConfig{});
   SimOptions options;
   options.collect_trace = true;
   options.trace_limit = 512;

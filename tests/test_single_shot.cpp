@@ -1,13 +1,15 @@
-// Driver-layer tests: the one-call pipelines, option threading, and the
-// equivalence between driver results and manually chained stages.
+// Single-shot pipeline tests: the compile_once()/run_once() one-call
+// helpers (successors of the retired driver:: shims), option threading,
+// and the equivalence between one-shot results and manually chained
+// stages.
 #include <gtest/gtest.h>
 
 #include "asmtool/assembler.hpp"
-#include "driver/driver.hpp"
-#include "frontend/irgen.hpp"
-#include "opt/opt.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
+#include "serial/serial.hpp"
 
-namespace cepic::driver {
+namespace cepic::pipeline {
 namespace {
 
 const char* kProgram =
@@ -15,9 +17,9 @@ const char* kProgram =
     " for (int i = 0; i < 6; i++) s += i * i;"
     " out(s); return s; }";
 
-TEST(Driver, CompileProducesConsistentArtifacts) {
+TEST(SingleShot, CompileProducesConsistentArtifacts) {
   const ProcessorConfig cfg;
-  const EpicCompileResult r = compile_minic_to_epic(kProgram, cfg);
+  const CompileArtifacts r = compile_once(kProgram, cfg);
   // The assembly must reassemble into the identical program.
   const Program again = asmtool::assemble(r.asm_text, cfg);
   EXPECT_EQ(again.encode_code(), r.program.encode_code());
@@ -27,8 +29,8 @@ TEST(Driver, CompileProducesConsistentArtifacts) {
   EXPECT_NE(r.module.find_function("main"), nullptr);
 }
 
-TEST(Driver, RunReturnsReadySimulator) {
-  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{});
+TEST(SingleShot, RunReturnsReadySimulator) {
+  EpicSimulator sim = run_once(kProgram, ProcessorConfig{});
   EXPECT_TRUE(sim.halted());
   ASSERT_EQ(sim.output().size(), 1u);
   EXPECT_EQ(sim.output()[0], 55u);
@@ -36,60 +38,59 @@ TEST(Driver, RunReturnsReadySimulator) {
   EXPECT_GT(sim.stats().cycles, 0u);
 }
 
-TEST(Driver, SimOptionsThreadThroughToStackTop) {
+TEST(SingleShot, SimOptionsThreadThroughToStackTop) {
   // A smaller memory must still work: the backend's stack-top constant
-  // follows sim_options.mem_size.
+  // follows sim.mem_size.
   SimOptions small;
   small.mem_size = 1 << 16;
-  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{}, {},
-                                        small);
+  EpicSimulator sim = run_once(kProgram, ProcessorConfig{}, {}, small);
   EXPECT_EQ(sim.output()[0], 55u);
   EXPECT_EQ(sim.memory().size(), std::size_t{1} << 16);
 }
 
-TEST(Driver, UnoptimisedPipelineAgrees) {
-  EpicCompileOptions no_opt;
+TEST(SingleShot, UnoptimisedPipelineAgrees) {
+  CodegenOptions no_opt;
   no_opt.optimize = false;
-  EpicSimulator a = run_minic_on_epic(kProgram, ProcessorConfig{}, no_opt);
-  EpicSimulator b = run_minic_on_epic(kProgram, ProcessorConfig{});
+  EpicSimulator a = run_once(kProgram, ProcessorConfig{}, no_opt);
+  EpicSimulator b = run_once(kProgram, ProcessorConfig{});
   EXPECT_EQ(a.output(), b.output());
   // And the optimiser must actually pay for itself here.
   EXPECT_LT(b.stats().cycles, a.stats().cycles);
 }
 
-TEST(Driver, SarmDefaultsDisableEpicIfConversion) {
-  const SarmCompileOptions options;
+TEST(SingleShot, SarmDefaultsDisableEpicIfConversion) {
+  const sarm::SarmCompileOptions options;
   EXPECT_FALSE(options.opt.if_convert);
-  auto sim = run_minic_on_sarm(kProgram);
+  auto sim = sarm::run_minic_on_sarm(kProgram);
   EXPECT_EQ(sim.output()[0], 55u);
   EXPECT_EQ(sim.reg(0), 55u);
 }
 
-TEST(Driver, CompileErrorsPropagate) {
-  EXPECT_THROW(compile_minic_to_epic("int main() { return x; }",
-                                     ProcessorConfig{}),
+TEST(SingleShot, CompileErrorsPropagate) {
+  EXPECT_THROW(compile_once("int main() { return x; }", ProcessorConfig{}),
                CompileError);
-  EXPECT_THROW(compile_minic_to_sarm("int main( { }"), CompileError);
+  EXPECT_THROW(sarm::compile_minic_to_sarm("int main( { }"), CompileError);
 }
 
-TEST(Driver, ConfigWithoutEnoughRegistersIsRejected) {
+TEST(SingleShot, ConfigWithoutEnoughRegistersIsRejected) {
   ProcessorConfig cfg;
   cfg.num_gprs = 8;  // below the ABI's reserved set
-  EXPECT_THROW(compile_minic_to_epic(kProgram, cfg), Error);
+  EXPECT_THROW(compile_once(kProgram, cfg), Error);
 }
 
-TEST(Driver, CustomOpsConfigIsCarriedIntoTheBinary) {
+TEST(SingleShot, CustomOpsConfigIsCarriedIntoTheBinary) {
   ProcessorConfig cfg;
   cfg.custom_ops = {"rotr"};
-  const EpicCompileResult r = compile_minic_to_epic(kProgram, cfg);
+  const CompileArtifacts r = compile_once(kProgram, cfg);
   EXPECT_EQ(r.program.config.custom_ops, cfg.custom_ops);
   // A simulator built from the serialised binary picks the ops back up.
-  const Program loaded = Program::deserialize(r.program.serialize());
+  const Program loaded =
+      serial::decode_program(serial::encode_program(r.program));
   EXPECT_EQ(loaded.config.custom_ops, cfg.custom_ops);
 }
 
-TEST(Driver, ProgramsAreReRunnableAfterReset) {
-  EpicSimulator sim = run_minic_on_epic(kProgram, ProcessorConfig{});
+TEST(SingleShot, ProgramsAreReRunnableAfterReset) {
+  EpicSimulator sim = run_once(kProgram, ProcessorConfig{});
   const auto first = sim.output();
   const auto cycles = sim.stats().cycles;
   sim.reset();
@@ -99,4 +100,4 @@ TEST(Driver, ProgramsAreReRunnableAfterReset) {
 }
 
 }  // namespace
-}  // namespace cepic::driver
+}  // namespace cepic::pipeline

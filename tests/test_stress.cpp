@@ -6,7 +6,8 @@
 // dependence bug to a simulator forwarding error.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "support/prng.hpp"
@@ -177,7 +178,7 @@ TEST_P(StressSeeds, AllExecutionsAgree) {
     ProcessorConfig cfg;
     cfg.num_alus = alus;
     cfg.issue_width = alus == 1 ? 2 : 4;
-    EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+    EpicSimulator sim = pipeline::run_once(src, cfg);
     ASSERT_EQ(sim.output(), golden.output)
         << "EPIC " << alus << " ALUs\n" << src;
     ASSERT_EQ(sim.gpr(3), golden.ret) << src;
@@ -186,19 +187,19 @@ TEST_P(StressSeeds, AllExecutionsAgree) {
     ProcessorConfig cfg;  // deep pipeline + small register file
     cfg.pipeline_stages = 3;
     cfg.num_gprs = 24;
-    EpicSimulator sim = driver::run_minic_on_epic(src, cfg);
+    EpicSimulator sim = pipeline::run_once(src, cfg);
     ASSERT_EQ(sim.output(), golden.output) << "EPIC deep/small\n" << src;
   }
 
   // SARM baseline.
-  auto sarm_sim = driver::run_minic_on_sarm(src);
+  auto sarm_sim = sarm::run_minic_on_sarm(src);
   ASSERT_EQ(sarm_sim.output(), golden.output) << "SARM\n" << src;
   ASSERT_EQ(sarm_sim.reg(0), golden.ret) << src;
 
   // Unoptimised EPIC (exercises the naive code paths).
-  driver::EpicCompileOptions no_opt;
+  pipeline::CodegenOptions no_opt;
   no_opt.optimize = false;
-  EpicSimulator raw = driver::run_minic_on_epic(src, ProcessorConfig{},
+  EpicSimulator raw = pipeline::run_once(src, ProcessorConfig{},
                                                 no_opt);
   ASSERT_EQ(raw.output(), golden.output) << "EPIC unoptimised\n" << src;
 }

@@ -12,7 +12,9 @@
 
 #include "core/instruction.hpp"
 #include "core/program.hpp"
+#include "ir/ir.hpp"
 #include "support/prng.hpp"
+#include "support/text.hpp"
 
 namespace cepic::testutil {
 
@@ -169,6 +171,148 @@ inline Program random_program(Prng& rng, const ProcessorConfig& cfg) {
   const Instruction halt = Instruction::halt();
   p.append_bundle({&halt, 1});
   return p;
+}
+
+// --- seeded random IR modules (CEPX round-trip fuzz) ------------------
+
+/// A register already defined at this point, or an immediate when none
+/// exist yet.
+inline ir::Value random_ir_value(Prng& rng, ir::VReg next_vreg) {
+  if (next_vreg > 1 && rng.next_below(2) == 0) {
+    return ir::Value::r(
+        static_cast<ir::VReg>(rng.next_in(1, static_cast<int>(next_vreg) - 1)));
+  }
+  return ir::Value::i(rng.next_in(-9999, 9999));
+}
+
+/// Random well-formed ir::Module: every block ends in one terminator,
+/// block and global references are in range, and next_vreg is kept at
+/// max-used-vreg + 1 — the invariant the text form preserves (the IR
+/// printer does not write next_vreg; the parser reconstructs it).
+/// Exercises every printable instruction shape: guards (plain and
+/// negated), loads/stores, gaddr/faddr, calls with and without a
+/// destination, out, and all three terminators.
+inline ir::Module random_module(Prng& rng) {
+  ir::Module m;
+  const int num_globals = rng.next_in(0, 3);
+  for (int g = 0; g < num_globals; ++g) {
+    ir::Global global;
+    global.name = cat("gv", g);
+    global.size_words = static_cast<std::uint32_t>(rng.next_in(1, 6));
+    const int inits = rng.next_in(0, static_cast<int>(global.size_words));
+    for (int i = 0; i < inits; ++i) global.init_words.push_back(rng.next_u32());
+    m.globals.push_back(std::move(global));
+  }
+
+  const int num_fns = rng.next_in(1, 3);
+  for (int f = 0; f < num_fns; ++f) {
+    ir::Function fn;
+    fn.name = f == 0 ? "main" : cat("fn", f);
+    fn.returns_value = rng.next_below(2) == 0;
+    fn.frame_bytes = 4u * static_cast<std::uint32_t>(rng.next_in(0, 8));
+    ir::VReg next = 1;
+    const int params = rng.next_in(0, 3);
+    for (int p = 0; p < params; ++p) fn.params.push_back(next++);
+
+    const int num_blocks = rng.next_in(1, 4);
+    for (int b = 0; b < num_blocks; ++b) {
+      ir::BasicBlock block;
+      if (rng.next_below(2) == 0) block.label = cat("L", b);
+      const int body = rng.next_in(0, 5);
+      for (int i = 0; i < body; ++i) {
+        ir::IrInst inst;
+        if (next > 1 && rng.next_below(4) == 0) {
+          inst.guard = static_cast<ir::VReg>(
+              rng.next_in(1, static_cast<int>(next) - 1));
+          inst.guard_negate = rng.next_below(2) == 0;
+        }
+        switch (rng.next_below(8)) {
+          case 0:  // load
+            inst.op = rng.next_below(2) == 0 ? ir::IrOp::LoadW
+                                             : ir::IrOp::LoadBU;
+            inst.dst = next++;
+            inst.a = random_ir_value(rng, next);
+            inst.b = random_ir_value(rng, next);
+            break;
+          case 1:  // store
+            inst.op = rng.next_below(2) == 0 ? ir::IrOp::StoreW
+                                             : ir::IrOp::StoreB;
+            inst.a = random_ir_value(rng, next);
+            inst.b = random_ir_value(rng, next);
+            inst.c = random_ir_value(rng, next);
+            break;
+          case 2:
+            if (m.globals.empty()) {
+              inst.op = ir::IrOp::Out;
+              inst.a = random_ir_value(rng, next);
+              break;
+            }
+            inst.op = ir::IrOp::GlobalAddr;
+            inst.dst = next++;
+            inst.global_index =
+                rng.next_in(0, static_cast<int>(m.globals.size()) - 1);
+            break;
+          case 3:
+            inst.op = ir::IrOp::FrameAddr;
+            inst.dst = next++;
+            inst.a = ir::Value::i(4 * rng.next_in(0, 7));
+            break;
+          case 4: {  // call, with or without a destination
+            inst.op = ir::IrOp::Call;
+            inst.callee = rng.next_below(2) == 0 ? "fn1" : "helper";
+            if (rng.next_below(2) == 0) inst.dst = next++;
+            const int argc = rng.next_in(0, 3);
+            for (int a = 0; a < argc; ++a) {
+              inst.args.push_back(random_ir_value(rng, next));
+            }
+            break;
+          }
+          case 5:
+            inst.op = ir::IrOp::Out;
+            inst.a = random_ir_value(rng, next);
+            break;
+          case 6:
+            inst.op = ir::IrOp::Mov;
+            inst.dst = next++;
+            inst.a = random_ir_value(rng, next);
+            break;
+          default: {  // binary ALU / comparison
+            constexpr ir::IrOp kBinary[] = {
+                ir::IrOp::Add,   ir::IrOp::Sub,   ir::IrOp::Mul,
+                ir::IrOp::Div,   ir::IrOp::And,   ir::IrOp::Xor,
+                ir::IrOp::Shl,   ir::IrOp::Min,   ir::IrOp::CmpEq,
+                ir::IrOp::CmpLt, ir::IrOp::CmpGeU};
+            inst.op = kBinary[rng.next_below(std::size(kBinary))];
+            inst.dst = next++;
+            inst.a = random_ir_value(rng, next);
+            inst.b = random_ir_value(rng, next);
+            break;
+          }
+        }
+        block.insts.push_back(std::move(inst));
+      }
+
+      ir::IrInst term;
+      const int last = num_blocks - 1;
+      if (b == last || rng.next_below(3) == 0) {
+        term.op = ir::IrOp::Ret;
+        if (fn.returns_value) term.a = random_ir_value(rng, next);
+      } else if (next > 1 && rng.next_below(2) == 0) {
+        term.op = ir::IrOp::CondBr;
+        term.a = random_ir_value(rng, next);
+        term.block_then = rng.next_in(0, last);
+        term.block_else = rng.next_in(0, last);
+      } else {
+        term.op = ir::IrOp::Br;
+        term.block_then = rng.next_in(0, last);
+      }
+      block.insts.push_back(std::move(term));
+      fn.blocks.push_back(std::move(block));
+    }
+    fn.next_vreg = next;
+    m.functions.push_back(std::move(fn));
+  }
+  return m;
 }
 
 struct NamedConfig {

@@ -4,7 +4,8 @@
 // through both cycle simulators.
 #include <gtest/gtest.h>
 
-#include "driver/driver.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sarm/driver.hpp"
 #include "frontend/irgen.hpp"
 #include "ir/interp.hpp"
 #include "support/prng.hpp"
@@ -168,10 +169,10 @@ TEST_P(WorkloadSim, EpicAndSarmMatchGolden) {
   const Workload& w = workloads[GetParam()];
 
   ProcessorConfig cfg;
-  auto epic = driver::run_minic_on_epic(w.minic_source, cfg);
+  auto epic = pipeline::run_once(w.minic_source, cfg);
   EXPECT_EQ(epic.output(), w.expected_output) << w.name << " on EPIC";
 
-  auto sarm_sim = driver::run_minic_on_sarm(w.minic_source);
+  auto sarm_sim = sarm::run_minic_on_sarm(w.minic_source);
   EXPECT_EQ(sarm_sim.output(), w.expected_output) << w.name << " on SARM";
 }
 
@@ -188,7 +189,7 @@ TEST(WorkloadSim, EpicOneAluAlsoCorrect) {
   ProcessorConfig cfg;
   cfg.num_alus = 1;
   cfg.issue_width = 1;
-  auto epic = driver::run_minic_on_epic(w.minic_source, cfg);
+  auto epic = pipeline::run_once(w.minic_source, cfg);
   EXPECT_EQ(epic.output(), w.expected_output);
 }
 

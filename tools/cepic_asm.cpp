@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     const Program program =
         asmtool::assemble(tools::read_file(positionals.front()),
                           tools::load_config(config_path));
-    tools::write_binary(out_path, program.serialize());
+    tools::write_binary(out_path, serial::encode_program(program));
     std::cout << program.bundle_count() << " MultiOps, "
               << program.data.size() << " data bytes -> " << out_path
               << "\n";

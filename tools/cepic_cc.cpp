@@ -7,7 +7,8 @@
 //
 //   cepic-cc prog.mc -o prog.cepx [--config cpu.cfg]
 //   cepic-cc prog.mc --emit-asm -o prog.s
-//   cepic-cc prog.mc --emit-ir              # optimised IR to stdout
+//   cepic-cc prog.mc --emit-ir              # optimised IR text to stdout
+//   cepic-cc prog.mc --emit-cepx -o m.cepx  # optimised IR, binary CEPX
 //   cepic-cc prog.mc --no-opt --emit-asm    # skip the optimiser
 //   cepic-cc prog.mc --candidates           # custom-instruction mining
 //   cepic-cc prog.mc --cache .cepic-cache --cache-stats
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     std::string config_path;
     bool emit_asm = false;
     bool emit_ir = false;
+    bool emit_cepx = false;
     bool candidates = false;
     bool no_opt = false;
     bool no_schedule = false;
@@ -36,6 +38,9 @@ int main(int argc, char** argv) {
     table.flag("--emit-asm", "emit textual assembly instead of a binary",
                &emit_asm);
     table.flag("--emit-ir", "print the (optimised) IR and stop", &emit_ir);
+    table.flag("--emit-cepx",
+               "write the optimised IR module as a binary CEPX container",
+               &emit_cepx);
     table.flag("--no-opt", "disable the optimiser", &no_opt);
     table.flag("--no-schedule", "one operation per MultiOp (debugging)",
                &no_schedule);
@@ -65,12 +70,16 @@ int main(int argc, char** argv) {
           opt::find_custom_candidates(service.compile_module(source)));
     } else if (emit_ir) {
       std::cout << service.compile_ir_text(source);
+    } else if (emit_cepx) {
+      tools::write_binary(out_path.empty() ? "out.ir.cepx" : out_path,
+                          serial::encode_module(service.compile_module(source)));
     } else if (emit_asm) {
       tools::write_file(out_path.empty() ? "out.s" : out_path,
                         service.compile_asm(source, config));
     } else {
-      tools::write_binary(out_path.empty() ? "out.cepx" : out_path,
-                          service.compile_program(source, config).serialize());
+      tools::write_binary(
+          out_path.empty() ? "out.cepx" : out_path,
+          serial::encode_program(service.compile_program(source, config)));
     }
     service.publish_stats();
     if (cache_stats) tools::print_cache_stats("cepic-cc", service.stats());

@@ -1,16 +1,24 @@
-// cepic-dis — disassemble a CEPX binary back to assembly.
+// cepic-dis — decode any CEPX container back to its textual form. The
+// payload kind is detected from the container header (magic bytes),
+// never from the file name: programs disassemble to assembly, packed IR
+// modules print as IR text, and configuration containers print as
+// `key = value` configuration text. Truncated or corrupt containers are
+// rejected with the serial layer's precise diagnostic (docs/FORMAT.md).
 //
 //   cepic-dis prog.cepx [--config-out cpu.cfg]
+//   cepic-dis module.cepx          # IR text to stdout
+//   cepic-dis cpu.cepx             # configuration text to stdout
 #include "tool_common.hpp"
 
 #include "asmtool/assembler.hpp"
+#include "ir/ir.hpp"
 
 int main(int argc, char** argv) {
   using namespace cepic;
   return tools::tool_main("cepic-dis", [&]() -> int {
     std::string config_out;
 
-    tools::OptionTable table("cepic-dis <prog.cepx> [options]");
+    tools::OptionTable table("cepic-dis <artifact.cepx> [options]");
     table.str("--config-out", "FILE",
               "write the embedded processor configuration", &config_out);
 
@@ -18,12 +26,35 @@ int main(int argc, char** argv) {
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.size() != 1) return table.usage();
 
-    const Program program =
-        Program::deserialize(tools::read_binary(positionals.front()));
-    std::cout << asmtool::disassemble(program);
-    if (!config_out.empty()) {
-      tools::write_file(config_out, program.config.to_text());
-      std::cerr << "configuration written to " << config_out << "\n";
+    const std::vector<std::uint8_t> bytes =
+        tools::read_binary(positionals.front());
+    switch (serial::detect_kind(bytes)) {
+      case serial::PayloadKind::kProgram: {
+        const Program program = serial::decode_program(bytes);
+        std::cout << asmtool::disassemble(program);
+        if (!config_out.empty()) {
+          tools::write_file(config_out, program.config.to_text());
+          std::cerr << "configuration written to " << config_out << "\n";
+        }
+        break;
+      }
+      case serial::PayloadKind::kModule: {
+        if (!config_out.empty()) {
+          throw Error("--config-out: an IR module container carries no "
+                      "processor configuration");
+        }
+        std::cout << ir::to_string(serial::decode_module(bytes));
+        break;
+      }
+      case serial::PayloadKind::kConfig: {
+        const ProcessorConfig config = serial::decode_config(bytes);
+        std::cout << config.to_text();
+        if (!config_out.empty()) {
+          tools::write_file(config_out, config.to_text());
+          std::cerr << "configuration written to " << config_out << "\n";
+        }
+        break;
+      }
     }
     return 0;
   });

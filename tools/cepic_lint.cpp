@@ -5,16 +5,16 @@
 //
 //   cepic-lint [input ...] [options]
 //
-// Inputs are classified by extension:
+// Binary CEPX containers are detected by their magic bytes (regardless
+// of file name) and checked against the configuration embedded in them
+// (--config/--grid do not apply: the bundles were laid out for exactly
+// that configuration). Text inputs are classified by extension:
 //   *.mc    MiniC source — compiled through the shared pipeline::Service
 //           (so `--cache DIR` reuses artifacts and lint reports across
 //           runs and tools), then checked for every configuration
 //   *.s     assembly text — assembled for every configuration, then
 //           checked (an assembly-time rejection is reported as a
 //           finding for that configuration)
-//   *.cepx  an assembled Program container — checked against the
-//           configuration embedded in it (--config/--grid do not apply:
-//           the bundles were laid out for exactly that configuration)
 //
 //   --workloads    also lint the four built-in paper workloads
 //                  (SHA-256, AES-128, DCT, Dijkstra)
@@ -54,11 +54,14 @@ struct Input {
   std::vector<std::uint8_t> bytes;  ///< CEPX container
 };
 
-InputKind classify(const std::string& path) {
+/// Binary containers announce themselves via magic bytes; text inputs
+/// fall back to the extension.
+InputKind classify(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  if (cepic::serial::looks_like_cepx(bytes)) return InputKind::kProgram;
   const auto dot = path.rfind('.');
   const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
   if (ext == ".s" || ext == ".asm") return InputKind::kAsm;
-  if (ext == ".cepx") return InputKind::kProgram;
   return InputKind::kMinic;
 }
 
@@ -109,11 +112,11 @@ int main(int argc, char** argv) {
     for (const std::string& path : paths) {
       Input in;
       in.name = path;
-      in.kind = classify(path);
-      if (in.kind == InputKind::kProgram) {
-        in.bytes = tools::read_binary(path);
-      } else {
-        in.text = tools::read_file(path);
+      in.bytes = tools::read_binary(path);
+      in.kind = classify(path, in.bytes);
+      if (in.kind != InputKind::kProgram) {
+        in.text.assign(in.bytes.begin(), in.bytes.end());
+        in.bytes.clear();
       }
       inputs.push_back(std::move(in));
     }
@@ -155,7 +158,7 @@ int main(int argc, char** argv) {
         CheckOutcome out;
         out.input = in.name;
         try {
-          const Program program = Program::deserialize(in.bytes);
+          const Program program = serial::decode_program(in.bytes);
           out.config = program.config.summary();
           out.report = mcheck::check_program(program, copts);
         } catch (const Error& e) {

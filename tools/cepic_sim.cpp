@@ -35,9 +35,16 @@ int main(int argc, char** argv) {
     if (positionals.size() != 1) return table.usage();
     tools::obs_begin(obs_opts);
 
-    EpicSimulator sim(
-        Program::deserialize(tools::read_binary(positionals.front())), {},
-        options);
+    const std::vector<std::uint8_t> bytes =
+        tools::read_binary(positionals.front());
+    if (const serial::PayloadKind kind = serial::detect_kind(bytes);
+        kind != serial::PayloadKind::kProgram) {
+      throw Error(cat(positionals.front(),
+                      " is not an assembled program (container holds: ",
+                      serial::to_string(kind),
+                      "); produce one with cepic-cc or cepic-asm first"));
+    }
+    EpicSimulator sim(serial::decode_program(bytes), {}, options);
     SimTimeline timeline(sim.program().config, timeline_limit);
     if (!timeline_out.empty()) sim.set_timeline(&timeline);
     {

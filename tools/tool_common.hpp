@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serial/serial.hpp"
 #include "sim/stats.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -52,10 +53,17 @@ inline void write_binary(const std::string& path,
             static_cast<std::streamsize>(bytes.size()));
 }
 
-/// Load a processor configuration: default when `path` is empty.
+/// Load a processor configuration: default when `path` is empty. Both
+/// the textual `key = value` form and a binary CEPX configuration
+/// container are accepted; the form is detected from the file contents
+/// (magic bytes), never from the file name.
 inline ProcessorConfig load_config(const std::string& path) {
   if (path.empty()) return ProcessorConfig{};
-  return ProcessorConfig::from_text(read_file(path));
+  const std::string raw = read_file(path);
+  const std::span<const std::uint8_t> bytes{
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()};
+  if (serial::looks_like_cepx(bytes)) return serial::decode_config(bytes);
+  return ProcessorConfig::from_text(raw);
 }
 
 /// Run a tool main body with uniform error reporting.
