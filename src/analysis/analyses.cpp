@@ -1,0 +1,385 @@
+#include "analysis/analyses.hpp"
+
+#include <algorithm>
+
+#include "support/text.hpp"
+
+namespace cepic::analysis {
+
+using ir::IrInst;
+using ir::VReg;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Dominators: forward, all-blocks top, intersection join, transfer adds
+// the block itself.  The classic iterative formulation.
+struct DomProblem {
+  using State = BitSet;
+  static constexpr bool kForward = true;
+  int nb;
+
+  State boundary() const { return BitSet(nb); }  // entry dominated by itself only (added in transfer)
+  State top() const {
+    BitSet s(nb);
+    s.set_all();
+    return s;
+  }
+  bool join(State& into, const State& from) const { return into.iand(from); }
+  void transfer(int block, State& state) const { state.set(block); }
+};
+
+// ---------------------------------------------------------------------
+// Liveness: backward, union join, use/def per block precomputed.
+struct LiveProblem {
+  using State = BitSet;
+  static constexpr bool kForward = false;
+  std::size_t nv;
+  std::vector<BitSet> use, def;
+
+  explicit LiveProblem(const ir::Function& fn) : nv(fn.next_vreg) {
+    const std::size_t nb = fn.blocks.size();
+    use.assign(nb, BitSet(nv));
+    def.assign(nb, BitSet(nv));
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (const IrInst& inst : fn.blocks[b].insts) {
+        for_each_use(inst, [&](const ir::Value& v) {
+          if (v.is_reg() && !def[b].test(v.reg)) use[b].set(v.reg);
+        });
+        if (inst.guard != ir::kNoVReg && !def[b].test(inst.guard)) {
+          use[b].set(inst.guard);
+        }
+        const VReg d = def_of(inst);
+        // A guarded def does not kill: the old value may flow through.
+        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) def[b].set(d);
+      }
+    }
+  }
+
+  State boundary() const { return BitSet(nv); }
+  State top() const { return BitSet(nv); }
+  bool join(State& into, const State& from) const { return into.ior(from); }
+  void transfer(int block, State& state) const {
+    // live_in = use ∪ (live_out − def)
+    BitSet in = use[block];
+    for (std::size_t v = 0; v < nv; ++v) {
+      if (state.test(v) && !def[block].test(v)) in.set(v);
+    }
+    state = std::move(in);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Reaching definitions: forward, union join, gen/kill over def sites.
+struct ReachProblem {
+  using State = BitSet;
+  static constexpr bool kForward = true;
+  std::size_t ns;
+  std::vector<BitSet> gen, kill;
+  BitSet entry;
+
+  ReachProblem(const ir::Function& fn, const ReachingDefs& rd)
+      : ns(rd.sites.size()) {
+    const std::size_t nb = fn.blocks.size();
+    gen.assign(nb, BitSet(ns));
+    kill.assign(nb, BitSet(ns));
+    entry = BitSet(ns);
+    for (VReg v = 1; v < fn.next_vreg; ++v) entry.set(v);
+
+    for (std::size_t s = fn.next_vreg; s < ns; ++s) {
+      const auto& site = rd.sites[s];
+      const IrInst& inst = fn.blocks[site.block].insts[site.inst];
+      auto& g = gen[site.block];
+      auto& k = kill[site.block];
+      if (inst.guard == ir::kNoVReg) {
+        // Unguarded def: kills every other site of the vreg.
+        for (int o : rd.sites_of_vreg[site.vreg]) {
+          if (static_cast<std::size_t>(o) != s) {
+            k.set(o);
+            g.reset(o);
+          }
+        }
+      }
+      g.set(s);
+      k.reset(s);
+    }
+  }
+
+  State boundary() const { return entry; }
+  State top() const { return BitSet(ns); }
+  bool join(State& into, const State& from) const { return into.ior(from); }
+  void transfer(int block, State& state) const {
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (kill[block].test(s)) state.reset(s);
+    }
+    state.ior(gen[block]);
+  }
+};
+
+void append_vreg_set(std::string& out, const BitSet& s) {
+  bool first = true;
+  for (std::size_t v = 0; v < s.size(); ++v) {
+    if (!s.test(v)) continue;
+    out += first ? "%" : " %";
+    out += std::to_string(v);
+    first = false;
+  }
+  if (first) out += "-";
+}
+
+}  // namespace
+
+Dominators compute_dominators(const ir::Function&, const Cfg& cfg) {
+  const int nb = cfg.num_blocks();
+  DomProblem p{nb};
+  auto r = solve(cfg, p);
+  Dominators d;
+  d.dom = std::move(r.out);
+  // Graph-unreachable blocks keep the vacuous all-ones solution; clear
+  // them so dominates() queries are never accidentally true.
+  for (int b = 0; b < nb; ++b) {
+    if (!cfg.reachable[b]) d.dom[b].clear();
+  }
+  // idom[b]: the dominator of b (≠ b) that is itself dominated by every
+  // other dominator of b; by construction it is the strict dominator
+  // with the deepest rpo position.
+  d.idom.assign(nb, -1);
+  for (int b : cfg.rpo) {
+    if (b == 0) continue;
+    int best = -1;
+    for (int a = 0; a < nb; ++a) {
+      if (a == b || !d.dom[b].test(a)) continue;
+      if (best == -1 || cfg.rpo_index[a] > cfg.rpo_index[best]) best = a;
+    }
+    d.idom[b] = best;
+  }
+  return d;
+}
+
+std::string Dominators::to_string(const ir::Function& fn) const {
+  std::string out = cat("dominators @", fn.name, "\n");
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    out += cat("  .b", b, ": idom=",
+               idom[b] < 0 ? std::string("-") : cat(".b", idom[b]), " dom={");
+    bool first = true;
+    for (std::size_t a = 0; a < dom[b].size(); ++a) {
+      if (!dom[b].test(a)) continue;
+      out += first ? cat(".b", a) : cat(" .b", a);
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Liveness compute_liveness(const ir::Function& fn, const Cfg& cfg) {
+  LiveProblem p(fn);
+  auto r = solve(cfg, p);
+  Liveness lv;
+  lv.live_in = std::move(r.in);
+  lv.live_out = std::move(r.out);
+  return lv;
+}
+
+Liveness compute_liveness(const ir::Function& fn) {
+  return compute_liveness(fn, Cfg::build(fn));
+}
+
+std::string Liveness::to_string(const ir::Function& fn) const {
+  std::string out = cat("liveness @", fn.name, "\n");
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    out += cat("  .b", b, ": in=");
+    append_vreg_set(out, live_in[b]);
+    out += " out=";
+    append_vreg_set(out, live_out[b]);
+    out += "\n";
+  }
+  return out;
+}
+
+ReachingDefs compute_reaching_defs(const ir::Function& fn, const Cfg& cfg) {
+  ReachingDefs rd;
+  // Synthetic entry sites first so site index == vreg for them.
+  rd.sites_of_vreg.assign(fn.next_vreg, {});
+  for (VReg v = 0; v < fn.next_vreg; ++v) {
+    rd.sites.push_back({-1, -1, v});
+    if (v != ir::kNoVReg) rd.sites_of_vreg[v].push_back(static_cast<int>(v));
+  }
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const VReg d = def_of(fn.blocks[b].insts[i]);
+      if (d == ir::kNoVReg) continue;
+      rd.sites_of_vreg[d].push_back(static_cast<int>(rd.sites.size()));
+      rd.sites.push_back(
+          {static_cast<int>(b), static_cast<int>(i), d});
+    }
+  }
+
+  ReachProblem p(fn, rd);
+  auto r = solve(cfg, p);
+  rd.reach_in = std::move(r.in);
+  rd.reach_out = std::move(r.out);
+  return rd;
+}
+
+bool ReachingDefs::entry_def_reaches(const ir::Function& fn, int block,
+                                     ir::VReg v) const {
+  if (v == ir::kNoVReg || v >= fn.next_vreg) return false;
+  if (std::find(fn.params.begin(), fn.params.end(), v) != fn.params.end()) {
+    return false;
+  }
+  return reach_in[block].test(v);
+}
+
+std::string ReachingDefs::to_string(const ir::Function& fn) const {
+  std::string out = cat("reaching-defs @", fn.name, "\n");
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    out += cat("  .b", b, ": in={");
+    bool first = true;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (!reach_in[b].test(s)) continue;
+      const Site& site = sites[s];
+      std::string tag = site.block < 0
+                            ? cat("entry:%", site.vreg)
+                            : cat(".b", site.block, "#", site.inst, ":%",
+                                  site.vreg);
+      out += first ? tag : cat(" ", tag);
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Available copies: forward, intersection.  The transfer walks the
+// block's instructions directly (kill lists are tiny), which keeps the
+// gen/kill ordering exact without a precomputation pass.
+struct CopyProblem {
+  using State = BitSet;
+  static constexpr bool kForward = true;
+
+  const ir::Function& fn;
+  const AvailableCopies& ac;
+  std::size_t ns;
+  // Sites invalidated by a definition of vreg v (dst or register src).
+  std::vector<std::vector<int>> killed_by;
+  // site_at[b][i]: the site generated by instruction i of block b, -1.
+  std::vector<std::vector<int>> site_at;
+
+  CopyProblem(const ir::Function& f, const AvailableCopies& a)
+      : fn(f), ac(a), ns(a.sites.size()) {
+    killed_by.assign(fn.next_vreg, {});
+    site_at.assign(fn.blocks.size(), {});
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      site_at[b].assign(fn.blocks[b].insts.size(), -1);
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+      const AvailableCopies::Site& site = ac.sites[s];
+      killed_by[site.dst].push_back(static_cast<int>(s));
+      if (site.src.is_reg()) {
+        killed_by[site.src.reg].push_back(static_cast<int>(s));
+      }
+    }
+    // Every occurrence of the (dst, src) fact generates the same shared
+    // site, so the fact survives an all-paths join even when each path
+    // establishes it with a different instruction.
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      const auto& insts = fn.blocks[b].insts;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        for (std::size_t s = 0; s < ns; ++s) {
+          if (ac.sites[s].dst == insts[i].dst &&
+              ac.sites[s].src == insts[i].a &&
+              insts[i].op == ir::IrOp::Mov &&
+              insts[i].guard == ir::kNoVReg) {
+            site_at[b][i] = static_cast<int>(s);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  State boundary() const { return BitSet(ns); }  // entry: nothing yet
+  State top() const {
+    BitSet s(ns);
+    s.set_all();
+    return s;
+  }
+  bool join(State& into, const State& from) const { return into.iand(from); }
+  void transfer(int block, State& state) const {
+    const auto& insts = fn.blocks[block].insts;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const VReg d = def_of(insts[i]);
+      if (d == ir::kNoVReg) continue;
+      for (int s : killed_by[d]) state.reset(s);
+      if (site_at[block][i] >= 0) state.set(site_at[block][i]);
+    }
+  }
+};
+
+}  // namespace
+
+AvailableCopies compute_available_copies(const ir::Function& fn,
+                                         const Cfg& cfg) {
+  AvailableCopies ac;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& insts = fn.blocks[b].insts;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const IrInst& inst = insts[i];
+      if (inst.op != ir::IrOp::Mov || inst.guard != ir::kNoVReg) continue;
+      // A self-copy carries no information and would kill itself.
+      if (inst.a.is_reg() && inst.a.reg == inst.dst) continue;
+      // Sites are keyed by the (dst, src) fact, not the instruction:
+      // repeats of the same copy share one site (block/inst record the
+      // first occurrence).
+      bool known = false;
+      for (const AvailableCopies::Site& s : ac.sites) {
+        if (s.dst == inst.dst && s.src == inst.a) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      ac.sites.push_back(
+          {static_cast<int>(b), static_cast<int>(i), inst.dst, inst.a});
+    }
+  }
+
+  CopyProblem p(fn, ac);
+  auto r = solve(cfg, p);
+  ac.avail_in = std::move(r.in);
+  ac.avail_out = std::move(r.out);
+  // Graph-unreachable blocks keep the vacuous all-ones solution; clear
+  // them so callers never seed rewrites from contradictory facts.
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    if (!cfg.reachable[b]) {
+      ac.avail_in[b].clear();
+      ac.avail_out[b].clear();
+    }
+  }
+  return ac;
+}
+
+std::string AvailableCopies::to_string(const ir::Function& fn) const {
+  std::string out = cat("available-copies @", fn.name, "\n");
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    out += cat("  .b", b, ": in={");
+    bool first = true;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (!avail_in[b].test(s)) continue;
+      const Site& site = sites[s];
+      std::string tag =
+          site.src.is_reg()
+              ? cat("%", site.dst, "=%", site.src.reg)
+              : cat("%", site.dst, "=#", site.src.imm);
+      out += first ? tag : cat(" ", tag);
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cepic::analysis

@@ -1,0 +1,94 @@
+// Concrete dataflow analyses built on the engine in dataflow.hpp:
+// dominators, guard-aware liveness, and reaching definitions.  Each
+// result carries a stable to_string() rendering used by golden tests
+// and `cepic-lint --dump-analysis`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "ir/ir.hpp"
+
+namespace cepic::analysis {
+
+/// Block dominance: dom[b] = set of blocks dominating b, idom[b] = the
+/// immediate dominator (-1 for the entry block and for graph-unreachable
+/// blocks, whose dom sets are vacuous).
+struct Dominators {
+  std::vector<BitSet> dom;
+  std::vector<int> idom;
+
+  bool dominates(int a, int b) const { return dom[b].test(a); }
+  std::string to_string(const ir::Function& fn) const;
+};
+
+Dominators compute_dominators(const ir::Function& fn, const Cfg& cfg);
+
+/// Per-block liveness over vregs.  Guard-aware: a guarded definition
+/// does not kill its dst (the old value may flow through when the guard
+/// nullifies the write), and the guard vreg itself counts as a use.
+struct Liveness {
+  std::vector<BitSet> live_in;
+  std::vector<BitSet> live_out;
+
+  std::string to_string(const ir::Function& fn) const;
+};
+
+Liveness compute_liveness(const ir::Function& fn, const Cfg& cfg);
+Liveness compute_liveness(const ir::Function& fn);
+
+/// Reaching definitions over "def sites".  Site i < next_vreg is the
+/// synthetic entry definition of vreg i (the incoming parameter value,
+/// or the implicit zero initialisation of a non-param vreg); later sites
+/// are (block, inst) pairs that write a vreg.  Guard-aware: a guarded
+/// definition generates its site but kills nothing.
+struct ReachingDefs {
+  struct Site {
+    int block = -1;  ///< -1 for synthetic entry sites
+    int inst = -1;
+    ir::VReg vreg = ir::kNoVReg;
+  };
+
+  std::vector<Site> sites;
+  std::vector<std::vector<int>> sites_of_vreg;  ///< site indices per vreg
+  std::vector<BitSet> reach_in;                 ///< per block, over sites
+  std::vector<BitSet> reach_out;
+
+  /// True if the synthetic entry definition of a *non-param* vreg can
+  /// reach the given block, i.e. the vreg may be read uninitialised
+  /// there (callers intersect with upward-exposed uses).
+  bool entry_def_reaches(const ir::Function& fn, int block,
+                         ir::VReg v) const;
+
+  std::string to_string(const ir::Function& fn) const;
+};
+
+ReachingDefs compute_reaching_defs(const ir::Function& fn, const Cfg& cfg);
+
+/// Available copies: site i is the fact "dst currently equals src",
+/// established by any unguarded `mov dst, src`; avail_in[b] holds the
+/// facts valid on *every* path into b (forward, intersection join; any
+/// definition of dst — or of src when it is a register — kills the
+/// fact).  Sites are deduplicated by (dst, src), so the same copy made
+/// on both arms of a diamond survives the join.  Drives global copy and
+/// constant propagation in opt/copyprop.cpp.
+struct AvailableCopies {
+  struct Site {
+    int block = -1;  ///< first occurrence (informational)
+    int inst = -1;
+    ir::VReg dst = ir::kNoVReg;
+    ir::Value src;
+  };
+
+  std::vector<Site> sites;
+  std::vector<BitSet> avail_in;  ///< per block, over sites
+  std::vector<BitSet> avail_out;
+
+  std::string to_string(const ir::Function& fn) const;
+};
+
+AvailableCopies compute_available_copies(const ir::Function& fn,
+                                         const Cfg& cfg);
+
+}  // namespace cepic::analysis

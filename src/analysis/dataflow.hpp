@@ -1,0 +1,172 @@
+// The reusable forward/backward dataflow engine: a worklist solver over
+// analysis::Cfg parameterised by a transfer-function "problem".  All
+// concrete analyses (dominators, liveness, reaching definitions, the
+// interval propagator's block schedule) and any future pass-specific
+// facts run through solve() so the fixed-point discipline lives in one
+// place.
+//
+// A Problem supplies:
+//
+//   using State = ...;                       // a join-semilattice element
+//   static constexpr bool kForward = ...;    // direction
+//   State boundary() const;                  // entry (fwd) / exit (bwd) state
+//   State top() const;                       // optimistic initial state
+//   // Merge `from` into `into`; return true if `into` changed.
+//   bool join(State& into, const State& from) const;
+//   // Apply the block's effect to `state` in place (fwd: entry->exit,
+//   // bwd: exit->entry).
+//   void transfer(int block, State& state) const;
+//
+// solve() iterates blocks in reverse postorder (forward) or postorder
+// (backward) with a change-driven worklist until no state moves.  The
+// result keeps both the program-order entry and exit state of every
+// block: in[b] holds facts at the top of b, out[b] at the bottom,
+// regardless of direction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace cepic::analysis {
+
+/// Dense fixed-size bitset (uint64 words) used as the lattice element of
+/// the set-based analyses; faster and cheaper than vector<bool> rows.
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t n) : n_(n), w_((n + 63) / 64, 0) {}
+
+  std::size_t size() const { return n_; }
+  bool test(std::size_t i) const {
+    return ((w_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+  void set(std::size_t i) { w_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) { w_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void clear() {
+    for (auto& w : w_) w = 0;
+  }
+  void set_all() {
+    if (n_ == 0) return;
+    for (auto& w : w_) w = ~std::uint64_t{0};
+    const unsigned tail = n_ & 63;
+    if (tail != 0) w_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  bool any() const {
+    for (auto w : w_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : w_) {
+      while (w != 0) {
+        w &= w - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// this |= o; returns true if any bit changed.
+  bool ior(const BitSet& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      const std::uint64_t nw = w_[i] | o.w_[i];
+      changed |= nw != w_[i];
+      w_[i] = nw;
+    }
+    return changed;
+  }
+  /// this &= o; returns true if any bit changed.
+  bool iand(const BitSet& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      const std::uint64_t nw = w_[i] & o.w_[i];
+      changed |= nw != w_[i];
+      w_[i] = nw;
+    }
+    return changed;
+  }
+
+  bool operator==(const BitSet&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> w_;
+};
+
+template <typename State>
+struct DataflowResult {
+  std::vector<State> in;   ///< state at block entry (program order)
+  std::vector<State> out;  ///< state at block exit (program order)
+};
+
+template <typename Problem>
+DataflowResult<typename Problem::State> solve(const Cfg& cfg,
+                                              const Problem& problem) {
+  using State = typename Problem::State;
+  const int nb = cfg.num_blocks();
+  DataflowResult<State> r;
+  r.in.assign(nb, problem.top());
+  r.out.assign(nb, problem.top());
+
+  // Seed in a direction-friendly order so most states settle in one or
+  // two sweeps; the worklist then handles stragglers and loops.
+  std::deque<int> worklist;
+  std::vector<bool> queued(nb, false);
+  const auto enqueue = [&](int b) {
+    if (!queued[b]) {
+      queued[b] = true;
+      worklist.push_back(b);
+    }
+  };
+  if (Problem::kForward) {
+    for (int b : cfg.rpo) enqueue(b);
+  } else {
+    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) enqueue(*it);
+  }
+  // Graph-unreachable blocks still get a (vacuous) solve so every state
+  // in the result is well defined.
+  for (int b = 0; b < nb; ++b) enqueue(b);
+
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    if (Problem::kForward) {
+      // The entry block starts from the boundary but still joins any
+      // back-edge predecessors; boundary states are chosen so the join
+      // keeps them pinned (e.g. ∅ under intersection for dominators).
+      State in = cfg.preds[b].empty() || b == 0 ? problem.boundary()
+                                                : problem.top();
+      for (int p : cfg.preds[b]) problem.join(in, r.out[p]);
+      State out = in;
+      problem.transfer(b, out);
+      r.in[b] = std::move(in);
+      const bool changed = !(out == r.out[b]);
+      if (changed) {
+        r.out[b] = std::move(out);
+        for (int s : cfg.succs[b]) enqueue(s);
+      }
+    } else {
+      State out = cfg.succs[b].empty() ? problem.boundary() : problem.top();
+      for (int s : cfg.succs[b]) problem.join(out, r.in[s]);
+      State in = out;
+      problem.transfer(b, in);
+      r.out[b] = std::move(out);
+      const bool changed = !(in == r.in[b]);
+      if (changed) {
+        r.in[b] = std::move(in);
+        for (int p : cfg.preds[b]) enqueue(p);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace cepic::analysis

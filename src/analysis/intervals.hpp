@@ -1,0 +1,118 @@
+// Guard-aware conditional constant/interval propagation over an
+// ir::Function: an SCCP-style fixed point that tracks, per block and
+// vreg, an interval of possible values (signed 32-bit view) with global
+// address provenance, together with edge/block executability.  Guarded
+// definitions join with the incoming value instead of killing it, and
+// statically-decided guards/branches are recorded as facts.
+//
+// Soundness contract (enforced by the differential harness in
+// tests/test_analysis_soundness.cpp): for every concrete execution,
+//  * whenever block b is entered, every vreg's value lies inside
+//    in[b][vreg];
+//  * a block with executable[b] == false is never entered;
+//  * an instruction with a recorded GuardFact commits iff the fact says
+//    so, and a CondBr with a BranchFact always goes the recorded way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "ir/ir.hpp"
+
+namespace cepic::analysis {
+
+/// A closed interval of the signed 32-bit view of a value; empty when
+/// lo > hi (infeasible).
+struct Interval {
+  std::int64_t lo = INT32_MIN;
+  std::int64_t hi = INT32_MAX;
+
+  static Interval full() { return {INT32_MIN, INT32_MAX}; }
+  static Interval constant(std::int32_t v) { return {v, v}; }
+  static Interval empty() { return {1, 0}; }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_const() const { return lo == hi; }
+  bool is_full() const { return lo <= INT32_MIN && hi >= INT32_MAX; }
+  bool contains(std::int32_t v) const { return lo <= v && v <= hi; }
+  bool excludes_zero() const { return lo > 0 || hi < 0; }
+  bool is_zero() const { return lo == 0 && hi == 0; }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Abstract value: unvisited (Bottom), a plain number range, or a
+/// pointer into a global with a byte-offset range (provenance for the
+/// out-of-bounds lint; concretises to a number via the data layout).
+struct AbsVal {
+  enum class Kind : std::uint8_t { Bottom, Number, GlobalPtr };
+  Kind kind = Kind::Bottom;
+  int global = -1;  ///< GlobalPtr only
+  Interval iv;
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top() { return {Kind::Number, -1, Interval::full()}; }
+  static AbsVal number(Interval iv) { return {Kind::Number, -1, iv}; }
+  static AbsVal constant(std::int32_t v) {
+    return number(Interval::constant(v));
+  }
+  static AbsVal global_ptr(int g, Interval off) {
+    return {Kind::GlobalPtr, g, off};
+  }
+  bool is_bottom() const { return kind == Kind::Bottom; }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+struct IntervalAnalysis {
+  /// Per block, indexed by vreg: facts on block entry / exit.  States of
+  /// non-executable blocks are all-Bottom.
+  std::vector<std::vector<AbsVal>> in;
+  std::vector<std::vector<AbsVal>> out;
+  std::vector<bool> executable;
+  /// Aligned with Cfg::succs[b].
+  std::vector<std::vector<bool>> edge_executable;
+
+  /// A guarded instruction whose commit decision is static.
+  struct GuardFact {
+    int block = 0;
+    int inst = 0;
+    bool commits = false;
+  };
+  std::vector<GuardFact> guard_facts;
+
+  /// A CondBr whose direction is static.
+  struct BranchFact {
+    int block = 0;
+    bool then_taken = false;
+  };
+  std::vector<BranchFact> branch_facts;
+
+  /// A load/store through a global pointer whose byte-offset range is
+  /// provably outside the global on every execution reaching it.
+  struct OobAccess {
+    int block = 0;
+    int inst = 0;
+    int global = 0;
+    std::int64_t off_lo = 0;
+    std::int64_t off_hi = 0;
+    unsigned size = 0;        ///< access size in bytes
+    std::uint32_t limit = 0;  ///< global size in bytes
+  };
+  std::vector<OobAccess> oob;
+
+  /// Concretise an abstract value to a plain number interval (resolves
+  /// global provenance through the module layout used at analysis time).
+  Interval concretize(const AbsVal& v) const;
+
+  std::string to_string(const ir::Function& fn) const;
+
+  std::vector<std::uint32_t> global_addr_;  ///< layout snapshot
+};
+
+IntervalAnalysis compute_intervals(const ir::Module& module,
+                                   const ir::Function& fn, const Cfg& cfg);
+
+}  // namespace cepic::analysis

@@ -1,0 +1,114 @@
+// IR-level diagnostics built on the dataflow framework, following
+// mcheck's conventions (stable rule ids, warning/error severities,
+// werror folding, text/JSON reports) so `cepic-lint` surfaces one
+// uniform diagnostic stream for both layers.
+//
+// Rules (docs/LINT.md has the catalogue):
+//
+//   use-before-def   a vreg may be read before any definition on some
+//                    path from entry (reaching definitions; guarded
+//                    defs do not count as definite)
+//   dead-store       a side-effect-free instruction writes a vreg that
+//                    is dead at that point (liveness)
+//   unreachable      a block no execution can reach (graph reachability
+//                    + interval-propagation edge feasibility)
+//   guard-false      a guarded instruction whose guard is statically
+//                    never satisfied: it can never commit
+//   const-branch     a CondBr whose direction is statically fixed
+//   global-oob       a load/store through a global's address whose
+//                    byte offset is provably outside the global
+//
+// Semantic impossibilities (global-oob) are errors; the rest are
+// code-quality warnings, promoted by LintOptions::werror.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace cepic::analysis {
+
+enum class LintRule : unsigned {
+  UseBeforeDef = 0,
+  DeadStore,
+  Unreachable,
+  GuardFalse,
+  ConstBranch,
+  GlobalOob,
+  kCount
+};
+
+inline constexpr std::size_t kNumLintRules =
+    static_cast<std::size_t>(LintRule::kCount);
+
+/// Stable diagnostic identifier, e.g. "ir.use-before-def".
+std::string_view lint_rule_id(LintRule rule);
+
+enum class LintSeverity : std::uint8_t { Warning, Error };
+
+std::string_view lint_severity_name(LintSeverity s);
+
+/// One finding, located at (function, block, inst). inst is -1 when the
+/// finding concerns the whole block.
+struct LintDiagnostic {
+  LintRule rule = LintRule::UseBeforeDef;
+  LintSeverity severity = LintSeverity::Warning;
+  std::string function;
+  int block = 0;
+  int inst = -1;
+  std::string message;
+
+  /// "warning: @main .b2 inst 3: ... [ir.dead-store]"
+  std::string to_string() const;
+};
+
+struct LintOptions {
+  /// Treat warnings as errors in LintReport::error_count()/clean().
+  bool werror = false;
+  /// Bitmask of enabled rules (bit = static_cast<unsigned>(LintRule)).
+  std::uint32_t enabled = ~0u;
+
+  bool rule_enabled(LintRule r) const {
+    return (enabled >> static_cast<unsigned>(r)) & 1u;
+  }
+
+  static LintOptions only(std::initializer_list<LintRule> rules) {
+    LintOptions o;
+    o.enabled = 0;
+    for (LintRule r : rules) o.enabled |= 1u << static_cast<unsigned>(r);
+    return o;
+  }
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diags;
+  bool werror = false;  ///< copied from LintOptions
+
+  std::size_t count(LintSeverity s) const;
+  std::size_t error_count() const {
+    return count(LintSeverity::Error) +
+           (werror ? count(LintSeverity::Warning) : 0);
+  }
+  std::size_t warning_count() const {
+    return werror ? 0 : count(LintSeverity::Warning);
+  }
+  bool clean() const { return error_count() == 0; }
+  bool has_rule(LintRule rule) const;
+
+  /// Human-readable report, one diagnostic per line (empty if none).
+  std::string to_text() const;
+  /// Machine-readable report:
+  /// {"errors":N,"warnings":M,"werror":W,"diagnostics":[{...},...]}
+  std::string to_json() const;
+};
+
+/// Lint every function of the module.  The module is expected to pass
+/// ir::verify_module first; the lint assumes structural sanity.
+LintReport lint_module(const ir::Module& module,
+                       const LintOptions& options = {});
+
+}  // namespace cepic::analysis

@@ -100,6 +100,7 @@ std::uint32_t Interpreter::call(const Function& fn,
   std::uint32_t ret = 0;
   int bi = 0;
   std::size_t ii = 0;
+  if (observer_ != nullptr) observer_->on_block_entry(fn, bi, regs);
   for (;;) {
     if (++steps_ > options_.max_steps) {
       throw SimError("interp: step limit exceeded — runaway program?");
@@ -108,6 +109,9 @@ std::uint32_t Interpreter::call(const Function& fn,
 
     if (inst.guard != kNoVReg) {
       const bool g = (regs[inst.guard] != 0) != inst.guard_negate;
+      if (observer_ != nullptr) {
+        observer_->on_guard(fn, bi, static_cast<int>(ii), g);
+      }
       if (!g) {
         ++ii;
         continue;
@@ -164,11 +168,16 @@ std::uint32_t Interpreter::call(const Function& fn,
       case IrOp::Br:
         bi = inst.block_then;
         ii = 0;
+        if (observer_ != nullptr) observer_->on_block_entry(fn, bi, regs);
         continue;
-      case IrOp::CondBr:
-        bi = value(inst.a) != 0 ? inst.block_then : inst.block_else;
+      case IrOp::CondBr: {
+        const bool then_taken = value(inst.a) != 0;
+        if (observer_ != nullptr) observer_->on_branch(fn, bi, then_taken);
+        bi = then_taken ? inst.block_then : inst.block_else;
         ii = 0;
+        if (observer_ != nullptr) observer_->on_block_entry(fn, bi, regs);
         continue;
+      }
       case IrOp::Ret:
         if (!inst.a.is_none()) ret = value(inst.a);
         sp_ += fn.frame_bytes;

@@ -27,6 +27,22 @@ struct InterpResult {
   std::uint64_t steps = 0;
 };
 
+/// Observation hook for the analysis soundness harness
+/// (tests/test_analysis_soundness.cpp): fires on every block entry
+/// (with the committed register file), every guard evaluation, and
+/// every conditional-branch direction, so statically proven facts can
+/// be checked against each observed execution.
+class InterpObserver {
+public:
+  virtual ~InterpObserver() = default;
+  virtual void on_block_entry(const Function& /*fn*/, int /*block*/,
+                              std::span<const std::uint32_t> /*regs*/) {}
+  virtual void on_guard(const Function& /*fn*/, int /*block*/, int /*inst*/,
+                        bool /*committed*/) {}
+  virtual void on_branch(const Function& /*fn*/, int /*block*/,
+                         bool /*then_taken*/) {}
+};
+
 class Interpreter {
 public:
   explicit Interpreter(const Module& module, InterpOptions options = {});
@@ -39,6 +55,9 @@ public:
   DataMemory& memory() { return mem_; }
   const DataLayout& layout() const { return layout_; }
 
+  /// Install (or clear, with nullptr) an execution observer. Not owned.
+  void set_observer(InterpObserver* observer) { observer_ = observer; }
+
 private:
   std::uint32_t call(const Function& fn,
                      const std::vector<std::uint32_t>& args, unsigned depth);
@@ -50,6 +69,7 @@ private:
   std::uint32_t sp_ = 0;
   std::uint64_t steps_ = 0;
   std::vector<std::uint32_t> output_;
+  InterpObserver* observer_ = nullptr;
 };
 
 }  // namespace cepic::ir

@@ -62,10 +62,38 @@ void verify_function(const Function& fn, const Module* module) {
       if (inst.guard != kNoVReg && is_terminator(inst.op)) {
         fail(fn, bi, ii, "terminators cannot be guarded");
       }
+      if (inst.guard != kNoVReg && inst.op == IrOp::Call) {
+        // The backend lowers calls unconditionally (lower_call asserts
+        // this); reject guarded calls at the IR level instead of deep
+        // inside lowering.
+        fail(fn, bi, ii, "calls cannot be guarded");
+      }
+      if (inst.guard == kNoVReg && inst.guard_negate) {
+        fail(fn, bi, ii, "guard_negate set on an unguarded instruction");
+      }
       if (has_dst(inst)) {
         if (inst.dst == kNoVReg || inst.dst >= fn.next_vreg) {
           fail(fn, bi, ii, cat("dst vreg %", inst.dst, " out of range"));
         }
+      } else if (inst.op != IrOp::Call && inst.dst != kNoVReg) {
+        fail(fn, bi, ii, "dst set on an op that defines nothing");
+      }
+      // Stray-field checks: every operand slot that the op does not
+      // read or write must be in its default state, so analyses that
+      // walk fields by op shape never see stale data.
+      if (inst.op != IrOp::Br && inst.op != IrOp::CondBr) {
+        if (inst.block_then != -1 || inst.block_else != -1) {
+          fail(fn, bi, ii, "branch target on a non-branch instruction");
+        }
+      } else if (inst.op == IrOp::Br && inst.block_else != -1) {
+        fail(fn, bi, ii, "block_else set on an unconditional branch");
+      }
+      if (inst.op != IrOp::Call && (!inst.callee.empty() || !inst.args.empty())) {
+        fail(fn, bi, ii, "callee/args on a non-call instruction");
+      }
+      if (inst.op != IrOp::StoreW && inst.op != IrOp::StoreB &&
+          !inst.c.is_none()) {
+        fail(fn, bi, ii, "c operand on a non-store instruction");
       }
       switch (inst.op) {
         case IrOp::Mov:
@@ -134,6 +162,7 @@ void verify_function(const Function& fn, const Module* module) {
           if (fn.returns_value && inst.a.is_none()) {
             fail(fn, bi, ii, "ret without value in value-returning function");
           }
+          check_value(inst.a, bi, ii, "a", false);
           break;
         default:
           // Binary ALU and compares.

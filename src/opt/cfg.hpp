@@ -1,70 +1,21 @@
-// Small CFG/dataflow utilities shared by the optimiser passes and the
-// back-ends: successor/predecessor computation, operand visitation, and
-// per-block liveness.
+// Forwarding shim: the CFG/dataflow utilities the optimiser passes were
+// born with now live in src/analysis (shared with the linter and the
+// soundness harness).  This header keeps the historical cepic::opt
+// spellings working; new code should include analysis/cfg.hpp and
+// analysis/analyses.hpp directly.
 #pragma once
 
-#include <vector>
-
-#include "ir/ir.hpp"
+#include "analysis/analyses.hpp"
+#include "analysis/cfg.hpp"
 
 namespace cepic::opt {
 
-/// Successor block indices of a block (from its terminator).
-std::vector<int> successors(const ir::BasicBlock& block);
+using analysis::def_of;
+using analysis::for_each_use;
+using analysis::predecessors;
+using analysis::successors;
 
-/// preds[b] = blocks branching to b.
-std::vector<std::vector<int>> predecessors(const ir::Function& fn);
-
-/// The vreg defined by an instruction, or kNoVReg.
-ir::VReg def_of(const ir::IrInst& inst);
-
-/// Invoke fn(Value&) on every value operand the instruction *reads*
-/// (a/b/c/args as applicable; the guard is visited separately since it
-/// is a bare vreg).
-template <typename Fn>
-void for_each_use(ir::IrInst& inst, Fn&& fn) {
-  using ir::IrOp;
-  switch (inst.op) {
-    case IrOp::GlobalAddr:
-    case IrOp::FrameAddr:
-      break;
-    case IrOp::Call:
-      for (ir::Value& v : inst.args) fn(v);
-      break;
-    case IrOp::Ret:
-    case IrOp::Out:
-    case IrOp::Mov:
-    case IrOp::CondBr:
-      if (!inst.a.is_none()) fn(inst.a);
-      break;
-    case IrOp::Br:
-      break;
-    case IrOp::StoreW:
-    case IrOp::StoreB:
-      fn(inst.a);
-      fn(inst.b);
-      fn(inst.c);
-      break;
-    default:
-      if (!inst.a.is_none()) fn(inst.a);
-      if (!inst.b.is_none()) fn(inst.b);
-      break;
-  }
-}
-
-template <typename Fn>
-void for_each_use(const ir::IrInst& inst, Fn&& fn) {
-  for_each_use(const_cast<ir::IrInst&>(inst),
-               [&fn](ir::Value& v) { fn(static_cast<const ir::Value&>(v)); });
-}
-
-/// Per-block liveness (vreg -> bit), computed by the usual backward
-/// fixed point. live_in[b][v] / live_out[b][v].
-struct Liveness {
-  std::vector<std::vector<bool>> live_in;
-  std::vector<std::vector<bool>> live_out;
-};
-
-Liveness compute_liveness(const ir::Function& fn);
+using analysis::compute_liveness;
+using analysis::Liveness;
 
 }  // namespace cepic::opt

@@ -1,6 +1,9 @@
-// Local (per-block) copy and constant propagation on the non-SSA IR.
-// `mov d, x` records d -> x; later reads of d become x until either d or
-// x is redefined. Guarded movs are conditional and are not propagated.
+// Global copy and constant propagation on the non-SSA IR.  `mov d, x`
+// records d -> x; later reads of d become x until either d or x is
+// redefined.  Cross-block facts come from the framework's available-
+// copies analysis (forward, intersection join), so a copy survives a
+// join point only when it holds on every incoming path.  Guarded movs
+// are conditional and are never propagated.
 #include <unordered_map>
 
 #include "opt/cfg.hpp"
@@ -52,9 +55,22 @@ private:
 
 bool pass_copy_propagate(ir::Function& fn) {
   bool changed = false;
+  const analysis::Cfg cfg = analysis::Cfg::build(fn);
+  const analysis::AvailableCopies ac =
+      analysis::compute_available_copies(fn, cfg);
   CopyMap copies;
-  for (ir::BasicBlock& block : fn.blocks) {
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    ir::BasicBlock& block = fn.blocks[bi];
     copies.clear();
+    // Seed with the copies valid on every path into this block.  At
+    // most one site per dst can be simultaneously available (a second
+    // mov to the same dst kills the first), so insertion order is
+    // irrelevant.
+    for (std::size_t s = 0; s < ac.sites.size(); ++s) {
+      if (ac.avail_in[bi].test(s)) {
+        copies.record(ac.sites[s].dst, ac.sites[s].src);
+      }
+    }
     for (IrInst& inst : block.insts) {
       for_each_use(inst, [&](Value& v) {
         const Value resolved = copies.resolve(v);

@@ -25,21 +25,21 @@ bool pass_dce(ir::Function& fn) {
     const Liveness lv = compute_liveness(fn);
     for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
       ir::BasicBlock& block = fn.blocks[bi];
-      std::vector<bool> live = lv.live_out[bi];
+      analysis::BitSet live = lv.live_out[bi];
       // Walk backwards maintaining the live set; collect dead indices.
       std::vector<bool> dead(block.insts.size(), false);
       for (std::size_t i = block.insts.size(); i-- > 0;) {
         const IrInst& inst = block.insts[i];
         const VReg d = def_of(inst);
-        if (removable(inst) && d != ir::kNoVReg && !live[d]) {
+        if (removable(inst) && d != ir::kNoVReg && !live.test(d)) {
           dead[i] = true;
           continue;  // its uses do not become live
         }
-        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) live[d] = false;
+        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) live.reset(d);
         for_each_use(inst, [&](const ir::Value& v) {
-          if (v.is_reg()) live[v.reg] = true;
+          if (v.is_reg()) live.set(v.reg);
         });
-        if (inst.guard != ir::kNoVReg) live[inst.guard] = true;
+        if (inst.guard != ir::kNoVReg) live.set(inst.guard);
       }
       std::size_t out = 0;
       for (std::size_t i = 0; i < block.insts.size(); ++i) {

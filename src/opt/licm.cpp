@@ -103,8 +103,8 @@ bool pass_licm(ir::Function& fn) {
         if (!hoistable_op(inst)) continue;
         const VReg d = inst.dst;
         if (def_count[d] != 1) continue;
-        if (lv.live_in[loop.header][d]) continue;
-        if (lv.live_in[loop.exit][d]) continue;
+        if (lv.live_in[loop.header].test(d)) continue;
+        if (lv.live_in[loop.exit].test(d)) continue;
         bool invariant = true;
         for_each_use(inst, [&](const ir::Value& v) {
           if (v.is_reg() && def_count.count(v.reg) != 0 &&

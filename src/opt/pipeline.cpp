@@ -25,9 +25,11 @@ void verify_after(const ir::Module& module, const char* pass) {
 void optimize(ir::Module& module, const OptOptions& options) {
   obs::Span opt_span("optimize", "opt");
   // Environment hook so any flow (tools, tests, benches) can switch on
-  // per-pass verification without plumbing an option through.
+  // per-pass verification without plumbing an option through. Read-only
+  // env access; nothing in the toolchain calls setenv concurrently.
   const bool verify_each =
-      options.verify_each_pass || std::getenv("CEPIC_VERIFY_IR") != nullptr;
+      options.verify_each_pass ||
+      std::getenv("CEPIC_VERIFY_IR") != nullptr;  // NOLINT(concurrency-mt-unsafe)
   // Wrap each pass: run it, then (in verify mode) prove the module is
   // still structurally legal before the next pass consumes it.
   const auto fn_pass = [&](bool (*pass)(ir::Function&), const char* name,

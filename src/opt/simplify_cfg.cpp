@@ -97,19 +97,9 @@ bool merge_chains(ir::Function& fn) {
 }
 
 bool remove_unreachable(ir::Function& fn) {
-  std::vector<bool> reachable(fn.blocks.size(), false);
-  std::vector<int> stack = {0};
-  reachable[0] = true;
-  while (!stack.empty()) {
-    const int b = stack.back();
-    stack.pop_back();
-    for (int s : successors(fn.blocks[b])) {
-      if (!reachable[s]) {
-        reachable[s] = true;
-        stack.push_back(s);
-      }
-    }
-  }
+  // Graph reachability comes from the shared CFG; this pass only owns
+  // the compaction/renumbering.
+  const std::vector<bool> reachable = analysis::Cfg::build(fn).reachable;
   if (std::all_of(reachable.begin(), reachable.end(),
                   [](bool r) { return r; })) {
     return false;

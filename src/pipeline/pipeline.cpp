@@ -52,6 +52,45 @@ std::string backend_options_text(const backend::BackendOptions& b,
              ";stack_top=", stack_top);
 }
 
+/// Werror-independent wire form of an IR lint report for the kIrLint
+/// granularity: one diagnostic per line,
+///   <rule> <severity> <block> <inst> <function>\t<message>
+/// so a typed LintReport can be rebuilt on a store hit and rendered
+/// with the *caller's* werror setting (mirroring how kLint caches the
+/// mcheck report with werror applied only at the read gate).
+std::string encode_ir_lint(const analysis::LintReport& report) {
+  std::string blob;
+  for (const analysis::LintDiagnostic& d : report.diags) {
+    blob += cat(static_cast<unsigned>(d.rule), " ",
+                static_cast<unsigned>(d.severity), " ", d.block, " ", d.inst,
+                " ", d.function, "\t", d.message, "\n");
+  }
+  return blob;
+}
+
+analysis::LintReport decode_ir_lint(const std::string& blob) {
+  analysis::LintReport report;
+  std::istringstream in(blob);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    unsigned rule = 0;
+    unsigned severity = 0;
+    analysis::LintDiagnostic d;
+    if (!(fields >> rule >> severity >> d.block >> d.inst) ||
+        rule >= analysis::kNumLintRules || severity > 1) {
+      throw Error(cat("corrupt IR-lint store artifact: `", line, "`"));
+    }
+    d.rule = static_cast<analysis::LintRule>(rule);
+    d.severity = static_cast<analysis::LintSeverity>(severity);
+    fields.get();  // the separator space before the function name
+    std::getline(fields, d.function, '\t');
+    std::getline(fields, d.message);
+    report.diags.push_back(std::move(d));
+  }
+  return report;
+}
+
 }  // namespace
 
 Service::Service(Options options)
@@ -160,6 +199,27 @@ ir::Module Service::compile_module(std::string_view source) {
 
 std::string Service::compile_ir_text(std::string_view source) {
   return ir::to_string(compile_module(source));
+}
+
+analysis::LintReport Service::lint_ir(std::string_view source, bool werror) {
+  obs::Span span("lint_ir", "pipeline");
+  // Shares the IR artifact's digest: the lint is a pure function of the
+  // optimised Module, which that digest already identifies.
+  const ArtifactId id{Granularity::kIrLint, ir_artifact(source).digest};
+  std::string blob;
+  if (store_.get(id, blob)) {
+    span.arg("cached", "store");
+  } else {
+    span.arg("cached", "miss");
+    const ir::Module module = compile_module(source);
+    blob = encode_ir_lint(analysis::lint_module(module));
+    store_.put(id, blob);
+    std::unique_lock<std::mutex> lock(mu_);
+    ++ir_lint_runs_;
+  }
+  analysis::LintReport report = decode_ir_lint(blob);
+  report.werror = werror;
+  return report;
 }
 
 std::string Service::compile_asm_at(std::string_view source,
@@ -474,7 +534,13 @@ std::vector<RunOutcome> Service::run_batch(
               slot = claim.first;
               if (!claim.second) {
                 dedup.cv.wait(lk, [&] { return slot->second.done; });
-                deliver(slot->second);
+                // Copy the finished entry and drop dedup.m before
+                // touching any other lock (the result cache inside
+                // deliver, the stats mutex): every mutex on this path
+                // stays a leaf, so no lock order can invert.
+                const SimDedupEntry finished = slot->second;
+                lk.unlock();
+                deliver(finished);
                 task_span.arg("dedup", "hit");
                 std::unique_lock<std::mutex> lock(mu_);
                 ++sim_dedup_hits_;
@@ -520,9 +586,13 @@ std::vector<RunOutcome> Service::run_batch(
   }
 
   {
+    // Snapshot the cache counters before taking the stats mutex so the
+    // two locks never nest (keep mu_ a leaf lock).
+    const std::uint64_t hits = results.hits();
+    const std::uint64_t misses = results.misses();
     std::unique_lock<std::mutex> lock(mu_);
-    result_hits_ += results.hits();
-    result_misses_ += results.misses();
+    result_hits_ += hits;
+    result_misses_ += misses;
   }
   if (!results_path.empty()) {
     std::error_code ec;
@@ -541,6 +611,7 @@ void publish_stats(const ServiceStats& s) {
   r.set_counter("pipeline.module_decodes", s.module_decodes);
   r.set_counter("pipeline.simulations", s.simulations);
   r.set_counter("pipeline.lint_runs", s.lint_runs);
+  r.set_counter("pipeline.ir_lint_runs", s.ir_lint_runs);
   r.set_counter("pipeline.result_hits", s.result_hits);
   r.set_counter("pipeline.result_misses", s.result_misses);
   r.set_counter("pipeline.sim_dedup_hits", s.sim_dedup_hits);
@@ -554,6 +625,7 @@ void publish_stats(const ServiceStats& s) {
   fold("asm", s.store.assembly);
   fold("program", s.store.program);
   fold("lint", s.store.lint);
+  fold("irlint", s.store.ir_lint);
 }
 
 void Service::publish_stats() const { pipeline::publish_stats(stats()); }
@@ -586,6 +658,7 @@ ServiceStats Service::stats() const {
   s.module_decodes = module_decodes_;
   s.simulations = simulations_;
   s.lint_runs = lint_runs_;
+  s.ir_lint_runs = ir_lint_runs_;
   s.result_hits = result_hits_;
   s.result_misses = result_misses_;
   s.sim_dedup_hits = sim_dedup_hits_;

@@ -70,6 +70,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/irlint.hpp"
 #include "backend/backend.hpp"
 #include "core/config.hpp"
 #include "core/program.hpp"
@@ -155,6 +156,7 @@ struct ServiceStats {
                                      ///< store (no reparse, no frontend)
   std::uint64_t simulations = 0;     ///< cycle-level simulations executed
   std::uint64_t lint_runs = 0;       ///< mcheck verifications executed
+  std::uint64_t ir_lint_runs = 0;    ///< IR-level lint executions
   std::uint64_t result_hits = 0;     ///< batch items served from results
   std::uint64_t result_misses = 0;
   /// Batch items answered by another item's in-flight simulation (same
@@ -201,6 +203,16 @@ public:
   /// Printed optimised IR, served from the store when possible (the
   /// IR granularity persists as text).
   std::string compile_ir_text(std::string_view source);
+
+  /// IR-level lint (analysis::lint_module) over the optimised module
+  /// for `source`. Config-independent — like the kIr artifact it is
+  /// keyed by source + optimiser options only — and cached in the store
+  /// at Granularity::kIrLint under the IR artifact's digest, so a warm
+  /// store serves the report without rebuilding or re-analysing the IR.
+  /// The cached blob is werror-independent; `werror` is folded into the
+  /// returned report at read time. (Rule filtering is not cached —
+  /// callers needing a rule subset should lint the module directly.)
+  analysis::LintReport lint_ir(std::string_view source, bool werror = false);
 
   /// MiniC -> assembly for `config`, store-served when possible.
   std::string compile_asm(std::string_view source,
@@ -276,6 +288,7 @@ private:
   std::uint64_t module_decodes_ = 0;
   std::uint64_t simulations_ = 0;
   std::uint64_t lint_runs_ = 0;
+  std::uint64_t ir_lint_runs_ = 0;
   std::uint64_t result_hits_ = 0;
   std::uint64_t result_misses_ = 0;
   std::uint64_t sim_dedup_hits_ = 0;

@@ -22,6 +22,7 @@ GranularityStats& stats_for(StoreStats& s, Granularity g) {
     case Granularity::kIr: return s.ir;
     case Granularity::kAsm: return s.assembly;
     case Granularity::kLint: return s.lint;
+    case Granularity::kIrLint: return s.ir_lint;
     default: return s.program;
   }
 }
@@ -32,6 +33,7 @@ const char* subdir(Granularity g) {
     case Granularity::kIr: return "ir";
     case Granularity::kAsm: return "asm";
     case Granularity::kLint: return "lint";
+    case Granularity::kIrLint: return "irlint";
     default: return "prog";
   }
 }
@@ -43,6 +45,7 @@ const char* extension(Granularity g) {
     case Granularity::kIr: return ".cepx";
     case Granularity::kAsm: return ".s";
     case Granularity::kLint: return ".lint";
+    case Granularity::kIrLint: return ".irlint";
     default: return ".cepx";
   }
 }
@@ -77,6 +80,7 @@ const char* to_string(Granularity g) {
     case Granularity::kIr: return "ir";
     case Granularity::kAsm: return "asm";
     case Granularity::kLint: return "lint";
+    case Granularity::kIrLint: return "irlint";
     default: return "program";
   }
 }
@@ -85,7 +89,7 @@ std::string to_string(const ArtifactId& id) {
   return cat(to_string(id.granularity), ":", hex16(id.digest));
 }
 
-Store::Store(std::string root, std::string version_tag) {
+Store::Store(const std::string& root, std::string version_tag) {
   if (root.empty()) return;  // degenerate: behave as memory-only
   if (version_tag.empty()) version_tag = store_version_tag();
 
@@ -94,7 +98,7 @@ Store::Store(std::string root, std::string version_tag) {
   // the root at a versioned directory (old layout, or a copy-paste of
   // an inner path) would silently shadow every artifact, so reject it.
   const fs::path root_path(root);
-  for (const char* g : {"ir", "asm", "prog", "lint"}) {
+  for (const char* g : {"ir", "asm", "prog", "lint", "irlint"}) {
     std::error_code ec;
     if (fs::is_directory(root_path / g, ec)) {
       throw Error(cat(

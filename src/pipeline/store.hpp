@@ -1,4 +1,4 @@
-// Content-addressed store of compilation artifacts at four
+// Content-addressed store of compilation artifacts at five
 // granularities:
 //
 //   kIr       the optimised IR Module, CEPX-encoded (keyed by source +
@@ -14,6 +14,10 @@
 //             same key (first line "<errors> <warnings>", then the
 //             rendered report) — sound because mcheck reads only the
 //             codegen slice of the configuration
+//   kIrLint   the IR-level lint report (analysis::lint_module) for the
+//             optimised Module, keyed like kIr (config-independent —
+//             the lint reads only the IR), one parseable diagnostic
+//             per line so the report is rebuilt typed on a hit
 //
 // Artifacts are addressed by ArtifactId{granularity, digest} handles —
 // stable 64-bit content hashes computed by pipeline::Service (see
@@ -42,7 +46,15 @@
 
 namespace cepic::pipeline {
 
-enum class Granularity { kIr = 0, kAsm = 1, kProgram = 2, kLint = 3 };
+enum class Granularity {
+  kIr = 0,
+  kAsm = 1,
+  kProgram = 2,
+  kLint = 3,
+  kIrLint = 4,
+};
+
+inline constexpr int kNumGranularities = 5;
 
 const char* to_string(Granularity g);
 
@@ -72,6 +84,7 @@ struct StoreStats {
   GranularityStats assembly;
   GranularityStats program;
   GranularityStats lint;
+  GranularityStats ir_lint;
 };
 
 class Store {
@@ -84,7 +97,7 @@ public:
   /// `version_tag` defaults to store_version_tag() and is parameterised
   /// only so tests can prove the version isolation property. Throws
   /// Error if `root` holds an old-layout or foreign store.
-  explicit Store(std::string root, std::string version_tag = {});
+  explicit Store(const std::string& root, std::string version_tag = {});
 
   // --- raw blob interface (kAsm / kLint text artifacts) ---
 
@@ -120,7 +133,7 @@ private:
 
   std::string dir_;  ///< <root>/<version_tag>, "" when memory-only
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::string> mem_[4];
+  std::unordered_map<std::uint64_t, std::string> mem_[kNumGranularities];
   StoreStats stats_;
 };
 

@@ -26,9 +26,9 @@ namespace cepic::pipeline {
 inline constexpr unsigned kPipelineSchema = 2;
 
 /// Human-readable toolchain identity folded into store paths and keys.
-/// pr7: binary IR/Program/config artifacts in the CEPX v2 container,
-/// store addressed by ArtifactId handles.
-inline constexpr std::string_view kToolVersion = "cepic-pr7";
+/// pr8: IR-level lint reports cached at the new kIrLint granularity;
+/// the tag bump keeps pr7 stores (which never held them) separate.
+inline constexpr std::string_view kToolVersion = "cepic-pr8";
 
 /// Directory component under the store root that namespaces all
 /// artifacts of this build, e.g. "v1-cepic-pr3".

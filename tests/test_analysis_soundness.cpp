@@ -1,0 +1,202 @@
+// Soundness differential harness (docs/ANALYSIS.md "Soundness"): every
+// fact the guard-aware interval analysis proves about an ir::Function is
+// checked against real executions of the reference interpreter over the
+// seeded random-module fuzz corpus. The contract:
+//
+//  * whenever block b is entered, every vreg's observed value lies in
+//    the analysis' entry state in[b][vreg];
+//  * a block proven non-executable is never entered;
+//  * a recorded GuardFact commits exactly as predicted, and a recorded
+//    BranchFact always goes the predicted way.
+//
+// Failures name the generator seed so a violation reproduces directly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/intervals.hpp"
+#include "ir/interp.hpp"
+#include "ir/parse.hpp"
+#include "ir/verify.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "test_util.hpp"
+
+namespace cepic {
+namespace {
+
+/// Precomputed analysis results for every function of a module, plus
+/// fact lookup tables, keyed by function name.
+struct FnFacts {
+  analysis::IntervalAnalysis ia;
+  std::map<std::pair<int, int>, bool> guard_commits;  // (block, inst)
+  std::map<int, bool> branch_then;                    // block -> then_taken
+};
+
+class SoundnessObserver : public ir::InterpObserver {
+ public:
+  SoundnessObserver(const ir::Module& module, std::uint64_t seed)
+      : seed_(seed) {
+    for (const ir::Function& fn : module.functions) {
+      const analysis::Cfg cfg = analysis::Cfg::build(fn);
+      FnFacts facts;
+      facts.ia = analysis::compute_intervals(module, fn, cfg);
+      for (const auto& gf : facts.ia.guard_facts) {
+        facts.guard_commits[{gf.block, gf.inst}] = gf.commits;
+      }
+      for (const auto& bf : facts.ia.branch_facts) {
+        facts.branch_then[bf.block] = bf.then_taken;
+      }
+      by_fn_.emplace(fn.name, std::move(facts));
+    }
+  }
+
+  void on_block_entry(const ir::Function& fn, int block,
+                      std::span<const std::uint32_t> regs) override {
+    ++blocks_observed;
+    const FnFacts& facts = by_fn_.at(fn.name);
+    if (!facts.ia.executable[block]) {
+      ADD_FAILURE() << "seed " << seed_ << ": @" << fn.name << " .b" << block
+                    << " was proven unreachable but executed";
+      return;
+    }
+    const std::vector<analysis::AbsVal>& in = facts.ia.in[block];
+    for (ir::VReg v = 1; v < fn.next_vreg; ++v) {
+      const analysis::AbsVal& av = in[v];
+      const std::int32_t observed = static_cast<std::int32_t>(regs[v]);
+      if (av.is_bottom()) {
+        ADD_FAILURE() << "seed " << seed_ << ": @" << fn.name << " .b"
+                      << block << " entered with %" << v
+                      << " = " << observed
+                      << " but the analysis proved it has no value";
+        continue;
+      }
+      const analysis::Interval iv = facts.ia.concretize(av);
+      if (!iv.contains(observed)) {
+        ADD_FAILURE() << "seed " << seed_ << ": @" << fn.name << " .b"
+                      << block << " entry: %" << v << " observed "
+                      << observed << " outside proven interval ["
+                      << iv.lo << ", " << iv.hi << "]";
+      } else {
+        ++values_checked;
+      }
+    }
+  }
+
+  void on_guard(const ir::Function& fn, int block, int inst,
+                bool committed) override {
+    const FnFacts& facts = by_fn_.at(fn.name);
+    const auto it = facts.guard_commits.find({block, inst});
+    if (it == facts.guard_commits.end()) return;
+    ++guards_checked;
+    EXPECT_EQ(committed, it->second)
+        << "seed " << seed_ << ": @" << fn.name << " .b" << block
+        << " inst " << inst << ": guard fact says commits="
+        << it->second << " but execution " << (committed ? "committed" : "nullified");
+  }
+
+  void on_branch(const ir::Function& fn, int block, bool then_taken) override {
+    const FnFacts& facts = by_fn_.at(fn.name);
+    const auto it = facts.branch_then.find(block);
+    if (it == facts.branch_then.end()) return;
+    ++branches_checked;
+    EXPECT_EQ(then_taken, it->second)
+        << "seed " << seed_ << ": @" << fn.name << " .b" << block
+        << ": branch fact says then_taken=" << it->second
+        << " but execution went the other way";
+  }
+
+  std::uint64_t blocks_observed = 0;
+  std::uint64_t values_checked = 0;
+  std::uint64_t guards_checked = 0;
+  std::uint64_t branches_checked = 0;
+
+ private:
+  std::uint64_t seed_;
+  std::map<std::string, FnFacts> by_fn_;
+};
+
+TEST(AnalysisSoundness, RandomModulesAgreeWithInterpreter) {
+  std::uint64_t completed = 0;
+  std::uint64_t faulted = 0;
+  std::uint64_t blocks = 0, values = 0, guards = 0, branches = 0;
+
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    Prng rng(seed);
+    const ir::Module m = testutil::random_module(rng);
+    SCOPED_TRACE(cat("seed ", seed));
+
+    SoundnessObserver obs(m, seed);
+    // Random modules may loop forever or recurse unboundedly; a small
+    // step budget turns those into a SimError. Observations made before
+    // any fault (runaway, unknown callee, bad memory) still count: the
+    // soundness contract covers every prefix of every execution.
+    ir::InterpOptions io;
+    io.max_steps = 20'000;
+    ir::Interpreter interp(m, io);
+    interp.set_observer(&obs);
+
+    const ir::Function& main_fn = m.functions.front();
+    std::vector<std::uint32_t> args;
+    for (std::size_t i = 0; i < main_fn.params.size(); ++i) {
+      args.push_back(rng.next_u32());
+    }
+    try {
+      interp.run("main", args);
+      ++completed;
+    } catch (const SimError&) {
+      ++faulted;
+    }
+    blocks += obs.blocks_observed;
+    values += obs.values_checked;
+    guards += obs.guards_checked;
+    branches += obs.branches_checked;
+  }
+
+  // The corpus must actually exercise the contract, not pass vacuously.
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(blocks, 0u);
+  EXPECT_GT(values, 0u);
+  EXPECT_GT(guards, 0u);
+  EXPECT_GT(branches, 0u);
+}
+
+// Deterministic regression: a module with a statically-decided guard, a
+// constant branch and an unreachable block, checked end to end through
+// the observer (so a regression in either the analysis or the hook
+// placement fails here with a readable fixture, not a fuzz seed).
+TEST(AnalysisSoundness, HandwrittenModuleFactsHold) {
+  const ir::Module m = ir::parse_module(
+      "int main() frame=0 {\n"
+      ".b0:\n"
+      "  %1 = 7\n"
+      "  %2 = cmp.lt %1, 10\n"
+      "  [%2] %3 = 1\n"
+      "  [!%2] %4 = 2\n"
+      "  condbr %2 ? .b1 : .b2\n"
+      ".b1:\n"
+      "  ret %3\n"
+      ".b2:\n"
+      "  ret 0\n"
+      "}\n");
+  ir::verify_module(m, /*require_main=*/true);
+
+  SoundnessObserver obs(m, /*seed=*/0);
+  ir::Interpreter interp(m);
+  interp.set_observer(&obs);
+  const ir::InterpResult r = interp.run("main");
+  EXPECT_EQ(r.ret, 1u);
+  // Both guards and the branch are static, so all three fact kinds fire.
+  EXPECT_EQ(obs.guards_checked, 2u);
+  EXPECT_EQ(obs.branches_checked, 1u);
+  EXPECT_GE(obs.blocks_observed, 2u);
+}
+
+}  // namespace
+}  // namespace cepic

@@ -489,5 +489,68 @@ TEST(Explore, SweepBatchSharesCompilesAcrossSourcesAndMatchesRunSweep) {
   EXPECT_EQ(batch.sweeps[0].to_json(), lone.to_json());
 }
 
+// ------------------------------------------------- IR-lint granularity
+
+// A source whose *unoptimised* IR carries a dead store (the first write
+// to x is overwritten before any read), so lint_ir has a finding to
+// cache when the Service runs with optimize off.
+const char* kDeadStoreProg =
+    "int main() { int x = 1; x = 2; out(x); return 0; }";
+
+TEST(Service, IrLintRunsOnceAndIsServedFromTheWarmStore) {
+  const std::string dir = scratch_dir("irlint");
+  Options options;
+  options.store_dir = dir;
+  analysis::LintReport cold;
+  {
+    Service service(options);
+    cold = service.lint_ir(kProg);
+    EXPECT_EQ(service.stats().ir_lint_runs, 1u);
+    const analysis::LintReport again = service.lint_ir(kProg);
+    EXPECT_EQ(service.stats().ir_lint_runs, 1u);
+    EXPECT_EQ(again.to_json(), cold.to_json());
+  }
+  // A fresh Service over the same store serves the cached report: no
+  // lint execution, and no IR rebuild either (the lint never needed the
+  // Module on the warm path).
+  Service warm(options);
+  const analysis::LintReport report = warm.lint_ir(kProg);
+  EXPECT_EQ(warm.stats().ir_lint_runs, 0u);
+  EXPECT_EQ(warm.stats().frontend_runs, 0u);
+  EXPECT_EQ(warm.stats().store.ir_lint.hits, 1u);
+  EXPECT_EQ(report.to_json(), cold.to_json());
+}
+
+TEST(Service, IrLintReportRoundTripsThroughTheStoreFieldForField) {
+  Options options;
+  options.codegen.optimize = false;
+  Service service(options);
+  const analysis::LintReport direct =
+      analysis::lint_module(service.compile_module(kDeadStoreProg));
+  ASSERT_FALSE(direct.diags.empty());
+  const analysis::LintReport cached = service.lint_ir(kDeadStoreProg);
+  EXPECT_EQ(cached.to_json(), direct.to_json());
+  EXPECT_EQ(cached.to_text(), direct.to_text());
+}
+
+TEST(Service, IrLintWerrorAppliesAtReadTimeOverOneCachedBlob) {
+  Options options;
+  options.codegen.optimize = false;
+  Service service(options);
+  const analysis::LintReport lax = service.lint_ir(kDeadStoreProg,
+                                                   /*werror=*/false);
+  ASSERT_GT(lax.warning_count(), 0u) << lax.to_text();
+  EXPECT_EQ(lax.error_count(), 0u);
+  EXPECT_TRUE(lax.clean());
+  // The strict read reuses the same cached blob — no second lint run —
+  // and folds werror in on the way out.
+  const analysis::LintReport strict = service.lint_ir(kDeadStoreProg,
+                                                      /*werror=*/true);
+  EXPECT_EQ(service.stats().ir_lint_runs, 1u);
+  EXPECT_FALSE(strict.clean());
+  EXPECT_EQ(strict.error_count(), lax.warning_count());
+  EXPECT_EQ(strict.diags.size(), lax.diags.size());
+}
+
 }  // namespace
 }  // namespace cepic::pipeline

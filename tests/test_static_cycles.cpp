@@ -1,0 +1,258 @@
+// Differential tests for the static schedule analyzer
+// (analysis/static_cycles.hpp) against EpicSimulator::run():
+//
+//  * on programs whose control flow resolves statically the prediction
+//    is EXACT — SimStats compares field-for-field equal;
+//  * on every terminating program the bound
+//      bundles_issued <= cycles <= bundles_issued * max_cycles_per_bundle
+//    holds;
+//  * a predicted fault means the simulator faults with the same text.
+//
+// The random sweep runs the full fuzz customisation grid; failures name
+// the config and seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/static_cycles.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+#include "test_util.hpp"
+
+namespace cepic {
+namespace {
+
+using namespace testutil;
+
+SimStats run_sim(const Program& p, std::uint64_t max_cycles = 2'000'000) {
+  SimOptions options;
+  options.max_cycles = max_cycles;
+  EpicSimulator sim(p, {}, options);
+  sim.run();
+  return sim.stats();
+}
+
+void expect_exact(std::initializer_list<std::vector<Instruction>> bundles,
+                  ProcessorConfig cfg = {}) {
+  const Program p = make_program(cfg, bundles);
+  const analysis::StaticCycleReport report = analysis::predict_cycles(p);
+  ASSERT_TRUE(report.exact) << report.reason;
+  EXPECT_FALSE(report.fault);
+  EXPECT_EQ(report.stats, run_sim(p)) << report.to_string();
+}
+
+// --- exact mode: the stall taxonomy of tests/test_sim_timing.cpp ------
+
+TEST(StaticCycles, ExactOnIndependentBundles) {
+  expect_exact({{mov(1, I(1))}, {mov(2, I(2))}, {mov(3, I(3))}, {halt()}});
+}
+
+TEST(StaticCycles, ExactOnLoadUseStall) {
+  expect_exact({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                {ldw(2, 1, 0)},
+                {add(3, R(2), I(1))},
+                {halt()}});
+}
+
+TEST(StaticCycles, ExactOnPortStallsWithoutForwarding) {
+  ProcessorConfig cfg;
+  cfg.forwarding = false;
+  expect_exact({{mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                {add(5, R(1), R(2)), add(6, R(3), R(4)), add(7, R(1), R(3)),
+                 add(8, R(2), R(4))},
+                {halt()}},
+               cfg);
+}
+
+TEST(StaticCycles, ExactOnForwardingFixedPoint) {
+  // The delayed-issue port fixed point (see SimTiming): a single-pass
+  // port count predicts 1 stall here; the converged answer is 2.
+  ProcessorConfig cfg;
+  cfg.reg_port_budget = 5;
+  expect_exact({{mov(9, I(9)), mov(10, I(10)), mov(11, I(11)), mov(12, I(12))},
+                {mov(1, I(1)), mov(2, I(2)), mov(3, I(3)), mov(4, I(4))},
+                {add(5, R(1), R(9)), add(6, R(2), R(10)), add(7, R(3), R(11)),
+                 add(8, R(4), R(12))},
+                {halt()}},
+               cfg);
+}
+
+TEST(StaticCycles, ExactOnMemoryContention) {
+  ProcessorConfig cfg;
+  cfg.unified_memory_contention = true;
+  expect_exact({{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+                {stw(1, 1, 0)},
+                {ldw(2, 1, 0)},
+                {halt()}},
+               cfg);
+}
+
+TEST(StaticCycles, ExactOnTakenBranch) {
+  expect_exact({{pbr(1, 2)}, {bru(1)}, {halt()}});
+}
+
+TEST(StaticCycles, ExactOnStaticallyDecidedConditionalBranch) {
+  // p1 is written by a compare of literals: the predictor resolves the
+  // branch direction and the not-taken accounting statically.
+  expect_exact({{pbr(1, 2), cmpp(Op::CMPP_EQ, 1, 2, I(1), I(2))},
+                {brct(1, 1)},
+                {halt()}});
+}
+
+TEST(StaticCycles, ExactOnCountedLoop) {
+  // for (r1 = 3; r1 != 0; --r1): trip count and both branch directions
+  // resolve statically, so the whole loop unrolls in the walk.
+  expect_exact({{mov(1, I(3)), pbr(1, 1)},
+                {add(1, R(1), I(-1)), cmpp(Op::CMPP_NE, 2, 3, R(1), I(0))},
+                {brct(1, 2)},
+                {halt()}});
+}
+
+TEST(StaticCycles, ExactOnNullifiedGuards) {
+  // Both polarity outcomes of a static predicate: op accounting
+  // (committed vs nullified) must match the simulator's.
+  expect_exact({{cmpp(Op::CMPP_EQ, 1, 2, I(5), I(5))},
+                {add(3, I(1), I(1), /*pred=*/1), add(4, I(2), I(2), /*pred=*/2)},
+                {halt()}});
+}
+
+// --- bounded mode ------------------------------------------------------
+
+TEST(StaticCycles, LoadDependentBranchFallsBackToBound) {
+  // The branch predicate derives from a loaded value: the walk must
+  // stop (bounded, not exact) and the bound must cover the real run.
+  const Program p = make_program(
+      ProcessorConfig{},
+      {{mov(1, I(static_cast<std::int32_t>(kDataBase))), pbr(1, 4)},
+       {ldw(2, 1, 0)},
+       {cmpp(Op::CMPP_EQ, 1, 2, R(2), I(0))},
+       {brct(1, 1)},
+       {halt()}});
+  const analysis::StaticCycleReport report = analysis::predict_cycles(p);
+  EXPECT_FALSE(report.exact);
+  EXPECT_FALSE(report.fault);
+  EXPECT_NE(report.reason.find("statically unknown"), std::string::npos)
+      << report.reason;
+  EXPECT_TRUE(report.within_bound(run_sim(p))) << report.to_string();
+}
+
+TEST(StaticCycles, LoadDependentGuardFallsBackToBound) {
+  const Program p = make_program(
+      ProcessorConfig{},
+      {{mov(1, I(static_cast<std::int32_t>(kDataBase)))},
+       {ldw(2, 1, 0)},
+       {cmpp(Op::CMPP_EQ, 1, 2, R(2), I(0))},
+       {add(3, I(1), I(1), /*pred=*/1)},
+       {halt()}});
+  const analysis::StaticCycleReport report = analysis::predict_cycles(p);
+  EXPECT_FALSE(report.exact);
+  EXPECT_NE(report.reason.find("guard predicate"), std::string::npos)
+      << report.reason;
+  EXPECT_TRUE(report.within_bound(run_sim(p))) << report.to_string();
+}
+
+TEST(StaticCycles, StaticInfiniteLoopExhaustsWalkBudget) {
+  const Program p =
+      make_program(ProcessorConfig{}, {{pbr(1, 0)}, {bru(1)}, {halt()}});
+  analysis::StaticCycleOptions options;
+  options.max_bundles = 64;
+  const analysis::StaticCycleReport report =
+      analysis::predict_cycles(p, {}, options);
+  EXPECT_FALSE(report.exact);
+  EXPECT_FALSE(report.fault);
+  EXPECT_NE(report.reason.find("walk budget"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.walked_bundles, 64u);
+  EXPECT_GE(report.max_cycles_per_bundle, 1u);
+}
+
+// --- fault prediction ---------------------------------------------------
+
+TEST(StaticCycles, PredictsBranchPastEndFault) {
+  const Program p =
+      make_program(ProcessorConfig{}, {{pbr(1, 99)}, {bru(1)}, {halt()}});
+  const analysis::StaticCycleReport report = analysis::predict_cycles(p);
+  ASSERT_TRUE(report.fault);
+  EXPECT_FALSE(report.exact);
+  try {
+    run_sim(p);
+    FAIL() << "simulator did not fault";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find(report.reason), std::string::npos)
+        << "predicted: " << report.reason << "\nactual: " << e.what();
+  }
+}
+
+// --- reports -----------------------------------------------------------
+
+TEST(StaticCycles, ReportFormats) {
+  const Program p = make_program(ProcessorConfig{}, {{mov(1, I(1))}, {halt()}});
+  const analysis::StaticCycleReport report = analysis::predict_cycles(p);
+  ASSERT_TRUE(report.exact);
+  EXPECT_NE(report.to_string().find("static-cycles: exact"), std::string::npos);
+  EXPECT_NE(report.to_string().find("bound: bundles_issued <= cycles"),
+            std::string::npos);
+  EXPECT_NE(report.to_json().find("\"exact\":1"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"cycles\":2"), std::string::npos);
+}
+
+// --- the fuzz sweep: full customisation grid ---------------------------
+
+TEST(StaticCycles, DifferentialOnRandomProgramsAcrossConfigGrid) {
+  std::uint64_t exact_runs = 0;
+  std::uint64_t fault_predictions = 0;
+
+  const std::vector<NamedConfig> grid = fuzz_configs();
+  for (std::size_t ci = 0; ci < grid.size(); ++ci) {
+    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+      SCOPED_TRACE(cat("config ", grid[ci].name, " seed ", seed));
+      Prng rng(seed * 1009 + ci);
+      const Program p = random_program(rng, grid[ci].cfg);
+
+      analysis::StaticCycleOptions options;
+      options.max_bundles = 5'000;
+      const analysis::StaticCycleReport report =
+          analysis::predict_cycles(p, {}, options);
+
+      bool sim_faulted = false;
+      std::string sim_error;
+      SimStats observed;
+      try {
+        observed = run_sim(p, /*max_cycles=*/1'000'000);
+      } catch (const SimError& e) {
+        sim_faulted = true;
+        sim_error = e.what();
+      }
+
+      if (report.fault) {
+        ASSERT_TRUE(sim_faulted) << "predicted fault did not occur: "
+                                 << report.reason;
+        EXPECT_NE(sim_error.find(report.reason), std::string::npos)
+            << "predicted: " << report.reason << "\nactual: " << sim_error;
+        ++fault_predictions;
+      } else if (report.exact) {
+        ASSERT_FALSE(sim_faulted) << sim_error;
+        EXPECT_EQ(report.stats, observed) << report.to_string();
+        ++exact_runs;
+      } else if (!sim_faulted) {
+        // Bounded prediction: the walk stopped on an unknown value (or
+        // budget), but the bound still covers the terminating run.
+        EXPECT_TRUE(report.within_bound(observed))
+            << report.to_string() << "observed cycles=" << observed.cycles
+            << " bundles=" << observed.bundles_issued;
+      }
+    }
+  }
+  // The corpus must exercise both the exact walk and fault prediction;
+  // bounded mode (rare here — random loads usually hit the null guard
+  // and become fault predictions instead) is pinned by the dedicated
+  // LoadDependent* tests above.
+  EXPECT_GT(exact_runs, 0u);
+  EXPECT_GT(fault_predictions, 0u);
+}
+
+}  // namespace
+}  // namespace cepic

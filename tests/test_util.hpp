@@ -259,6 +259,10 @@ inline ir::Module random_module(Prng& rng) {
             break;
           case 4: {  // call, with or without a destination
             inst.op = ir::IrOp::Call;
+            // Calls are never guarded: ir::verify_module rejects them
+            // (the backend has no guarded-call lowering).
+            inst.guard = ir::kNoVReg;
+            inst.guard_negate = false;
             inst.callee = rng.next_below(2) == 0 ? "fn1" : "helper";
             if (rng.next_below(2) == 0) inst.dst = next++;
             const int argc = rng.next_in(0, 3);

@@ -1,0 +1,231 @@
+// Negative tests for ir::verify_module: each fixture builds a module
+// that is broken in exactly one way and asserts the verifier names it.
+#include <gtest/gtest.h>
+
+#include "ir/ir.hpp"
+#include "ir/verify.hpp"
+#include "support/error.hpp"
+
+namespace cepic::ir {
+namespace {
+
+/// int main() { ret 0 } — the smallest valid module; fixtures mutate it.
+Module minimal() {
+  Module m;
+  Function fn;
+  fn.name = "main";
+  fn.returns_value = true;
+  fn.next_vreg = 1;
+  BasicBlock b;
+  IrInst ret;
+  ret.op = IrOp::Ret;
+  ret.a = Value::i(0);
+  b.insts.push_back(ret);
+  fn.blocks.push_back(std::move(b));
+  m.functions.push_back(std::move(fn));
+  return m;
+}
+
+void expect_verify_error(const Module& m, std::string_view needle) {
+  try {
+    verify_module(m, /*require_main=*/true);
+    FAIL() << "verify_module accepted a module that should fail: "
+           << needle;
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string_view(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(Verify, MinimalModulePasses) {
+  EXPECT_NO_THROW(verify_module(minimal(), /*require_main=*/true));
+}
+
+TEST(Verify, DstVregOutOfRange) {
+  Module m = minimal();
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 7;  // next_vreg is 1
+  mov.a = Value::i(0);
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), mov);
+  expect_verify_error(m, "dst vreg %7 out of range");
+}
+
+TEST(Verify, OperandVregOutOfRange) {
+  Module m = minimal();
+  m.functions[0].blocks[0].insts.back().a = Value::r(9);
+  expect_verify_error(m, "a vreg %9 out of range");
+}
+
+TEST(Verify, GuardVregOutOfRange) {
+  Module m = minimal();
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 1;
+  mov.a = Value::i(0);
+  mov.guard = 5;
+  m.functions[0].next_vreg = 2;
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), mov);
+  expect_verify_error(m, "guard vreg out of range");
+}
+
+TEST(Verify, GuardedCallRejected) {
+  Module m = minimal();
+  m.functions[0].next_vreg = 2;
+  IrInst guard_src;
+  guard_src.op = IrOp::Mov;
+  guard_src.dst = 1;
+  guard_src.a = Value::i(1);
+  IrInst call;
+  call.op = IrOp::Call;
+  call.callee = "main";
+  call.guard = 1;
+  auto& insts = m.functions[0].blocks[0].insts;
+  insts.insert(insts.begin(), call);
+  insts.insert(insts.begin(), guard_src);
+  expect_verify_error(m, "calls cannot be guarded");
+}
+
+TEST(Verify, GuardedTerminatorRejected) {
+  Module m = minimal();
+  m.functions[0].next_vreg = 2;
+  auto& insts = m.functions[0].blocks[0].insts;
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 1;
+  mov.a = Value::i(1);
+  insts.insert(insts.begin(), mov);
+  insts.back().guard = 1;
+  expect_verify_error(m, "terminators cannot be guarded");
+}
+
+TEST(Verify, GuardNegateWithoutGuardRejected) {
+  Module m = minimal();
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 0;  // irrelevant; fails earlier? dst must be valid
+  mov.dst = 1;
+  mov.a = Value::i(0);
+  mov.guard_negate = true;
+  Module& mm = m;
+  mm.functions[0].next_vreg = 2;
+  mm.functions[0].blocks[0].insts.insert(
+      mm.functions[0].blocks[0].insts.begin(), mov);
+  expect_verify_error(mm, "guard_negate set on an unguarded instruction");
+}
+
+TEST(Verify, StrayDstOnStoreRejected) {
+  Module m = minimal();
+  IrInst st;
+  st.op = IrOp::StoreW;
+  st.a = Value::i(64);
+  st.b = Value::i(0);
+  st.c = Value::i(1);
+  st.dst = 1;  // stores define nothing
+  m.functions[0].next_vreg = 2;
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), st);
+  expect_verify_error(m, "dst set on an op that defines nothing");
+}
+
+TEST(Verify, StrayBranchTargetRejected) {
+  Module m = minimal();
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 1;
+  mov.a = Value::i(0);
+  mov.block_then = 0;  // stale branch field on a non-branch
+  m.functions[0].next_vreg = 2;
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), mov);
+  expect_verify_error(m, "branch target on a non-branch instruction");
+}
+
+TEST(Verify, BlockElseOnUnconditionalBrRejected) {
+  Module m = minimal();
+  BasicBlock b1;
+  IrInst ret;
+  ret.op = IrOp::Ret;
+  ret.a = Value::i(0);
+  b1.insts.push_back(ret);
+  IrInst br;
+  br.op = IrOp::Br;
+  br.block_then = 1;
+  br.block_else = 1;  // stray on Br
+  m.functions[0].blocks[0].insts.back() = br;
+  m.functions[0].blocks.push_back(std::move(b1));
+  expect_verify_error(m, "block_else set on an unconditional branch");
+}
+
+TEST(Verify, StrayCalleeRejected) {
+  Module m = minimal();
+  IrInst mov;
+  mov.op = IrOp::Mov;
+  mov.dst = 1;
+  mov.a = Value::i(0);
+  mov.callee = "ghost";
+  m.functions[0].next_vreg = 2;
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), mov);
+  expect_verify_error(m, "callee/args on a non-call instruction");
+}
+
+TEST(Verify, StrayCOperandRejected) {
+  Module m = minimal();
+  IrInst add;
+  add.op = IrOp::Add;
+  add.dst = 1;
+  add.a = Value::i(1);
+  add.b = Value::i(2);
+  add.c = Value::i(3);  // c belongs to stores only
+  m.functions[0].next_vreg = 2;
+  m.functions[0].blocks[0].insts.insert(
+      m.functions[0].blocks[0].insts.begin(), add);
+  expect_verify_error(m, "c operand on a non-store instruction");
+}
+
+TEST(Verify, BranchTargetOutOfRange) {
+  Module m = minimal();
+  IrInst br;
+  br.op = IrOp::Br;
+  br.block_then = 3;
+  m.functions[0].blocks[0].insts.back() = br;
+  expect_verify_error(m, "branch target .b3 out of range");
+}
+
+TEST(Verify, MissingTerminator) {
+  Module m = minimal();
+  m.functions[0].blocks[0].insts.pop_back();
+  expect_verify_error(m, "missing terminator");
+}
+
+TEST(Verify, TerminatorMidBlock) {
+  Module m = minimal();
+  IrInst ret;
+  ret.op = IrOp::Ret;
+  ret.a = Value::i(1);
+  auto& insts = m.functions[0].blocks[0].insts;
+  insts.insert(insts.begin(), ret);
+  expect_verify_error(m, "terminator in the middle of a block");
+}
+
+TEST(Verify, BadParamVreg) {
+  Module m = minimal();
+  m.functions[0].params.push_back(4);  // >= next_vreg
+  expect_verify_error(m, "bad param vreg");
+}
+
+TEST(Verify, UnknownCallee) {
+  Module m = minimal();
+  IrInst call;
+  call.op = IrOp::Call;
+  call.callee = "nonexistent";
+  auto& insts = m.functions[0].blocks[0].insts;
+  insts.insert(insts.begin(), call);
+  expect_verify_error(m, "unknown callee @nonexistent");
+}
+
+}  // namespace
+}  // namespace cepic::ir

@@ -18,6 +18,15 @@
 //
 //   --workloads    also lint the four built-in paper workloads
 //                  (SHA-256, AES-128, DCT, Dijkstra)
+//   --ir           also run the IR-level lint (ir.* rules: use-before-
+//                  def, dead stores, unreachable blocks, always-false
+//                  guards, constant branches, out-of-bounds global
+//                  accesses) over MiniC inputs. Config-independent:
+//                  one report per input, cached in the store at the
+//                  IR-lint granularity
+//   --predict      attach the static cycle prediction (exact SimStats
+//                  on statically-resolved programs, a stall-model bound
+//                  otherwise — docs/ANALYSIS.md) to every check
 //   --config FILE  base processor configuration
 //   --grid SPEC    check across a configuration grid, e.g.
 //                  alus=1..4,forwarding=0,1 (cepic-explore grammar);
@@ -37,7 +46,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/irlint.hpp"
+#include "analysis/static_cycles.hpp"
 #include "asmtool/assembler.hpp"
+#include "core/custom.hpp"
 #include "core/program.hpp"
 #include "explore/sweep.hpp"
 #include "mcheck/mcheck.hpp"
@@ -66,14 +78,25 @@ InputKind classify(const std::string& path,
 }
 
 /// One (input, configuration) check: either a report or a failure to
-/// produce a Program at all.
+/// produce a Program at all. `--ir` rows carry an IR-level LintReport
+/// instead of an mcheck one; `--predict` attaches a cycle prediction.
 struct CheckOutcome {
   std::string input;
   std::string config;
   cepic::mcheck::Report report;
   std::string error;  ///< non-empty: compile/assemble/load failed
-  bool failed() const {
-    return !error.empty() || report.error_count() != 0;
+
+  bool is_ir = false;  ///< IR-lint row: `ir_report` is the payload
+  cepic::analysis::LintReport ir_report;
+
+  bool has_predict = false;
+  cepic::analysis::StaticCycleReport predict;
+
+  std::size_t error_count() const {
+    return is_ir ? ir_report.error_count() : report.error_count();
+  }
+  std::size_t warning_count() const {
+    return is_ir ? ir_report.warning_count() : report.warning_count();
   }
 };
 
@@ -85,6 +108,8 @@ int main(int argc, char** argv) {
     std::string config_path;
     std::string grid;
     bool use_workloads = false;
+    bool ir_lint = false;
+    bool predict = false;
     bool werror = false;
     bool json = false;
     bool cache_stats = false;
@@ -96,6 +121,10 @@ int main(int argc, char** argv) {
               "check across a config grid, e.g. alus=1..4", &grid);
     table.flag("--workloads", "also lint the four built-in paper workloads",
                &use_workloads);
+    table.flag("--ir", "also run the IR-level lint over MiniC inputs",
+               &ir_lint);
+    table.flag("--predict", "attach the static cycle prediction to each check",
+               &predict);
     table.flag("--Werror", "treat warnings as errors", &werror);
     table.flag("--json", "machine-readable report on stdout", &json);
     tools::add_jobs_option(table, &popts.jobs);
@@ -152,6 +181,14 @@ int main(int argc, char** argv) {
     pipeline::Service service(popts);
     const mcheck::CheckOptions copts{werror};
 
+    const auto attach_predict = [&](CheckOutcome& out,
+                                    const Program& program) {
+      if (!predict) return;
+      out.has_predict = true;
+      out.predict = analysis::predict_cycles(
+          program, CustomOpTable::for_names(program.config.custom_ops));
+    };
+
     std::vector<CheckOutcome> outcomes;
     for (const Input& in : inputs) {
       if (in.kind == InputKind::kProgram) {
@@ -161,11 +198,26 @@ int main(int argc, char** argv) {
           const Program program = serial::decode_program(in.bytes);
           out.config = program.config.summary();
           out.report = mcheck::check_program(program, copts);
+          attach_predict(out, program);
         } catch (const Error& e) {
           out.error = e.what();
         }
         outcomes.push_back(std::move(out));
         continue;
+      }
+      if (ir_lint && in.kind == InputKind::kMinic) {
+        // One IR-lint row per input: the report is config-independent
+        // (and store-cached at the IR-lint granularity).
+        CheckOutcome out;
+        out.input = in.name;
+        out.config = "ir";
+        out.is_ir = true;
+        try {
+          out.ir_report = service.lint_ir(in.text, werror);
+        } catch (const Error& e) {
+          out.error = e.what();
+        }
+        outcomes.push_back(std::move(out));
       }
       for (const ProcessorConfig& config : configs) {
         CheckOutcome out;
@@ -177,6 +229,7 @@ int main(int argc, char** argv) {
                   ? service.compile_program(in.text, config)
                   : asmtool::assemble(in.text, config);
           out.report = mcheck::check_program(program, copts);
+          attach_predict(out, program);
         } catch (const Error& e) {
           out.error = e.what();
         }
@@ -192,8 +245,8 @@ int main(int argc, char** argv) {
         ++failed_inputs;
         continue;
       }
-      errors += out.report.error_count();
-      warnings += out.report.warning_count();
+      errors += out.error_count();
+      warnings += out.warning_count();
     }
 
     if (json) {
@@ -206,8 +259,13 @@ int main(int argc, char** argv) {
                       out.config, "\",\"error\":\"", out.error, "\"}");
         } else {
           text += cat("{\"input\":\"", out.input, "\",\"config\":\"",
-                      out.config, "\",\"report\":", out.report.to_json(),
-                      "}");
+                      out.config, "\",\"report\":",
+                      out.is_ir ? out.ir_report.to_json()
+                                : out.report.to_json());
+          if (out.has_predict) {
+            text += cat(",\"predict\":", out.predict.to_json());
+          }
+          text += "}";
         }
       }
       text += "]\n";
@@ -215,13 +273,18 @@ int main(int argc, char** argv) {
     } else {
       for (const CheckOutcome& out : outcomes) {
         const std::string head = cat(out.input, " [", out.config, "]");
+        const bool clean =
+            out.is_ir ? out.ir_report.diags.empty() : out.report.diags.empty();
         if (!out.error.empty()) {
           std::cout << head << ": error: " << out.error << "\n";
-        } else if (out.report.diags.empty()) {
+        } else if (clean) {
           std::cout << head << ": clean\n";
+        } else if (out.is_ir) {
+          std::cout << head << ":\n" << out.ir_report.to_text();
         } else {
           std::cout << head << ":\n" << out.report.to_text();
         }
+        if (out.has_predict) std::cout << out.predict.to_string();
       }
       std::cout << "cepic-lint: " << outcomes.size() << " check(s), "
                 << errors << " error(s), " << warnings << " warning(s)";
