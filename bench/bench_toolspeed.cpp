@@ -41,6 +41,89 @@ void BM_Optimize(benchmark::State& state) {
 }
 BENCHMARK(BM_Optimize);
 
+// ---- per-pass micro-benchmarks (BM_OptPass/<name>) -------------------
+// Each runs one dense pass invocation over every function of the whole
+// workload corpus (unoptimised IR), isolating a single pass's cost from
+// the pipeline's scheduling.  The module copy per iteration is part of
+// the measured loop for every pass equally.
+
+const std::vector<ir::Module>& opt_corpus() {
+  static const std::vector<ir::Module> modules = [] {
+    std::vector<ir::Module> out;
+    for (const auto& w : workloads::all_workloads(16, 8, 8, 8)) {
+      out.push_back(minic::compile_to_ir(w.minic_source));
+    }
+    out.push_back(minic::compile_to_ir(dct_workload().minic_source));
+    return out;
+  }();
+  return modules;
+}
+
+template <typename Pass>
+void opt_pass_bench(benchmark::State& state, Pass pass) {
+  const auto& corpus = opt_corpus();
+  for (auto _ : state) {
+    for (const ir::Module& base : corpus) {
+      ir::Module m = base;
+      for (ir::Function& fn : m.functions) {
+        benchmark::DoNotOptimize(pass(fn));
+      }
+      benchmark::DoNotOptimize(m);
+    }
+  }
+}
+
+void BM_OptPassConstfold(benchmark::State& state) {
+  opt_pass_bench(state,
+                 [](ir::Function& fn) { return opt::pass_constfold(fn); });
+}
+BENCHMARK(BM_OptPassConstfold)->Name("BM_OptPass/constfold");
+
+void BM_OptPassCopyProp(benchmark::State& state) {
+  opt_pass_bench(
+      state, [](ir::Function& fn) { return opt::pass_copy_propagate(fn); });
+}
+BENCHMARK(BM_OptPassCopyProp)->Name("BM_OptPass/copy_propagate");
+
+void BM_OptPassCse(benchmark::State& state) {
+  opt_pass_bench(state, [](ir::Function& fn) { return opt::pass_cse(fn); });
+}
+BENCHMARK(BM_OptPassCse)->Name("BM_OptPass/cse");
+
+void BM_OptPassDce(benchmark::State& state) {
+  opt_pass_bench(state, [](ir::Function& fn) { return opt::pass_dce(fn); });
+}
+BENCHMARK(BM_OptPassDce)->Name("BM_OptPass/dce");
+
+void BM_OptPassSimplifyCfg(benchmark::State& state) {
+  opt_pass_bench(state,
+                 [](ir::Function& fn) { return opt::pass_simplify_cfg(fn); });
+}
+BENCHMARK(BM_OptPassSimplifyCfg)->Name("BM_OptPass/simplify_cfg");
+
+void BM_OptPassLicm(benchmark::State& state) {
+  opt_pass_bench(state, [](ir::Function& fn) { return opt::pass_licm(fn); });
+}
+BENCHMARK(BM_OptPassLicm)->Name("BM_OptPass/licm");
+
+void BM_OptPassIfConvert(benchmark::State& state) {
+  opt_pass_bench(
+      state, [](ir::Function& fn) { return opt::pass_if_convert(fn, 10); });
+}
+BENCHMARK(BM_OptPassIfConvert)->Name("BM_OptPass/if_convert");
+
+void BM_OptPassInline(benchmark::State& state) {
+  const auto& corpus = opt_corpus();
+  for (auto _ : state) {
+    for (const ir::Module& base : corpus) {
+      ir::Module m = base;
+      benchmark::DoNotOptimize(opt::pass_inline(m, 200));
+      benchmark::DoNotOptimize(m);
+    }
+  }
+}
+BENCHMARK(BM_OptPassInline)->Name("BM_OptPass/inline");
+
 void BM_EpicBackend(benchmark::State& state) {
   const auto& w = dct_workload();
   ir::Module m = minic::compile_to_ir(w.minic_source);

@@ -15,6 +15,9 @@
 # Environment:
 #   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 0.5)
+#   BENCH_ALLOW_NONRELEASE=1
+#                   record from a non-Release build tree anyway; the
+#                   run is tagged so ratio comparisons can exclude it
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,6 +31,27 @@ if [[ ! -x "$bench_bin" ]]; then
   exit 1
 fi
 
+# The committed history is only comparable if every run came from an
+# optimised build: refuse debug trees unless explicitly overridden, and
+# tag any overridden run so it can be excluded from ratio guards.
+cmake_cache="$repo_root/$build_dir/CMakeCache.txt"
+cmake_build_type="unknown"
+if [[ -f "$cmake_cache" ]]; then
+  cmake_build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cmake_cache")"
+  cmake_build_type="${cmake_build_type:-unset}"
+fi
+if [[ "$cmake_build_type" != "Release" ]]; then
+  if [[ "${BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+    echo "record_bench: $build_dir is CMAKE_BUILD_TYPE=$cmake_build_type, not Release." >&2
+    echo "record_bench: numbers from unoptimised builds poison the committed history;" >&2
+    echo "record_bench: build with -DCMAKE_BUILD_TYPE=Release, or set BENCH_ALLOW_NONRELEASE=1" >&2
+    echo "record_bench: to record anyway (the run will be tagged non-release)." >&2
+    exit 1
+  fi
+  label="$label (non-release: $cmake_build_type)"
+  echo "record_bench: WARNING recording from a $cmake_build_type build tree" >&2
+fi
+
 tmp_json="$(mktemp)"
 trap 'rm -f "$tmp_json"' EXIT
 
@@ -38,6 +62,7 @@ trap 'rm -f "$tmp_json"' EXIT
   > "$tmp_json"
 
 label="$label" run_json="$tmp_json" out_file="$out_file" \
+  cmake_build_type="$cmake_build_type" \
   commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 python3 - <<'EOF'
 import json
@@ -57,8 +82,12 @@ history["runs"].append({
     "commit": os.environ["commit"],
     "date": run.get("context", {}).get("date", ""),
     "context": {
-        k: run.get("context", {}).get(k)
-        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        **{
+            k: run.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu",
+                      "library_build_type")
+        },
+        "cmake_build_type": os.environ["cmake_build_type"],
     },
     "benchmarks": run.get("benchmarks", []),
 })

@@ -1,7 +1,10 @@
 #include "analysis/analyses.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "support/arena.hpp"
+#include "support/bits.hpp"
 #include "support/text.hpp"
 
 namespace cepic::analysis {
@@ -30,28 +33,31 @@ struct DomProblem {
 };
 
 // ---------------------------------------------------------------------
-// Liveness: backward, union join, use/def per block precomputed.
+// Liveness: backward, union join, use/def per block precomputed into
+// arena-backed bit matrices; the transfer is three word-parallel ops.
 struct LiveProblem {
   using State = BitSet;
   static constexpr bool kForward = false;
   std::size_t nv;
-  std::vector<BitSet> use, def;
+  BitMatrix use, def;
 
-  explicit LiveProblem(const ir::Function& fn) : nv(fn.next_vreg) {
+  LiveProblem(const ir::Function& fn, Arena& arena) : nv(fn.next_vreg) {
     const std::size_t nb = fn.blocks.size();
-    use.assign(nb, BitSet(nv));
-    def.assign(nb, BitSet(nv));
+    use = BitMatrix(nb, nv, arena);
+    def = BitMatrix(nb, nv, arena);
     for (std::size_t b = 0; b < nb; ++b) {
+      BitRow u = use.row(b);
+      BitRow d = def.row(b);
       for (const IrInst& inst : fn.blocks[b].insts) {
         for_each_use(inst, [&](const ir::Value& v) {
-          if (v.is_reg() && !def[b].test(v.reg)) use[b].set(v.reg);
+          if (v.is_reg() && !d.test(v.reg)) u.set(v.reg);
         });
-        if (inst.guard != ir::kNoVReg && !def[b].test(inst.guard)) {
-          use[b].set(inst.guard);
+        if (inst.guard != ir::kNoVReg && !d.test(inst.guard)) {
+          u.set(inst.guard);
         }
-        const VReg d = def_of(inst);
+        const VReg dst = def_of(inst);
         // A guarded def does not kill: the old value may flow through.
-        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) def[b].set(d);
+        if (dst != ir::kNoVReg && inst.guard == ir::kNoVReg) d.set(dst);
       }
     }
   }
@@ -61,11 +67,8 @@ struct LiveProblem {
   bool join(State& into, const State& from) const { return into.ior(from); }
   void transfer(int block, State& state) const {
     // live_in = use ∪ (live_out − def)
-    BitSet in = use[block];
-    for (std::size_t v = 0; v < nv; ++v) {
-      if (state.test(v) && !def[block].test(v)) in.set(v);
-    }
-    state = std::move(in);
+    state.iandnot(def.row(block));
+    state.ior(use.row(block));
   }
 };
 
@@ -75,22 +78,22 @@ struct ReachProblem {
   using State = BitSet;
   static constexpr bool kForward = true;
   std::size_t ns;
-  std::vector<BitSet> gen, kill;
+  BitMatrix gen, kill;
   BitSet entry;
 
-  ReachProblem(const ir::Function& fn, const ReachingDefs& rd)
+  ReachProblem(const ir::Function& fn, const ReachingDefs& rd, Arena& arena)
       : ns(rd.sites.size()) {
     const std::size_t nb = fn.blocks.size();
-    gen.assign(nb, BitSet(ns));
-    kill.assign(nb, BitSet(ns));
+    gen = BitMatrix(nb, ns, arena);
+    kill = BitMatrix(nb, ns, arena);
     entry = BitSet(ns);
     for (VReg v = 1; v < fn.next_vreg; ++v) entry.set(v);
 
     for (std::size_t s = fn.next_vreg; s < ns; ++s) {
       const auto& site = rd.sites[s];
       const IrInst& inst = fn.blocks[site.block].insts[site.inst];
-      auto& g = gen[site.block];
-      auto& k = kill[site.block];
+      BitRow g = gen.row(site.block);
+      BitRow k = kill.row(site.block);
       if (inst.guard == ir::kNoVReg) {
         // Unguarded def: kills every other site of the vreg.
         for (int o : rd.sites_of_vreg[site.vreg]) {
@@ -109,10 +112,8 @@ struct ReachProblem {
   State top() const { return BitSet(ns); }
   bool join(State& into, const State& from) const { return into.ior(from); }
   void transfer(int block, State& state) const {
-    for (std::size_t s = 0; s < ns; ++s) {
-      if (kill[block].test(s)) state.reset(s);
-    }
-    state.ior(gen[block]);
+    state.iandnot(kill.row(block));
+    state.ior(gen.row(block));
   }
 };
 
@@ -173,7 +174,8 @@ std::string Dominators::to_string(const ir::Function& fn) const {
 }
 
 Liveness compute_liveness(const ir::Function& fn, const Cfg& cfg) {
-  LiveProblem p(fn);
+  ArenaScope scope(Arena::scratch());
+  LiveProblem p(fn, scope.arena());
   auto r = solve(cfg, p);
   Liveness lv;
   lv.live_in = std::move(r.in);
@@ -215,7 +217,8 @@ ReachingDefs compute_reaching_defs(const ir::Function& fn, const Cfg& cfg) {
     }
   }
 
-  ReachProblem p(fn, rd);
+  ArenaScope scope(Arena::scratch());
+  ReachProblem p(fn, rd, scope.arena());
   auto r = solve(cfg, p);
   rd.reach_in = std::move(r.in);
   rd.reach_out = std::move(r.out);
@@ -253,28 +256,54 @@ std::string ReachingDefs::to_string(const ir::Function& fn) const {
 
 namespace {
 
-// Available copies: forward, intersection.  The transfer walks the
-// block's instructions directly (kill lists are tiny), which keeps the
-// gen/kill ordering exact without a precomputation pass.
+/// Hash-map key identifying the (dst, src) fact of a copy site.
+struct CopyFactKey {
+  ir::VReg dst = ir::kNoVReg;
+  std::uint8_t src_kind = 0;
+  std::uint32_t src_payload = 0;
+
+  static CopyFactKey of(ir::VReg dst, const ir::Value& src) {
+    CopyFactKey k;
+    k.dst = dst;
+    k.src_kind = static_cast<std::uint8_t>(src.kind);
+    k.src_payload = src.is_reg() ? src.reg
+                                 : static_cast<std::uint32_t>(src.imm);
+    return k;
+  }
+  bool operator==(const CopyFactKey&) const = default;
+};
+
+struct CopyFactHash {
+  std::size_t operator()(const CopyFactKey& k) const {
+    std::uint64_t h = kFnvOffset64;
+    h = (h ^ k.dst) * kFnvPrime64;
+    h = (h ^ k.src_kind) * kFnvPrime64;
+    h = (h ^ k.src_payload) * kFnvPrime64;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using CopyFactMap = std::unordered_map<CopyFactKey, int, CopyFactHash>;
+
+// Available copies: forward, intersection.  Per-block net gen/kill sets
+// are precomputed by one walk per block (kill-then-gen per instruction,
+// composed exactly like the reaching-defs transfer), so the solver's
+// transfer is word-parallel.
 struct CopyProblem {
   using State = BitSet;
   static constexpr bool kForward = true;
 
-  const ir::Function& fn;
-  const AvailableCopies& ac;
   std::size_t ns;
-  // Sites invalidated by a definition of vreg v (dst or register src).
-  std::vector<std::vector<int>> killed_by;
-  // site_at[b][i]: the site generated by instruction i of block b, -1.
-  std::vector<std::vector<int>> site_at;
+  BitMatrix gen, kill;
 
-  CopyProblem(const ir::Function& f, const AvailableCopies& a)
-      : fn(f), ac(a), ns(a.sites.size()) {
-    killed_by.assign(fn.next_vreg, {});
-    site_at.assign(fn.blocks.size(), {});
-    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
-      site_at[b].assign(fn.blocks[b].insts.size(), -1);
-    }
+  CopyProblem(const ir::Function& fn, const AvailableCopies& ac,
+              const CopyFactMap& fact_site, Arena& arena)
+      : ns(ac.sites.size()) {
+    const std::size_t nb = fn.blocks.size();
+    gen = BitMatrix(nb, ns, arena);
+    kill = BitMatrix(nb, ns, arena);
+    // Sites invalidated by a definition of vreg v (dst or register src).
+    std::vector<std::vector<int>> killed_by(fn.next_vreg);
     for (std::size_t s = 0; s < ns; ++s) {
       const AvailableCopies::Site& site = ac.sites[s];
       killed_by[site.dst].push_back(static_cast<int>(s));
@@ -282,19 +311,24 @@ struct CopyProblem {
         killed_by[site.src.reg].push_back(static_cast<int>(s));
       }
     }
-    // Every occurrence of the (dst, src) fact generates the same shared
-    // site, so the fact survives an all-paths join even when each path
-    // establishes it with a different instruction.
-    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
-      const auto& insts = fn.blocks[b].insts;
-      for (std::size_t i = 0; i < insts.size(); ++i) {
-        for (std::size_t s = 0; s < ns; ++s) {
-          if (ac.sites[s].dst == insts[i].dst &&
-              ac.sites[s].src == insts[i].a &&
-              insts[i].op == ir::IrOp::Mov &&
-              insts[i].guard == ir::kNoVReg) {
-            site_at[b][i] = static_cast<int>(s);
-            break;
+    for (std::size_t b = 0; b < nb; ++b) {
+      BitRow g = gen.row(b);
+      BitRow k = kill.row(b);
+      for (const IrInst& inst : fn.blocks[b].insts) {
+        const VReg d = def_of(inst);
+        if (d == ir::kNoVReg) continue;
+        for (int s : killed_by[d]) {
+          k.set(s);
+          g.reset(s);
+        }
+        // Every occurrence of the (dst, src) fact generates the same
+        // shared site, so the fact survives an all-paths join even when
+        // each path establishes it with a different instruction.
+        if (inst.op == ir::IrOp::Mov && inst.guard == ir::kNoVReg) {
+          const auto it = fact_site.find(CopyFactKey::of(inst.dst, inst.a));
+          if (it != fact_site.end()) {
+            g.set(it->second);
+            k.reset(it->second);
           }
         }
       }
@@ -309,13 +343,8 @@ struct CopyProblem {
   }
   bool join(State& into, const State& from) const { return into.iand(from); }
   void transfer(int block, State& state) const {
-    const auto& insts = fn.blocks[block].insts;
-    for (std::size_t i = 0; i < insts.size(); ++i) {
-      const VReg d = def_of(insts[i]);
-      if (d == ir::kNoVReg) continue;
-      for (int s : killed_by[d]) state.reset(s);
-      if (site_at[block][i] >= 0) state.set(site_at[block][i]);
-    }
+    state.iandnot(kill.row(block));
+    state.ior(gen.row(block));
   }
 };
 
@@ -324,6 +353,7 @@ struct CopyProblem {
 AvailableCopies compute_available_copies(const ir::Function& fn,
                                          const Cfg& cfg) {
   AvailableCopies ac;
+  CopyFactMap fact_site;
   for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
     const auto& insts = fn.blocks[b].insts;
     for (std::size_t i = 0; i < insts.size(); ++i) {
@@ -334,20 +364,16 @@ AvailableCopies compute_available_copies(const ir::Function& fn,
       // Sites are keyed by the (dst, src) fact, not the instruction:
       // repeats of the same copy share one site (block/inst record the
       // first occurrence).
-      bool known = false;
-      for (const AvailableCopies::Site& s : ac.sites) {
-        if (s.dst == inst.dst && s.src == inst.a) {
-          known = true;
-          break;
-        }
-      }
-      if (known) continue;
+      const CopyFactKey key = CopyFactKey::of(inst.dst, inst.a);
+      if (fact_site.find(key) != fact_site.end()) continue;
+      fact_site.emplace(key, static_cast<int>(ac.sites.size()));
       ac.sites.push_back(
           {static_cast<int>(b), static_cast<int>(i), inst.dst, inst.a});
     }
   }
 
-  CopyProblem p(fn, ac);
+  ArenaScope scope(Arena::scratch());
+  CopyProblem p(fn, ac, fact_site, scope.arena());
   auto r = solve(cfg, p);
   ac.avail_in = std::move(r.in);
   ac.avail_out = std::move(r.out);

@@ -21,6 +21,8 @@ struct Dominators {
 
   bool dominates(int a, int b) const { return dom[b].test(a); }
   std::string to_string(const ir::Function& fn) const;
+
+  bool operator==(const Dominators&) const = default;
 };
 
 Dominators compute_dominators(const ir::Function& fn, const Cfg& cfg);
@@ -33,6 +35,8 @@ struct Liveness {
   std::vector<BitSet> live_out;
 
   std::string to_string(const ir::Function& fn) const;
+
+  bool operator==(const Liveness&) const = default;
 };
 
 Liveness compute_liveness(const ir::Function& fn, const Cfg& cfg);
@@ -48,6 +52,8 @@ struct ReachingDefs {
     int block = -1;  ///< -1 for synthetic entry sites
     int inst = -1;
     ir::VReg vreg = ir::kNoVReg;
+
+    bool operator==(const Site&) const = default;
   };
 
   std::vector<Site> sites;
@@ -62,6 +68,8 @@ struct ReachingDefs {
                          ir::VReg v) const;
 
   std::string to_string(const ir::Function& fn) const;
+
+  bool operator==(const ReachingDefs&) const = default;
 };
 
 ReachingDefs compute_reaching_defs(const ir::Function& fn, const Cfg& cfg);
@@ -79,6 +87,8 @@ struct AvailableCopies {
     int inst = -1;
     ir::VReg dst = ir::kNoVReg;
     ir::Value src;
+
+    bool operator==(const Site&) const = default;
   };
 
   std::vector<Site> sites;
@@ -86,6 +96,8 @@ struct AvailableCopies {
   std::vector<BitSet> avail_out;
 
   std::string to_string(const ir::Function& fn) const;
+
+  bool operator==(const AvailableCopies&) const = default;
 };
 
 AvailableCopies compute_available_copies(const ir::Function& fn,

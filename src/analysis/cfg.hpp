@@ -73,6 +73,26 @@ struct Cfg {
   int num_blocks() const { return static_cast<int>(succs.size()); }
 
   static Cfg build(const ir::Function& fn);
+
+  bool operator==(const Cfg&) const = default;
 };
+
+/// Visit each successor block index of `block` without allocating (the
+/// vector-returning successors() is kept for callers that want one).
+template <typename Fn>
+void for_each_successor(const ir::BasicBlock& block, Fn&& fn) {
+  const ir::IrInst& t = block.insts.back();
+  switch (t.op) {
+    case ir::IrOp::Br:
+      fn(t.block_then);
+      break;
+    case ir::IrOp::CondBr:
+      fn(t.block_then);
+      if (t.block_else != t.block_then) fn(t.block_else);
+      break;
+    default:
+      break;
+  }
+}
 
 }  // namespace cepic::analysis

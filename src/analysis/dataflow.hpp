@@ -22,15 +22,76 @@
 // result keeps both the program-order entry and exit state of every
 // block: in[b] holds facts at the top of b, out[b] at the bottom,
 // regardless of direction.
+//
+// Allocation discipline: the worklist and all per-iteration scratch
+// states live in the thread-local support::Arena (or hoisted buffers
+// reused across iterations), so a steady-state solve performs no heap
+// allocation beyond the returned result states themselves.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "support/arena.hpp"
 
 namespace cepic::analysis {
+
+namespace detail {
+inline constexpr std::size_t words_for(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+}  // namespace detail
+
+/// Non-owning view of a row of bits (64-bit words). The backing words
+/// come from a BitMatrix (arena) or a BitSet (heap); BitRow itself is a
+/// pointer + size pair and is freely copyable.
+class BitRow {
+ public:
+  BitRow() = default;
+  BitRow(std::uint64_t* w, std::size_t nbits) : w_(w), n_(nbits) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t num_words() const { return detail::words_for(n_); }
+  const std::uint64_t* words() const { return w_; }
+
+  bool test(std::size_t i) const {
+    return ((w_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+  void set(std::size_t i) { w_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset(std::size_t i) { w_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void clear() {
+    for (std::size_t i = 0; i < num_words(); ++i) w_[i] = 0;
+  }
+  void set_all() {
+    if (n_ == 0) return;
+    for (std::size_t i = 0; i < num_words(); ++i) w_[i] = ~std::uint64_t{0};
+    const unsigned tail = n_ & 63;
+    if (tail != 0) w_[num_words() - 1] &= (std::uint64_t{1} << tail) - 1;
+  }
+
+ private:
+  std::uint64_t* w_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+/// rows × bits of zero-initialised scratch bits in one arena block.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t bits, Arena& arena)
+      : bits_(bits), stride_(detail::words_for(bits)) {
+    w_ = arena.alloc_zeroed<std::uint64_t>(rows * stride_);
+  }
+
+  BitRow row(std::size_t r) { return BitRow(w_ + r * stride_, bits_); }
+  BitRow row(std::size_t r) const { return BitRow(w_ + r * stride_, bits_); }
+
+ private:
+  std::uint64_t* w_ = nullptr;
+  std::size_t bits_ = 0;
+  std::size_t stride_ = 0;
+};
 
 /// Dense fixed-size bitset (uint64 words) used as the lattice element of
 /// the set-based analyses; faster and cheaper than vector<bool> rows.
@@ -72,15 +133,8 @@ class BitSet {
   }
 
   /// this |= o; returns true if any bit changed.
-  bool ior(const BitSet& o) {
-    bool changed = false;
-    for (std::size_t i = 0; i < w_.size(); ++i) {
-      const std::uint64_t nw = w_[i] | o.w_[i];
-      changed |= nw != w_[i];
-      w_[i] = nw;
-    }
-    return changed;
-  }
+  bool ior(const BitSet& o) { return ior_words(o.w_.data()); }
+  bool ior(const BitRow& o) { return ior_words(o.words()); }
   /// this &= o; returns true if any bit changed.
   bool iand(const BitSet& o) {
     bool changed = false;
@@ -91,10 +145,31 @@ class BitSet {
     }
     return changed;
   }
+  /// this &= ~o (set subtraction).
+  void iandnot(const BitSet& o) { iandnot_words(o.w_.data()); }
+  void iandnot(const BitRow& o) { iandnot_words(o.words()); }
+
+  const std::uint64_t* words() const { return w_.data(); }
+  std::size_t num_words() const { return w_.size(); }
+  /// Mutable row view over this set's words (sizes must outlive it).
+  BitRow row() { return BitRow(w_.data(), n_); }
 
   bool operator==(const BitSet&) const = default;
 
  private:
+  bool ior_words(const std::uint64_t* o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      const std::uint64_t nw = w_[i] | o[i];
+      changed |= nw != w_[i];
+      w_[i] = nw;
+    }
+    return changed;
+  }
+  void iandnot_words(const std::uint64_t* o) {
+    for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= ~o[i];
+  }
+
   std::size_t n_ = 0;
   std::vector<std::uint64_t> w_;
 };
@@ -103,6 +178,42 @@ template <typename State>
 struct DataflowResult {
   std::vector<State> in;   ///< state at block entry (program order)
   std::vector<State> out;  ///< state at block exit (program order)
+};
+
+/// FIFO worklist with membership dedup over block ids [0, nb), backed by
+/// arena memory. Capacity nb suffices: dedup caps live entries at nb.
+class BlockWorklist {
+ public:
+  BlockWorklist(int nb, Arena& arena)
+      : nb_(nb),
+        ring_(arena.alloc_array<int>(static_cast<std::size_t>(nb) + 1)),
+        queued_(arena.alloc_zeroed<std::uint64_t>(
+            detail::words_for(static_cast<std::size_t>(nb)))) {}
+
+  bool empty() const { return head_ == tail_; }
+
+  void push(int b) {
+    const auto i = static_cast<std::size_t>(b);
+    if ((queued_[i >> 6] >> (i & 63)) & 1u) return;
+    queued_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    ring_[tail_] = b;
+    tail_ = tail_ + 1 == nb_ + 1 ? 0 : tail_ + 1;
+  }
+
+  int pop() {
+    const int b = ring_[head_];
+    head_ = head_ + 1 == nb_ + 1 ? 0 : head_ + 1;
+    const auto i = static_cast<std::size_t>(b);
+    queued_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    return b;
+  }
+
+ private:
+  int nb_;
+  int head_ = 0;
+  int tail_ = 0;
+  int* ring_;
+  std::uint64_t* queued_;
 };
 
 template <typename Problem>
@@ -114,55 +225,54 @@ DataflowResult<typename Problem::State> solve(const Cfg& cfg,
   r.in.assign(nb, problem.top());
   r.out.assign(nb, problem.top());
 
+  ArenaScope scope(Arena::scratch());
+  BlockWorklist worklist(nb, scope.arena());
+
   // Seed in a direction-friendly order so most states settle in one or
   // two sweeps; the worklist then handles stragglers and loops.
-  std::deque<int> worklist;
-  std::vector<bool> queued(nb, false);
-  const auto enqueue = [&](int b) {
-    if (!queued[b]) {
-      queued[b] = true;
-      worklist.push_back(b);
-    }
-  };
   if (Problem::kForward) {
-    for (int b : cfg.rpo) enqueue(b);
+    for (int b : cfg.rpo) worklist.push(b);
   } else {
-    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) enqueue(*it);
+    for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+      worklist.push(*it);
+    }
   }
   // Graph-unreachable blocks still get a (vacuous) solve so every state
   // in the result is well defined.
-  for (int b = 0; b < nb; ++b) enqueue(b);
+  for (int b = 0; b < nb; ++b) worklist.push(b);
+
+  // Hoisted scratch states: copy-assignment below reuses their storage,
+  // so the iteration allocates nothing once the buffers are warm.
+  const State boundary_state = problem.boundary();
+  const State top_state = problem.top();
+  State pre = top_state;
+  State post = top_state;
 
   while (!worklist.empty()) {
-    const int b = worklist.front();
-    worklist.pop_front();
-    queued[b] = false;
+    const int b = worklist.pop();
 
     if (Problem::kForward) {
       // The entry block starts from the boundary but still joins any
       // back-edge predecessors; boundary states are chosen so the join
       // keeps them pinned (e.g. ∅ under intersection for dominators).
-      State in = cfg.preds[b].empty() || b == 0 ? problem.boundary()
-                                                : problem.top();
-      for (int p : cfg.preds[b]) problem.join(in, r.out[p]);
-      State out = in;
-      problem.transfer(b, out);
-      r.in[b] = std::move(in);
-      const bool changed = !(out == r.out[b]);
-      if (changed) {
-        r.out[b] = std::move(out);
-        for (int s : cfg.succs[b]) enqueue(s);
+      pre = cfg.preds[b].empty() || b == 0 ? boundary_state : top_state;
+      for (int p : cfg.preds[b]) problem.join(pre, r.out[p]);
+      post = pre;
+      problem.transfer(b, post);
+      r.in[b] = pre;
+      if (!(post == r.out[b])) {
+        r.out[b] = post;
+        for (int s : cfg.succs[b]) worklist.push(s);
       }
     } else {
-      State out = cfg.succs[b].empty() ? problem.boundary() : problem.top();
-      for (int s : cfg.succs[b]) problem.join(out, r.in[s]);
-      State in = out;
-      problem.transfer(b, in);
-      r.out[b] = std::move(out);
-      const bool changed = !(in == r.in[b]);
-      if (changed) {
-        r.in[b] = std::move(in);
-        for (int p : cfg.preds[b]) enqueue(p);
+      pre = cfg.succs[b].empty() ? boundary_state : top_state;
+      for (int s : cfg.succs[b]) problem.join(pre, r.in[s]);
+      post = pre;
+      problem.transfer(b, post);
+      r.out[b] = pre;
+      if (!(post == r.in[b])) {
+        r.in[b] = post;
+        for (int p : cfg.preds[b]) worklist.push(p);
       }
     }
   }

@@ -1,0 +1,132 @@
+#include "analysis/manager.hpp"
+
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace cepic::analysis {
+
+const char* to_string(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kCfg: return "cfg";
+    case AnalysisKind::kDominators: return "dominators";
+    case AnalysisKind::kLiveness: return "liveness";
+    case AnalysisKind::kReachingDefs: return "reaching_defs";
+    case AnalysisKind::kAvailableCopies: return "available_copies";
+  }
+  return "?";
+}
+
+namespace {
+
+// One cache slot: hit if present, otherwise compute (counting both ways)
+// and remember. `compute` receives the function's (possibly just built)
+// Cfg since every non-CFG analysis consumes it.
+template <typename T, typename Compute>
+const T& get_or_compute(std::unique_ptr<T>& slot, Compute&& compute) {
+  if (slot != nullptr) {
+    obs::add("opt.analysis_hits");
+    return *slot;
+  }
+  obs::add("opt.analysis_computes");
+  slot = std::make_unique<T>(compute());
+  return *slot;
+}
+
+}  // namespace
+
+const Cfg& AnalysisManager::cfg(const ir::Function& fn) {
+  Entry& e = entry(fn);
+  return get_or_compute(e.cfg, [&] { return Cfg::build(fn); });
+}
+
+const Dominators& AnalysisManager::dominators(const ir::Function& fn) {
+  Entry& e = entry(fn);
+  const Cfg& c = cfg(fn);
+  return get_or_compute(e.dom, [&] { return compute_dominators(fn, c); });
+}
+
+const Liveness& AnalysisManager::liveness(const ir::Function& fn) {
+  Entry& e = entry(fn);
+  const Cfg& c = cfg(fn);
+  return get_or_compute(e.live, [&] { return compute_liveness(fn, c); });
+}
+
+const ReachingDefs& AnalysisManager::reaching_defs(const ir::Function& fn) {
+  Entry& e = entry(fn);
+  const Cfg& c = cfg(fn);
+  return get_or_compute(e.reach, [&] { return compute_reaching_defs(fn, c); });
+}
+
+const AvailableCopies& AnalysisManager::available_copies(
+    const ir::Function& fn) {
+  Entry& e = entry(fn);
+  const Cfg& c = cfg(fn);
+  return get_or_compute(e.copies,
+                        [&] { return compute_available_copies(fn, c); });
+}
+
+std::uint64_t AnalysisManager::version(const ir::Function& fn) const {
+  const auto it = entries_.find(&fn);
+  // An untracked function is at its initial version: the first getter
+  // creates the entry with the same value, so skip decisions agree.
+  return it == entries_.end() ? 1 : it->second.version;
+}
+
+void AnalysisManager::verify_preserved(const ir::Function& fn, Entry& e,
+                                       const PreservedAnalyses& preserved,
+                                       const char* pass) {
+  const auto check = [&](AnalysisKind kind, bool cached, bool same) {
+    if (cached && !same) {
+      throw InternalError(cat("pass ", pass, " claimed to preserve ",
+                              to_string(kind), " on function ", fn.name,
+                              " but the cached result no longer matches a "
+                              "fresh recomputation"));
+    }
+  };
+  // The CFG goes first: every other recomputation consumes it, so a
+  // stale cached CFG must be caught before it poisons the comparisons.
+  if (preserved.preserved(AnalysisKind::kCfg) && e.cfg != nullptr) {
+    const Cfg fresh = Cfg::build(fn);
+    check(AnalysisKind::kCfg, true, fresh == *e.cfg);
+  }
+  const Cfg fresh_cfg = Cfg::build(fn);
+  if (preserved.preserved(AnalysisKind::kDominators) && e.dom != nullptr) {
+    check(AnalysisKind::kDominators, true,
+          compute_dominators(fn, fresh_cfg) == *e.dom);
+  }
+  if (preserved.preserved(AnalysisKind::kLiveness) && e.live != nullptr) {
+    check(AnalysisKind::kLiveness, true,
+          compute_liveness(fn, fresh_cfg) == *e.live);
+  }
+  if (preserved.preserved(AnalysisKind::kReachingDefs) && e.reach != nullptr) {
+    check(AnalysisKind::kReachingDefs, true,
+          compute_reaching_defs(fn, fresh_cfg) == *e.reach);
+  }
+  if (preserved.preserved(AnalysisKind::kAvailableCopies) &&
+      e.copies != nullptr) {
+    check(AnalysisKind::kAvailableCopies, true,
+          compute_available_copies(fn, fresh_cfg) == *e.copies);
+  }
+}
+
+void AnalysisManager::invalidate(const ir::Function& fn,
+                                 const PreservedAnalyses& preserved,
+                                 const char* pass) {
+  Entry& e = entry(fn);
+  ++e.version;
+  if (verify_) verify_preserved(fn, e, preserved, pass);
+  const auto drop = [&](AnalysisKind kind, auto& slot) {
+    if (slot != nullptr && !preserved.preserved(kind)) {
+      slot.reset();
+      obs::add("opt.analysis_invalidations");
+    }
+  };
+  drop(AnalysisKind::kCfg, e.cfg);
+  drop(AnalysisKind::kDominators, e.dom);
+  drop(AnalysisKind::kLiveness, e.live);
+  drop(AnalysisKind::kReachingDefs, e.reach);
+  drop(AnalysisKind::kAvailableCopies, e.copies);
+}
+
+}  // namespace cepic::analysis

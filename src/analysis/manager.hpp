@@ -1,0 +1,122 @@
+// Per-function analysis caching with LLVM-style preservation.
+//
+// The optimiser queries every analysis through an AnalysisManager
+// instead of recomputing it at each pass boundary.  Results are keyed
+// by function identity (the ir::Function's address, which is stable for
+// the duration of a pipeline run) and stay valid until a pass that
+// *changed* the function reports what it kept intact via a
+// PreservedAnalyses set.  Invalidation is per-function: a pass mutating
+// one function never drops cached results for its siblings.
+//
+// The preservation contract is the dangerous part of this design — a
+// pass over-claiming (say, keeping liveness after rewriting operands)
+// silently feeds stale facts to the next pass.  The manager therefore
+// carries a differential verify mode (set_verify / the
+// CEPIC_VERIFY_ANALYSES environment variable, also used by the
+// preservation-soundness test suite): every invalidate() recomputes
+// each *claimed-preserved, currently-cached* analysis from scratch and
+// throws InternalError naming the offending pass on any mismatch.
+//
+// Observability: the manager bumps `opt.analysis_hits`,
+// `opt.analysis_computes` and `opt.analysis_invalidations` counters on
+// the process-wide obs registry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/analyses.hpp"
+#include "analysis/cfg.hpp"
+
+namespace cepic::analysis {
+
+enum class AnalysisKind : unsigned {
+  kCfg = 0,
+  kDominators,
+  kLiveness,
+  kReachingDefs,
+  kAvailableCopies,
+};
+inline constexpr unsigned kNumAnalysisKinds = 5;
+
+const char* to_string(AnalysisKind kind);
+
+/// The set of analyses a pass left intact on a function it changed.
+/// Passes that did not change anything should not invalidate at all.
+class PreservedAnalyses {
+ public:
+  static PreservedAnalyses none() { return PreservedAnalyses(0); }
+  static PreservedAnalyses all() {
+    return PreservedAnalyses((1u << kNumAnalysisKinds) - 1);
+  }
+
+  PreservedAnalyses& preserve(AnalysisKind kind) {
+    mask_ |= bit(kind);
+    return *this;
+  }
+  bool preserved(AnalysisKind kind) const { return (mask_ & bit(kind)) != 0; }
+  bool preserves_all() const { return mask_ == all().mask_; }
+
+ private:
+  explicit PreservedAnalyses(unsigned mask) : mask_(mask) {}
+  static unsigned bit(AnalysisKind kind) {
+    return 1u << static_cast<unsigned>(kind);
+  }
+  unsigned mask_ = 0;
+};
+
+class AnalysisManager {
+ public:
+  // Cached getters: compute on miss, return the cached result on hit.
+  // References stay valid until the next invalidate()/clear() for that
+  // function.
+  const Cfg& cfg(const ir::Function& fn);
+  const Dominators& dominators(const ir::Function& fn);
+  const Liveness& liveness(const ir::Function& fn);
+  const ReachingDefs& reaching_defs(const ir::Function& fn);
+  const AvailableCopies& available_copies(const ir::Function& fn);
+
+  /// A pass that changed `fn` reports what survives.  Bumps the
+  /// function's version and drops every cached analysis not in
+  /// `preserved`.  In verify mode, each claimed-preserved cached result
+  /// is recomputed fresh and compared; a mismatch throws InternalError
+  /// naming `pass`.
+  void invalidate(const ir::Function& fn, const PreservedAnalyses& preserved,
+                  const char* pass = "?");
+  void invalidate_all(const ir::Function& fn) {
+    invalidate(fn, PreservedAnalyses::none(), "invalidate_all");
+  }
+
+  /// Monotonic per-function change counter (starts at 1, bumps on every
+  /// invalidate).  The pipeline uses it to skip pass invocations that
+  /// provably cannot change anything: a deterministic pass that last ran
+  /// on this exact version and reported "no change" will do so again.
+  std::uint64_t version(const ir::Function& fn) const;
+
+  /// Differential-check every preservation claim (expensive; tests).
+  void set_verify(bool on) { verify_ = on; }
+  bool verify() const { return verify_; }
+
+  /// Drop everything (all functions).
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::uint64_t version = 1;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<Dominators> dom;
+    std::unique_ptr<Liveness> live;
+    std::unique_ptr<ReachingDefs> reach;
+    std::unique_ptr<AvailableCopies> copies;
+  };
+
+  Entry& entry(const ir::Function& fn) { return entries_[&fn]; }
+  void verify_preserved(const ir::Function& fn, Entry& e,
+                        const PreservedAnalyses& preserved, const char* pass);
+
+  std::unordered_map<const ir::Function*, Entry> entries_;
+  bool verify_ = false;
+};
+
+}  // namespace cepic::analysis

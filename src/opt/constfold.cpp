@@ -185,23 +185,52 @@ bool fold_inst(IrInst& inst) {
 
 }  // namespace
 
-bool pass_constfold(ir::Function& fn) {
+bool pass_constfold(ir::Function& fn, PassContext& ctx) {
+  const std::size_t nb = fn.blocks.size();
+  ctx.touched = BlockSeed{false, analysis::BitSet(nb)};
   bool changed = false;
-  for (ir::BasicBlock& block : fn.blocks) {
-    for (IrInst& inst : block.insts) {
+  bool cfg_changed = false;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    if (!ctx.seed.all && !ctx.seed.blocks.test(bi)) continue;
+    bool block_changed = false;
+    for (IrInst& inst : fn.blocks[bi].insts) {
       // Fold a constant conditional branch into a plain branch.
       if (inst.op == IrOp::CondBr && inst.a.is_imm()) {
         const int target = inst.a.imm != 0 ? inst.block_then : inst.block_else;
         inst = IrInst{};
         inst.op = IrOp::Br;
         inst.block_then = target;
-        changed = true;
+        block_changed = true;
+        cfg_changed = true;
         continue;
       }
-      changed |= fold_inst(inst);
+      block_changed |= fold_inst(inst);
+    }
+    if (block_changed) {
+      ctx.touched.blocks.set(bi);
+      changed = true;
     }
   }
+  if (changed) {
+    // Folding keeps every def at its position with its guard, so the
+    // def-site structure survives; the graph and dominance survive too
+    // unless a conditional branch collapsed (an edge disappeared, which
+    // also moves the reaching-defs solution).
+    auto preserved = analysis::PreservedAnalyses::none();
+    if (!cfg_changed) {
+      preserved.preserve(analysis::AnalysisKind::kCfg)
+          .preserve(analysis::AnalysisKind::kDominators)
+          .preserve(analysis::AnalysisKind::kReachingDefs);
+    }
+    ctx.am.invalidate(fn, preserved, "constfold");
+  }
   return changed;
+}
+
+bool pass_constfold(ir::Function& fn) {
+  analysis::AnalysisManager am;
+  PassContext ctx(am);
+  return pass_constfold(fn, ctx);
 }
 
 }  // namespace cepic::opt

@@ -4,7 +4,16 @@
 // copies analysis (forward, intersection join), so a copy survives a
 // join point only when it holds on every incoming path.  Guarded movs
 // are conditional and are never propagated.
+//
+// Sparse mode: rewriting a block is a pure function of its contents and
+// the (dst, src) facts available on entry, so a block is skipped when
+// neither changed since this pass last left it alone.  The previous
+// facts live in the driver-owned CopypropState, stored sorted so the
+// comparison is independent of site renumbering.
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "opt/cfg.hpp"
 #include "opt/opt.hpp"
@@ -20,7 +29,10 @@ using ir::VReg;
 
 class CopyMap {
 public:
-  void clear() { map_.clear(); }
+  void clear() {
+    map_.clear();
+    by_src_.clear();
+  }
 
   /// Resolve v through the copy chain.
   Value resolve(Value v) const {
@@ -33,72 +45,136 @@ public:
     return v;
   }
 
-  void record(VReg dst, Value src) { map_[dst] = src; }
+  void record(VReg dst, Value src) {
+    map_[dst] = src;
+    if (src.is_reg()) by_src_[src.reg].push_back(dst);
+  }
 
   /// A definition of d invalidates d's entry and entries copying from d.
   void kill(VReg d) {
     map_.erase(d);
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (it->second.is_reg() && it->second.reg == d) {
-        it = map_.erase(it);
-      } else {
-        ++it;
+    const auto it = by_src_.find(d);
+    if (it == by_src_.end()) return;
+    for (const VReg dst : it->second) {
+      // The reverse index keeps stale dsts (re-recorded with another
+      // src, or already killed); erase only a still-matching entry.
+      const auto mit = map_.find(dst);
+      if (mit != map_.end() && mit->second.is_reg() && mit->second.reg == d) {
+        map_.erase(mit);
       }
     }
+    by_src_.erase(it);
   }
 
 private:
   std::unordered_map<VReg, Value> map_;
+  std::unordered_map<VReg, std::vector<VReg>> by_src_;
 };
 
-}  // namespace
-
-bool pass_copy_propagate(ir::Function& fn) {
+/// Rewrite one block against the copies valid on entry; true if changed.
+bool propagate_block(ir::BasicBlock& block, CopyMap& copies) {
   bool changed = false;
-  const analysis::Cfg cfg = analysis::Cfg::build(fn);
-  const analysis::AvailableCopies ac =
-      analysis::compute_available_copies(fn, cfg);
-  CopyMap copies;
-  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
-    ir::BasicBlock& block = fn.blocks[bi];
-    copies.clear();
-    // Seed with the copies valid on every path into this block.  At
-    // most one site per dst can be simultaneously available (a second
-    // mov to the same dst kills the first), so insertion order is
-    // irrelevant.
-    for (std::size_t s = 0; s < ac.sites.size(); ++s) {
-      if (ac.avail_in[bi].test(s)) {
-        copies.record(ac.sites[s].dst, ac.sites[s].src);
+  for (IrInst& inst : block.insts) {
+    for_each_use(inst, [&](Value& v) {
+      const Value resolved = copies.resolve(v);
+      if (!(resolved == v)) {
+        v = resolved;
+        changed = true;
+      }
+    });
+    // Note: the guard is deliberately not rewritten — a guard must
+    // stay a vreg, and the backend prefers compare results directly.
+    if (inst.guard != ir::kNoVReg) {
+      const Value g = copies.resolve(Value::r(inst.guard));
+      if (g.is_reg() && g.reg != inst.guard) {
+        inst.guard = g.reg;
+        changed = true;
       }
     }
-    for (IrInst& inst : block.insts) {
-      for_each_use(inst, [&](Value& v) {
-        const Value resolved = copies.resolve(v);
-        if (!(resolved == v)) {
-          v = resolved;
-          changed = true;
-        }
-      });
-      // Note: the guard is deliberately not rewritten — a guard must
-      // stay a vreg, and the backend prefers compare results directly.
-      if (inst.guard != ir::kNoVReg) {
-        const Value g = copies.resolve(Value::r(inst.guard));
-        if (g.is_reg() && g.reg != inst.guard) {
-          inst.guard = g.reg;
-          changed = true;
-        }
-      }
-      const VReg d = def_of(inst);
-      if (d != ir::kNoVReg) {
-        copies.kill(d);
-        if (inst.op == IrOp::Mov && inst.guard == ir::kNoVReg) {
-          const Value src = inst.a;
-          if (!(src.is_reg() && src.reg == d)) copies.record(d, src);
-        }
+    const VReg d = def_of(inst);
+    if (d != ir::kNoVReg) {
+      copies.kill(d);
+      if (inst.op == IrOp::Mov && inst.guard == ir::kNoVReg) {
+        const Value src = inst.a;
+        if (!(src.is_reg() && src.reg == d)) copies.record(d, src);
       }
     }
   }
   return changed;
+}
+
+using Facts = std::vector<std::pair<VReg, Value>>;
+
+bool fact_less(const std::pair<VReg, Value>& x,
+               const std::pair<VReg, Value>& y) {
+  if (x.first != y.first) return x.first < y.first;
+  if (x.second.kind != y.second.kind) return x.second.kind < y.second.kind;
+  if (x.second.is_reg()) return x.second.reg < y.second.reg;
+  return x.second.imm < y.second.imm;
+}
+
+}  // namespace
+
+bool pass_copy_propagate(ir::Function& fn, PassContext& ctx) {
+  const std::size_t nb = fn.blocks.size();
+  ctx.touched = BlockSeed{false, analysis::BitSet(nb)};
+  const analysis::AvailableCopies& ac = ctx.am.available_copies(fn);
+
+  // The sorted entry facts of every block, both the skip criterion and
+  // the CopyMap seed.  At most one site per dst can be simultaneously
+  // available (a second mov to the same dst kills the first), so the
+  // sorted form is canonical.
+  std::vector<Facts> facts(nb);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t s = 0; s < ac.sites.size(); ++s) {
+      if (ac.avail_in[bi].test(s)) {
+        facts[bi].emplace_back(ac.sites[s].dst, ac.sites[s].src);
+      }
+    }
+    std::sort(facts[bi].begin(), facts[bi].end(), fact_less);
+  }
+
+  const bool have_snapshot = ctx.cp_state != nullptr &&
+                             ctx.cp_state->valid &&
+                             ctx.cp_state->avail_in.size() == nb;
+  bool changed = false;
+  CopyMap copies;
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const bool seeded = ctx.seed.all || ctx.seed.blocks.test(bi);
+    if (!seeded && have_snapshot &&
+        ctx.cp_state->avail_in[bi] == facts[bi]) {
+      continue;  // same contents, same entry facts -> provably a no-op
+    }
+    copies.clear();
+    for (const auto& [dst, src] : facts[bi]) copies.record(dst, src);
+    if (propagate_block(fn.blocks[bi], copies)) {
+      ctx.touched.blocks.set(bi);
+      changed = true;
+    }
+  }
+
+  if (ctx.cp_state != nullptr) {
+    ctx.cp_state->avail_in = std::move(facts);
+    ctx.cp_state->valid = true;
+  }
+  if (changed) {
+    // Operand rewrites only: no instruction moves, no dst changes, no
+    // guard appears or disappears — the graph, dominance and the
+    // def-site structure survive.
+    ctx.am.invalidate(fn,
+                      analysis::PreservedAnalyses::none()
+                          .preserve(analysis::AnalysisKind::kCfg)
+                          .preserve(analysis::AnalysisKind::kDominators)
+                          .preserve(analysis::AnalysisKind::kReachingDefs),
+                      "copy_propagate");
+  }
+  return changed;
+}
+
+bool pass_copy_propagate(ir::Function& fn) {
+  analysis::AnalysisManager am;
+  PassContext ctx(am);
+  return pass_copy_propagate(fn, ctx);
 }
 
 }  // namespace cepic::opt

@@ -1,6 +1,15 @@
 // Liveness-based dead-code elimination: a pure instruction whose result
-// is not live immediately after it is removed. Iterates the global
-// liveness fixed point, then sweeps each block backwards.
+// is not live immediately after it is removed.  Sweeping a block is a
+// pure function of its contents and its live_out set, and one backward
+// sweep reaches the block-local fixed point (a dead instruction's uses
+// are simply not marked live, so feeder chains die in the same sweep).
+// Removals only shrink liveness, so instead of re-sweeping the whole
+// function per liveness iteration the pass re-sweeps exactly the blocks
+// whose live_out moved — and, across invocations, seeds from the blocks
+// later passes touched plus those whose live_out differs from the
+// snapshot taken when this pass last ran (driver-owned DceState).
+#include <vector>
+
 #include "opt/cfg.hpp"
 #include "opt/opt.hpp"
 
@@ -15,47 +24,101 @@ bool removable(const IrInst& inst) {
   return !ir::has_side_effects(inst) && ir::has_dst(inst);
 }
 
-}  // namespace
-
-bool pass_dce(ir::Function& fn) {
-  bool changed = false;
-  bool again = true;
-  while (again) {
-    again = false;
-    const Liveness lv = compute_liveness(fn);
-    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
-      ir::BasicBlock& block = fn.blocks[bi];
-      analysis::BitSet live = lv.live_out[bi];
-      // Walk backwards maintaining the live set; collect dead indices.
-      std::vector<bool> dead(block.insts.size(), false);
-      for (std::size_t i = block.insts.size(); i-- > 0;) {
-        const IrInst& inst = block.insts[i];
-        const VReg d = def_of(inst);
-        if (removable(inst) && d != ir::kNoVReg && !live.test(d)) {
-          dead[i] = true;
-          continue;  // its uses do not become live
-        }
-        if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) live.reset(d);
-        for_each_use(inst, [&](const ir::Value& v) {
-          if (v.is_reg()) live.set(v.reg);
-        });
-        if (inst.guard != ir::kNoVReg) live.set(inst.guard);
-      }
-      std::size_t out = 0;
-      for (std::size_t i = 0; i < block.insts.size(); ++i) {
-        if (!dead[i]) {
-          if (out != i) block.insts[out] = std::move(block.insts[i]);
-          ++out;
-        }
-      }
-      if (out != block.insts.size()) {
-        block.insts.resize(out);
-        changed = true;
-        again = true;  // removing uses can expose more dead defs
-      }
+/// Remove the dead instructions of one block; true if any were removed.
+bool sweep_block(ir::BasicBlock& block, const analysis::BitSet& live_out) {
+  analysis::BitSet live = live_out;
+  // Walk backwards maintaining the live set; collect dead indices.
+  std::vector<bool> dead(block.insts.size(), false);
+  for (std::size_t i = block.insts.size(); i-- > 0;) {
+    const IrInst& inst = block.insts[i];
+    const VReg d = def_of(inst);
+    if (removable(inst) && d != ir::kNoVReg && !live.test(d)) {
+      dead[i] = true;
+      continue;  // its uses do not become live
+    }
+    if (d != ir::kNoVReg && inst.guard == ir::kNoVReg) live.reset(d);
+    for_each_use(inst, [&](const ir::Value& v) {
+      if (v.is_reg()) live.set(v.reg);
+    });
+    if (inst.guard != ir::kNoVReg) live.set(inst.guard);
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < block.insts.size(); ++i) {
+    if (!dead[i]) {
+      if (out != i) block.insts[out] = std::move(block.insts[i]);
+      ++out;
     }
   }
+  if (out == block.insts.size()) return false;
+  block.insts.resize(out);
+  return true;
+}
+
+}  // namespace
+
+bool pass_dce(ir::Function& fn, PassContext& ctx) {
+  const std::size_t nb = fn.blocks.size();
+  ctx.touched = BlockSeed{false, analysis::BitSet(nb)};
+
+  // Removing defs and uses never shelters a previously-dead value (a
+  // dead def's kill is always shadowed by the later def that made it
+  // dead), so dce keeps the graph and dominance but moves everything
+  // value-related.
+  const auto preserved = analysis::PreservedAnalyses::none()
+                             .preserve(analysis::AnalysisKind::kCfg)
+                             .preserve(analysis::AnalysisKind::kDominators);
+
+  const analysis::Liveness* lv = &ctx.am.liveness(fn);
+
+  // First sweep: touched blocks plus those whose live_out moved since
+  // the last run; without a usable snapshot, everything.
+  analysis::BitSet work(nb);
+  const bool have_snapshot = ctx.dce_state != nullptr &&
+                             ctx.dce_state->valid &&
+                             ctx.dce_state->live_out.size() == nb;
+  if (ctx.seed.all || !have_snapshot) {
+    work.set_all();
+  } else {
+    work = ctx.seed.blocks;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (lv->live_out[b] != ctx.dce_state->live_out[b]) work.set(b);
+    }
+  }
+
+  bool changed = false;
+  for (;;) {
+    bool swept = false;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (!work.test(b)) continue;
+      if (sweep_block(fn.blocks[b], lv->live_out[b])) {
+        ctx.touched.blocks.set(b);
+        swept = true;
+        changed = true;
+      }
+    }
+    if (!swept) break;
+    // Removing uses can expose more dead defs elsewhere: re-solve
+    // liveness and re-sweep exactly the blocks whose live_out moved.
+    std::vector<analysis::BitSet> old_live_out = lv->live_out;
+    ctx.am.invalidate(fn, preserved, "dce");
+    lv = &ctx.am.liveness(fn);
+    work.clear();
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (lv->live_out[b] != old_live_out[b]) work.set(b);
+    }
+  }
+
+  if (ctx.dce_state != nullptr) {
+    ctx.dce_state->live_out = lv->live_out;
+    ctx.dce_state->valid = true;
+  }
   return changed;
+}
+
+bool pass_dce(ir::Function& fn) {
+  analysis::AnalysisManager am;
+  PassContext ctx(am);
+  return pass_dce(fn, ctx);
 }
 
 }  // namespace cepic::opt

@@ -121,9 +121,14 @@ void inline_at(Function& caller, int bi, std::size_t ii,
 
 }  // namespace
 
-bool pass_inline(ir::Module& module, int max_insts) {
+bool pass_inline(ir::Module& module, int max_insts,
+                 std::vector<bool>* fn_changed) {
+  if (fn_changed != nullptr) {
+    fn_changed->assign(module.functions.size(), false);
+  }
   bool changed = false;
-  for (Function& caller : module.functions) {
+  for (std::size_t fi = 0; fi < module.functions.size(); ++fi) {
+    Function& caller = module.functions[fi];
     bool scan_again = true;
     int budget = 16;  // cap clones per caller per pass invocation
     while (scan_again && budget > 0) {
@@ -141,6 +146,7 @@ bool pass_inline(ir::Module& module, int max_insts) {
           }
           inline_at(caller, bi, ii, *callee);
           changed = true;
+          if (fn_changed != nullptr) (*fn_changed)[fi] = true;
           scan_again = true;
           --budget;
           break;  // block structure changed; rescan

@@ -2,10 +2,17 @@
 // merge single-predecessor fallthrough chains (bigger blocks = bigger
 // scheduling regions for the EPIC list scheduler), fold trivial
 // conditional branches, and drop unreachable blocks.
+//
+// The rewrite sequence (thread / merge / remove-unreachable to a fixed
+// point, bounded) is deliberately unchanged — block numbering in the
+// output depends on it.  What changed is the machinery: reachability
+// and predecessor counts come from arena-backed scratch arrays instead
+// of a freshly heap-built Cfg per round.
 #include <algorithm>
 
 #include "opt/cfg.hpp"
 #include "opt/opt.hpp"
+#include "support/arena.hpp"
 
 namespace cepic::opt {
 
@@ -66,47 +73,65 @@ bool thread_jumps(ir::Function& fn) {
 
 bool merge_chains(ir::Function& fn) {
   bool changed = false;
-  const auto preds = predecessors(fn);
-  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
-    for (;;) {
-      ir::BasicBlock& block = fn.blocks[b];
-      IrInst& t = block.insts.back();
-      if (t.op != IrOp::Br) break;
-      const int succ = t.block_then;
-      if (succ == static_cast<int>(b) || succ == 0) break;  // not entry
-      if (preds[succ].size() != 1) break;
-      // Splice succ's instructions in place of our Br. succ becomes
-      // unreachable and is removed below.
-      block.insts.pop_back();
-      ir::BasicBlock& victim = fn.blocks[succ];
-      std::move(victim.insts.begin(), victim.insts.end(),
-                std::back_inserter(block.insts));
-      victim.insts.clear();
-      IrInst dead_ret;
-      dead_ret.op = IrOp::Ret;
-      if (fn.returns_value) dead_ret.a = ir::Value::i(0);
-      victim.insts.push_back(dead_ret);
-      changed = true;
-      // The merged terminator may itself be a Br to another mergeable
-      // block, but preds are stale now; stop and let the next round
-      // continue.
-      break;
-    }
+  const std::size_t nb = fn.blocks.size();
+  ArenaScope scope(Arena::scratch());
+  // Only the predecessor *count* matters here (a chain head is the sole
+  // predecessor of its successor), so skip building adjacency lists.
+  int* pred_count = scope.arena().alloc_zeroed<int>(nb);
+  for (const ir::BasicBlock& block : fn.blocks) {
+    analysis::for_each_successor(block,
+                                 [&](int s) { ++pred_count[s]; });
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    ir::BasicBlock& block = fn.blocks[b];
+    IrInst& t = block.insts.back();
+    if (t.op != IrOp::Br) continue;
+    const int succ = t.block_then;
+    if (succ == static_cast<int>(b) || succ == 0) continue;  // not entry
+    if (pred_count[succ] != 1) continue;
+    // Splice succ's instructions in place of our Br. succ becomes
+    // unreachable and is removed below.
+    block.insts.pop_back();
+    ir::BasicBlock& victim = fn.blocks[succ];
+    std::move(victim.insts.begin(), victim.insts.end(),
+              std::back_inserter(block.insts));
+    victim.insts.clear();
+    IrInst dead_ret;
+    dead_ret.op = IrOp::Ret;
+    if (fn.returns_value) dead_ret.a = ir::Value::i(0);
+    victim.insts.push_back(dead_ret);
+    changed = true;
+    // The merged terminator may itself be a Br to another mergeable
+    // block, but pred counts are stale now; the next round continues.
   }
   return changed;
 }
 
 bool remove_unreachable(ir::Function& fn) {
-  // Graph reachability comes from the shared CFG; this pass only owns
-  // the compaction/renumbering.
-  const std::vector<bool> reachable = analysis::Cfg::build(fn).reachable;
-  if (std::all_of(reachable.begin(), reachable.end(),
-                  [](bool r) { return r; })) {
-    return false;
+  const std::size_t nb = fn.blocks.size();
+  ArenaScope scope(Arena::scratch());
+  // Plain DFS from the entry block; matches Cfg::build's notion of
+  // graph reachability without paying for adjacency lists.
+  bool* reachable = scope.arena().alloc_zeroed<bool>(nb);
+  int* stack = scope.arena().alloc_array<int>(nb);
+  int sp = 0;
+  reachable[0] = true;
+  stack[sp++] = 0;
+  std::size_t num_reachable = 1;
+  while (sp > 0) {
+    const int b = stack[--sp];
+    analysis::for_each_successor(fn.blocks[b], [&](int s) {
+      if (!reachable[s]) {
+        reachable[s] = true;
+        ++num_reachable;
+        stack[sp++] = s;
+      }
+    });
   }
-  std::vector<int> remap(fn.blocks.size(), -1);
+  if (num_reachable == nb) return false;
+  std::vector<int> remap(nb, -1);
   std::vector<ir::BasicBlock> kept;
-  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+  for (std::size_t b = 0; b < nb; ++b) {
     if (reachable[b]) {
       remap[b] = static_cast<int>(kept.size());
       kept.push_back(std::move(fn.blocks[b]));
@@ -124,9 +149,7 @@ bool remove_unreachable(ir::Function& fn) {
   return true;
 }
 
-}  // namespace
-
-bool pass_simplify_cfg(ir::Function& fn) {
+bool run_rounds(ir::Function& fn) {
   bool changed = false;
   for (int round = 0; round < 8; ++round) {
     bool round_changed = false;
@@ -137,6 +160,27 @@ bool pass_simplify_cfg(ir::Function& fn) {
     changed = true;
   }
   return changed;
+}
+
+}  // namespace
+
+bool pass_simplify_cfg(ir::Function& fn, PassContext& ctx) {
+  // Function-granular: any change can splice, renumber or delete blocks,
+  // so there is no meaningful block-level seed or preservation story —
+  // the driver's version skip is what makes repeat invocations cheap.
+  const bool changed = run_rounds(fn);
+  ctx.touched = BlockSeed{changed, {}};
+  if (changed) {
+    ctx.am.invalidate(fn, analysis::PreservedAnalyses::none(),
+                      "simplify_cfg");
+  }
+  return changed;
+}
+
+bool pass_simplify_cfg(ir::Function& fn) {
+  analysis::AnalysisManager am;
+  PassContext ctx(am);
+  return pass_simplify_cfg(fn, ctx);
 }
 
 }  // namespace cepic::opt

@@ -39,7 +39,7 @@ std::string to_hex(std::uint64_t v) {
 }  // namespace
 
 std::size_t ResultCache::load_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return 0;
   std::size_t loaded = 0;
   std::string line;

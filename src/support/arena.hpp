@@ -1,0 +1,151 @@
+// Bump-pointer arena for analysis/optimiser scratch memory.
+//
+// The dataflow solver, the per-pass worklists and the optimiser's
+// transient bitsets allocate millions of tiny, same-lifetime blocks per
+// compile; routing them through the general-purpose heap dominates the
+// mid-end profile. An Arena hands out pointers by bumping a cursor
+// through geometrically-growing chunks, never frees individual blocks,
+// and recycles every chunk on reset() — so a steady-state optimize()
+// performs no heap traffic at all for scratch structures.
+//
+// Usage discipline:
+//  * only trivially-destructible element types (enforced for the typed
+//    helpers) — nothing runs destructors;
+//  * scratch() returns a thread-local arena shared by the analysis
+//    stack; always pair uses with an ArenaScope so nested computations
+//    (e.g. a pass querying two analyses) unwind to their watermark;
+//  * cached/persistent results must NOT live in the scratch arena —
+//    copy them out before the scope closes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace cepic {
+
+class Arena {
+ public:
+  static constexpr std::size_t kMinChunk = 16u << 10;  // 16 KiB
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    std::size_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (chunk_ >= chunks_.size() || p + size > chunks_[chunk_].size) {
+      next_chunk(size + align);
+      p = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = p + size;
+    used_ = cursor_ + prior_used_;
+    if (used_ > peak_) peak_ = used_;
+    return chunks_[chunk_].data.get() + p;
+  }
+
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-filled variant (BitSet rows, flag arrays).
+  template <typename T>
+  T* alloc_zeroed(std::size_t n) {
+    T* p = alloc_array<T>(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = T{};
+    return p;
+  }
+
+  /// Rewind to empty, keeping every chunk for reuse.
+  void reset() {
+    chunk_ = 0;
+    cursor_ = 0;
+    prior_used_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes currently handed out (high-water within this fill).
+  std::size_t bytes_used() const { return used_; }
+  /// Largest bytes_used() ever observed (survives reset()).
+  std::size_t bytes_peak() const { return peak_; }
+  /// Total bytes owned by the arena's chunks.
+  std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.size;
+    return n;
+  }
+
+  /// The thread-local scratch arena shared by the analysis/opt stack.
+  static Arena& scratch();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  struct Mark {
+    std::size_t chunk;
+    std::size_t cursor;
+    std::size_t prior_used;
+  };
+  friend class ArenaScope;
+
+  Mark mark() const { return {chunk_, cursor_, prior_used_}; }
+  void rewind(const Mark& m) {
+    chunk_ = m.chunk;
+    cursor_ = m.cursor;
+    prior_used_ = m.prior_used;
+    used_ = prior_used_ + cursor_;
+  }
+
+  void next_chunk(std::size_t need) {
+    if (chunk_ < chunks_.size()) {  // the current chunk exists but is full
+      prior_used_ += cursor_;
+      ++chunk_;
+    }
+    cursor_ = 0;
+    if (chunk_ < chunks_.size() && chunks_[chunk_].size >= need) return;
+    std::size_t size = chunks_.empty() ? kMinChunk : chunks_.back().size * 2;
+    if (size < need) size = need;
+    // Drop any too-small tail chunks so the geometric ladder stays sorted.
+    chunks_.resize(chunk_);
+    chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;       ///< index of the chunk being filled
+  std::size_t cursor_ = 0;      ///< bump offset within the current chunk
+  std::size_t prior_used_ = 0;  ///< bytes consumed in earlier chunks
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII watermark: everything allocated inside the scope is reclaimed
+/// (without destructors) when it closes. Scopes nest like stack frames.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+inline Arena& Arena::scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace cepic
