@@ -61,8 +61,16 @@ trap 'rm -f "$tmp_json"' EXIT
   ${BENCH_FILTER:+--benchmark_filter="$BENCH_FILTER"} \
   > "$tmp_json"
 
+# Stamp provenance: the short commit and whether the tree was dirty at
+# record time, so every trajectory point in `cepic-prof bench` is
+# attributable to an exact source state.
+git_dirty=false
+if [[ -n "$(git -C "$repo_root" status --porcelain 2>/dev/null)" ]]; then
+  git_dirty=true
+fi
+
 label="$label" run_json="$tmp_json" out_file="$out_file" \
-  cmake_build_type="$cmake_build_type" \
+  cmake_build_type="$cmake_build_type" git_dirty="$git_dirty" \
   commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 python3 - <<'EOF'
 import json
@@ -88,6 +96,8 @@ history["runs"].append({
                       "library_build_type")
         },
         "cmake_build_type": os.environ["cmake_build_type"],
+        "git_commit": os.environ["commit"],
+        "git_dirty": os.environ["git_dirty"] == "true",
     },
     "benchmarks": run.get("benchmarks", []),
 })
@@ -105,3 +115,10 @@ for b in run.get("benchmarks", []):
           + (f"  ({', '.join(extras)})" if extras else ""))
 print(f"record_bench: appended run '{os.environ['label']}' to {out_file}")
 EOF
+
+# Best-effort: validate the updated history when cepic-prof is built in
+# the same tree (CI validates it unconditionally).
+prof_bin="$repo_root/$build_dir/tools/cepic-prof"
+if [[ -x "$prof_bin" ]]; then
+  "$prof_bin" --validate "$repo_root/schemas/bench.schema.json" "$out_file"
+fi

@@ -1,0 +1,55 @@
+#include "obs/hist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cepic::obs {
+
+namespace {
+
+// Round-robin shard assignment: consecutive threads land on different
+// cache lines, and a thread keeps its shard for its whole life.
+std::atomic<unsigned> g_next_shard{0};
+
+unsigned this_thread_shard() {
+  static thread_local const unsigned shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+      Histogram::kShards;
+  return shard;
+}
+
+}  // namespace
+
+Histogram::Shard& Histogram::shard() { return shards_[this_thread_shard()]; }
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (unsigned b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      return std::min(Histogram::bucket_high(b), max);
+    }
+  }
+  return max;
+}
+
+}  // namespace cepic::obs

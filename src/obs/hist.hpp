@@ -1,0 +1,114 @@
+// cepic::obs::Histogram — lock-free, log-bucketed (HDR-style) latency
+// histograms.
+//
+// Recording is wait-free: `observe(v)` picks the calling thread's shard
+// (cache-line padded, assigned round-robin on first use) and performs a
+// handful of relaxed atomic adds — no locks, no allocation.  Export
+// merges the shards by summation, which is exact: every recorded sample
+// lands in exactly one shard bucket, so the merged `count`/`sum`/bucket
+// totals equal what a single global histogram would have seen.  Only
+// quantiles are approximate, and only by the bucket scheme below.
+//
+// Bucket scheme (log-linear, like HdrHistogram/Prometheus native):
+// values below 2^(kSubBits+1) get one bucket each (exact); above that,
+// each power-of-two octave is split into kSub = 2^kSubBits linear
+// sub-buckets.  With kSubBits = 3 a bucket spans at most 1/8 of its
+// lower bound, so any quantile reported from a bucket's upper bound is
+// within +12.5% of the true sample (and never below it).  496 buckets
+// cover the full uint64 range; a histogram with 8 shards is ~32 KiB.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace cepic::obs {
+
+/// Merged, immutable view of a Histogram at one point in time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;  ///< exact (tracked per-sample, not per-bucket)
+  std::vector<std::uint64_t> buckets;
+
+  /// Value `v` such that at least ceil(q * count) samples were <= v.
+  /// Reported as the covering bucket's upper bound clamped to the exact
+  /// max, so the result is >= the true quantile and within +12.5% of it
+  /// (exact below 16). Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+};
+
+class Histogram {
+public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr unsigned kSub = 1u << kSubBits;  // 8 sub-buckets/octave
+  // Buckets 0..2*kSub-1 hold values 0..15 exactly; each further octave
+  // (bit width kSubBits+2 .. 64) contributes kSub buckets.
+  static constexpr unsigned kBuckets = (64 - kSubBits + 1) * kSub;
+  static constexpr unsigned kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one sample. Wait-free; callable from any thread.
+  void observe(std::uint64_t value) {
+    Shard& s = shard();
+    const unsigned b = bucket_of(value);
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !s.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merge all shards into one snapshot. Exact for count/sum/max/bucket
+  /// totals provided no observe() races the export (quiescent exports —
+  /// after joins, at process exit — see every sample exactly once).
+  HistogramSnapshot snapshot() const;
+
+  // --- bucket scheme (static: shared by snapshot consumers/tests) ---
+
+  /// Bucket index covering `value`.
+  static unsigned bucket_of(std::uint64_t value) {
+    const unsigned width =
+        value == 0 ? 1u : static_cast<unsigned>(std::bit_width(value));
+    if (width <= kSubBits + 1) return static_cast<unsigned>(value);
+    const unsigned octave = width - (kSubBits + 1);
+    const unsigned sub = static_cast<unsigned>(
+        (value >> (width - 1 - kSubBits)) & (kSub - 1));
+    return (octave + 1) * kSub + sub;
+  }
+
+  /// Smallest / largest value mapping to bucket `b`.
+  static std::uint64_t bucket_low(unsigned b) {
+    if (b < 2 * kSub) return b;
+    const unsigned octave = b / kSub - 1;
+    const std::uint64_t sub = b % kSub;
+    return (std::uint64_t{kSub} + sub) << octave;
+  }
+  static std::uint64_t bucket_high(unsigned b) {
+    if (b < 2 * kSub) return b;
+    const unsigned octave = b / kSub - 1;
+    return bucket_low(b) + ((std::uint64_t{1} << octave) - 1);
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+
+  Shard& shard();
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace cepic::obs

@@ -2,20 +2,26 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "support/error.hpp"
 #include "support/text.hpp"
 
 namespace cepic::obs {
 
-namespace {
+namespace detail {
 
-std::atomic<bool> g_enabled{false};
+std::atomic<unsigned> g_mode{kModeFlight};
+
+}  // namespace detail
+
+namespace {
 
 std::string number_text(double v) {
   // Trim a fixed-precision rendering so 12.000 exports as 12 and
@@ -28,13 +34,18 @@ std::string number_text(double v) {
 
 }  // namespace
 
-bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+bool enabled() {
+  return (detail::mode() & detail::kModeTrace) != 0;
+}
 
 void set_enabled(bool on) {
-  if (on && !g_enabled.load(std::memory_order_relaxed)) {
-    Registry::instance().set_epoch_ns(now_ns());
+  if (on) {
+    if (!enabled()) Registry::instance().set_epoch_ns(now_ns());
+    detail::g_mode.fetch_or(detail::kModeTrace, std::memory_order_relaxed);
+  } else {
+    detail::g_mode.fetch_and(~detail::kModeTrace,
+                             std::memory_order_relaxed);
   }
-  g_enabled.store(on, std::memory_order_relaxed);
 }
 
 std::uint64_t now_ns() {
@@ -54,6 +65,8 @@ struct Registry::Impl {
            std::less<>>
       counters;
   std::map<std::string, double, std::less<>> gauges;
+  // Histograms are node-stable for the same reason as counters.
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists;
   std::vector<SpanRecord> spans;
   std::map<std::thread::id, int> thread_ids;
   std::uint64_t epoch_ns = 0;
@@ -97,6 +110,17 @@ void Registry::set_gauge(std::string_view name, double value) {
   }
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.hists.find(name);
+  if (it == i.hists.end()) {
+    it = i.hists.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 void Registry::record(SpanRecord&& span) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
@@ -129,6 +153,18 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
   return {i.gauges.begin(), i.gauges.end()};
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
+    const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(i.hists.size());
+  for (const auto& [name, hist] : i.hists) {
+    out.emplace_back(name, hist->snapshot());
+  }
+  return out;
+}
+
 std::vector<SpanRecord> Registry::spans() const {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
@@ -152,6 +188,7 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lock(i.mu);
   i.counters.clear();
   i.gauges.clear();
+  i.hists.clear();
   i.spans.clear();
   i.thread_ids.clear();
   i.epoch_ns = 0;
@@ -160,18 +197,40 @@ void Registry::reset() {
 // --- Span -------------------------------------------------------------
 
 Span::Span(std::string_view name, std::string_view cat) {
-  if (!enabled()) return;  // inert: no clock read, no allocation
+  static_assert(sizeof(flight_name_) == kFlightNameChars + 1,
+                "Span's fixed name buffer must fit a flight-event name");
+  const unsigned mode = detail::mode();
+  if (mode == 0) return;  // inert: one relaxed load, nothing else
+  if ((mode & detail::kModeFlight) != 0) {
+    // Capture the (truncated) name for the matching end event; the
+    // fixed buffer keeps the flight path allocation-free.
+    const std::size_t n = std::min(name.size(), kFlightNameChars);
+    std::memcpy(flight_name_, name.data(), n);
+    flight_name_[n] = '\0';
+    flight_len_ = static_cast<std::uint8_t>(n);
+  }
+  start_ns_ = now_ns();
+  if (flight_len_ != 0) {
+    flight_record(FlightEvent::kBegin, {flight_name_, flight_len_}, 0,
+                  start_ns_);
+  }
+  if ((mode & detail::kModeTrace) == 0) return;
   active_ = true;
   rec_.name.assign(name.data(), name.size());
   rec_.cat.assign(cat.data(), cat.size());
   rec_.tid = Registry::instance().thread_id();
-  start_ns_ = now_ns();
 }
 
 Span::~Span() {
+  if (!active_ && flight_len_ == 0) return;
+  const std::uint64_t end_ns = now_ns();
+  if (flight_len_ != 0) {
+    flight_record(FlightEvent::kEnd, {flight_name_, flight_len_},
+                  end_ns - start_ns_, end_ns);
+  }
   if (!active_) return;
   rec_.start_ns = start_ns_;
-  rec_.dur_ns = now_ns() - start_ns_;
+  rec_.dur_ns = end_ns - start_ns_;
   Registry::instance().record(std::move(rec_));
 }
 
@@ -288,8 +347,28 @@ std::string trace_json() {
   for (const auto& [name, value] : reg.gauges()) {
     other.push_back({cat("gauge.", name), number_text(value), true});
   }
+  for (const auto& [name, snap] : reg.histograms()) {
+    other.push_back({cat("histogram.", name, ".count"), cat(snap.count), true});
+    other.push_back(
+        {cat("histogram.", name, ".p50"), cat(snap.quantile(0.50)), true});
+    other.push_back(
+        {cat("histogram.", name, ".p99"), cat(snap.quantile(0.99)), true});
+    other.push_back({cat("histogram.", name, ".max"), cat(snap.max), true});
+  }
   return chrome_trace_json(events, other);
 }
+
+namespace {
+
+// The per-histogram stats every exporter emits, in export order.
+std::vector<std::pair<const char*, std::uint64_t>> histogram_stats(
+    const HistogramSnapshot& snap) {
+  return {{"count", snap.count},        {"sum", snap.sum},
+          {"max", snap.max},            {"p50", snap.quantile(0.50)},
+          {"p90", snap.quantile(0.90)}, {"p99", snap.quantile(0.99)}};
+}
+
+}  // namespace
 
 std::string metrics_json() {
   Registry& reg = Registry::instance();
@@ -306,7 +385,20 @@ std::string metrics_json() {
     out += cat(i == 0 ? "\n" : ",\n", "    \"", json_escape(gauges[i].first),
                "\": ", number_text(gauges[i].second));
   }
-  out += gauges.empty() ? "}\n" : "\n  }\n";
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  const auto hists = reg.histograms();
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    out += cat(i == 0 ? "\n" : ",\n", "    \"", json_escape(hists[i].first),
+               "\": {");
+    const auto stats = histogram_stats(hists[i].second);
+    for (std::size_t j = 0; j < stats.size(); ++j) {
+      out += cat(j == 0 ? "" : ", ", "\"", stats[j].first,
+                 "\": ", stats[j].second);
+    }
+    out += "}";
+  }
+  out += hists.empty() ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
 }
@@ -320,30 +412,35 @@ std::string metrics_csv() {
   for (const auto& [name, value] : reg.gauges()) {
     out += cat("gauge,", name, ",", number_text(value), "\n");
   }
+  for (const auto& [name, snap] : reg.histograms()) {
+    for (const auto& [stat, value] : histogram_stats(snap)) {
+      out += cat("histogram,", name, ".", stat, ",", value, "\n");
+    }
+  }
   return out;
 }
 
-namespace {
+namespace detail {
 
-void write_text(const std::string& path, std::string_view text) {
+void write_text_file(const std::string& path, std::string_view text) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot write " + path);
   out.write(text.data(), static_cast<std::streamsize>(text.size()));
   if (!out) throw Error("failed writing " + path);
 }
 
-}  // namespace
+}  // namespace detail
 
 void write_trace_json(const std::string& path) {
-  write_text(path, trace_json());
+  detail::write_text_file(path, trace_json());
 }
 
 void write_metrics_json(const std::string& path) {
-  write_text(path, metrics_json());
+  detail::write_text_file(path, metrics_json());
 }
 
 void write_metrics_csv(const std::string& path) {
-  write_text(path, metrics_csv());
+  detail::write_text_file(path, metrics_csv());
 }
 
 }  // namespace cepic::obs

@@ -126,6 +126,7 @@ class Driver {
     bool changed = false;
     {
       obs::Span span(name, "opt");
+      obs::ScopedObserve latency("opt.pass_ns");
       span.arg("fn", fn.name);
       changed = pass(fn, ctx);
     }
@@ -149,6 +150,7 @@ class Driver {
     bool changed = false;
     {
       obs::Span span(name, "opt");
+      obs::ScopedObserve latency("opt.pass_ns");
       span.arg("fn", fn.name);
       changed = pass(fn);
     }
@@ -185,6 +187,7 @@ class Driver {
     bool changed = false;
     {
       obs::Span span("inline", "opt");
+      obs::ScopedObserve latency("opt.pass_ns");
       changed = pass_inline(module_, options_.inline_max_insts, &fn_changed);
     }
     obs::add("opt.pass_runs");

@@ -10,6 +10,7 @@
 #include "core/custom.hpp"
 #include "frontend/irgen.hpp"
 #include "mcheck/mcheck.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "pipeline/version.hpp"
@@ -261,6 +262,7 @@ Program Service::compile_program_at(std::string_view source,
                                     std::uint32_t stack_top,
                                     bool* from_store) {
   obs::Span span("compile_program", "pipeline");
+  obs::ScopedObserve latency("pipeline.compile_ns");
   const ProcessorConfig slice = codegen_slice(config);
   const ArtifactId id =
       artifact(Granularity::kProgram, source, slice, stack_top);
@@ -293,6 +295,7 @@ Program Service::compile_program_at(std::string_view source,
 void Service::verify_program(const Program& program,
                              const ArtifactId& lint_id) {
   obs::Span span("verify", "pipeline");
+  obs::ScopedObserve latency("pipeline.verify_ns");
   std::string blob;
   if (!store_.get(lint_id, blob)) {
     span.arg("cached", "miss");
@@ -361,6 +364,7 @@ EpicSimulator Service::run(std::string_view source,
                     options_.sim);
   {
     obs::Span span("simulate", "pipeline");
+    obs::ScopedObserve latency("pipeline.simulate_ns");
     sim.run();
     span.arg("cycles", sim.stats().cycles);
   }
@@ -480,7 +484,9 @@ std::vector<RunOutcome> Service::run_batch(
       pool.submit([this, group, &sources, &configs, &outcomes, &results,
                    &pool, &dedup, stack_top, submit_ns] {
         obs::Span task_span("batch.compile", "pipeline");
-        task_span.arg("queue_wait_ns", obs::now_ns() - submit_ns);
+        const std::uint64_t wait_ns = obs::now_ns() - submit_ns;
+        obs::observe("pipeline.queue_wait_ns", wait_ns);
+        task_span.arg("queue_wait_ns", wait_ns);
         task_span.arg("group_items", static_cast<std::uint64_t>(group->size()));
         const Item& first = group->front();
         std::shared_ptr<const Program> shared;
@@ -489,6 +495,9 @@ std::vector<RunOutcome> Service::run_batch(
               compile_program_at(sources[first.source], configs[first.config],
                                  stack_top, nullptr));
         } catch (const std::exception& e) {
+          // Leave the faulting task's last-moments trace behind (only
+          // dumps when a --flight-out path is configured).
+          obs::flight_record_fault(e.what());
           for (const Item& item : *group) outcomes[item.index].error = e.what();
           return;
         }
@@ -498,7 +507,9 @@ std::vector<RunOutcome> Service::run_batch(
           pool.submit([this, shared, it, &configs, &outcomes, &results,
                        &dedup, sim_submit_ns] {
             obs::Span task_span("batch.simulate", "pipeline");
-            task_span.arg("queue_wait_ns", obs::now_ns() - sim_submit_ns);
+            const std::uint64_t wait_ns = obs::now_ns() - sim_submit_ns;
+            obs::observe("pipeline.queue_wait_ns", wait_ns);
+            task_span.arg("queue_wait_ns", wait_ns);
             RunOutcome& out = outcomes[it->index];
             const auto deliver = [&](const SimDedupEntry& e) {
               if (e.ok) {
@@ -561,7 +572,10 @@ std::vector<RunOutcome> Service::run_batch(
                   std::move(program),
                   CustomOpTable::for_names(configs[it->config].custom_ops),
                   options_.sim);
-              sim.run();
+              {
+                obs::ScopedObserve latency("pipeline.simulate_ns");
+                sim.run();
+              }
               entry.ok = true;
               entry.result.cycles = sim.stats().cycles;
               entry.result.ops_committed = sim.stats().ops_committed;
@@ -571,6 +585,7 @@ std::vector<RunOutcome> Service::run_batch(
               std::unique_lock<std::mutex> lock(mu_);
               ++simulations_;
             } catch (const std::exception& e) {
+              obs::flight_record_fault(e.what());
               entry.ok = false;
               entry.error = e.what();
             }

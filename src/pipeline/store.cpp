@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "pipeline/version.hpp"
 #include "serial/serial.hpp"
 #include "support/error.hpp"
@@ -141,6 +142,9 @@ std::string Store::object_path(const ArtifactId& id) const {
 }
 
 bool Store::get(const ArtifactId& id, std::string& blob) {
+  // Every typed get() funnels through this blob path, so one latency
+  // seam covers memory hits, disk promotions and misses alike.
+  obs::ScopedObserve latency("store.get_ns");
   {
     std::unique_lock<std::mutex> lock(mu_);
     const auto& map = mem_[static_cast<int>(id.granularity)];
@@ -169,6 +173,7 @@ bool Store::get(const ArtifactId& id, std::string& blob) {
 }
 
 void Store::put(const ArtifactId& id, std::string_view blob) {
+  obs::ScopedObserve latency("store.put_ns");
   {
     std::unique_lock<std::mutex> lock(mu_);
     mem_[static_cast<int>(id.granularity)][id.digest] = std::string(blob);

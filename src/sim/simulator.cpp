@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/eval.hpp"
+#include "obs/obs.hpp"
 #include "support/bits.hpp"
 #include "support/text.hpp"
 
@@ -766,6 +767,7 @@ const SimStats& EpicSimulator::run() {
       options_.exec_tier == ExecTier::Threaded && tier == ExecTier::Decode;
   if (tier == ExecTier::Threaded) {
     run_threaded();
+    obs::observe("sim.cycles_per_run", stats_.cycles);
     return stats_;
   }
   while (step()) {
@@ -773,6 +775,7 @@ const SimStats& EpicSimulator::run() {
   // step() re-stamps the marker each bundle; restore the run-level
   // verdict (identical unless the tier was pinned).
   stats_.exec_tier = tier;
+  obs::observe("sim.cycles_per_run", stats_.cycles);
   return stats_;
 }
 

@@ -1,13 +1,18 @@
 // The observability layer (src/obs) and its integrations: span
 // recording across the pipeline thread pool, concurrent counters,
-// exporter goldens, the JSON parser + schema validator pair, the
-// simulator's per-cycle timeline reconciling with SimStats on both
-// execution paths, the explicit trace-truncation marker, and the
-// no-allocation guarantee of disabled-mode tracing on the simulator
-// hot loop.
+// latency histograms (bucket scheme, quantile error bounds, exact
+// shard merges under the thread pool), the always-on flight recorder
+// (ring wraparound, fault dumps, schema conformance), exporter
+// goldens, the JSON parser + schema validator pair, the simulator's
+// per-cycle timeline reconciling with SimStats on both execution
+// paths, the explicit trace-truncation marker, and the no-allocation
+// guarantee of disabled-mode tracing on the simulator hot loop.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <new>
@@ -17,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/schema.hpp"
@@ -75,11 +81,13 @@ struct ObsFixture {
   explicit ObsFixture(bool enable) {
     obs::set_enabled(false);
     obs::Registry::instance().reset();
+    obs::flight_reset();
     obs::set_enabled(enable);
   }
   ~ObsFixture() {
     obs::set_enabled(false);
     obs::Registry::instance().reset();
+    obs::flight_reset();
   }
 };
 
@@ -207,6 +215,7 @@ TEST(MetricsExport, GoldenJsonAndCsv) {
   obs::add("b.counter", 2);
   obs::add("a.counter");
   obs::Registry::instance().set_gauge("g.ratio", 1.25);
+  for (std::uint64_t v : {1, 2, 3, 4}) obs::observe("h.lat_ns", v);
   EXPECT_EQ(obs::metrics_json(),
             "{\n"
             "  \"counters\": {\n"
@@ -215,13 +224,23 @@ TEST(MetricsExport, GoldenJsonAndCsv) {
             "  },\n"
             "  \"gauges\": {\n"
             "    \"g.ratio\": 1.25\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"h.lat_ns\": {\"count\": 4, \"sum\": 10, \"max\": 4, "
+            "\"p50\": 2, \"p90\": 4, \"p99\": 4}\n"
             "  }\n"
             "}\n");
   EXPECT_EQ(obs::metrics_csv(),
             "kind,name,value\n"
             "counter,a.counter,1\n"
             "counter,b.counter,2\n"
-            "gauge,g.ratio,1.25\n");
+            "gauge,g.ratio,1.25\n"
+            "histogram,h.lat_ns.count,4\n"
+            "histogram,h.lat_ns.sum,10\n"
+            "histogram,h.lat_ns.max,4\n"
+            "histogram,h.lat_ns.p50,2\n"
+            "histogram,h.lat_ns.p90,4\n"
+            "histogram,h.lat_ns.p99,4\n");
 }
 
 TEST(TraceJson, EmbedsCountersAndParsesBack) {
@@ -280,6 +299,231 @@ TEST(Schema, AcceptsValidAndReportsViolations) {
   EXPECT_FALSE(obs::schema::validate(
                    schema, obs::json::parse("{\"ph\":\"X\",\"zz\":1}"))
                    .empty());
+}
+
+// ------------------------------------------------- latency histograms
+
+TEST(Histogram, BucketSchemeRoundTripsAndTilesWithoutGaps) {
+  using H = obs::Histogram;
+  // Values below 2*kSub get a bucket each: exact.
+  for (std::uint64_t v = 0; v < 2 * H::kSub; ++v) {
+    EXPECT_EQ(H::bucket_of(v), v);
+    EXPECT_EQ(H::bucket_low(static_cast<unsigned>(v)), v);
+    EXPECT_EQ(H::bucket_high(static_cast<unsigned>(v)), v);
+  }
+  // Both bounds of every bucket map back to it, consecutive buckets
+  // tile the value range with no gap, and a log-linear bucket spans at
+  // most 1/kSub of its lower bound (the documented +12.5% error).
+  for (unsigned b = 0; b < H::kBuckets; ++b) {
+    const std::uint64_t low = H::bucket_low(b);
+    const std::uint64_t high = H::bucket_high(b);
+    ASSERT_LE(low, high);
+    EXPECT_EQ(H::bucket_of(low), b);
+    EXPECT_EQ(H::bucket_of(high), b);
+    if (b + 1 < H::kBuckets) {
+      EXPECT_EQ(H::bucket_low(b + 1), high + 1);
+    }
+    if (b >= 2 * H::kSub) {
+      EXPECT_LE(high - low, low / H::kSub);
+    }
+  }
+  EXPECT_EQ(H::bucket_of(~std::uint64_t{0}), H::kBuckets - 1);
+  EXPECT_EQ(H::bucket_high(H::kBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(Histogram, QuantilesWithinDocumentedErrorBound) {
+  obs::Histogram hist;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 0x243F6A8885A308D3ULL;  // deterministic LCG walk
+  for (int i = 0; i < 400; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t v = (x >> (x % 48)) | 1;  // spread across octaves
+    samples.push_back(v);
+    hist.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const std::uint64_t truth = samples[rank - 1];
+    const std::uint64_t est = snap.quantile(q);
+    EXPECT_GE(est, truth) << "quantile must not under-report, q=" << q;
+    EXPECT_LE(est, truth + truth / obs::Histogram::kSub) << "q=" << q;
+  }
+  // The maximum is tracked per-sample, so the top quantile is exact.
+  EXPECT_EQ(snap.quantile(1.0), samples.back());
+  EXPECT_EQ(snap.max, samples.back());
+  EXPECT_EQ(obs::HistogramSnapshot{}.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ConcurrentObservesMergeExactlyAcrossShards) {
+  ObsFixture fx(false);
+  obs::Histogram& hist = obs::Registry::instance().histogram("t.merge_ns");
+  constexpr std::uint64_t kTasks = 32;
+  constexpr std::uint64_t kPerTask = 2000;
+  {
+    pipeline::ThreadPool pool(8);
+    for (std::uint64_t t = 0; t < kTasks; ++t) {
+      pool.submit([&hist, t] {
+        for (std::uint64_t i = 1; i <= kPerTask; ++i) {
+          hist.observe(t * kPerTask + i);
+        }
+      });
+    }
+    pool.wait();
+  }
+  // Quiescent merge is exact: the shards partition the samples, so the
+  // summed snapshot equals what one global histogram would have seen.
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  const std::uint64_t n = kTasks * kPerTask;
+  EXPECT_EQ(snap.count, n);
+  EXPECT_EQ(snap.sum, n * (n + 1) / 2);  // samples were 1..n, once each
+  EXPECT_EQ(snap.max, n);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, n);
+}
+
+// ---------------------------------------------------- flight recorder
+
+/// Count the dump's trace events whose name matches exactly.
+std::size_t count_events(const obs::json::Value& doc, std::string_view name) {
+  std::size_t n = 0;
+  const obs::json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return 0;
+  for (const obs::json::Value& e : events->array) {
+    const obs::json::Value* ev_name = e.find("name");
+    if (ev_name != nullptr && ev_name->string == name) ++n;
+  }
+  return n;
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewestAndCountsDropped) {
+  ObsFixture fx(false);
+  constexpr std::uint64_t kExtra = 100;
+  for (std::uint64_t i = 0; i < obs::kFlightCapacity + kExtra; ++i) {
+    obs::flight_record(obs::FlightEvent::kInstant, "wrap", 0, 1000 + i);
+  }
+  const obs::json::Value doc = obs::json::parse(obs::flight_trace_json());
+  EXPECT_EQ(count_events(doc, "wrap"), obs::kFlightCapacity);
+  // The oldest kExtra events were evicted: the epoch (exported ts 0) is
+  // the first *retained* instant, and the newest is capacity-1 later.
+  double min_ts = 1e300, max_ts = -1;
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    min_ts = std::min(min_ts, e.find("ts")->number);
+    max_ts = std::max(max_ts, e.find("ts")->number);
+  }
+  EXPECT_EQ(min_ts, 0.0);
+  EXPECT_NEAR(max_ts * 1e3, static_cast<double>(obs::kFlightCapacity - 1), 0.5);
+  // Per-ring totals land in otherData; ours is the only non-empty ring.
+  const obs::json::Value& other = *doc.find("otherData");
+  std::uint64_t recorded = 0, dropped = 0;
+  for (const auto& [key, value] : other.object) {
+    if (key.find(".recorded") != std::string::npos) {
+      recorded += static_cast<std::uint64_t>(value.number);
+    }
+    if (key.find(".dropped") != std::string::npos) {
+      dropped += static_cast<std::uint64_t>(value.number);
+    }
+  }
+  EXPECT_EQ(recorded, obs::kFlightCapacity + kExtra);
+  EXPECT_EQ(dropped, kExtra);
+  EXPECT_EQ(doc.find("otherData")->find("flight.capacity")->number,
+            static_cast<double>(obs::kFlightCapacity));
+}
+
+TEST(FlightRecorder, RendersEndsAsSpansAndOpenBeginsAsInFlight) {
+  ObsFixture fx(false);
+  obs::flight_record(obs::FlightEvent::kBegin, "outer", 0, 1000);
+  obs::flight_record(obs::FlightEvent::kBegin, "inner", 0, 2000);
+  obs::flight_record(obs::FlightEvent::kEnd, "inner", 500, 2500);
+  obs::flight_record(obs::FlightEvent::kCounter, "hits", 3, 2600);
+  // "outer" never ends: it was in flight when the dump was taken.
+  const obs::json::Value doc = obs::json::parse(obs::flight_trace_json());
+  EXPECT_EQ(count_events(doc, "inner"), 1u);
+  EXPECT_EQ(count_events(doc, "outer (in flight)"), 1u);
+  EXPECT_EQ(count_events(doc, "hits"), 1u);
+  for (const obs::json::Value& e : doc.find("traceEvents")->array) {
+    const std::string& name = e.find("name")->string;
+    const std::string& ph = e.find("ph")->string;
+    if (name == "inner") {
+      EXPECT_EQ(ph, "X");
+      EXPECT_EQ(e.find("ts")->number * 1e3, 2000 - 1000);  // start - epoch
+      EXPECT_EQ(e.find("dur")->number * 1e3, 500);
+    } else if (name == "outer (in flight)") {
+      EXPECT_EQ(ph, "I");
+    } else if (name == "hits") {
+      EXPECT_EQ(ph, "C");
+      EXPECT_EQ(e.find("args")->find("delta")->number, 3.0);
+    }
+  }
+}
+
+TEST(FlightRecorder, DisabledRecordingIsInert) {
+  ObsFixture fx(false);
+  obs::set_flight_enabled(false);
+  obs::flight_record(obs::FlightEvent::kInstant, "ghost", 0, 1000);
+  { obs::Span span("ghost-span", "test"); }
+  obs::set_flight_enabled(true);
+  const obs::json::Value doc = obs::json::parse(obs::flight_trace_json());
+  EXPECT_EQ(count_events(doc, "ghost"), 0u);
+  EXPECT_EQ(count_events(doc, "ghost-span"), 0u);
+}
+
+TEST(FlightRecorder, FaultDumpValidatesAgainstCheckedInSchema) {
+  ObsFixture fx(false);
+  const std::string path =
+      testing::TempDir() + "cepic_flight_fault_test.json";
+  obs::set_flight_fault_path(path);
+  {
+    obs::Span span("doomed", "test");
+    obs::flight_record_fault("boom");
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "fault dump not written to " << path;
+  std::ostringstream dump;
+  dump << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(dump.str());
+  // The fault instant is stamped (name truncated into the ring slot)
+  // and the enclosing span was still open at dump time.
+  EXPECT_EQ(count_events(doc, "fault: boom"), 1u);
+  EXPECT_EQ(count_events(doc, "doomed (in flight)"), 1u);
+  std::ifstream schema_in(CEPIC_TEST_DIR "/../schemas/chrome-trace.schema.json",
+                          std::ios::binary);
+  ASSERT_TRUE(schema_in.is_open());
+  std::ostringstream schema_text;
+  schema_text << schema_in.rdbuf();
+  const std::vector<std::string> violations =
+      obs::schema::validate(obs::json::parse(schema_text.str()), doc);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RecordingDoesNotAllocateAfterRingWarmup) {
+#if defined(CEPIC_TEST_ASAN)
+  GTEST_SKIP() << "allocation counting is unreliable under ASan";
+#else
+  ObsFixture fx(false);
+  // First event on a thread registers its ring; histograms allocate on
+  // first observe of a name. Warm both, then count.
+  obs::flight_record(obs::FlightEvent::kInstant, "warm", 0, 1);
+  obs::observe("warm.hist_ns", 1);
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 4 * obs::kFlightCapacity; ++i) {
+    obs::flight_record(obs::FlightEvent::kInstant, "steady", 0, i);
+    obs::observe("warm.hist_ns", i);
+  }
+  {
+    obs::Span span("steady-span", "test");  // flight begin/end only
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u)
+      << "the always-on observability path must not allocate";
+#endif
 }
 
 // ---------------------------------------------------- simulator timeline
@@ -583,6 +827,9 @@ TEST(DisabledMode, SimulatorHotLoopDoesNotAllocate) {
     EpicSimulator sim(program, {}, options);
     sim.run();  // warm every lazily grown buffer
     sim.reset();
+    // A thread's first flight event registers its ring (one allocation,
+    // ever); spans feed the ring even with tracing off, so warm it too.
+    { obs::Span warm("warm", "test"); }
     g_allocs.store(0, std::memory_order_relaxed);
     g_count_allocs.store(true, std::memory_order_relaxed);
     sim.run();

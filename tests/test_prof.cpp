@@ -1,0 +1,265 @@
+// The offline analytics library behind cepic-prof (src/obs/report):
+// span self-time aggregation over Chrome trace exports, cross-run
+// regression diffs for traces and metrics, and the bench-trajectory
+// parsing + ratio guards that gate CI's perf-smoke job.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "support/error.hpp"
+
+namespace cepic {
+namespace {
+
+namespace report = obs::report;
+
+/// A minimal trace document: backend.schedule encloses opt.cse on the
+/// same thread; scale stretches the outer span's duration.
+obs::json::Value trace_doc(double outer_dur_us) {
+  std::string text =
+      "{\"traceEvents\":["
+      "{\"ph\":\"X\",\"name\":\"schedule\",\"cat\":\"backend\",\"pid\":1,"
+      "\"tid\":1,\"ts\":0,\"dur\":" + std::to_string(outer_dur_us) + "},"
+      "{\"ph\":\"X\",\"name\":\"cse\",\"cat\":\"opt\",\"pid\":1,"
+      "\"tid\":1,\"ts\":100,\"dur\":500},"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,\"ts\":0}"
+      "],\"otherData\":{}}";
+  return obs::json::parse(text);
+}
+
+obs::json::Value metrics_doc(double p50_ns, double counter) {
+  std::string text =
+      "{\"counters\":{\"sim.runs\":" + std::to_string(counter) + "},"
+      "\"gauges\":{},"
+      "\"histograms\":{"
+      "\"pipeline.compile_ns\":{\"count\":10,\"sum\":1,\"max\":1,"
+      "\"p50\":" + std::to_string(p50_ns) + ","
+      "\"p90\":" + std::to_string(p50_ns * 2) + ","
+      "\"p99\":" + std::to_string(p50_ns * 3) + "},"
+      "\"tiny.hist_ns\":{\"count\":10,\"sum\":1,\"max\":1,"
+      "\"p50\":" + std::to_string(p50_ns / 100) + ",\"p90\":1,\"p99\":1}"
+      "}}";
+  return obs::json::parse(text);
+}
+
+const report::DiffRow* find_row(const report::DiffReport& rep,
+                                std::string_view prefix) {
+  for (const report::DiffRow& row : rep.rows) {
+    if (row.name.rfind(prefix, 0) == 0) return &row;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------ span analytics
+
+TEST(SpanAnalytics, SelfTimeSubtractsNestedChildren) {
+  const std::vector<report::SpanAgg> aggs =
+      report::aggregate_spans(trace_doc(1000));
+  ASSERT_EQ(aggs.size(), 2u);  // name-sorted, metadata events ignored
+  EXPECT_EQ(aggs[0].name, "backend.schedule");
+  EXPECT_EQ(aggs[0].total, 1000);
+  EXPECT_EQ(aggs[0].self, 500);  // 1000 minus the nested cse span
+  EXPECT_EQ(aggs[1].name, "opt.cse");
+  EXPECT_EQ(aggs[1].self, 500);
+  EXPECT_EQ(aggs[1].count, 1u);
+}
+
+// ------------------------------------------------------ cross-run diff
+
+TEST(Diff, IdenticalTracesReportZeroRegressions) {
+  const report::DiffReport rep =
+      report::diff_documents(trace_doc(1000), trace_doc(1000));
+  EXPECT_EQ(rep.regressions, 0u);
+  for (const report::DiffRow& row : rep.rows) EXPECT_FALSE(row.regressed);
+}
+
+TEST(Diff, FlagsSeededSlowdownInTraceSelfTime) {
+  // Doubling the outer span's duration triples its self time
+  // (500us -> 1500us): well past the 1.5x default threshold.
+  const report::DiffReport rep =
+      report::diff_documents(trace_doc(1000), trace_doc(2000));
+  EXPECT_EQ(rep.regressions, 1u);
+  const report::DiffRow* row = find_row(rep, "backend.schedule");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regressed);
+  EXPECT_EQ(row->a, 500);
+  EXPECT_EQ(row->b, 1500);
+  EXPECT_DOUBLE_EQ(row->ratio, 3.0);
+  // Regressed rows sort first.
+  EXPECT_EQ(rep.rows.front().name, row->name);
+}
+
+TEST(Diff, MetricsQuantileRegressionFlaggedAboveNoiseFloor) {
+  const report::DiffReport rep =
+      report::diff_documents(metrics_doc(20000, 5), metrics_doc(60000, 50));
+  const report::DiffRow* p50 = find_row(rep, "pipeline.compile_ns p50(ns)");
+  ASSERT_NE(p50, nullptr);
+  EXPECT_TRUE(p50->regressed);
+  EXPECT_DOUBLE_EQ(p50->ratio, 3.0);
+  EXPECT_GE(rep.regressions, 1u);
+  // The tiny histogram tripled too, but sits under min_quantile_ns on
+  // both sides: noise, never flagged.
+  EXPECT_EQ(find_row(rep, "tiny.hist_ns"), nullptr);
+  // Counters are reported for context but are informational only.
+  const report::DiffRow* counter = find_row(rep, "counter sim.runs");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_FALSE(counter->regressed);
+}
+
+TEST(Diff, MismatchedDocumentKindsThrow) {
+  EXPECT_THROW(report::diff_documents(trace_doc(1000), metrics_doc(20000, 1)),
+               Error);
+  EXPECT_THROW(
+      report::diff_documents(obs::json::parse("{}"), obs::json::parse("{}")),
+      Error);
+}
+
+// --------------------------------------------------- bench trajectory
+
+TEST(Bench, ParsesRawRunNormalizingTimeUnits) {
+  const obs::json::Value doc = obs::json::parse(
+      "{\"context\":{\"date\":\"2026-08-09\",\"cmake_build_type\":"
+      "\"Release\",\"git_commit\":\"abc1234\",\"git_dirty\":true},"
+      "\"benchmarks\":["
+      "{\"name\":\"BM_EpicSimulator\",\"run_type\":\"iteration\","
+      "\"real_time\":2.5,\"time_unit\":\"ms\",\"sim_cycles/s\":4.0e9},"
+      "{\"name\":\"BM_EpicSimulator\",\"run_type\":\"aggregate\","
+      "\"real_time\":9999,\"time_unit\":\"ms\"}"
+      "]}");
+  const report::BenchRun run = report::parse_run(doc, "fresh");
+  EXPECT_EQ(run.label, "fresh");
+  EXPECT_EQ(run.commit, "abc1234");
+  EXPECT_EQ(run.date, "2026-08-09");
+  EXPECT_EQ(run.cmake_build_type, "Release");
+  EXPECT_TRUE(run.git_dirty);
+  ASSERT_EQ(run.benchmarks.count("BM_EpicSimulator"), 1u);
+  const report::BenchMeasure& m = run.benchmarks.at("BM_EpicSimulator");
+  EXPECT_DOUBLE_EQ(m.real_time_ns, 2.5e6);  // ms -> ns; aggregate skipped
+  ASSERT_EQ(m.rates.count("sim_cycles/s"), 1u);
+  EXPECT_DOUBLE_EQ(m.rates.at("sim_cycles/s"), 4.0e9);
+}
+
+TEST(Bench, ParsesHistoryAndTagsNonReleaseRuns) {
+  const obs::json::Value doc = obs::json::parse(
+      "{\"runs\":["
+      "{\"label\":\"v1\",\"commit\":\"aaa\",\"date\":\"d1\","
+      "\"context\":{},\"benchmarks\":["
+      "{\"name\":\"BM_Frontend\",\"real_time\":10,\"time_unit\":\"us\"}]},"
+      "{\"label\":\"v2 (non-release: Debug)\",\"commit\":\"bbb\","
+      "\"date\":\"d2\",\"context\":{},\"benchmarks\":["
+      "{\"name\":\"BM_Frontend\",\"real_time\":99,\"time_unit\":\"us\"}]}"
+      "]}");
+  const std::vector<report::BenchRun> runs = report::parse_history(doc);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].commit, "aaa");
+  EXPECT_TRUE(runs[0].release_eligible());
+  EXPECT_FALSE(runs[1].release_eligible());
+  EXPECT_THROW(report::parse_history(obs::json::parse("{}")), Error);
+}
+
+/// Build a run carrying the two simulator-tier benchmarks with the
+/// given sim_cycles/s rates.
+report::BenchRun tier_run(std::string label, double fast, double legacy) {
+  report::BenchRun run;
+  run.label = std::move(label);
+  report::BenchMeasure m_fast, m_legacy;
+  m_fast.rates["sim_cycles/s"] = fast;
+  m_legacy.rates["sim_cycles/s"] = legacy;
+  run.benchmarks["BM_EpicSimulator"] = m_fast;
+  run.benchmarks["BM_EpicSimulatorLegacy"] = m_legacy;
+  run.benchmarks["BM_EpicSimulatorDecode"] = m_legacy;
+  return run;
+}
+
+const report::RatioCheck* find_check(const std::vector<report::RatioCheck>& cs,
+                                     std::string_view name) {
+  for (const report::RatioCheck& c : cs) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Bench, RatioGuardPassesAtOrAboveFloor) {
+  // Baseline tier ratio 5.0; floor = 0.75 * 5.0 = 3.75.
+  const std::vector<report::BenchRun> history = {tier_run("base", 5e9, 1e9)};
+  const std::vector<report::RatioCheck> checks =
+      report::check_ratios(history, tier_run("fresh", 4e9, 1e9));
+  const report::RatioCheck* c =
+      find_check(checks, "BM_EpicSimulator/BM_EpicSimulatorLegacy");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->baseline_label, "base");
+  EXPECT_DOUBLE_EQ(c->baseline, 5.0);
+  EXPECT_DOUBLE_EQ(c->limit, 3.75);
+  EXPECT_DOUBLE_EQ(c->fresh, 4.0);
+  EXPECT_TRUE(c->is_floor);
+  EXPECT_TRUE(c->ok);
+}
+
+TEST(Bench, RatioGuardFailsBelowFloorAndSkipsNonReleaseBaselines) {
+  // The newer non-release run (ratio 100) must not become the baseline;
+  // against the release baseline (ratio 5) a fresh ratio of 2 fails.
+  const std::vector<report::BenchRun> history = {
+      tier_run("base", 5e9, 1e9),
+      tier_run("debug (non-release: Debug)", 100e9, 1e9)};
+  const std::vector<report::RatioCheck> checks =
+      report::check_ratios(history, tier_run("fresh", 2e9, 1e9));
+  const report::RatioCheck* c =
+      find_check(checks, "BM_EpicSimulator/BM_EpicSimulatorLegacy");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->baseline_label, "base");
+  EXPECT_DOUBLE_EQ(c->limit, 3.75);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Bench, RatioGuardHandlesMissingBenchmarks) {
+  const std::vector<report::BenchRun> history = {tier_run("base", 5e9, 1e9)};
+  // Fresh run lost the legacy tier: with a committed baseline that is a
+  // hard failure, not a silent skip.
+  report::BenchRun fresh = tier_run("fresh", 5e9, 1e9);
+  fresh.benchmarks.erase("BM_EpicSimulatorLegacy");
+  const std::vector<report::RatioCheck> failed =
+      report::check_ratios(history, fresh);
+  const report::RatioCheck* c =
+      find_check(failed, "BM_EpicSimulator/BM_EpicSimulatorLegacy");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->ok);
+  // No committed baseline at all (e.g. the wall-time pair here):
+  // reported as skipped, ok, with an empty baseline label.
+  const report::RatioCheck* time_pair =
+      find_check(failed, "BM_Optimize/BM_Frontend (time)");
+  ASSERT_NE(time_pair, nullptr);
+  EXPECT_TRUE(time_pair->ok);
+  EXPECT_TRUE(time_pair->baseline_label.empty());
+}
+
+TEST(Bench, WallTimeCeilingGuard) {
+  auto time_run = [](std::string label, double opt_ns, double frontend_ns) {
+    report::BenchRun run;
+    run.label = std::move(label);
+    report::BenchMeasure opt, fe;
+    opt.real_time_ns = opt_ns;
+    fe.real_time_ns = frontend_ns;
+    run.benchmarks["BM_Optimize"] = opt;
+    run.benchmarks["BM_Frontend"] = fe;
+    return run;
+  };
+  // Baseline ratio 2.0; ceiling = 1.6 * 2.0 = 3.2.
+  const std::vector<report::BenchRun> history = {time_run("base", 2000, 1000)};
+  const report::RatioCheck* ok_check = find_check(
+      report::check_ratios(history, time_run("fresh", 3000, 1000)),
+      "BM_Optimize/BM_Frontend (time)");
+  ASSERT_NE(ok_check, nullptr);
+  EXPECT_FALSE(ok_check->is_floor);
+  EXPECT_TRUE(ok_check->ok);
+  const report::RatioCheck* bad_check = find_check(
+      report::check_ratios(history, time_run("fresh", 4000, 1000)),
+      "BM_Optimize/BM_Frontend (time)");
+  ASSERT_NE(bad_check, nullptr);
+  EXPECT_FALSE(bad_check->ok);
+}
+
+}  // namespace
+}  // namespace cepic

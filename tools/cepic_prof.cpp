@@ -1,33 +1,42 @@
-// cepic-prof — offline reporter over the artifacts the observability
-// layer writes (docs/OBSERVABILITY.md): Chrome trace JSON from
-// `--trace-out` / `--timeline-out` and flat metrics JSON from
-// `--metrics-json`.
+// cepic-prof — offline reporter and cross-run analytics over the
+// artifacts the observability layer writes (docs/OBSERVABILITY.md):
+// Chrome trace JSON from `--trace-out` / `--timeline-out` /
+// `--flight-out`, flat metrics JSON from `--metrics-json`, and the
+// committed bench history BENCH_toolspeed.json.
 //
 //   cepic-prof trace.json               # top spans + per-stage totals
 //   cepic-prof trace.json --top 20
-//   cepic-prof metrics.json             # counter/gauge listing
-//   cepic-prof --validate schemas/chrome-trace.schema.json trace.json
+//   cepic-prof metrics.json             # counters/gauges/histograms
+//   cepic-prof --validate schemas/chrome-trace.schema.json trace.json...
+//   cepic-prof diff A.json B.json [--check]
+//   cepic-prof bench BENCH_toolspeed.json [--fresh RUN.json] [--check]
 //
-// Subreports on a trace file:
-//   * top spans by self time (duration minus same-thread children),
-//   * per-stage totals (spans aggregated by their category:
-//     frontend / opt / backend / asm / pipeline / sim),
-//   * cache efficiency, reconstructed from the counter snapshot the
-//     exporter embeds under otherData.
+// `diff` compares two exports of the same kind — traces by per-span
+// self time, metrics by per-histogram latency quantiles (counters ride
+// along informationally) — and flags rows whose B/A ratio crosses
+// `--threshold` above a noise floor; `--check` exits 1 when any row is
+// flagged. `bench` prints the committed perf trajectory and, with
+// `--check`, enforces the perf-smoke ratio guards (execution-tier
+// sim_cycles/s floors, optimiser wall-time ceiling) against `--fresh`
+// (a raw google-benchmark JSON run) or the history's own last run.
 //
-// `--validate SCHEMA` checks any JSON file against a JSON-Schema subset
-// (src/obs/schema.hpp) and exits 1 on the first batch of violations —
-// CI uses it to keep every exported artifact loadable by Perfetto.
+// `--validate SCHEMA` checks each input against a JSON-Schema file
+// (src/obs/schema.hpp subset), reports every violation with the JSON
+// path of the failing node, and exits 1 if *any* input fails — a file
+// that fails to parse counts as failing without aborting the rest.
 #include "tool_common.hpp"
 
 #include <algorithm>
 #include <map>
 
 #include "obs/json.hpp"
+#include "obs/report.hpp"
 #include "obs/schema.hpp"
 
 namespace json = cepic::obs::json;
+namespace report = cepic::obs::report;
 namespace schema = cepic::obs::schema;
+namespace tools = cepic::tools;
 
 namespace {
 
@@ -37,15 +46,6 @@ using cepic::fixed;
 using cepic::pad_left;
 using cepic::pad_right;
 
-struct SpanRow {
-  std::string name;
-  std::string cat;
-  int tid = 0;
-  double ts = 0;
-  double dur = 0;
-  double self = 0;  ///< dur minus same-thread child time
-};
-
 double number_or(const json::Value& obj, const char* key,
                  double fallback) {
   const json::Value* v = obj.find(key);
@@ -53,100 +53,51 @@ double number_or(const json::Value& obj, const char* key,
                                                                 : fallback;
 }
 
-std::string string_or(const json::Value& obj, const char* key,
-                      std::string fallback) {
-  const json::Value* v = obj.find(key);
-  return (v != nullptr && v->kind == json::Value::Kind::String) ? v->string
-                                                                : fallback;
-}
-
-/// Extract the 'X' (complete) events and compute per-span self time:
-/// a span's children are the spans on the same thread fully nested
-/// inside it; their durations are subtracted from the parent.
-std::vector<SpanRow> extract_spans(const json::Value& events) {
-  std::vector<SpanRow> rows;
-  for (const json::Value& e : events.array) {
-    if (e.kind != json::Value::Kind::Object) continue;
-    if (string_or(e, "ph", "") != "X") continue;
-    SpanRow row;
-    row.name = string_or(e, "name", "?");
-    row.cat = string_or(e, "cat", "");
-    row.tid = static_cast<int>(number_or(e, "tid", 0));
-    row.ts = number_or(e, "ts", 0);
-    row.dur = number_or(e, "dur", 0);
-    row.self = row.dur;
-    rows.push_back(std::move(row));
-  }
-  // Nesting pass per thread: sort by (tid, ts, -dur) so a parent comes
-  // before its children, then walk with an enclosing-span stack.
-  std::vector<std::size_t> order(rows.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (rows[a].tid != rows[b].tid) return rows[a].tid < rows[b].tid;
-    if (rows[a].ts != rows[b].ts) return rows[a].ts < rows[b].ts;
-    return rows[a].dur > rows[b].dur;
-  });
-  std::vector<std::size_t> stack;
-  int tid = 0;
-  for (const std::size_t i : order) {
-    SpanRow& row = rows[i];
-    if (stack.empty() || rows[stack.front()].tid != row.tid) {
-      stack.clear();
-      tid = row.tid;
-    }
-    (void)tid;
-    while (!stack.empty() &&
-           rows[stack.back()].ts + rows[stack.back()].dur <= row.ts) {
-      stack.pop_back();
-    }
-    if (!stack.empty()) rows[stack.back()].self -= row.dur;
-    stack.push_back(i);
-  }
-  return rows;
+std::string int_text(double v) {
+  return v == static_cast<std::uint64_t>(v)
+             ? cat(static_cast<std::uint64_t>(v))
+             : fixed(v, 3);
 }
 
 void report_trace(const json::Value& doc, unsigned top) {
-  const json::Value* events = doc.find("traceEvents");
-  if (events == nullptr || events->kind != json::Value::Kind::Array) {
-    throw Error("no traceEvents array in input");
-  }
-  const std::vector<SpanRow> rows = extract_spans(*events);
+  const std::vector<report::SpanAgg> aggs = report::aggregate_spans(doc);
+  std::uint64_t spans = 0;
+  for (const report::SpanAgg& agg : aggs) spans += agg.count;
 
+  std::vector<const report::SpanAgg*> ranked;
+  ranked.reserve(aggs.size());
+  for (const report::SpanAgg& agg : aggs) ranked.push_back(&agg);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const report::SpanAgg* a, const report::SpanAgg* b) {
+              return a->self > b->self;
+            });
+
+  std::cout << "top spans by self time (" << spans << " spans)\n";
+  std::cout << pad_right("  span", 34) << pad_left("count", 7)
+            << pad_left("self(us)", 12) << pad_left("total(us)", 12) << "\n";
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const report::SpanAgg& agg = *ranked[i];
+    std::cout << pad_right(cat("  ", agg.name), 34)
+              << pad_left(cat(agg.count), 7)
+              << pad_left(fixed(agg.self, 1), 12)
+              << pad_left(fixed(agg.total, 1), 12) << "\n";
+  }
+
+  // Per-stage totals: aggregate again by the "cat." prefix.
   struct Agg {
     double self = 0;
     double total = 0;
     std::uint64_t count = 0;
   };
-  std::map<std::string, Agg> by_name;
   std::map<std::string, Agg> by_cat;
-  for (const SpanRow& row : rows) {
-    Agg& n = by_name[row.cat.empty() ? row.name
-                                     : cat(row.cat, ".", row.name)];
-    n.self += row.self;
-    n.total += row.dur;
-    ++n.count;
-    Agg& c = by_cat[row.cat.empty() ? "(none)" : row.cat];
-    c.self += row.self;
-    c.total += row.dur;
-    ++c.count;
+  for (const report::SpanAgg& agg : aggs) {
+    const std::size_t dot = agg.name.find('.');
+    Agg& c = by_cat[dot == std::string::npos ? "(none)"
+                                             : agg.name.substr(0, dot)];
+    c.self += agg.self;
+    c.total += agg.total;
+    c.count += agg.count;
   }
-
-  std::vector<std::pair<std::string, Agg>> ranked(by_name.begin(),
-                                                  by_name.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    return a.second.self > b.second.self;
-  });
-
-  std::cout << "top spans by self time (" << rows.size() << " spans)\n";
-  std::cout << pad_right("  span", 34) << pad_left("count", 7)
-            << pad_left("self(us)", 12) << pad_left("total(us)", 12) << "\n";
-  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
-    const auto& [name, agg] = ranked[i];
-    std::cout << pad_right(cat("  ", name), 34) << pad_left(cat(agg.count), 7)
-              << pad_left(fixed(agg.self, 1), 12)
-              << pad_left(fixed(agg.total, 1), 12) << "\n";
-  }
-
   std::cout << "\nper-stage totals\n";
   for (const auto& [name, agg] : by_cat) {
     std::cout << pad_right(cat("  ", name), 34) << pad_left(cat(agg.count), 7)
@@ -195,15 +146,168 @@ void report_metrics(const json::Value& doc) {
     for (const auto& [name, value] : v->object) {
       std::cout << pad_right(cat("  ", name), 40);
       if (value.kind == json::Value::Kind::Number) {
-        std::cout << pad_left(
-            value.number == static_cast<std::uint64_t>(value.number)
-                ? cat(static_cast<std::uint64_t>(value.number))
-                : fixed(value.number, 3),
-            14);
+        std::cout << pad_left(int_text(value.number), 14);
       }
       std::cout << "\n";
     }
   }
+  const std::vector<report::HistStat> hists = report::histogram_stats(doc);
+  if (hists.empty()) return;
+  std::cout << "histograms\n";
+  std::cout << pad_right("  name", 30) << pad_left("count", 9)
+            << pad_left("p50", 13) << pad_left("p90", 13)
+            << pad_left("p99", 13) << pad_left("max", 13) << "\n";
+  for (const report::HistStat& h : hists) {
+    std::cout << pad_right(cat("  ", h.name), 30)
+              << pad_left(int_text(h.count), 9)
+              << pad_left(int_text(h.p50), 13)
+              << pad_left(int_text(h.p90), 13)
+              << pad_left(int_text(h.p99), 13)
+              << pad_left(int_text(h.max), 13) << "\n";
+  }
+}
+
+// --- cepic-prof --validate --------------------------------------------
+
+int run_validate(const std::string& schema_path,
+                 const std::vector<std::string>& paths) {
+  const json::Value schema = json::parse(tools::read_file(schema_path));
+  int failures = 0;
+  for (const std::string& path : paths) {
+    json::Value doc;
+    try {
+      doc = json::parse(tools::read_file(path));
+    } catch (const std::exception& e) {
+      std::cerr << path << ": FAIL (unreadable/unparsable): " << e.what()
+                << "\n";
+      ++failures;
+      continue;
+    }
+    const std::vector<std::string> violations = schema::validate(schema, doc);
+    if (violations.empty()) {
+      std::cout << path << ": valid against " << schema_path << "\n";
+      continue;
+    }
+    for (const std::string& v : violations) {
+      std::cerr << path << ": " << v << "\n";
+    }
+    // Violations are "<json-path>: <rule>" — lead the summary with the
+    // first failing node's path so CI logs point straight at it.
+    const std::string& first = violations.front();
+    const std::size_t colon = first.find(": ");
+    std::cerr << path << ": FAIL at "
+              << (colon == std::string::npos ? first
+                                             : first.substr(0, colon))
+              << " (" << violations.size() << " violation(s) against "
+              << schema_path << ")\n";
+    ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << failures << " of " << paths.size()
+              << " input(s) failed validation\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// --- cepic-prof diff --------------------------------------------------
+
+int run_diff(const std::vector<std::string>& paths, double threshold,
+             bool check) {
+  if (paths.size() != 2) {
+    throw Error("diff expects exactly two inputs: cepic-prof diff A B");
+  }
+  report::DiffOptions options;
+  if (threshold > 0) options.ratio_threshold = threshold;
+  const json::Value a = json::parse(tools::read_file(paths[0]));
+  const json::Value b = json::parse(tools::read_file(paths[1]));
+  const report::DiffReport diff = report::diff_documents(a, b, options);
+
+  std::cout << "diff " << paths[0] << " -> " << paths[1] << " (flagging B >= "
+            << fixed(options.ratio_threshold, 2) << "x A)\n";
+  std::cout << pad_right("  quantity", 42) << pad_left("A", 13)
+            << pad_left("B", 13) << pad_left("B/A", 8) << "\n";
+  for (const report::DiffRow& row : diff.rows) {
+    std::cout << pad_right(cat("  ", row.name), 42)
+              << pad_left(int_text(row.a), 13)
+              << pad_left(int_text(row.b), 13)
+              << pad_left(row.a > 0 ? fixed(row.ratio, 2) : "new", 8)
+              << (row.regressed ? "  REGRESSED" : "") << "\n";
+  }
+  std::cout << "regressions: " << diff.regressions << "\n";
+  return check && diff.regressions > 0 ? 1 : 0;
+}
+
+// --- cepic-prof bench -------------------------------------------------
+
+int run_bench(const std::vector<std::string>& paths,
+              const std::string& fresh_path, bool check) {
+  if (paths.size() != 1) {
+    throw Error("bench expects one history file: cepic-prof bench "
+                "BENCH_toolspeed.json");
+  }
+  const std::vector<report::BenchRun> history =
+      report::parse_history(json::parse(tools::read_file(paths[0])));
+  if (history.empty()) throw Error(cat(paths[0], ": empty bench history"));
+
+  // Trajectory: per benchmark, one column per run (wall time, with the
+  // per-run ratio to the previous run carrying it).
+  std::cout << "bench trajectory (" << history.size() << " runs)\n";
+  for (const report::BenchRun& run : history) {
+    std::cout << "  " << run.label << "  [" << run.commit
+              << (run.git_dirty ? "+dirty" : "") << "] "
+              << (run.date.empty() ? "" : run.date)
+              << (run.release_eligible() ? "" : "  (excluded from baselines)")
+              << "\n";
+  }
+  std::map<std::string, double> previous;
+  std::cout << "\n" << pad_right("  benchmark", 30) << pad_right("run", 34)
+            << pad_left("time(us)", 12) << pad_left("vs prev", 9) << "\n";
+  for (const report::BenchRun& run : history) {
+    for (const auto& [name, measure] : run.benchmarks) {
+      std::cout << pad_right(cat("  ", name), 30)
+                << pad_right(run.label.substr(0, 32), 34)
+                << pad_left(fixed(measure.real_time_ns / 1e3, 1), 12);
+      const auto prev = previous.find(name);
+      if (prev != previous.end() && prev->second > 0) {
+        std::cout << pad_left(
+            cat(fixed(measure.real_time_ns / prev->second, 2), "x"), 9);
+      }
+      std::cout << "\n";
+      previous[name] = measure.real_time_ns;
+    }
+  }
+
+  // Ratio guards: --fresh checks a new run against the committed
+  // baselines; without it the history's own last run is audited.
+  report::BenchRun fresh;
+  std::vector<report::BenchRun> baselines = history;
+  if (!fresh_path.empty()) {
+    fresh = report::parse_run(json::parse(tools::read_file(fresh_path)),
+                              "(fresh)");
+  } else {
+    fresh = history.back();
+    baselines.pop_back();
+  }
+  std::cout << "\nratio guards (fresh: " << fresh.label << ")\n";
+  bool failed = false;
+  for (const report::RatioCheck& rc :
+       report::check_ratios(baselines, fresh)) {
+    if (rc.baseline_label.empty()) {
+      std::cout << "  " << rc.name << ": no committed baseline, skipped\n";
+      continue;
+    }
+    std::cout << "  " << rc.name << ": baseline '" << rc.baseline_label
+              << "' = " << fixed(rc.baseline, 3)
+              << ", fresh = " << fixed(rc.fresh, 3) << " ("
+              << (rc.is_floor ? "floor " : "ceiling ") << fixed(rc.limit, 3)
+              << ") " << (rc.ok ? "ok" : "FAIL") << "\n";
+    if (!rc.ok) failed = true;
+  }
+  if (failed) {
+    std::cerr << "bench: ratio guard failed against the committed "
+                 "baselines\n";
+  }
+  return check && failed ? 1 : 0;
 }
 
 }  // namespace
@@ -213,37 +317,43 @@ int main(int argc, char** argv) {
   return tools::tool_main("cepic-prof", [&]() -> int {
     unsigned top = 10;
     std::string schema_path;
+    std::string fresh_path;
+    double threshold = 0;
+    bool check = false;
 
     tools::OptionTable table(
-        "cepic-prof <trace.json|metrics.json>... [options]");
+        "cepic-prof <trace.json|metrics.json>... [options]\n"
+        "       cepic-prof diff A.json B.json [--threshold R] [--check]\n"
+        "       cepic-prof bench HISTORY.json [--fresh RUN.json] [--check]\n"
+        "       cepic-prof --validate SCHEMA FILE...");
     table.uint("--top", "N", "spans to list in the self-time ranking", &top);
     table.str("--validate", "SCHEMA",
               "validate the inputs against a JSON-Schema file and stop",
               &schema_path);
+    table.str("--fresh", "RUN.json",
+              "bench: check this raw google-benchmark run against the "
+              "committed baselines",
+              &fresh_path);
+    table.real("--threshold", "R",
+               "diff: flag rows whose B/A ratio reaches R (default 1.5)",
+               &threshold);
+    table.flag("--check", "exit 1 on flagged regressions / failed guards",
+               &check);
 
     std::vector<std::string> positionals;
     if (!table.parse(argc, argv, positionals)) return 2;
     if (positionals.empty()) return table.usage();
 
-    if (!schema_path.empty()) {
-      const json::Value schema = json::parse(tools::read_file(schema_path));
-      int failures = 0;
-      for (const std::string& path : positionals) {
-        const json::Value doc = json::parse(tools::read_file(path));
-        const std::vector<std::string> violations =
-            schema::validate(schema, doc);
-        for (const std::string& v : violations) {
-          std::cerr << path << ": " << v << "\n";
-        }
-        if (!violations.empty()) {
-          std::cerr << path << ": " << violations.size()
-                    << " schema violation(s) against " << schema_path << "\n";
-          ++failures;
-        } else {
-          std::cout << path << ": valid against " << schema_path << "\n";
-        }
-      }
-      return failures == 0 ? 0 : 1;
+    if (!schema_path.empty()) return run_validate(schema_path, positionals);
+
+    const std::string subcommand = positionals.front();
+    if (subcommand == "diff") {
+      positionals.erase(positionals.begin());
+      return run_diff(positionals, threshold, check);
+    }
+    if (subcommand == "bench") {
+      positionals.erase(positionals.begin());
+      return run_bench(positionals, fresh_path, check);
     }
 
     bool first = true;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serial/serial.hpp"
@@ -66,15 +67,20 @@ inline ProcessorConfig load_config(const std::string& path) {
   return ProcessorConfig::from_text(raw);
 }
 
-/// Run a tool main body with uniform error reporting.
+/// Run a tool main body with uniform error reporting. A fault escaping
+/// the body is stamped into the flight recorder, which also dumps the
+/// rings when the tool configured `--flight-out` (obs_begin) — the
+/// post-mortem trace outlives the failed process.
 template <typename Fn>
 int tool_main(const char* tool, Fn&& body) {
   try {
     return body();
   } catch (const Error& e) {
+    obs::flight_record_fault(e.what());
     std::cerr << tool << ": " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {
+    obs::flight_record_fault(e.what());
     std::cerr << tool << ": internal error: " << e.what() << "\n";
     return 1;
   }
@@ -134,6 +140,24 @@ public:
                           throw Error("bad " + flag_name);
                         }
                         *out = static_cast<std::uint64_t>(parsed);
+                      },
+                      true});
+    return *this;
+  }
+
+  /// A real-valued option (any finite double).
+  OptionTable& real(std::string name, std::string meta, std::string help,
+                    double* out) {
+    std::string flag_name = name;
+    specs_.push_back({std::move(name), std::move(meta), std::move(help),
+                      [out, flag_name](const std::string& v) {
+                        try {
+                          std::size_t used = 0;
+                          *out = std::stod(v, &used);
+                          if (used != v.size()) throw Error("");
+                        } catch (const std::exception&) {
+                          throw Error(flag_name + " needs a number");
+                        }
                       },
                       true});
     return *this;
@@ -251,22 +275,33 @@ inline void add_exec_tier_option(OptionTable& table, ExecTier* tier) {
 /// same way (docs/OBSERVABILITY.md).
 struct ObsOptions {
   std::string trace_out;     ///< Chrome trace JSON of toolchain spans
-  std::string metrics_json;  ///< flat counters/gauges report
+  std::string metrics_json;  ///< flat counters/gauges/histograms report
+  std::string flight_out;    ///< flight-recorder dump (always-on rings)
 };
 
-/// `--trace-out FILE` + `--metrics-json FILE`.
+/// `--trace-out FILE` + `--metrics-json FILE` + `--flight-out FILE`.
 inline void add_obs_options(OptionTable& table, ObsOptions* obs) {
   table.str("--trace-out", "FILE",
             "write toolchain spans as Chrome trace JSON (Perfetto)",
             &obs->trace_out);
-  table.str("--metrics-json", "FILE", "write counters/gauges as JSON",
-            &obs->metrics_json);
+  table.str("--metrics-json", "FILE",
+            "write counters/gauges/histograms as JSON", &obs->metrics_json);
+  table.str("--flight-out", "FILE",
+            "dump the always-on flight recorder (last events per thread) "
+            "as Chrome trace JSON, on exit and on faults",
+            &obs->flight_out);
 }
 
 /// Call right after parse(): switches span recording on when a trace
-/// was requested, so the whole tool run is covered.
+/// was requested (the whole tool run is covered) and registers the
+/// fault-dump path when a flight dump was requested, so a fault
+/// anywhere below leaves the post-mortem file even though the normal
+/// obs_finish exit is never reached.
 inline void obs_begin(const ObsOptions& obs) {
   if (!obs.trace_out.empty()) cepic::obs::set_enabled(true);
+  if (!obs.flight_out.empty()) {
+    cepic::obs::set_flight_fault_path(obs.flight_out);
+  }
 }
 
 /// Call once the tool's work (and any Service::publish_stats()) is
@@ -275,6 +310,9 @@ inline void obs_finish(const ObsOptions& obs) {
   if (!obs.trace_out.empty()) cepic::obs::write_trace_json(obs.trace_out);
   if (!obs.metrics_json.empty()) {
     cepic::obs::write_metrics_json(obs.metrics_json);
+  }
+  if (!obs.flight_out.empty()) {
+    cepic::obs::write_flight_json(obs.flight_out);
   }
 }
 
